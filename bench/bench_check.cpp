@@ -1,0 +1,56 @@
+// Figure 4a: turnaround time of the check primitive.
+//
+// Grid: {small, medium, large} x {1%, 3%, 5% perturbed rules} x
+// {basic version, differential rules (Theorem 4.1)}.
+//
+// Expected shape (paper): differential is about an order of magnitude
+// faster than basic; turnaround is insensitive to the perturbation rate
+// because check returns at the first violation.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/checker.h"
+
+namespace jinjing {
+namespace {
+
+void BM_Check(benchmark::State& state) {
+  const auto& wan = bench::wan_for(state.range(0));
+  const double fraction = static_cast<double>(state.range(1)) / 100.0;
+  const bool differential = state.range(2) != 0;
+
+  const auto update =
+      gen::perturb_rules(wan, fraction, static_cast<unsigned>(17 * state.range(1) + 1));
+
+  std::size_t fecs = 0;
+  std::uint64_t queries = 0;
+  bool consistent = true;
+  for (auto _ : state) {
+    smt::SmtContext smt;
+    core::CheckOptions options;
+    options.use_differential = differential;
+    core::Checker checker{smt, wan.topo, wan.scope, options};
+    const auto result = checker.check(update, wan.traffic);
+    benchmark::DoNotOptimize(result);
+    fecs = result.fec_count;
+    queries = result.smt_queries;
+    consistent = result.consistent;
+  }
+  state.counters["fecs"] = static_cast<double>(fecs);
+  state.counters["smt_queries"] = static_cast<double>(queries);
+  state.counters["consistent"] = consistent ? 1 : 0;
+  state.SetLabel(std::string(bench::size_name(state.range(0))) + "/" +
+                 std::to_string(state.range(1)) + "pct/" +
+                 (differential ? "differential" : "basic"));
+}
+
+BENCHMARK(BM_Check)
+    ->ArgNames({"net", "perturb_pct", "differential"})
+    ->ArgsProduct({{0, 1, 2}, {1, 3, 5}, {0, 1}})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+}  // namespace
+}  // namespace jinjing
+
+BENCHMARK_MAIN();

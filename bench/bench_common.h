@@ -1,0 +1,32 @@
+// Shared helpers for the figure-reproduction benchmarks: cached WAN
+// instances (building a WAN is workload setup, not measured work) and
+// size naming consistent with §8.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include "gen/scenario.h"
+#include "gen/wan.h"
+
+namespace jinjing::bench {
+
+inline const gen::Wan& wan_for(std::int64_t size_index) {
+  static const gen::Wan small = gen::make_wan(gen::small_wan());
+  static const gen::Wan medium = gen::make_wan(gen::medium_wan());
+  static const gen::Wan large = gen::make_wan(gen::large_wan());
+  switch (size_index) {
+    case 0: return small;
+    case 1: return medium;
+    default: return large;
+  }
+}
+
+inline const char* size_name(std::int64_t size_index) {
+  switch (size_index) {
+    case 0: return "small";
+    case 1: return "medium";
+    default: return "large";
+  }
+}
+
+}  // namespace jinjing::bench

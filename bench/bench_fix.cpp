@@ -1,0 +1,65 @@
+// Figure 4b: turnaround time of the fix primitive.
+//
+// Grid: {small, medium, large} x {1%, 3%, 5% perturbed rules} x
+// {unoptimized (basic check, sequential encoding), optimized
+// (differential rules + tree decision model)}.
+//
+// Expected shape (paper): fixing time grows with the perturbation rate
+// (more violations to repair); the optimizations win by a large factor on
+// the medium/large networks; check + fix stays within interactive budgets.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/fixer.h"
+
+namespace jinjing {
+namespace {
+
+void BM_Fix(benchmark::State& state) {
+  const auto& wan = bench::wan_for(state.range(0));
+  const double fraction = static_cast<double>(state.range(1)) / 100.0;
+  const bool optimized = state.range(2) != 0;
+
+  const auto update =
+      gen::perturb_rules(wan, fraction, static_cast<unsigned>(29 * state.range(1) + 3));
+  const auto allowed = wan.topo.bound_slots();
+
+  std::size_t neighborhoods = 0;
+  std::size_t actions = 0;
+  std::uint64_t queries = 0;
+  core::FixResult last;
+  for (auto _ : state) {
+    smt::SmtContext smt;
+    core::FixOptions options;
+    options.check.use_differential = optimized;
+    options.check.encoder =
+        optimized ? smt::EncoderStrategy::Tree : smt::EncoderStrategy::Sequential;
+    core::Fixer fixer{smt, wan.topo, wan.scope, options};
+    last = fixer.fix(update, wan.traffic, allowed);
+    benchmark::DoNotOptimize(last);
+    neighborhoods = last.neighborhoods.size();
+    actions = last.actions.size();
+    queries = last.smt_queries;
+  }
+  state.counters["neighborhoods"] = static_cast<double>(neighborhoods);
+  state.counters["touched_slots"] = static_cast<double>(actions);
+  state.counters["smt_queries"] = static_cast<double>(queries);
+  state.counters["search_ms"] = last.search_seconds * 1e3;
+  state.counters["enlarge_ms"] = last.enlarge_seconds * 1e3;
+  state.counters["place_ms"] = last.place_seconds * 1e3;
+  state.counters["assemble_ms"] = last.assemble_seconds * 1e3;
+  state.SetLabel(std::string(bench::size_name(state.range(0))) + "/" +
+                 std::to_string(state.range(1)) + "pct/" +
+                 (optimized ? "optimized" : "basic"));
+}
+
+BENCHMARK(BM_Fix)
+    ->ArgNames({"net", "perturb_pct", "optimized"})
+    ->ArgsProduct({{0, 1, 2}, {1, 3, 5}, {0, 1}})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace jinjing
+
+BENCHMARK_MAIN();

@@ -1,0 +1,97 @@
+// Safe rollout: from verified plan to deployable push sequence.
+//
+// A plan that is correct *after* all pushes land can still misbehave while
+// they land — pushes reach devices one at a time, in unpredictable order.
+// This example repairs the §3.2 running-example update, then:
+//   1. prints the per-slot diff of the repaired plan,
+//   2. stages it into a two-phase push sequence whose every intermediate
+//      state keeps each ACL within the union of its before/after behaviour
+//      (availability-first), re-checking a worst-case interleaving with the
+//      verifier,
+//   3. prints the rollback plan kept on file for the change window.
+#include <iostream>
+
+#include "core/checker.h"
+#include "core/deploy.h"
+#include "core/fixer.h"
+#include "gen/fixtures.h"
+#include "topo/paths.h"
+
+namespace {
+
+using namespace jinjing;
+
+std::string slot_name(const topo::Topology& topo, topo::AclSlot slot) {
+  return topo.qualified_name(slot.iface) + (slot.dir == topo::Dir::In ? "-in" : "-out");
+}
+
+}  // namespace
+
+int main() {
+  const auto f = gen::make_figure1();
+
+  std::cout << "=== Safe rollout of the repaired running-example plan ===\n\n";
+
+  // Repair the buggy update first (as in examples/quickstart).
+  smt::SmtContext smt;
+  core::Fixer fixer{smt, f.topo, f.scope};
+  const auto fix = fixer.fix(f.running_example_update(), f.traffic, [&] {
+    std::vector<topo::AclSlot> allowed;
+    for (const auto iface : {f.A1, f.A2, f.A3, f.A4, f.B1, f.B2}) {
+      allowed.push_back({iface, topo::Dir::In});
+      allowed.push_back({iface, topo::Dir::Out});
+    }
+    return allowed;
+  }());
+  if (!fix.success) {
+    std::cout << "fix failed\n";
+    return 1;
+  }
+  const auto& plan = fix.fixed_update;
+
+  std::cout << "plan diff:\n" << core::describe_update(f.topo, plan) << "\n";
+
+  const auto steps = core::staged_plan(f.topo, plan, core::StagingMode::AvailabilityFirst);
+  std::cout << "staged deployment (availability-first), " << steps.size() << " pushes:\n";
+  for (const auto& step : steps) {
+    std::cout << "  phase " << step.phase + 1 << ": push " << slot_name(f.topo, step.slot)
+              << " (" << step.acl.size() << " rules)\n";
+  }
+
+  // Adversarial replay: apply pushes one at a time (phase order, worst-case
+  // within a phase is any order — we take the given one) and verify that at
+  // every intermediate state, traffic permitted by BOTH endpoints still
+  // flows on every path.
+  std::cout << "\nverifying intermediate states:\n";
+  const topo::ConfigView before_view{f.topo};
+  const topo::ConfigView after_view{f.topo, &plan};
+  const auto paths = topo::enumerate_paths(f.topo, f.scope);
+
+  topo::AclUpdate state;
+  bool all_safe = true;
+  for (std::size_t pushed = 0; pushed <= steps.size(); ++pushed) {
+    if (pushed > 0) state.insert_or_assign(steps[pushed - 1].slot, steps[pushed - 1].acl);
+    const topo::ConfigView current{f.topo, &state};
+    bool safe = true;
+    for (const auto& path : paths) {
+      const auto carried = topo::forwarding_set(f.topo, path) & f.traffic;
+      if (carried.is_empty()) continue;
+      const auto must_flow = topo::path_permitted_set(before_view, path) &
+                             topo::path_permitted_set(after_view, path) & carried;
+      safe = safe && topo::path_permitted_set(current, path).contains(must_flow);
+    }
+    std::cout << "  after " << pushed << " pushes: "
+              << (safe ? "no always-permitted traffic dropped" : "TRANSIENT OUTAGE") << "\n";
+    all_safe = all_safe && safe;
+  }
+
+  // The rollback restores today's ACLs; diffing it against the live
+  // topology is a no-op by construction, so list what it would push.
+  std::cout << "\nrollback plan (kept for the change window):\n";
+  for (const auto& [slot, acl] : core::rollback_update(f.topo, plan)) {
+    std::cout << "  restore " << slot_name(f.topo, slot) << " (" << acl.size() << " rules)\n";
+  }
+
+  std::cout << (all_safe ? "\nrollout is transient-safe\n" : "\nrollout is UNSAFE\n");
+  return all_safe ? 0 : 1;
+}

@@ -1,0 +1,442 @@
+#include "cli/cli.h"
+
+#include <fstream>
+#include <map>
+#include <optional>
+#include <ostream>
+#include <sstream>
+
+#include "config/acl_format.h"
+#include "config/audit.h"
+#include "config/topology_format.h"
+#include "core/deploy.h"
+#include "core/diff.h"
+#include "core/engine.h"
+#include "gen/wan.h"
+#include "net/acl_algebra.h"
+#include "topo/fec.h"
+#include "topo/paths.h"
+
+namespace jinjing::cli {
+
+namespace {
+
+constexpr const char* kUsage = R"(usage:
+  jinjing run   --network FILE --program FILE [--acl NAME=FILE]...
+                [--diff] [--rollback] [--stage availability|security]
+                [--out FILE]
+  jinjing show  --network FILE
+  jinjing audit --network FILE
+  jinjing reach --network FILE --from IFACE --to IFACE [--packet SPEC]
+  jinjing trace --network FILE --packet SPEC [--from IFACE]
+  jinjing diff  --acl-a FILE --acl-b FILE
+  jinjing gen   --size small|medium|large [--seed N]
+
+run      execute an LAI program (check / fix / generate) and print the plan
+         --diff      also print the per-slot rule diff of the plan
+         --rollback  also print the plan that restores the current ACLs
+         --stage M   also print a transient-safe two-phase push sequence
+         --out FILE  write the plan as reusable 'acl ... end' blocks
+show     print the network summary: paths, traffic classes, ACLs
+audit    run the data-quality checks; exit 1 when errors are found
+reach    answer "what can go from A to B?" — per-path permitted traffic,
+         or the verdict for one packet (--packet "dst 1.2.3.4 dport 80")
+trace    follow one packet hop by hop: routing choice and ACL verdict (with
+         the matching rule) at every interface it crosses
+diff     compare two ACLs semantically: equivalence verdict, the rules the
+         update adds/removes (Definition 4.1), and a witness packet whose
+         decision differs
+gen      write a synthetic layered WAN (the benchmark workloads) to stdout
+)";
+
+struct Options {
+  std::string command;
+  std::string network_path;
+  std::string program_path;
+  std::vector<std::pair<std::string, std::string>> acl_files;  // name -> path
+  bool show_diff = false;
+  bool show_rollback = false;
+  std::optional<core::StagingMode> stage;
+  std::string from_iface;
+  std::string to_iface;
+  std::string packet_spec;
+  std::string gen_size;
+  unsigned gen_seed = 0;
+  std::string out_path;
+  std::string acl_a_path;
+  std::string acl_b_path;
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) throw std::runtime_error("cannot open file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+Options parse_args(const std::vector<std::string>& args) {
+  if (args.empty()) throw std::runtime_error("missing command");
+  Options options;
+  options.command = args[0];
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const auto& arg = args[i];
+    const auto value = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) throw std::runtime_error("missing value after " + arg);
+      return args[++i];
+    };
+    if (arg == "--network") {
+      options.network_path = value();
+    } else if (arg == "--program") {
+      options.program_path = value();
+    } else if (arg == "--acl") {
+      const auto& pair = value();
+      const auto eq = pair.find('=');
+      if (eq == std::string::npos) throw std::runtime_error("--acl expects NAME=FILE");
+      options.acl_files.emplace_back(pair.substr(0, eq), pair.substr(eq + 1));
+    } else if (arg == "--diff") {
+      options.show_diff = true;
+    } else if (arg == "--rollback") {
+      options.show_rollback = true;
+    } else if (arg == "--stage") {
+      const auto& mode = value();
+      if (mode == "availability") {
+        options.stage = core::StagingMode::AvailabilityFirst;
+      } else if (mode == "security") {
+        options.stage = core::StagingMode::SecurityFirst;
+      } else {
+        throw std::runtime_error("--stage expects 'availability' or 'security'");
+      }
+    } else if (arg == "--from") {
+      options.from_iface = value();
+    } else if (arg == "--to") {
+      options.to_iface = value();
+    } else if (arg == "--packet") {
+      options.packet_spec = value();
+    } else if (arg == "--acl-a") {
+      options.acl_a_path = value();
+    } else if (arg == "--acl-b") {
+      options.acl_b_path = value();
+    } else if (arg == "--out") {
+      options.out_path = value();
+    } else if (arg == "--size") {
+      options.gen_size = value();
+    } else if (arg == "--seed") {
+      options.gen_seed = static_cast<unsigned>(std::stoul(value()));
+    } else {
+      throw std::runtime_error("unknown option: " + arg);
+    }
+  }
+  if (options.command != "gen" && options.command != "diff" && options.network_path.empty()) {
+    throw std::runtime_error("--network is required");
+  }
+  return options;
+}
+
+void print_plan(std::ostream& out, const topo::Topology& topo, const topo::AclUpdate& plan) {
+  if (plan.empty()) {
+    out << "(no changes)\n";
+    return;
+  }
+  // Deterministic order.
+  std::map<std::string, const net::Acl*> ordered;
+  for (const auto& [slot, acl] : plan) {
+    ordered.emplace(topo.qualified_name(slot.iface) +
+                        (slot.dir == topo::Dir::In ? "-in" : "-out"),
+                    &acl);
+  }
+  for (const auto& [name, acl] : ordered) {
+    out << "acl " << name << "\n";
+    if (acl->empty()) {
+      out << "  # no rules - " << net::to_string(acl->default_action()) << " all\n";
+    }
+    for (const auto& rule : acl->rules()) out << "  " << net::to_string(rule) << "\n";
+    out << "end\n";
+  }
+}
+
+int run_command(const Options& options, std::ostream& out) {
+  if (options.program_path.empty()) throw std::runtime_error("--program is required for run");
+  const auto network = config::load_network(options.network_path);
+  const auto program_text = read_file(options.program_path);
+
+  lai::AclLibrary library;
+  library.emplace("permit_all", net::Acl::permit_all());
+  for (const auto& [name, path] : options.acl_files) {
+    library.insert_or_assign(name, config::parse_acl_auto(read_file(path)));
+  }
+
+  core::Engine engine{network.topo};
+  const auto report = engine.run_program(program_text, library, network.traffic);
+
+  for (const auto& outcome : report.outcomes) {
+    out << lai::to_string(outcome.command) << ": " << (outcome.ok() ? "ok" : "FAILED");
+    if (outcome.check) {
+      out << " (" << (outcome.check->consistent ? "consistent" : "inconsistent") << ", "
+          << outcome.check->fec_count << " classes, " << outcome.check->smt_queries
+          << " SMT queries)";
+    }
+    if (outcome.fix) {
+      out << " (" << outcome.fix->neighborhoods.size() << " neighborhoods, "
+          << outcome.fix->actions.size() << " interfaces touched)";
+    }
+    if (outcome.generate) {
+      out << " (" << outcome.generate->aec_count << " AECs, "
+          << outcome.generate->synthesis.emitted_rules << " rules synthesized)";
+    }
+    out << "\n";
+  }
+  out << "\nupdate plan:\n";
+  print_plan(out, network.topo, report.final_update);
+
+  if (options.show_diff) {
+    out << "\nchanges:\n" << core::describe_update(network.topo, report.final_update);
+  }
+  if (options.stage) {
+    out << "\nstaged deployment ("
+        << (*options.stage == core::StagingMode::AvailabilityFirst ? "availability" : "security")
+        << "-first):\n";
+    for (const auto& step : core::staged_plan(network.topo, report.final_update,
+                                              *options.stage)) {
+      out << "phase " << step.phase + 1 << " push "
+          << network.topo.qualified_name(step.slot.iface)
+          << (step.slot.dir == topo::Dir::In ? "-in" : "-out") << " (" << step.acl.size()
+          << " rules)\n";
+    }
+  }
+  if (options.show_rollback) {
+    out << "\nrollback plan:\n";
+    print_plan(out, network.topo, core::rollback_update(network.topo, report.final_update));
+  }
+  if (!options.out_path.empty()) {
+    std::ofstream file{options.out_path};
+    if (!file) throw std::runtime_error("cannot write " + options.out_path);
+    print_plan(file, network.topo, report.final_update);
+    out << "\nplan written to " << options.out_path << "\n";
+  }
+  return report.success() ? 0 : 1;
+}
+
+int show_command(const Options& options, std::ostream& out) {
+  const auto network = config::load_network(options.network_path);
+  const auto scope = topo::Scope::whole_network(network.topo);
+
+  out << "devices: " << network.topo.device_count()
+      << ", interfaces: " << network.topo.interface_count()
+      << ", links: " << network.topo.edges().size() << "\n";
+
+  const auto paths = topo::enumerate_paths(network.topo, scope);
+  out << "border-to-border paths: " << paths.size() << "\n";
+  for (const auto& p : paths) out << "  " << to_string(network.topo, p) << "\n";
+
+  std::size_t classes = 0;
+  for (const auto& entry : topo::per_entry_equivalence_classes(network.topo, scope,
+                                                               network.traffic)) {
+    classes += entry.classes.size();
+  }
+  out << "traffic classes (per entry): " << classes << "\n";
+
+  out << "ACLs:\n";
+  for (const auto slot : network.topo.bound_slots()) {
+    out << "  " << network.topo.qualified_name(slot.iface)
+        << (slot.dir == topo::Dir::In ? "-in" : "-out") << ": "
+        << network.topo.acl(slot).size() << " rules\n";
+  }
+  return 0;
+}
+
+int audit_command(const Options& options, std::ostream& out) {
+  const auto network = config::load_network(options.network_path);
+  const auto issues = config::audit_network(network.topo, network.traffic);
+  if (issues.empty()) {
+    out << "audit clean\n";
+    return 0;
+  }
+  for (const auto& issue : issues) out << to_string(issue) << "\n";
+  return config::has_errors(issues) ? 1 : 0;
+}
+
+int reach_command(const Options& options, std::ostream& out) {
+  if (options.from_iface.empty() || options.to_iface.empty()) {
+    throw std::runtime_error("reach requires --from and --to interfaces");
+  }
+  const auto network = config::load_network(options.network_path);
+  const auto from = network.topo.find_interface(options.from_iface);
+  const auto to = network.topo.find_interface(options.to_iface);
+  if (!from) throw std::runtime_error("unknown interface " + options.from_iface);
+  if (!to) throw std::runtime_error("unknown interface " + options.to_iface);
+
+  const auto scope = topo::Scope::whole_network(network.topo);
+  const topo::ConfigView view{network.topo};
+
+  std::optional<net::Packet> packet;
+  if (!options.packet_spec.empty()) {
+    const auto spec = config::parse_packet_set(options.packet_spec);
+    if (spec.is_empty()) throw std::runtime_error("empty packet spec");
+    packet = spec.sample();
+    out << "packet: " << net::to_string(*packet) << "\n";
+  }
+
+  bool any_path = false;
+  bool reachable = false;
+  for (const auto& path : topo::enumerate_paths(network.topo, scope)) {
+    if (path.entry() != *from || path.exit() != *to) continue;
+    any_path = true;
+    const auto carried = topo::forwarding_set(network.topo, path);
+    if (packet) {
+      if (!carried.contains(*packet)) continue;
+      const bool permitted = topo::path_permits(view, path, *packet);
+      reachable = reachable || permitted;
+      out << "  " << to_string(network.topo, path) << ": "
+          << (permitted ? "permitted" : "denied") << "\n";
+    } else {
+      auto deliverable = topo::path_permitted_set(view, path) & carried;
+      if (!network.traffic.is_empty()) deliverable = deliverable & network.traffic;
+      reachable = reachable || !deliverable.is_empty();
+      out << "  " << to_string(network.topo, path) << ": "
+          << (deliverable.is_empty() ? "(nothing)"
+                                     : config::print_packet_set(deliverable.compact()))
+          << "\n";
+    }
+  }
+  if (!any_path) {
+    out << "no path from " << options.from_iface << " to " << options.to_iface << "\n";
+    return 1;
+  }
+  out << (reachable ? "reachable" : "unreachable") << "\n";
+  return reachable ? 0 : 1;
+}
+
+int trace_command(const Options& options, std::ostream& out) {
+  if (options.packet_spec.empty()) throw std::runtime_error("trace requires --packet");
+  const auto network = config::load_network(options.network_path);
+  const auto spec = config::parse_packet_set(options.packet_spec);
+  if (spec.is_empty()) throw std::runtime_error("empty packet spec");
+  const net::Packet packet = spec.sample();
+  out << "packet: " << net::to_string(packet) << "\n";
+
+  const auto scope = topo::Scope::whole_network(network.topo);
+  const topo::ConfigView view{network.topo};
+
+  std::vector<topo::InterfaceId> entries;
+  if (!options.from_iface.empty()) {
+    const auto from = network.topo.find_interface(options.from_iface);
+    if (!from) throw std::runtime_error("unknown interface " + options.from_iface);
+    entries.push_back(*from);
+  } else {
+    entries = topo::entry_interfaces(network.topo, scope);
+  }
+
+  bool delivered = false;
+  for (const auto entry : entries) {
+    for (const auto& path : topo::enumerate_paths(network.topo, scope)) {
+      if (path.entry() != entry) continue;
+      if (!topo::forwarding_set(network.topo, path).contains(packet)) continue;
+      out << "path " << to_string(network.topo, path) << ":\n";
+      bool dropped = false;
+      for (const auto& hop : path.hops()) {
+        out << "  " << network.topo.qualified_name(hop.iface) << "-"
+            << topo::to_string(hop.dir);
+        const auto& acl = view.acl(hop.slot());
+        if (acl.empty()) {
+          out << ": no ACL\n";
+          continue;
+        }
+        const auto rule_index = acl.first_match(packet);
+        if (rule_index) {
+          const auto& rule = acl.rules()[*rule_index];
+          out << ": rule " << *rule_index + 1 << " '" << net::to_string(rule) << "' -> "
+              << net::to_string(rule.action) << "\n";
+          if (rule.action == net::Action::Deny) {
+            dropped = true;
+            break;
+          }
+        } else {
+          out << ": default " << net::to_string(acl.default_action()) << "\n";
+          if (acl.default_action() == net::Action::Deny) {
+            dropped = true;
+            break;
+          }
+        }
+      }
+      out << (dropped ? "  => DROPPED\n" : "  => delivered\n");
+      delivered = delivered || !dropped;
+    }
+  }
+  out << (delivered ? "packet is delivered on at least one path\n"
+                    : "packet is dropped everywhere\n");
+  return delivered ? 0 : 1;
+}
+
+int diff_command(const Options& options, std::ostream& out) {
+  if (options.acl_a_path.empty() || options.acl_b_path.empty()) {
+    throw std::runtime_error("diff requires --acl-a and --acl-b");
+  }
+  const auto a = config::parse_acl_auto(read_file(options.acl_a_path));
+  const auto b = config::parse_acl_auto(read_file(options.acl_b_path));
+
+  const auto marks = core::lcs_marks(a.rules(), b.rules());
+  for (std::size_t i = 0; i < a.rules().size(); ++i) {
+    if (!marks.in_a[i]) out << "- " << net::to_string(a.rules()[i]) << "\n";
+  }
+  for (std::size_t i = 0; i < b.rules().size(); ++i) {
+    if (!marks.in_b[i]) out << "+ " << net::to_string(b.rules()[i]) << "\n";
+  }
+
+  if (net::equivalent(a, b)) {
+    out << "equivalent: the ACLs permit exactly the same packets\n";
+    return 0;
+  }
+  const auto only_a = net::permitted_set(a) - net::permitted_set(b);
+  const auto only_b = net::permitted_set(b) - net::permitted_set(a);
+  if (!only_a.is_empty()) {
+    out << "B newly denies e.g. " << net::to_string(only_a.sample()) << "\n";
+  }
+  if (!only_b.is_empty()) {
+    out << "B newly permits e.g. " << net::to_string(only_b.sample()) << "\n";
+  }
+  out << "NOT equivalent\n";
+  return 1;
+}
+
+int gen_command(const Options& options, std::ostream& out) {
+  gen::WanParams params;
+  if (options.gen_size == "small" || options.gen_size.empty()) {
+    params = gen::small_wan();
+  } else if (options.gen_size == "medium") {
+    params = gen::medium_wan();
+  } else if (options.gen_size == "large") {
+    params = gen::large_wan();
+  } else {
+    throw std::runtime_error("--size expects small, medium or large");
+  }
+  if (options.gen_seed != 0) params.seed = options.gen_seed;
+  const auto wan = gen::make_wan(params);
+  config::NetworkFile file;
+  file.topo = wan.topo;
+  file.traffic = wan.traffic;
+  out << config::print_network(file);
+  return 0;
+}
+
+}  // namespace
+
+int run(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
+  try {
+    const auto options = parse_args(args);
+    if (options.command == "run") return run_command(options, out);
+    if (options.command == "show") return show_command(options, out);
+    if (options.command == "audit") return audit_command(options, out);
+    if (options.command == "reach") return reach_command(options, out);
+    if (options.command == "trace") return trace_command(options, out);
+    if (options.command == "gen") return gen_command(options, out);
+    if (options.command == "diff") return diff_command(options, out);
+    err << "unknown command '" << options.command << "'\n" << kUsage;
+    return 2;
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << "\n" << kUsage;
+    return 2;
+  }
+}
+
+}  // namespace jinjing::cli

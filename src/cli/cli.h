@@ -1,0 +1,25 @@
+// The `jinjing` command-line tool: runs LAI programs against network files.
+//
+//   jinjing run   --network net.topo --program plan.lai [--acl name=file]...
+//   jinjing show  --network net.topo            # paths, FECs, ACL summary
+//   jinjing audit --network net.topo            # data-quality checks (§7)
+//
+// `run` executes the program's commands (check / fix / generate) and prints
+// the resulting update plan; the exit code is 0 only when every command
+// succeeded. ACLs referenced by `modify` statements are supplied as
+// --acl NAME=FILE pairs (canonical or IOS dialect, auto-detected); the name
+// `permit_all` is predefined.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace jinjing::cli {
+
+/// Runs the CLI with the given arguments (excluding argv[0]). Output goes
+/// to `out`, diagnostics to `err`. Returns the process exit code.
+[[nodiscard]] int run(const std::vector<std::string>& args, std::ostream& out,
+                      std::ostream& err);
+
+}  // namespace jinjing::cli

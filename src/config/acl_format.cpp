@@ -1,0 +1,283 @@
+#include "config/acl_format.h"
+
+#include <bit>
+#include <sstream>
+
+namespace jinjing::config {
+
+namespace {
+
+using net::ParseError;
+
+/// Pulls the next whitespace-separated token, or empty when exhausted.
+class TokenStream {
+ public:
+  explicit TokenStream(std::string_view line) : in_(std::string(line)) {}
+
+  [[nodiscard]] std::string next() {
+    std::string tok;
+    in_ >> tok;
+    return tok;
+  }
+
+  [[nodiscard]] std::string peek() {
+    const auto pos = in_.tellg();
+    std::string tok;
+    in_ >> tok;
+    in_.clear();
+    in_.seekg(pos);
+    return tok;
+  }
+
+  [[nodiscard]] bool done() { return peek().empty(); }
+
+ private:
+  std::istringstream in_;
+};
+
+/// Converts an (address, wildcard-mask) pair to a prefix. IOS wildcards set
+/// the *don't care* bits; only contiguous low-bit wildcards form prefixes.
+net::Prefix wildcard_to_prefix(net::Ipv4 addr, net::Ipv4 wildcard) {
+  const std::uint32_t mask = ~wildcard.value;
+  if (std::countl_one(mask) + std::countr_zero(mask) != 32 && mask != 0) {
+    throw ParseError("non-contiguous wildcard mask " + net::to_string(wildcard));
+  }
+  const auto len = static_cast<std::uint8_t>(std::popcount(mask));
+  return net::Prefix{addr, len};
+}
+
+/// Parses an IOS address spec (any | host A | A W) from the stream.
+net::Prefix parse_ios_address(TokenStream& toks) {
+  const std::string first = toks.next();
+  if (first.empty()) throw ParseError("missing address in IOS rule");
+  if (first == "any") return net::Prefix::any();
+  if (first == "host") {
+    const std::string addr = toks.next();
+    if (addr.empty()) throw ParseError("missing address after 'host'");
+    return net::Prefix::host(net::parse_ipv4(addr));
+  }
+  const net::Ipv4 addr = net::parse_ipv4(first);
+  const std::string wildcard = toks.next();
+  if (wildcard.empty()) throw ParseError("missing wildcard mask after " + first);
+  return wildcard_to_prefix(addr, net::parse_ipv4(wildcard));
+}
+
+/// Parses an optional port qualifier (eq/range/gt/lt) from the stream.
+net::PortRange parse_ios_ports(TokenStream& toks) {
+  const std::string qual = toks.peek();
+  if (qual == "eq") {
+    (void)toks.next();
+    return net::PortRange::single(
+        static_cast<std::uint16_t>(std::stoul(toks.next())));
+  }
+  if (qual == "range") {
+    (void)toks.next();
+    const auto lo = static_cast<std::uint16_t>(std::stoul(toks.next()));
+    const auto hi = static_cast<std::uint16_t>(std::stoul(toks.next()));
+    return net::PortRange{lo, hi};
+  }
+  if (qual == "gt") {
+    (void)toks.next();
+    const auto lo = static_cast<std::uint16_t>(std::stoul(toks.next()));
+    if (lo == 0xFFFF) throw ParseError("gt 65535 matches nothing");
+    return net::PortRange{static_cast<std::uint16_t>(lo + 1), 0xFFFF};
+  }
+  if (qual == "lt") {
+    (void)toks.next();
+    const auto hi = static_cast<std::uint16_t>(std::stoul(toks.next()));
+    if (hi == 0) throw ParseError("lt 0 matches nothing");
+    return net::PortRange{0, static_cast<std::uint16_t>(hi - 1)};
+  }
+  return net::PortRange::any();
+}
+
+std::string_view trim_view(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) s.remove_suffix(1);
+  return s;
+}
+
+/// Strips comments; returns true when the remaining line is blank.
+bool is_blank(std::string_view line) {
+  for (const char c : line) {
+    if (c == '!' || c == '#') return true;
+    if (!std::isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<net::Match> parse_match_union(std::string_view spec, const GroupTable& groups) {
+  std::vector<net::Match> out;
+  const std::string text{spec};
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t bar = text.find('|', start);
+    const auto part = trim_view(std::string_view(text).substr(
+        start, bar == std::string::npos ? text.size() - start : bar - start));
+    if (!part.empty()) {
+      if (part.front() == '@') {
+        const auto it = groups.find(part.substr(1));
+        if (it == groups.end()) {
+          throw ParseError("unknown group '" + std::string(part.substr(1)) + "'");
+        }
+        out.insert(out.end(), it->second.begin(), it->second.end());
+      } else {
+        // Reuse the rule parser by prefixing an action keyword.
+        out.push_back(net::parse_rule("permit " + std::string(part)).match);
+      }
+    }
+    if (bar == std::string::npos) break;
+    start = bar + 1;
+  }
+  return out;
+}
+
+bool parse_group_line(std::string_view line, GroupTable& groups) {
+  const auto trimmed = trim_view(line);
+  if (!trimmed.starts_with("group ")) return false;
+  const auto rest = trimmed.substr(6);
+  const auto eq = rest.find('=');
+  if (eq == std::string_view::npos) throw ParseError("group syntax: group NAME = <matches>");
+  const auto name = trim_view(rest.substr(0, eq));
+  if (name.empty()) throw ParseError("group needs a name");
+  const auto members = parse_match_union(rest.substr(eq + 1), groups);
+  if (members.empty()) throw ParseError("group '" + std::string(name) + "' has no members");
+  groups.insert_or_assign(std::string(name), members);
+  return true;
+}
+
+net::AclRule parse_ios_rule(std::string_view line) {
+  TokenStream toks{line};
+
+  std::string word = toks.next();
+  if (word == "access-list") {
+    (void)toks.next();  // the list number
+    word = toks.next();
+  }
+
+  net::AclRule rule;
+  if (word == "permit") {
+    rule.action = net::Action::Permit;
+  } else if (word == "deny") {
+    rule.action = net::Action::Deny;
+  } else {
+    throw ParseError("expected permit/deny, got '" + word + "'");
+  }
+
+  const std::string proto = toks.next();
+  if (proto.empty()) throw ParseError("missing protocol in IOS rule");
+  rule.match.proto = proto == "ip" ? net::ProtoMatch::any() : net::parse_proto(proto);
+
+  rule.match.src = parse_ios_address(toks);
+  rule.match.sport = parse_ios_ports(toks);
+  rule.match.dst = parse_ios_address(toks);
+  rule.match.dport = parse_ios_ports(toks);
+
+  if (!toks.done()) throw ParseError("trailing tokens in IOS rule: '" + toks.peek() + "'");
+  return rule;
+}
+
+AclDialect detect_dialect(std::string_view text) {
+  std::istringstream in{std::string(text)};
+  std::string line;
+  while (std::getline(in, line)) {
+    if (is_blank(line)) continue;
+    std::istringstream first{line};
+    std::string word;
+    first >> word;
+    return word == "access-list" ? AclDialect::Ios : AclDialect::Canonical;
+  }
+  return AclDialect::Canonical;
+}
+
+net::Acl parse_acl(std::string_view text, AclDialect dialect, const GroupTable& groups) {
+  GroupTable local = groups;  // file-local declarations extend the caller's
+  std::vector<net::AclRule> rules;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (is_blank(line)) continue;
+    try {
+      if (dialect == AclDialect::Ios) {
+        rules.push_back(parse_ios_rule(line));
+        continue;
+      }
+      if (parse_group_line(line, local)) continue;
+      // "<action> @NAME" expands the group into one rule per member.
+      const auto trimmed = trim_view(line);
+      const auto space = trimmed.find(' ');
+      if (space != std::string_view::npos) {
+        const auto target = trim_view(trimmed.substr(space + 1));
+        if (!target.empty() && target.front() == '@') {
+          const auto action_word = trimmed.substr(0, space);
+          net::Action action;
+          if (action_word == "permit") {
+            action = net::Action::Permit;
+          } else if (action_word == "deny") {
+            action = net::Action::Deny;
+          } else {
+            throw ParseError("expected permit/deny before group reference");
+          }
+          for (const auto& match : parse_match_union(target, local)) {
+            rules.push_back(net::AclRule{action, match});
+          }
+          continue;
+        }
+      }
+      rules.push_back(net::parse_rule(line));
+    } catch (const ParseError& e) {
+      throw ParseError("line " + std::to_string(line_number) + ": " + e.what());
+    } catch (const std::exception& e) {
+      throw ParseError("line " + std::to_string(line_number) + ": " + e.what());
+    }
+  }
+  return net::Acl{std::move(rules)};
+}
+
+net::Acl parse_acl_auto(std::string_view text, const GroupTable& groups) {
+  return parse_acl(text, detect_dialect(text), groups);
+}
+
+std::string print_acl(const net::Acl& acl) {
+  std::string out;
+  for (const auto& rule : acl.rules()) {
+    out += net::to_string(rule);
+    out += "\n";
+  }
+  return out;
+}
+
+namespace {
+
+std::string ios_address(const net::Prefix& p) {
+  if (p.is_any()) return "any";
+  if (p.len == 32) return "host " + net::to_string(p.addr);
+  const std::uint32_t mask = p.len == 0 ? 0 : ~std::uint32_t{0} << (32 - p.len);
+  return net::to_string(p.addr) + " " + net::to_string(net::Ipv4{~mask});
+}
+
+std::string ios_ports(const net::PortRange& r) {
+  if (r.is_any()) return {};
+  if (r.lo == r.hi) return " eq " + std::to_string(r.lo);
+  return " range " + std::to_string(r.lo) + " " + std::to_string(r.hi);
+}
+
+}  // namespace
+
+std::string print_acl_ios(const net::Acl& acl, unsigned number) {
+  std::string out;
+  for (const auto& rule : acl.rules()) {
+    out += "access-list " + std::to_string(number) + " " +
+           std::string(net::to_string(rule.action)) + " " +
+           (rule.match.proto.is_any() ? "ip" : net::to_string(rule.match.proto)) + " " +
+           ios_address(rule.match.src) + ios_ports(rule.match.sport) + " " +
+           ios_address(rule.match.dst) + ios_ports(rule.match.dport) + "\n";
+  }
+  return out;
+}
+
+}  // namespace jinjing::config

@@ -1,0 +1,72 @@
+// Vendor configuration formats for ACLs.
+//
+// §7 (deployment challenges): "routers in our WAN are provided by different
+// vendors [with] different configuration formats". This module parses the
+// two dialects the toolchain ingests and prints the canonical one:
+//
+//  * Canonical (the format used throughout this repo):
+//        deny dst 1.0.0.0/8
+//        permit src 10.0.0.0/24 dst 1.2.0.0/16 dport 80 proto tcp
+//
+//  * IOS-like numbered extended ACLs:
+//        access-list 101 deny ip any 1.0.0.0 0.255.255.255
+//        access-list 101 permit tcp 10.0.0.0 0.0.0.255 1.2.0.0 0.0.255.255 eq 80
+//        access-list 101 permit ip any any
+//    (wildcard masks; "host A.B.C.D" and "any" address forms; protocol
+//    keywords ip/tcp/udp/icmp or a number; optional "eq P" / "range A B"
+//    port qualifiers after each address.)
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/acl.h"
+
+namespace jinjing::config {
+
+enum class AclDialect { Canonical, Ios };
+
+/// Named match groups (vendor object-groups / prefix-lists): a rule
+/// "deny @WEB" expands to one rule per member match, in order. Groups are
+/// declared with `group NAME = <match> | <match> ...` lines — standalone at
+/// the top of an ACL file, or anywhere in a network file before use.
+using GroupTable = std::map<std::string, std::vector<net::Match>, std::less<>>;
+
+/// Parses one "group NAME = spec" line into `groups`. Returns false when
+/// the line is not a group declaration. Throws net::ParseError on a
+/// malformed declaration.
+bool parse_group_line(std::string_view line, GroupTable& groups);
+
+/// Parses a union-of-matches spec into its member matches ("dst 1.0.0.0/8 |
+/// src 10.0.0.0/8 dport 80"; "@NAME" splices a previously declared group).
+[[nodiscard]] std::vector<net::Match> parse_match_union(std::string_view spec,
+                                                        const GroupTable& groups = {});
+
+/// Auto-detects the dialect of an ACL body (IOS lines start with
+/// "access-list").
+[[nodiscard]] AclDialect detect_dialect(std::string_view text);
+
+/// Parses a whole ACL body (one rule per line; '!' and '#' comments and
+/// blank lines ignored; canonical bodies may open with `group` lines and
+/// reference groups as "permit @NAME"). Throws net::ParseError with a line
+/// number.
+[[nodiscard]] net::Acl parse_acl(std::string_view text,
+                                 AclDialect dialect = AclDialect::Canonical,
+                                 const GroupTable& groups = {});
+
+/// Parses with auto-detection.
+[[nodiscard]] net::Acl parse_acl_auto(std::string_view text, const GroupTable& groups = {});
+
+/// Parses one IOS-style rule line (without the "access-list N" prefix the
+/// body parser strips). Exposed for tests.
+[[nodiscard]] net::AclRule parse_ios_rule(std::string_view line);
+
+/// Prints an ACL in the canonical dialect, one rule per line.
+[[nodiscard]] std::string print_acl(const net::Acl& acl);
+
+/// Prints an ACL as IOS-like "access-list <number> ..." lines.
+[[nodiscard]] std::string print_acl_ios(const net::Acl& acl, unsigned number);
+
+}  // namespace jinjing::config

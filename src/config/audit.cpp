@@ -1,0 +1,132 @@
+#include "config/audit.h"
+
+#include <algorithm>
+
+#include "net/acl_algebra.h"
+#include "topo/paths.h"
+
+namespace jinjing::config {
+
+namespace {
+
+void add(std::vector<AuditIssue>& issues, Severity severity, std::string code,
+         std::string message) {
+  issues.push_back(AuditIssue{severity, std::move(code), std::move(message)});
+}
+
+}  // namespace
+
+std::vector<AuditIssue> audit_network(const topo::Topology& topo,
+                                      const net::PacketSet& traffic) {
+  std::vector<AuditIssue> issues;
+  const auto scope = topo::Scope::whole_network(topo);
+
+  // --- structural checks -------------------------------------------------
+  std::vector<bool> has_out(topo.interface_count(), false);
+  std::vector<bool> has_in(topo.interface_count(), false);
+  for (const auto& edge : topo.edges()) {
+    has_out[edge.from] = true;
+    has_in[edge.to] = true;
+    if (edge.predicate.is_empty()) {
+      add(issues, Severity::Warning, "empty-link",
+          "link " + topo.qualified_name(edge.from) + " -> " + topo.qualified_name(edge.to) +
+              " carries no traffic");
+    }
+  }
+
+  for (topo::DeviceId d = 0; d < topo.device_count(); ++d) {
+    if (topo.interfaces_of(d).empty()) {
+      add(issues, Severity::Warning, "empty-device",
+          "device " + topo.device_name(d) + " has no interfaces");
+    }
+  }
+
+  for (topo::InterfaceId i = 0; i < topo.interface_count(); ++i) {
+    const bool connected = has_out[i] || has_in[i] || topo.is_external(i);
+    if (!connected) {
+      add(issues, Severity::Warning, "dangling-interface",
+          "interface " + topo.qualified_name(i) + " has no links and is not external");
+    }
+    // A non-external interface that receives traffic but cannot pass it on
+    // silently blackholes packets.
+    if (has_in[i] && !has_out[i] && !topo.is_external(i)) {
+      add(issues, Severity::Error, "traffic-sink",
+          "interface " + topo.qualified_name(i) +
+              " receives traffic but has no onward link and is not external");
+    }
+  }
+
+  // --- reachability checks ------------------------------------------------
+  const auto entries = topo::entry_interfaces(topo, scope);
+  const auto exits = topo::exit_interfaces(topo, scope);
+  if (entries.empty()) {
+    add(issues, Severity::Error, "no-entry", "no interface can receive external traffic");
+  }
+  if (exits.empty()) {
+    add(issues, Severity::Error, "no-exit", "no interface can send traffic outside");
+  }
+
+  std::vector<topo::Path> paths;
+  try {
+    paths = topo::enumerate_paths(topo, scope);
+  } catch (const topo::TopologyError& e) {
+    add(issues, Severity::Error, "path-explosion", e.what());
+    return issues;
+  }
+
+  for (const auto entry : entries) {
+    const bool reaches_exit = std::any_of(paths.begin(), paths.end(), [&](const topo::Path& p) {
+      return p.entry() == entry && !topo::forwarding_set(topo, p).is_empty();
+    });
+    if (!reaches_exit) {
+      add(issues, Severity::Error, "unreachable-exit",
+          "entry " + topo.qualified_name(entry) + " cannot reach any exit");
+    }
+  }
+
+  // Entering traffic that no path can carry end to end.
+  if (!traffic.is_empty()) {
+    net::PacketSet carried;
+    for (const auto& p : paths) carried = carried | topo::forwarding_set(topo, p);
+    const auto blackholed = traffic - carried;
+    if (!blackholed.is_empty()) {
+      add(issues, Severity::Warning, "blackholed-traffic",
+          "part of the declared traffic is carried by no path: " +
+              net::to_string(blackholed.cubes().front()));
+    }
+  }
+
+  // --- configuration checks -----------------------------------------------
+  for (const auto slot : topo.bound_slots()) {
+    const auto& acl = topo.acl(slot);
+    for (std::size_t i = 0; i < acl.size(); ++i) {
+      if (net::effective_match_set(acl, i).is_empty()) {
+        add(issues, Severity::Warning, "shadowed-rule",
+            "rule " + std::to_string(i + 1) + " of " + topo.qualified_name(slot.iface) + "-" +
+                std::string(topo::to_string(slot.dir)) + " ('" + net::to_string(acl.rules()[i]) +
+                "') is fully shadowed");
+      }
+    }
+    const bool on_some_path = std::any_of(paths.begin(), paths.end(), [&](const topo::Path& p) {
+      return p.visits(slot);
+    });
+    if (!on_some_path) {
+      add(issues, Severity::Warning, "acl-off-path",
+          "ACL at " + topo.qualified_name(slot.iface) + "-" +
+              std::string(topo::to_string(slot.dir)) + " lies on no border-to-border path");
+    }
+  }
+  return issues;
+}
+
+std::string to_string(const AuditIssue& issue) {
+  return std::string(issue.severity == Severity::Error ? "error" : "warning") + " [" +
+         issue.code + "] " + issue.message;
+}
+
+bool has_errors(const std::vector<AuditIssue>& issues) {
+  return std::any_of(issues.begin(), issues.end(),
+                     [](const AuditIssue& i) { return i.severity == Severity::Error; });
+}
+
+}  // namespace jinjing::config

@@ -1,0 +1,38 @@
+// The data-quality auditing tool (§7, deployment challenges).
+//
+// Jinjing's verdicts are only as good as the topology, routing and ACL data
+// it consumes; the paper describes an internal tool that continuously
+// monitors that data. This module reproduces its checks: structural
+// problems (dangling interfaces, empty or dead links, traffic sinks),
+// reachability problems (entries that reach no exit, blackholed traffic)
+// and configuration problems (fully-shadowed ACL rules, ACLs bound to
+// interfaces no path can cross).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/packet_set.h"
+#include "topo/topology.h"
+
+namespace jinjing::config {
+
+enum class Severity { Warning, Error };
+
+struct AuditIssue {
+  Severity severity = Severity::Warning;
+  std::string code;     // stable machine-readable id, e.g. "dangling-interface"
+  std::string message;  // human-readable description
+};
+
+/// Runs all checks against the network and the expected entering traffic.
+/// An empty result means the data passes the audit.
+[[nodiscard]] std::vector<AuditIssue> audit_network(const topo::Topology& topo,
+                                                    const net::PacketSet& traffic);
+
+[[nodiscard]] std::string to_string(const AuditIssue& issue);
+
+/// True when any issue is an error (as opposed to a warning).
+[[nodiscard]] bool has_errors(const std::vector<AuditIssue>& issues);
+
+}  // namespace jinjing::config

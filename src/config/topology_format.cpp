@@ -1,0 +1,255 @@
+#include "config/topology_format.h"
+
+#include <fstream>
+#include <sstream>
+
+#include <algorithm>
+#include <map>
+
+#include "config/acl_format.h"
+#include "net/acl_algebra.h"
+#include "topo/rib.h"
+
+namespace jinjing::config {
+
+namespace {
+
+using net::ParseError;
+
+bool is_blank(std::string_view line) {
+  for (const char c : line) {
+    if (c == '#' || c == '!') return true;
+    if (!std::isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) s.remove_suffix(1);
+  return s;
+}
+
+/// "A:1-in" / "A:1-out" -> (interface name, dir); bare "A:1" defaults to in.
+std::pair<std::string, topo::Dir> split_slot(std::string_view text) {
+  if (text.ends_with("-in")) return {std::string(text.substr(0, text.size() - 3)), topo::Dir::In};
+  if (text.ends_with("-out")) {
+    return {std::string(text.substr(0, text.size() - 4)), topo::Dir::Out};
+  }
+  return {std::string(text), topo::Dir::In};
+}
+
+topo::InterfaceId resolve_iface(const topo::Topology& topo, std::string_view qualified,
+                                std::size_t line) {
+  const auto iface = topo.find_interface(qualified);
+  if (!iface) {
+    throw ParseError("line " + std::to_string(line) + ": unknown interface '" +
+                     std::string(qualified) + "'");
+  }
+  return *iface;
+}
+
+}  // namespace
+
+net::PacketSet parse_packet_set(std::string_view spec) { return parse_packet_set(spec, {}); }
+
+net::PacketSet parse_packet_set(std::string_view spec, const GroupTable& groups) {
+  spec = trim(spec);
+  if (spec == "all" || spec.empty()) return net::PacketSet::all();
+  net::PacketSet out;
+  for (const auto& match : parse_match_union(spec, groups)) {
+    out = out | net::PacketSet{match.cube()};
+  }
+  return out;
+}
+
+std::string print_packet_set(const net::PacketSet& set) {
+  if (set.equals(net::PacketSet::all())) return "all";
+  std::string out;
+  for (const auto& cube : set.cubes()) {
+    for (const auto& match : net::matches_for_cube(cube)) {
+      if (!out.empty()) out += " | ";
+      const auto text = net::to_string(match);
+      out += text == "all" ? "all" : text;
+    }
+  }
+  return out;
+}
+
+NetworkFile parse_network(std::string_view text) {
+  NetworkFile network;
+  GroupTable groups;
+  std::map<topo::DeviceId, topo::Rib> ribs;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  std::size_t line_number = 0;
+
+  const auto fail = [&line_number](const std::string& message) -> void {
+    throw ParseError("line " + std::to_string(line_number) + ": " + message);
+  };
+
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (is_blank(line)) continue;
+    std::istringstream words{line};
+    std::string keyword;
+    words >> keyword;
+
+    if (keyword == "group") {
+      try {
+        if (!parse_group_line(line, groups)) fail("group syntax: group NAME = <matches>");
+      } catch (const ParseError& e) {
+        fail(e.what());
+      }
+    } else if (keyword == "device") {
+      std::string name;
+      if (!(words >> name)) fail("device needs a name");
+      (void)network.topo.add_device(std::move(name));
+    } else if (keyword == "interface") {
+      std::string qualified;
+      if (!(words >> qualified)) fail("interface needs a Device:name");
+      const auto colon = qualified.find(':');
+      if (colon == std::string::npos) fail("interface must be Device:name");
+      const auto device = network.topo.find_device(qualified.substr(0, colon));
+      if (!device) fail("unknown device '" + qualified.substr(0, colon) + "'");
+      const auto iface = network.topo.add_interface(*device, qualified.substr(colon + 1));
+      std::string flag;
+      if (words >> flag) {
+        if (flag != "external") fail("unknown interface flag '" + flag + "'");
+        network.topo.mark_external(iface);
+      }
+    } else if (keyword == "link") {
+      std::string from;
+      std::string arrow;
+      std::string to;
+      if (!(words >> from >> arrow >> to) || arrow != "->") {
+        fail("link syntax: link A:1 -> B:2 <predicate>");
+      }
+      std::string rest;
+      std::getline(words, rest);
+      network.topo.add_edge(resolve_iface(network.topo, from, line_number),
+                            resolve_iface(network.topo, to, line_number),
+                            parse_packet_set(rest, groups));
+    } else if (keyword == "acl") {
+      std::string slot_text;
+      if (!(words >> slot_text)) fail("acl needs an interface slot");
+      const auto [iface_name, dir] = split_slot(slot_text);
+      const auto iface = resolve_iface(network.topo, iface_name, line_number);
+
+      std::string body;
+      bool closed = false;
+      while (std::getline(in, line)) {
+        ++line_number;
+        if (trim(line) == "end") {
+          closed = true;
+          break;
+        }
+        body += line;
+        body += "\n";
+      }
+      if (!closed) fail("unterminated acl block (missing 'end')");
+      try {
+        network.topo.bind_acl(iface, dir, parse_acl_auto(body, groups));
+      } catch (const ParseError& e) {
+        fail(e.what());
+      }
+    } else if (keyword == "route") {
+      std::string device_name;
+      std::string prefix_text;
+      std::string arrow;
+      if (!(words >> device_name >> prefix_text >> arrow) || arrow != "->") {
+        fail("route syntax: route DEVICE PREFIX -> IFACE[, IFACE...]");
+      }
+      const auto device = network.topo.find_device(device_name);
+      if (!device) fail("unknown device '" + device_name + "'");
+      net::Prefix prefix;
+      try {
+        prefix = net::parse_prefix(prefix_text);
+      } catch (const ParseError& e) {
+        fail(e.what());
+      }
+      std::vector<topo::InterfaceId> hops;
+      std::string rest;
+      std::getline(words, rest);
+      std::istringstream hop_words{rest};
+      std::string hop;
+      while (std::getline(hop_words, hop, ',')) {
+        const auto trimmed = trim(hop);
+        if (trimmed.empty()) continue;
+        const auto iface = resolve_iface(network.topo, trimmed, line_number);
+        if (network.topo.device_of(iface) != *device) {
+          fail("next hop " + std::string(trimmed) + " is not on device " + device_name);
+        }
+        hops.push_back(iface);
+      }
+      if (hops.empty()) fail("route needs at least one next hop");
+      ribs[*device].add(prefix, std::move(hops));
+    } else if (keyword == "traffic") {
+      std::string rest;
+      std::getline(words, rest);
+      network.traffic = network.traffic | parse_packet_set(rest, groups);
+    } else {
+      fail("unknown keyword '" + keyword + "'");
+    }
+  }
+
+  // Compile RIBs into intra-device edges. Ingress interfaces: externally
+  // attached ones and targets of inter-device links, minus the RIB's own
+  // next-hops.
+  for (const auto& [device, rib] : ribs) {
+    std::vector<topo::InterfaceId> next_hops;
+    for (const auto& entry : rib.entries()) {
+      next_hops.insert(next_hops.end(), entry.next_hops.begin(), entry.next_hops.end());
+    }
+    std::vector<topo::InterfaceId> ingress;
+    for (const auto iface : network.topo.interfaces_of(device)) {
+      if (std::find(next_hops.begin(), next_hops.end(), iface) != next_hops.end()) continue;
+      bool receives = network.topo.is_external(iface);
+      for (const auto& edge : network.topo.edges()) {
+        if (edge.to == iface && network.topo.device_of(edge.from) != device) receives = true;
+      }
+      if (receives) ingress.push_back(iface);
+    }
+    topo::install_rib(network.topo, ingress, rib);
+  }
+  return network;
+}
+
+NetworkFile load_network(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) throw std::runtime_error("cannot open network file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_network(buffer.str());
+}
+
+std::string print_network(const NetworkFile& network) {
+  const auto& topo = network.topo;
+  std::string out;
+  for (topo::DeviceId d = 0; d < topo.device_count(); ++d) {
+    out += "device " + topo.device_name(d) + "\n";
+  }
+  for (topo::InterfaceId i = 0; i < topo.interface_count(); ++i) {
+    out += "interface " + topo.qualified_name(i);
+    if (topo.is_external(i)) out += " external";
+    out += "\n";
+  }
+  for (const auto& edge : topo.edges()) {
+    out += "link " + topo.qualified_name(edge.from) + " -> " + topo.qualified_name(edge.to) +
+           " " + print_packet_set(edge.predicate) + "\n";
+  }
+  for (const auto slot : topo.bound_slots()) {
+    out += "acl " + topo.qualified_name(slot.iface) +
+           (slot.dir == topo::Dir::In ? "-in" : "-out") + "\n";
+    for (const auto& rule : topo.acl(slot).rules()) {
+      out += "  " + net::to_string(rule) + "\n";
+    }
+    out += "end\n";
+  }
+  if (!network.traffic.is_empty()) {
+    out += "traffic " + print_packet_set(network.traffic) + "\n";
+  }
+  return out;
+}
+
+}  // namespace jinjing::config

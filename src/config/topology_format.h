@@ -1,0 +1,62 @@
+// A textual network description format, so the toolchain runs from files
+// (the operator-facing path: topology + configs in, update plan out).
+//
+//   # comments with '#' or '!'
+//   device A
+//   interface A:1 external          # border attachment
+//   interface A:2
+//   link A:2 -> B:1 dst 1.0.0.0/8 | dst 2.0.0.0/8   # forwarding predicate
+//   link B:2 -> C:1 all
+//   acl A:1-in                      # ACL block, canonical or IOS dialect
+//     deny dst 6.0.0.0/8
+//     permit all
+//   end
+//   route B 1.0.0.0/8 -> B:2        # RIB entry; LPM-compiled to edges
+//   route B 1.2.0.0/16 -> B:3, B:4  # ECMP
+//   traffic dst 1.0.0.0/8           # entering traffic (union over lines)
+//
+// `route` lines build per-device RIBs; after parsing, each RIB is compiled
+// (longest-prefix-match) into intra-device edges from the device''s ingress
+// interfaces (its externally attached interfaces and the targets of
+// inter-device links, minus the RIB''s own next-hops).
+//
+// A predicate / traffic spec is a union ('|') of match expressions in the
+// canonical ACL match syntax (src/dst prefixes, sport/dport ranges, proto).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "config/acl_format.h"
+#include "net/packet_set.h"
+#include "topo/topology.h"
+
+namespace jinjing::config {
+
+struct NetworkFile {
+  topo::Topology topo;
+  net::PacketSet traffic;
+};
+
+/// Parses the format above. Throws net::ParseError with line numbers.
+[[nodiscard]] NetworkFile parse_network(std::string_view text);
+
+/// Reads and parses a file from disk. Throws std::runtime_error on I/O
+/// failure and net::ParseError on syntax errors.
+[[nodiscard]] NetworkFile load_network(const std::string& path);
+
+/// Serializes a network back to the textual format (round-trippable).
+[[nodiscard]] std::string print_network(const NetworkFile& network);
+
+/// Parses a union-of-matches packet-set spec ("dst 1.0.0.0/8 | dst
+/// 2.0.0.0/8 dport 80", or "all"); the overload resolves "@NAME" group
+/// references.
+[[nodiscard]] net::PacketSet parse_packet_set(std::string_view spec);
+[[nodiscard]] net::PacketSet parse_packet_set(std::string_view spec,
+                                              const GroupTable& groups);
+
+/// Prints a packet set as a union-of-matches spec (cubes are decomposed
+/// into prefix-shaped matches first).
+[[nodiscard]] std::string print_packet_set(const net::PacketSet& set);
+
+}  // namespace jinjing::config

@@ -1,0 +1,71 @@
+#include "core/aec.h"
+
+#include "net/acl_algebra.h"
+#include "topo/fec.h"
+
+namespace jinjing::core {
+
+std::vector<net::PacketSet> acl_equivalence_classes(
+    const topo::ConfigView& view, const std::vector<topo::AclSlot>& slots,
+    const net::PacketSet& universe, const std::vector<lai::ControlIntent>& controls,
+    const std::vector<net::PacketSet>& extra_predicates) {
+  // Each predicate is represented by its "interesting" side — the denied
+  // region of an ACL (complement of the permitted set within the universe)
+  // or a control header. Slots holding identical ACLs contribute one
+  // predicate (the paper's "redundancy in ACL usage").
+  std::vector<const net::Acl*> seen;
+  std::vector<net::PacketSet> regions;
+  for (const auto slot : slots) {
+    const net::Acl& acl = view.acl(slot);
+    const bool duplicate = std::any_of(seen.begin(), seen.end(),
+                                       [&acl](const net::Acl* other) { return *other == acl; });
+    if (duplicate) continue;
+    seen.push_back(&acl);
+    auto denied = universe - net::permitted_set(acl);
+    if (!denied.is_empty()) regions.push_back(std::move(denied.compact()));
+  }
+  for (const auto& intent : controls) {
+    auto header = intent.header & universe;
+    if (!header.is_empty()) regions.push_back(std::move(header.compact()));
+  }
+  for (const auto& predicate : extra_predicates) {
+    auto denied = universe - predicate;
+    if (!denied.is_empty()) regions.push_back(std::move(denied.compact()));
+  }
+
+  // Overlay the interesting regions into atoms; the big all-permit "rest"
+  // class is materialized once at the end instead of being dragged through
+  // every refinement pass.
+  std::vector<net::PacketSet> atoms;
+  net::PacketSet covered;
+  for (const auto& region : regions) {
+    net::PacketSet fresh = region - covered;
+    std::vector<net::PacketSet> next;
+    next.reserve(atoms.size() + 2);
+    for (const auto& atom : atoms) {
+      net::PacketSet inside = atom & region;
+      if (inside.is_empty()) {
+        next.push_back(atom);
+        continue;
+      }
+      net::PacketSet outside = atom - region;
+      next.push_back(std::move(inside.compact()));
+      if (!outside.is_empty()) next.push_back(std::move(outside.compact()));
+    }
+    if (!fresh.is_empty()) next.push_back(std::move(fresh.compact()));
+    atoms = std::move(next);
+    covered = (covered | region).compact();
+  }
+
+  net::PacketSet rest = (universe - covered).compact();
+  if (!rest.is_empty()) atoms.push_back(std::move(rest));
+  return atoms;
+}
+
+std::vector<net::PacketSet> dataplane_equivalence_classes(const topo::Topology& topo,
+                                                          const topo::Scope& scope,
+                                                          const net::PacketSet& aec) {
+  return topo::forwarding_equivalence_classes(topo, scope, aec);
+}
+
+}  // namespace jinjing::core

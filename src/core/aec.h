@@ -1,0 +1,35 @@
+// ACL equivalence classes (§5.1).
+//
+// An AEC groups packets that every ACL decision model in the scope treats
+// identically — the atoms of {permitted(L_ξ)}. Unlike FECs they ignore
+// routing; §5.3 refines unsolvable AECs into dataplane equivalence classes
+// (DECs) by additionally splitting on the forwarding predicates.
+// With control intents present, the intent decision models r are extra
+// refinement predicates (§6), so every class has a uniform desired change.
+#pragma once
+
+#include <vector>
+
+#include "lai/sema.h"
+#include "net/packet_set.h"
+#include "topo/topology.h"
+
+namespace jinjing::core {
+
+/// Derives the AECs of `universe` w.r.t. the ACLs bound (in `view`) on the
+/// given slots. Result is a disjoint partition; deterministic order.
+/// `extra_predicates` adds further refinement sets — e.g. the permitted
+/// sets of explicit source replacements, so every class is also uniform
+/// w.r.t. the post-update source decisions.
+[[nodiscard]] std::vector<net::PacketSet> acl_equivalence_classes(
+    const topo::ConfigView& view, const std::vector<topo::AclSlot>& slots,
+    const net::PacketSet& universe,
+    const std::vector<lai::ControlIntent>& controls = {},
+    const std::vector<net::PacketSet>& extra_predicates = {});
+
+/// Splits one class into dataplane equivalence classes by refining with all
+/// in-scope forwarding predicates (DEC = AEC ∧ FEC, §5.3).
+[[nodiscard]] std::vector<net::PacketSet> dataplane_equivalence_classes(
+    const topo::Topology& topo, const topo::Scope& scope, const net::PacketSet& aec);
+
+}  // namespace jinjing::core

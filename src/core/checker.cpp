@@ -1,0 +1,345 @@
+#include "core/checker.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "net/acl_algebra.h"
+#include "smt/encode.h"
+
+namespace jinjing::core {
+
+namespace {
+
+/// Does a control intent span this path's endpoints?
+bool intent_spans_path(const lai::ControlIntent& intent, const topo::Path& path) {
+  const auto has = [](const std::vector<topo::InterfaceId>& list, topo::InterfaceId i) {
+    return std::find(list.begin(), list.end(), i) != list.end();
+  };
+  return has(intent.from, path.entry()) && has(intent.to, path.exit());
+}
+
+}  // namespace
+
+bool desired_decision(const std::vector<lai::ControlIntent>& controls, const topo::Path& path,
+                      const net::Packet& h, bool original_decision) {
+  for (const auto& intent : controls) {
+    if (!intent_spans_path(intent, path)) continue;
+    if (!intent.header.contains(h)) continue;
+    switch (intent.verb) {
+      case lai::ControlVerb::Open: return true;
+      case lai::ControlVerb::Isolate: return false;
+      case lai::ControlVerb::Maintain: return original_decision;
+    }
+  }
+  return original_decision;
+}
+
+namespace {
+
+/// The rule text an ACL uses to decide `h`.
+std::string deciding_rule(const net::Acl& acl, const net::Packet& h) {
+  const auto index = acl.first_match(h);
+  if (index) return net::to_string(acl.rules()[*index]);
+  return "default " + std::string(net::to_string(acl.default_action()));
+}
+
+}  // namespace
+
+void explain_violation(const topo::Topology& topo, const topo::ConfigView& before,
+                       const topo::ConfigView& after, const topo::Path& path,
+                       Violation& violation) {
+  (void)topo;
+  for (const auto& hop : path.hops()) {
+    const bool b = before.acl(hop.slot()).permits(violation.witness);
+    const bool a = after.acl(hop.slot()).permits(violation.witness);
+    if (b != a) {
+      violation.changed_slot = hop.slot();
+      violation.before_rule = deciding_rule(before.acl(hop.slot()), violation.witness);
+      violation.after_rule = deciding_rule(after.acl(hop.slot()), violation.witness);
+      return;
+    }
+  }
+}
+
+Checker::Checker(smt::SmtContext& smt, const topo::Topology& topo, const topo::Scope& scope,
+                 const CheckOptions& options)
+    : smt_(smt), topo_(topo), scope_(scope), options_(options) {
+  paths_ = topo::enumerate_paths(topo_, scope_, options_.path_options);
+  path_forwarding_.reserve(paths_.size());
+  for (const auto& p : paths_) path_forwarding_.push_back(topo::forwarding_set(topo_, p));
+}
+
+std::vector<std::size_t> Checker::feasible_paths(const net::PacketSet& traffic) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < paths_.size(); ++i) {
+    if (path_forwarding_[i].intersects(traffic)) out.push_back(i);
+  }
+  return out;
+}
+
+CheckSession::CheckSession(Checker& checker, const topo::AclUpdate& update,
+                           const std::vector<lai::ControlIntent>& controls)
+    : CheckSession(checker, checker.smt_, update, controls) {}
+
+CheckSession::CheckSession(Checker& checker, smt::SmtContext& smt,
+                           const topo::AclUpdate& update,
+                           const std::vector<lai::ControlIntent>& controls)
+    : checker_(checker),
+      smt_(smt),
+      before_(checker.topo_),
+      after_(checker.topo_, &update),
+      controls_(controls),
+      vars_(smt.packet_vars()) {
+  if (checker.options_.use_differential) {
+    const auto slots = after_.bound_slots();
+    auto reduced = reduce_by_differential(before_, after_, slots);
+    // §6: traffic named by control intents can legitimately change decision,
+    // so rules overlapping it must survive the Theorem 4.1 reduction.
+    if (!controls_.empty()) {
+      auto diff = std::move(reduced.diff);
+      for (const auto& intent : controls_) {
+        if (intent.verb == lai::ControlVerb::Maintain) continue;
+        for (auto& rule : net::rules_for_set(intent.header, net::Action::Permit)) {
+          diff.push_back(std::move(rule));
+        }
+      }
+      reduced = ReducedGroups{};
+      reduced.diff = std::move(diff);
+      for (const auto slot : slots) {
+        reduced.before.emplace(slot, related_rules(before_.acl(slot), reduced.diff));
+        reduced.after.emplace(slot, related_rules(after_.acl(slot), reduced.diff));
+      }
+    }
+    reduced_ = std::move(reduced);
+  }
+}
+
+const net::Acl& CheckSession::encoded_acl(topo::AclSlot slot, bool after_side) const {
+  if (reduced_) {
+    const auto& group = after_side ? reduced_->after : reduced_->before;
+    const auto it = group.find(slot);
+    if (it != group.end()) return it->second;
+  }
+  return after_side ? after_.acl(slot) : before_.acl(slot);
+}
+
+const z3::expr& CheckSession::acl_expr(topo::AclSlot slot, bool after_side) {
+  const std::uint64_t key = (std::uint64_t{slot.iface} << 2) |
+                            (std::uint64_t{slot.dir == topo::Dir::Out} << 1) |
+                            std::uint64_t{after_side};
+  const auto it = expr_cache_.find(key);
+  if (it != expr_cache_.end()) return it->second;
+  const z3::expr expr =
+      smt::acl_permits(vars_, encoded_acl(slot, after_side), checker_.options_.encoder);
+  return expr_cache_.emplace(key, expr).first->second;
+}
+
+std::optional<Violation> CheckSession::find_violation(const net::PacketSet& fec,
+                                                      const net::PacketSet& excluded,
+                                                      std::optional<topo::InterfaceId> entry) {
+  auto feasible = checker_.feasible_paths(fec);
+  if (entry) {
+    std::erase_if(feasible, [&](std::size_t pi) {
+      return checker_.paths_[pi].entry() != *entry;
+    });
+  }
+  if (feasible.empty()) return std::nullopt;
+
+  auto& smt = smt_;
+  const auto& h = vars_;
+  auto solver = smt.make_solver();
+
+  const auto path_decision = [&](const topo::Path& path, bool after_side) {
+    z3::expr expr = smt.bool_val(true);
+    for (const auto& hop : path.hops()) {
+      const net::Acl& acl = encoded_acl(hop.slot(), after_side);
+      if (acl.empty() && acl.default_action() == net::Action::Permit) continue;
+      expr = expr && acl_expr(hop.slot(), after_side);
+    }
+    return expr;
+  };
+
+  // ∨_p ¬(desired(c_p) ⇔ c'_p)  — Equation 3, with c_p transformed by the
+  // control decision model r_p when intents are present (§6).
+  z3::expr any_inconsistent = smt.bool_val(false);
+  for (const std::size_t pi : feasible) {
+    const auto& path = checker_.paths_[pi];
+    const z3::expr original = path_decision(path, /*after_side=*/false);
+    z3::expr desired = original;
+    for (auto it = controls_.rbegin(); it != controls_.rend(); ++it) {
+      if (!intent_spans_path(*it, path)) continue;
+      z3::expr value = smt.bool_val(true);
+      switch (it->verb) {
+        case lai::ControlVerb::Open: value = smt.bool_val(true); break;
+        case lai::ControlVerb::Isolate: value = smt.bool_val(false); break;
+        case lai::ControlVerb::Maintain: value = original; break;
+      }
+      desired = z3::ite(smt::set_expr(h, it->header), value, desired);
+    }
+    const z3::expr updated = path_decision(path, /*after_side=*/true);
+    any_inconsistent = any_inconsistent || (desired != updated);
+  }
+
+  solver.add(any_inconsistent);
+  solver.add(smt::set_expr(h, fec));                       // ψ_[h]FEC
+  if (!excluded.is_empty()) solver.add(!smt::set_expr(h, excluded));
+
+  const auto witness = smt.solve_for_packet(solver, h);
+  if (!witness) return std::nullopt;
+
+  // Locate the violated path by concrete evaluation on the *full* views
+  // (sound per Theorem 4.1: reduced and full verdicts agree pointwise).
+  for (const std::size_t pi : feasible) {
+    const auto& path = checker_.paths_[pi];
+    const bool original = topo::path_permits(before_, path, *witness);
+    const bool desired = desired_decision(controls_, path, *witness, original);
+    const bool updated = topo::path_permits(after_, path, *witness);
+    if (desired != updated) {
+      Violation violation{*witness, pi, desired, updated, std::nullopt, {}, {}};
+      explain_violation(checker_.topo_, before_, after_, path, violation);
+      return violation;
+    }
+  }
+  // The SMT witness must correspond to a concrete violation; reaching here
+  // would mean the encodings disagree.
+  throw std::logic_error("check: SMT witness does not violate consistency concretely");
+}
+
+CheckResult Checker::check_monolithic(const topo::AclUpdate& update,
+                                      const net::PacketSet& entering) {
+  const std::uint64_t queries_before = smt_.query_count();
+  CheckResult result;
+  result.path_count = paths_.size();
+  result.fec_count = 1;  // the whole entering traffic, unclassified
+
+  const topo::ConfigView before{topo_};
+  const topo::ConfigView after{topo_, &update};
+  const auto h = smt_.packet_vars("m");
+  auto solver = smt_.make_solver();
+
+  // One formula over everything: the packet enters Ω, is routable along
+  // some path, and that path's decision changes. Every ACL is encoded
+  // whole; expressions are shared across paths via a local cache.
+  std::unordered_map<std::uint64_t, z3::expr> cache;
+  const auto acl_expr = [&](topo::AclSlot slot, bool after_side) {
+    const std::uint64_t key = (std::uint64_t{slot.iface} << 2) |
+                              (std::uint64_t{slot.dir == topo::Dir::Out} << 1) |
+                              std::uint64_t{after_side};
+    const auto it = cache.find(key);
+    if (it != cache.end()) return it->second;
+    const auto& view = after_side ? after : before;
+    const z3::expr expr = smt::acl_permits(h, view.acl(slot), options_.encoder);
+    return cache.emplace(key, expr).first->second;
+  };
+
+  z3::expr any = smt_.bool_val(false);
+  for (std::size_t pi = 0; pi < paths_.size(); ++pi) {
+    const auto& path = paths_[pi];
+    z3::expr before_decision = smt_.bool_val(true);
+    z3::expr after_decision = smt_.bool_val(true);
+    for (const auto& hop : path.hops()) {
+      before_decision = before_decision && acl_expr(hop.slot(), false);
+      after_decision = after_decision && acl_expr(hop.slot(), true);
+    }
+    const z3::expr routable = smt::set_expr(h, path_forwarding_[pi]);
+    any = any || (routable && (before_decision != after_decision));
+  }
+  solver.add(smt::set_expr(h, entering));
+  solver.add(any);
+
+  const auto witness = smt_.solve_for_packet(solver, h);
+  if (witness) {
+    result.consistent = false;
+    for (std::size_t pi = 0; pi < paths_.size(); ++pi) {
+      if (!path_forwarding_[pi].contains(*witness)) continue;
+      const bool b = topo::path_permits(before, paths_[pi], *witness);
+      const bool a = topo::path_permits(after, paths_[pi], *witness);
+      if (b != a) {
+        Violation violation{*witness, pi, b, a, std::nullopt, {}, {}};
+        explain_violation(topo_, before, after, paths_[pi], violation);
+        result.violations.push_back(std::move(violation));
+        break;
+      }
+    }
+  }
+  result.smt_queries = smt_.query_count() - queries_before;
+  return result;
+}
+
+CheckResult Checker::check(const topo::AclUpdate& update, const net::PacketSet& entering,
+                           const std::vector<lai::ControlIntent>& controls) {
+  const std::uint64_t queries_before = smt_.query_count();
+  CheckSession session{*this, update, controls};
+
+  CheckResult result;
+  result.path_count = paths_.size();
+
+  if (options_.per_entry_fec) {
+    std::vector<std::pair<topo::InterfaceId, net::PacketSet>> work;
+    for (auto& [entry, classes] : topo::per_entry_equivalence_classes(topo_, scope_, entering)) {
+      result.fec_count += classes.size();
+      for (auto& cls : classes) work.emplace_back(entry, std::move(cls));
+    }
+
+    if (options_.threads > 1) {
+      // Each worker owns a Z3 context and session; violations are merged
+      // under a mutex and a flag short-circuits the others on stop_at_first.
+      std::atomic<std::size_t> next{0};
+      std::atomic<bool> stop{false};
+      std::atomic<std::uint64_t> queries{0};
+      std::mutex merge;
+      const auto worker = [&]() {
+        smt::SmtContext worker_smt;
+        CheckSession worker_session{*this, worker_smt, update, controls};
+        while (!stop.load(std::memory_order_relaxed)) {
+          const std::size_t i = next.fetch_add(1);
+          if (i >= work.size()) break;
+          auto violation =
+              worker_session.find_violation(work[i].second, net::PacketSet::empty(),
+                                            work[i].first);
+          if (violation) {
+            const std::lock_guard<std::mutex> lock{merge};
+            result.consistent = false;
+            result.violations.push_back(std::move(*violation));
+            if (options_.stop_at_first) stop.store(true, std::memory_order_relaxed);
+          }
+        }
+        queries.fetch_add(worker_smt.query_count());
+      };
+      std::vector<std::thread> pool;
+      for (unsigned t = 0; t < options_.threads; ++t) pool.emplace_back(worker);
+      for (auto& t : pool) t.join();
+      result.smt_queries = queries.load();
+      return result;
+    }
+
+    for (const auto& [entry, cls] : work) {
+      auto violation = session.find_violation(cls, net::PacketSet::empty(), entry);
+      if (violation) {
+        result.consistent = false;
+        result.violations.push_back(std::move(*violation));
+        if (options_.stop_at_first) break;
+      }
+    }
+    result.smt_queries = smt_.query_count() - queries_before;
+    return result;
+  }
+
+  const auto fecs = topo::forwarding_equivalence_classes(topo_, scope_, entering);
+  result.fec_count = fecs.size();
+
+  for (const auto& fec : fecs) {
+    auto violation = session.find_violation(fec, net::PacketSet::empty());
+    if (violation) {
+      result.consistent = false;
+      result.violations.push_back(std::move(*violation));
+      if (options_.stop_at_first) break;
+    }
+  }
+  result.smt_queries = smt_.query_count() - queries_before;
+  return result;
+}
+
+}  // namespace jinjing::core

@@ -1,0 +1,89 @@
+#include "core/deploy.h"
+
+#include <algorithm>
+#include <map>
+
+#include "net/acl_algebra.h"
+
+namespace jinjing::core {
+
+topo::AclUpdate rollback_update(const topo::Topology& topo, const topo::AclUpdate& update) {
+  topo::AclUpdate rollback;
+  for (const auto& [slot, acl] : update) {
+    rollback.emplace(slot, topo.acl(slot));
+  }
+  return rollback;
+}
+
+std::vector<DeployStep> staged_plan(const topo::Topology& topo, const topo::AclUpdate& update,
+                                    StagingMode mode) {
+  // Deterministic slot order for reproducible plans.
+  std::map<std::string, std::pair<topo::AclSlot, const net::Acl*>> ordered;
+  for (const auto& [slot, acl] : update) {
+    ordered.emplace(topo.qualified_name(slot.iface) +
+                        (slot.dir == topo::Dir::In ? "-in" : "-out"),
+                    std::make_pair(slot, &acl));
+  }
+
+  std::vector<DeployStep> steps;
+  for (const auto& [name, entry] : ordered) {
+    const auto [slot, after] = entry;
+    const net::Acl& before = topo.acl(slot);
+    if (before == *after) continue;
+
+    const auto before_set = net::permitted_set(before);
+    const auto after_set = net::permitted_set(*after);
+    net::PacketSet transitional_set = mode == StagingMode::AvailabilityFirst
+                                          ? (before_set | after_set)
+                                          : (before_set & after_set);
+    transitional_set.compact();
+
+    // Skip the transitional push when one endpoint already *is* the bound:
+    // e.g. a pure loosening under AvailabilityFirst goes straight to final.
+    const bool after_is_bound = after_set.equals(transitional_set);
+    if (!after_is_bound) {
+      net::Acl transitional{net::rules_for_set(transitional_set.complement(), net::Action::Deny),
+                            net::Action::Permit};
+      steps.push_back(DeployStep{0, slot, std::move(transitional)});
+    }
+    steps.push_back(DeployStep{after_is_bound ? 0 : 1, slot, *after});
+  }
+  std::stable_sort(steps.begin(), steps.end(),
+                   [](const DeployStep& a, const DeployStep& b) { return a.phase < b.phase; });
+  return steps;
+}
+
+std::string describe_update(const topo::Topology& topo, const topo::AclUpdate& update) {
+  std::map<std::string, std::pair<topo::AclSlot, const net::Acl*>> ordered;
+  for (const auto& [slot, acl] : update) {
+    ordered.emplace(topo.qualified_name(slot.iface) +
+                        (slot.dir == topo::Dir::In ? "-in" : "-out"),
+                    std::make_pair(slot, &acl));
+  }
+
+  std::string out;
+  for (const auto& [name, entry] : ordered) {
+    const auto [slot, after] = entry;
+    const net::Acl& before = topo.acl(slot);
+    if (before == *after) continue;
+
+    const auto marks = lcs_marks(before.rules(), after->rules());
+    std::vector<const net::AclRule*> removed;
+    std::vector<const net::AclRule*> added;
+    for (std::size_t i = 0; i < before.rules().size(); ++i) {
+      if (!marks.in_a[i]) removed.push_back(&before.rules()[i]);
+    }
+    for (std::size_t i = 0; i < after->rules().size(); ++i) {
+      if (!marks.in_b[i]) added.push_back(&after->rules()[i]);
+    }
+
+    out += name + ": +" + std::to_string(added.size()) + " -" +
+           std::to_string(removed.size()) + " rules\n";
+    for (const auto* rule : added) out += "  + " + net::to_string(*rule) + "\n";
+    for (const auto* rule : removed) out += "  - " + net::to_string(*rule) + "\n";
+  }
+  if (out.empty()) out = "(no changes)\n";
+  return out;
+}
+
+}  // namespace jinjing::core

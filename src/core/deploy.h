@@ -1,0 +1,63 @@
+// Deployment planning: rollback plans, transient-safe staging, and
+// human-readable change summaries.
+//
+// §1 of the paper: operators "spent multiple weeks designing the migration
+// and roll-back plans". A verified update plan still has to reach the
+// devices one configuration push at a time; this module makes that final
+// step safe:
+//
+//  * rollback_update  — the exact inverse of a plan (restores the current
+//    ACLs of every touched slot);
+//  * staged_plan      — orders the pushes in two phases through a
+//    transitional ACL per slot so that *any* interleaving of pushes keeps
+//    every slot's permitted set bounded by the union (availability-first:
+//    nothing breaks that works before and after) or intersection
+//    (security-first: nothing is transiently permitted that either
+//    endpoint denies) of the before/after behaviour;
+//  * describe_update  — a per-slot added/removed rule summary, built on the
+//    §4.1 differential-rule machinery.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/diff.h"
+#include "topo/topology.h"
+
+namespace jinjing::core {
+
+/// The update that restores the pre-update ACLs of every slot `update`
+/// touches. Applying `update` then its rollback is a no-op.
+[[nodiscard]] topo::AclUpdate rollback_update(const topo::Topology& topo,
+                                              const topo::AclUpdate& update);
+
+enum class StagingMode {
+  /// Transitional ACLs permit the union of before/after: no traffic that
+  /// both endpoints permit is ever dropped mid-deployment.
+  AvailabilityFirst,
+  /// Transitional ACLs permit the intersection: no traffic that either
+  /// endpoint denies is ever admitted mid-deployment.
+  SecurityFirst,
+};
+
+/// One configuration push.
+struct DeployStep {
+  int phase = 0;  // steps within a phase may be pushed in any order
+  topo::AclSlot slot;
+  net::Acl acl;
+};
+
+/// Expands an update into a two-phase push sequence (transitional ACLs
+/// first, final ACLs second). Slots whose ACL is unchanged are dropped.
+[[nodiscard]] std::vector<DeployStep> staged_plan(const topo::Topology& topo,
+                                                  const topo::AclUpdate& update,
+                                                  StagingMode mode);
+
+/// Per-slot rule diff of the plan, e.g.
+///   A:1-in: +2 -1 rules
+///     + permit dst 1.0.0.0/8
+///     - deny dst 2.0.0.0/8
+[[nodiscard]] std::string describe_update(const topo::Topology& topo,
+                                          const topo::AclUpdate& update);
+
+}  // namespace jinjing::core

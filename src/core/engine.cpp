@@ -1,0 +1,80 @@
+#include "core/engine.h"
+
+#include <algorithm>
+
+#include "lai/parser.h"
+#include "net/acl_algebra.h"
+
+namespace jinjing::core {
+
+bool CommandOutcome::ok() const {
+  switch (command) {
+    case lai::Command::Check: return check && check->consistent;
+    case lai::Command::Fix: return fix && fix->success;
+    case lai::Command::Generate: return generate && generate->success;
+  }
+  return false;
+}
+
+bool EngineReport::success() const { return !outcomes.empty() && outcomes.back().ok(); }
+
+Engine::Engine(const topo::Topology& topo, EngineOptions options)
+    : topo_(topo), options_(std::move(options)) {}
+
+EngineReport Engine::run(const lai::UpdateTask& task, const net::PacketSet& entering) {
+  EngineReport report;
+  // Commands operate on the *current* plan: check after fix re-validates
+  // the repaired update, not the original proposal.
+  report.final_update = task.modify;
+
+  for (const auto command : task.commands) {
+    CommandOutcome outcome;
+    outcome.command = command;
+    switch (command) {
+      case lai::Command::Check: {
+        Checker checker{smt_, topo_, task.scope, options_.check};
+        outcome.check = checker.check(report.final_update, entering, task.controls);
+        break;
+      }
+      case lai::Command::Fix: {
+        Fixer fixer{smt_, topo_, task.scope, options_.fix};
+        outcome.fix = fixer.fix(report.final_update, entering, task.allowed, task.controls);
+        report.final_update = outcome.fix->fixed_update;
+        break;
+      }
+      case lai::Command::Generate: {
+        // Modify slots are generate sources: their post-update ACL is fixed
+        // (permit-all for a plain migration, or the named replacement).
+        MigrationSpec spec;
+        for (const auto& [slot, acl] : task.modify) {
+          spec.sources.push_back(slot);
+          if (!net::permitted_set(acl).equals(net::PacketSet::all())) {
+            spec.replacements.emplace(slot, acl);
+          }
+        }
+        for (const auto slot : task.allowed) {
+          if (std::find(spec.sources.begin(), spec.sources.end(), slot) == spec.sources.end()) {
+            spec.targets.push_back(slot);
+          }
+        }
+        GenerateOptions gen_options = options_.generate;
+        gen_options.universe = gen_options.universe & entering;
+        Generator generator{smt_, topo_, task.scope, gen_options};
+        outcome.generate = generator.generate(spec, task.controls);
+        report.final_update = outcome.generate->update;
+        break;
+      }
+    }
+    report.outcomes.push_back(std::move(outcome));
+  }
+  return report;
+}
+
+EngineReport Engine::run_program(std::string_view source, const lai::AclLibrary& acls,
+                                 const net::PacketSet& entering) {
+  const auto program = lai::parse(source);
+  const auto task = lai::resolve(program, topo_, acls);
+  return run(task, entering);
+}
+
+}  // namespace jinjing::core

@@ -1,0 +1,74 @@
+// The Jinjing engine: executes a resolved LAI program (§3).
+//
+// The engine dispatches each command of the program against the *current*
+// plan (initially the modify update; fix and generate replace it, so a
+// trailing check re-validates the final plan):
+//   check    -> Checker (Algorithm 1) on the modify update,
+//   fix      -> Fixer (§4.2) constrained to the allow-listed slots,
+//   generate -> Generator (§5): modify-to-permit-all slots are migration
+//               sources, allow-listed slots are synthesis targets, control
+//               statements define the desired reachability (§6).
+// The final update of the last executed command is the deployable plan.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "core/fixer.h"
+#include "core/generator.h"
+#include "lai/sema.h"
+
+namespace jinjing::core {
+
+struct EngineOptions {
+  CheckOptions check;
+  FixOptions fix;
+  GenerateOptions generate;
+};
+
+/// Outcome of one command of the program.
+struct CommandOutcome {
+  lai::Command command = lai::Command::Check;
+  std::optional<CheckResult> check;
+  std::optional<FixResult> fix;
+  std::optional<GenerateResult> generate;
+
+  [[nodiscard]] bool ok() const;
+};
+
+struct EngineReport {
+  std::vector<CommandOutcome> outcomes;
+  /// The update plan produced by the pipeline: the modify update, possibly
+  /// repaired by fix or replaced by generate.
+  topo::AclUpdate final_update;
+  /// The pipeline produced a deployable plan: the *last* command succeeded
+  /// (a failing check followed by a successful fix is the intended
+  /// check-then-repair workflow, not a failure).
+  [[nodiscard]] bool success() const;
+};
+
+class EngineError : public std::runtime_error {
+ public:
+  explicit EngineError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Engine {
+ public:
+  Engine(const topo::Topology& topo, EngineOptions options = {});
+
+  /// Executes a resolved task against the traffic entering its scope.
+  [[nodiscard]] EngineReport run(const lai::UpdateTask& task, const net::PacketSet& entering);
+
+  /// Parses, resolves and executes an LAI program in one call.
+  [[nodiscard]] EngineReport run_program(std::string_view source, const lai::AclLibrary& acls,
+                                         const net::PacketSet& entering);
+
+  [[nodiscard]] smt::SmtContext& smt() { return smt_; }
+
+ private:
+  const topo::Topology& topo_;
+  EngineOptions options_;
+  smt::SmtContext smt_;
+};
+
+}  // namespace jinjing::core

@@ -1,0 +1,218 @@
+#include "core/fixer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "core/simplify.h"
+#include "net/acl_algebra.h"
+#include "topo/fec.h"
+
+namespace jinjing::core {
+
+namespace {
+
+/// The ACL slots a decision variable must exist for: every hop on any of
+/// the given paths.
+std::vector<topo::AclSlot> decision_slots(const std::vector<topo::Path>& paths,
+                                          const std::vector<std::size_t>& indices) {
+  std::vector<topo::AclSlot> slots;
+  for (const std::size_t pi : indices) {
+    for (const auto& hop : paths[pi].hops()) {
+      if (std::find(slots.begin(), slots.end(), hop.slot()) == slots.end()) {
+        slots.push_back(hop.slot());
+      }
+    }
+  }
+  return slots;
+}
+
+/// Seconds since `start`, also advancing `start` to now.
+double lap(std::chrono::steady_clock::time_point& start) {
+  const auto now = std::chrono::steady_clock::now();
+  const double elapsed = std::chrono::duration<double>(now - start).count();
+  start = now;
+  return elapsed;
+}
+
+}  // namespace
+
+Fixer::Fixer(smt::SmtContext& smt, const topo::Topology& topo, const topo::Scope& scope,
+             const FixOptions& options)
+    : smt_(smt), options_(options), checker_(smt, topo, scope, options.check) {}
+
+FixResult Fixer::fix(const topo::AclUpdate& update, const net::PacketSet& entering,
+                     const std::vector<topo::AclSlot>& allowed,
+                     const std::vector<lai::ControlIntent>& controls) {
+  // Simplification needs only preserve behaviour on traffic that exists;
+  // restricting it to `entering` keeps the header-space sets small.
+  const net::PacketSet& simplify_universe = entering;
+  const std::uint64_t queries_before = smt_.query_count();
+  FixResult result;
+
+  CheckSession session{checker_, update, controls};
+  const auto& topo = checker_.topology();
+
+  // Permitted sets of every bound slot's before/after ACL, computed lazily
+  // and shared across all neighborhoods (the f / f' of Equation 6).
+  std::unordered_map<topo::AclSlot, std::pair<net::PacketSet, net::PacketSet>, topo::AclSlotHash>
+      permitted_cache;
+  const auto slot_sets = [&](topo::AclSlot slot)
+      -> const std::pair<net::PacketSet, net::PacketSet>& {
+    const auto it = permitted_cache.find(slot);
+    if (it != permitted_cache.end()) return it->second;
+    return permitted_cache
+        .emplace(slot, std::make_pair(net::permitted_set(session.before().acl(slot)),
+                                      net::permitted_set(session.after().acl(slot))))
+        .first->second;
+  };
+
+  // Phase 1: enumerate all violating neighborhoods. Violations are
+  // *discovered* with the cheap per-entry classification; each witness is
+  // then enlarged within its global forwarding equivalence class and the
+  // agreement region of the decision models (Equation 6). Only edges and
+  // ACL slots that can interact with the class are folded — the others
+  // cannot split a region contained in it. One global `handled` set both
+  // excludes found neighborhoods from later queries and dedupes across
+  // entries.
+  net::PacketSet handled;
+  auto stopwatch = std::chrono::steady_clock::now();
+  for (const auto& [entry, classes] :
+       topo::per_entry_equivalence_classes(topo, checker_.scope(), entering)) {
+    for (const auto& cls : classes) {
+      // Per-class context, built on the first violation.
+      std::vector<std::size_t> relevant_edges;
+      std::vector<topo::AclSlot> relevant_slots;
+      bool context_ready = false;
+
+      while (true) {
+        if (result.neighborhoods.size() >= options_.max_neighborhoods) {
+          throw std::runtime_error("fix: exceeded max_neighborhoods = " +
+                                   std::to_string(options_.max_neighborhoods));
+        }
+        (void)lap(stopwatch);
+        // Only the part of `handled` inside this class matters; trimming it
+        // keeps the exclusion encoding small as neighborhoods accumulate.
+        const auto violation = session.find_violation(cls, (handled & cls).compact(), entry);
+        result.search_seconds += lap(stopwatch);
+        if (!violation) break;
+
+        if (!context_ready) {
+          context_ready = true;
+          for (std::size_t ei = 0; ei < topo.edges().size(); ++ei) {
+            const auto& edge = topo.edges()[ei];
+            if (checker_.scope().contains_interface(topo, edge.from) &&
+                checker_.scope().contains_interface(topo, edge.to) &&
+                edge.predicate.intersects(cls)) {
+              relevant_edges.push_back(ei);
+            }
+          }
+          relevant_slots = decision_slots(checker_.paths(), checker_.feasible_paths(cls));
+        }
+
+        // seed ∩ [h]_FEC ∩ agreement region, folded from the class.
+        const net::Packet& h = violation->witness;
+        net::PacketSet region = cls;
+        for (const auto ei : relevant_edges) {
+          const auto& pred = topo.edges()[ei].predicate;
+          region = pred.contains(h) ? (region & pred) : (region - pred);
+          region.compact();
+        }
+        for (const auto slot : relevant_slots) {
+          const auto& [before_set, after_set] = slot_sets(slot);
+          for (const auto* f : {&before_set, &after_set}) {
+            region = f->contains(h) ? (region & *f) : (region - *f);
+            region.compact();
+          }
+        }
+
+        handled = (handled | region).compact();
+        result.enlarge_seconds += lap(stopwatch);
+        result.neighborhoods.push_back(NeighborhoodReport{std::move(region), h, true});
+      }
+    }
+  }
+
+  // Phase 2: solve a placement problem per neighborhood.
+  (void)lap(stopwatch);
+  std::unordered_map<topo::AclSlot, std::vector<net::AclRule>, topo::AclSlotHash> prepends;
+  for (auto& report : result.neighborhoods) {
+    const net::PacketSet& neighborhood = report.set;
+    const net::Packet& h = report.representative;
+    const auto feasible = checker_.feasible_paths(neighborhood);
+    const auto slots = decision_slots(checker_.paths(), feasible);
+
+    auto opt = smt_.make_optimize();
+    z3::context& ctx = smt_.ctx();
+    std::unordered_map<topo::AclSlot, z3::expr, topo::AclSlotHash> decision;
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      decision.emplace(slots[i], ctx.bool_const(("D_" + std::to_string(i)).c_str()));
+    }
+
+    // Every feasible path reproduces the desired decision (Equation 7/3).
+    for (const std::size_t pi : feasible) {
+      const auto& path = checker_.paths()[pi];
+      const bool original = topo::path_permits(session.before(), path, h);
+      const bool desired = desired_decision(controls, path, h, original);
+      z3::expr conj = ctx.bool_val(true);
+      for (const auto& hop : path.hops()) conj = conj && decision.at(hop.slot());
+      opt.add(conj == ctx.bool_val(desired));
+    }
+
+    // Placement constraints and the minimal-change objective.
+    const auto allowed_contains = [&allowed](topo::AclSlot slot) {
+      return std::find(allowed.begin(), allowed.end(), slot) != allowed.end();
+    };
+    for (const auto slot : slots) {
+      const bool updated_decision = session.after().acl(slot).permits(h);
+      const z3::expr keep = decision.at(slot) == ctx.bool_val(updated_decision);
+      if (allowed_contains(slot)) {
+        opt.add_soft(keep, 1);
+      } else {
+        opt.add(keep);
+      }
+    }
+
+    const auto model = smt_.check_optimize(opt);
+    if (!model) {
+      report.solved = false;
+      result.success = false;
+      continue;
+    }
+
+    for (const auto slot : slots) {
+      const bool updated_decision = session.after().acl(slot).permits(h);
+      const bool solved_decision =
+          z3::eq(model->eval(decision.at(slot), true), ctx.bool_val(true));
+      if (solved_decision == updated_decision) continue;
+      const auto action = solved_decision ? net::Action::Permit : net::Action::Deny;
+      for (const auto& rule : net::rules_for_set(report.set, action)) {
+        prepends[slot].push_back(rule);
+      }
+    }
+  }
+
+  result.place_seconds = lap(stopwatch);
+
+  // Assemble the repaired update.
+  result.fixed_update = update;
+  for (const auto& [slot, rules] : prepends) {
+    net::Acl acl = session.after().acl(slot);
+    acl.prepend(rules);
+    if (options_.simplify_result) acl = simplify_on(acl, simplify_universe);
+    result.fixed_update.insert_or_assign(slot, std::move(acl));
+    result.actions.push_back(FixAction{slot, rules});
+  }
+  std::sort(result.actions.begin(), result.actions.end(),
+            [](const FixAction& a, const FixAction& b) {
+              return a.slot.iface != b.slot.iface ? a.slot.iface < b.slot.iface
+                                                  : a.slot.dir < b.slot.dir;
+            });
+
+  result.assemble_seconds = lap(stopwatch);
+  result.smt_queries = smt_.query_count() - queries_before;
+  return result;
+}
+
+}  // namespace jinjing::core

@@ -1,0 +1,86 @@
+// The fix primitive (§4.2): repairing an update that fails check.
+//
+// Phase 1 (seeking neighborhoods): repeatedly ask the checker for a
+// violating packet, enlarge it to its neighborhood (Equation 6), exclude
+// the neighborhood, and repeat until no violation remains.
+//
+// Phase 2 (fixing plan generation): for each neighborhood, solve for a
+// per-interface decision function D_[h]N (Equation 7) with Z3's optimizer:
+//  * hard constraints — every feasible path must reproduce the desired
+//    decision; interfaces outside `allow` keep their post-update decision;
+//  * soft constraints — minimize the number of interfaces changed.
+// Where the solved decision differs from the updated ACL's decision, a
+// high-priority rule covering the neighborhood is prepended to that slot.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/checker.h"
+#include "core/neighborhood.h"
+
+namespace jinjing::core {
+
+struct FixOptions {
+  CheckOptions check;
+  /// Run the §4.2 simplification pass on every ACL the fix touches.
+  bool simplify_result = true;
+  /// Guard against runaway neighborhood enumeration.
+  std::size_t max_neighborhoods = 4096;
+};
+
+/// Rules to prepend (highest priority) to one slot's updated ACL.
+struct FixAction {
+  topo::AclSlot slot;
+  std::vector<net::AclRule> rules;
+};
+
+/// One violating neighborhood and whether a repair could be placed for it.
+/// The neighborhood is the witness's entire Equation-6 uniform region
+/// (every packet in it is forwarded and filtered exactly like the
+/// representative), generalizing the paper's single rule-shaped tuple:
+/// emitting one region instead of its prefix-block fragments produces the
+/// same rules with far fewer solver iterations.
+struct NeighborhoodReport {
+  net::PacketSet set;
+  net::Packet representative;
+  bool solved = true;
+};
+
+struct FixResult {
+  /// True when every neighborhood admitted a repair within `allow`.
+  bool success = true;
+  std::vector<NeighborhoodReport> neighborhoods;
+  std::vector<FixAction> actions;
+  /// The repaired update: the proposed update with fixing rules prepended
+  /// (and simplified when FixOptions::simplify_result is set).
+  topo::AclUpdate fixed_update;
+  std::uint64_t smt_queries = 0;
+
+  // Phase timing (seconds), for the Figure 4b analysis.
+  double search_seconds = 0;   // SMT violation queries
+  double enlarge_seconds = 0;  // Equation 6 neighborhood enlargement
+  double place_seconds = 0;    // per-neighborhood placement solving
+  double assemble_seconds = 0; // rule emission + simplification
+};
+
+class Fixer {
+ public:
+  Fixer(smt::SmtContext& smt, const topo::Topology& topo, const topo::Scope& scope,
+        const FixOptions& options = {});
+
+  /// Repairs `update` so that `entering` traffic keeps the desired
+  /// reachability. `allowed` lists the slots fix may touch (from `allow`).
+  [[nodiscard]] FixResult fix(const topo::AclUpdate& update, const net::PacketSet& entering,
+                              const std::vector<topo::AclSlot>& allowed,
+                              const std::vector<lai::ControlIntent>& controls = {});
+
+  [[nodiscard]] Checker& checker() { return checker_; }
+
+ private:
+  smt::SmtContext& smt_;
+  FixOptions options_;
+  Checker checker_;
+};
+
+}  // namespace jinjing::core

@@ -1,0 +1,67 @@
+#include "core/generator.h"
+
+#include <chrono>
+
+#include "net/acl_algebra.h"
+
+namespace jinjing::core {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+}  // namespace
+
+Generator::Generator(smt::SmtContext& smt, const topo::Topology& topo, const topo::Scope& scope,
+                     const GenerateOptions& options)
+    : smt_(smt), topo_(topo), scope_(scope), options_(options) {}
+
+GenerateResult Generator::generate(const MigrationSpec& spec,
+                                   const std::vector<lai::ControlIntent>& controls) {
+  GenerateResult result;
+  const std::uint64_t queries_before = smt_.query_count();
+
+  // Phase 1: derive ACL equivalence classes (§5.1; §6 adds the control
+  // headers as refinement predicates).
+  auto t0 = std::chrono::steady_clock::now();
+  const topo::ConfigView view{topo_};
+  std::vector<topo::AclSlot> slots;
+  for (const auto slot : topo_.bound_slots()) {
+    if (scope_.contains_interface(topo_, slot.iface)) slots.push_back(slot);
+  }
+  std::vector<net::PacketSet> replacement_predicates;
+  for (const auto& [slot, acl] : spec.replacements) {
+    replacement_predicates.push_back(net::permitted_set(acl));
+  }
+  const auto classes =
+      acl_equivalence_classes(view, slots, options_.universe, controls, replacement_predicates);
+  result.aec_count = classes.size();
+  result.derive_seconds = seconds_since(t0);
+
+  // Phase 2: solve decision functions (§5.2), refine to DECs where needed
+  // (§5.3).
+  t0 = std::chrono::steady_clock::now();
+  PlacementSolver solver{smt_, topo_, scope_, options_.path_options};
+  const auto placement = solver.solve(spec, classes, controls);
+  result.aec_solved = placement.aec_solutions.size();
+  for (const auto& [ci, decs] : placement.dec_solutions) result.dec_count += decs.size();
+  result.dec_count += placement.unsolved.size();
+  result.unsolved = placement.unsolved.size();
+  result.success = placement.success;
+  result.solve_seconds = seconds_since(t0);
+
+  // Phase 3: synthesize ACLs (§5.4 + §5.5).
+  t0 = std::chrono::steady_clock::now();
+  auto synthesis = synthesize(topo_, scope_, spec, classes, placement, options_.synthesis,
+                              controls);
+  result.update = std::move(synthesis.acls);
+  result.synthesis = synthesis.stats;
+  result.synth_seconds = seconds_since(t0);
+
+  result.smt_queries = smt_.query_count() - queries_before;
+  return result;
+}
+
+}  // namespace jinjing::core

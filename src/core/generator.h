@@ -1,0 +1,53 @@
+// The generate primitive (§5): derive classes → solve placements →
+// synthesize ACLs, with the timing breakdown the paper reports in
+// Figures 4c/4d.
+#pragma once
+
+#include <cstdint>
+
+#include "core/synthesizer.h"
+
+namespace jinjing::core {
+
+struct GenerateOptions {
+  SynthesisOptions synthesis;
+  topo::PathEnumOptions path_options;
+  /// The traffic to classify and preserve. Defaults to every packet.
+  net::PacketSet universe = net::PacketSet::all();
+};
+
+struct GenerateResult {
+  bool success = true;
+  /// The generated plan: target slots -> synthesized ACLs, source slots ->
+  /// permit-all.
+  topo::AclUpdate update;
+
+  std::size_t aec_count = 0;
+  std::size_t aec_solved = 0;     // solved at AEC level
+  std::size_t dec_count = 0;      // DECs derived for the unsolved AECs
+  std::size_t unsolved = 0;       // DECs with no valid decision
+  SynthesisStats synthesis;
+  std::uint64_t smt_queries = 0;
+
+  // Phase timing (seconds) — the Figure 4c/4d breakdown.
+  double derive_seconds = 0;
+  double solve_seconds = 0;
+  double synth_seconds = 0;
+};
+
+class Generator {
+ public:
+  Generator(smt::SmtContext& smt, const topo::Topology& topo, const topo::Scope& scope,
+            const GenerateOptions& options = {});
+
+  [[nodiscard]] GenerateResult generate(const MigrationSpec& spec,
+                                        const std::vector<lai::ControlIntent>& controls = {});
+
+ private:
+  smt::SmtContext& smt_;
+  const topo::Topology& topo_;
+  const topo::Scope scope_;
+  GenerateOptions options_;
+};
+
+}  // namespace jinjing::core

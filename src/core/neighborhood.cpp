@@ -1,0 +1,84 @@
+#include "core/neighborhood.h"
+
+namespace jinjing::core {
+
+namespace {
+
+/// The prefix-aligned block of width 2^(bits-len) containing value v.
+net::Interval block_around(std::uint64_t v, unsigned bits, unsigned len) {
+  if (len == 0) return net::Interval::full(bits);
+  const std::uint64_t size = std::uint64_t{1} << (bits - len);
+  const std::uint64_t lo = v & ~(size - 1);
+  return net::Interval{lo, lo + size - 1};
+}
+
+}  // namespace
+
+DecisionModels DecisionModels::from_views(const topo::ConfigView& before,
+                                          const topo::ConfigView& after) {
+  return from_views(before, after, after.bound_slots());
+}
+
+DecisionModels DecisionModels::from_views(const topo::ConfigView& before,
+                                          const topo::ConfigView& after,
+                                          const std::vector<topo::AclSlot>& slots) {
+  DecisionModels models;
+  for (const auto slot : slots) {
+    models.permitted_.push_back(net::permitted_set(before.acl(slot)));
+    models.permitted_.push_back(net::permitted_set(after.acl(slot)));
+  }
+  return models;
+}
+
+net::PacketSet DecisionModels::agreement_region(const net::Packet& h) const {
+  return agreement_region(h, net::PacketSet::all());
+}
+
+net::PacketSet DecisionModels::agreement_region(const net::Packet& h,
+                                                const net::PacketSet& seed) const {
+  net::PacketSet region = seed;
+  for (const auto& permitted : permitted_) {
+    region = permitted.contains(h) ? (region & permitted) : (region - permitted);
+    if (region.is_empty()) break;  // defensive; h itself is always inside
+  }
+  return region;
+}
+
+net::HyperCube enlarge_neighborhood(const net::Packet& h, const net::PacketSet& fec,
+                                    const DecisionModels& models) {
+  return largest_prefix_block(h, models.agreement_region(h, fec));
+}
+
+net::HyperCube largest_prefix_block(const net::Packet& h, const net::PacketSet& target) {
+  net::HyperCube cube = net::HyperCube::point(h);
+  const auto fits = [&target](const net::HyperCube& candidate) {
+    return target.contains(net::PacketSet{candidate});
+  };
+
+  // Greedy per-field expansion; within a field, binary search the shortest
+  // mask (largest block) that still fits. Blocks of decreasing mask length
+  // are nested, so fitting is monotone and binary search is sound.
+  for (const net::Field f : net::kAllFields) {
+    const unsigned bits = net::field_bits(f);
+    const std::uint64_t v = h.field(f);
+
+    unsigned best = bits;  // mask length `bits` = the point block, always fits
+    unsigned lo = 0;
+    unsigned hi = bits;
+    while (lo < hi) {
+      const unsigned mid = (lo + hi) / 2;
+      net::HyperCube candidate = cube;
+      candidate.set_interval(f, block_around(v, bits, mid));
+      if (fits(candidate)) {
+        best = mid;
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    cube.set_interval(f, block_around(v, bits, best));
+  }
+  return cube;
+}
+
+}  // namespace jinjing::core

@@ -1,0 +1,60 @@
+// Neighborhood seeking (§4.2, Equation 6).
+//
+// The SMT solver yields one violating packet h at a time; fixing packet by
+// packet would need ~10^31 iterations. Instead h is enlarged to a maximal
+// rule-shaped tuple (a prefix-block hypercube) whose packets all (a) stay in
+// h's forwarding equivalence class and (b) receive the same decision as h
+// from every ACL decision model in F_Ω ∪ F'_Ω. The enlargement binary-
+// searches the prefix mask of each field, exactly as the paper describes.
+#pragma once
+
+#include <vector>
+
+#include "net/acl_algebra.h"
+#include "net/packet_set.h"
+#include "topo/topology.h"
+
+namespace jinjing::core {
+
+/// The decision models of Equation 6 in permitted-set form.
+class DecisionModels {
+ public:
+  /// Collects f_ξ and f'_ξ for every bound slot of the two views.
+  [[nodiscard]] static DecisionModels from_views(const topo::ConfigView& before,
+                                                 const topo::ConfigView& after);
+
+  /// Same, restricted to the given slots. Sound (and much faster) when the
+  /// slots cover every ACL on the paths the caller cares about — ACLs off
+  /// those paths cannot influence the fix constraints.
+  [[nodiscard]] static DecisionModels from_views(const topo::ConfigView& before,
+                                                 const topo::ConfigView& after,
+                                                 const std::vector<topo::AclSlot>& slots);
+
+  /// The region of packets treated exactly like `h` by every model:
+  ///   ∩_f  (f(h) ? permitted(f) : ¬permitted(f))
+  [[nodiscard]] net::PacketSet agreement_region(const net::Packet& h) const;
+
+  /// agreement_region ∩ seed, folded from `seed` (cheaper when the caller
+  /// already has a small region such as h's FEC).
+  [[nodiscard]] net::PacketSet agreement_region(const net::Packet& h,
+                                                const net::PacketSet& seed) const;
+
+  [[nodiscard]] std::size_t size() const { return permitted_.size(); }
+
+ private:
+  std::vector<net::PacketSet> permitted_;
+};
+
+/// Enlarges h to its neighborhood [h]_N within `fec`: the largest prefix-
+/// block cube around h contained in fec ∩ agreement_region(h). The result
+/// always contains h and is rule-shaped (every field a prefix-aligned
+/// block), so it converts directly to ACL rules.
+[[nodiscard]] net::HyperCube enlarge_neighborhood(const net::Packet& h, const net::PacketSet& fec,
+                                                  const DecisionModels& models);
+
+/// The per-field binary-search core of the enlargement: the largest
+/// prefix-block cube around h contained in `target` (which must contain h).
+[[nodiscard]] net::HyperCube largest_prefix_block(const net::Packet& h,
+                                                  const net::PacketSet& target);
+
+}  // namespace jinjing::core

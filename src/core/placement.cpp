@@ -1,0 +1,155 @@
+#include "core/placement.h"
+
+#include <algorithm>
+#include <set>
+
+namespace jinjing::core {
+
+namespace {
+
+bool contains_slot(const std::vector<topo::AclSlot>& slots, topo::AclSlot slot) {
+  return std::find(slots.begin(), slots.end(), slot) != slots.end();
+}
+
+}  // namespace
+
+PlacementSolver::PlacementSolver(smt::SmtContext& smt, const topo::Topology& topo,
+                                 const topo::Scope& scope,
+                                 const topo::PathEnumOptions& path_options)
+    : smt_(smt), topo_(topo), scope_(scope) {
+  paths_ = topo::enumerate_paths(topo_, scope_, path_options);
+  path_forwarding_.reserve(paths_.size());
+  for (const auto& p : paths_) path_forwarding_.push_back(topo::forwarding_set(topo_, p));
+}
+
+std::optional<ClassDecision> PlacementSolver::solve_class(
+    const MigrationSpec& spec, const net::PacketSet& cls,
+    const std::vector<std::size_t>& path_set, const std::vector<lai::ControlIntent>& controls) {
+  const net::Packet h = cls.sample();
+  const topo::ConfigView view{topo_};
+
+  auto opt = smt_.make_optimize();
+  z3::context& ctx = smt_.ctx();
+  std::unordered_map<topo::AclSlot, z3::expr, topo::AclSlotHash> vars;
+  for (std::size_t i = 0; i < spec.targets.size(); ++i) {
+    vars.emplace(spec.targets[i], ctx.bool_const(("D_" + std::to_string(i)).c_str()));
+  }
+
+  // Concrete f_ξ(h) decisions, memoized across the many paths that share
+  // interfaces.
+  std::unordered_map<topo::AclSlot, bool, topo::AclSlotHash> decision_memo;
+  const auto slot_permits = [&](topo::AclSlot slot) {
+    const auto it = decision_memo.find(slot);
+    if (it != decision_memo.end()) return it->second;
+    const bool permits = view.acl(slot).permits(h);
+    decision_memo.emplace(slot, permits);
+    return permits;
+  };
+  const auto original_decision = [&](const topo::Path& path) {
+    for (const auto& hop : path.hops()) {
+      if (!slot_permits(hop.slot())) return false;
+    }
+    return true;
+  };
+
+  // Many paths reduce to the same constraint (e.g. every core->gateway path
+  // through one gateway interface); dedupe on (target-var set, desired).
+  std::set<std::pair<std::vector<std::uint64_t>, bool>> seen_constraints;
+
+  for (const std::size_t pi : path_set) {
+    const auto& path = paths_[pi];
+    const bool original = original_decision(path);
+    const bool desired = desired_decision(controls, path, h, original);
+
+    // c'_p (Equations 8–9): sources permit, targets are free variables,
+    // everything else keeps its concrete decision on h.
+    std::vector<std::uint64_t> var_slots;
+    bool constant_false = false;
+    for (const auto& hop : path.hops()) {
+      const auto slot = hop.slot();
+      if (contains_slot(spec.sources, slot)) {
+        // Source slots carry their (fixed) post-update ACL — permit-all for
+        // a migration, or an explicit replacement (Equation 8, extended).
+        if (!spec.source_permits(slot, h)) {
+          constant_false = true;
+          break;
+        }
+        continue;
+      }
+      if (vars.contains(slot)) {
+        var_slots.push_back((std::uint64_t{slot.iface} << 1) | (slot.dir == topo::Dir::Out));
+      } else if (!slot_permits(slot)) {
+        constant_false = true;
+        break;
+      }
+    }
+    if (constant_false) {
+      if (desired) return std::nullopt;  // unreachable via untouched denies
+      continue;
+    }
+    std::sort(var_slots.begin(), var_slots.end());
+    var_slots.erase(std::unique(var_slots.begin(), var_slots.end()), var_slots.end());
+    if (!seen_constraints.emplace(var_slots, desired).second) continue;
+
+    z3::expr conj = ctx.bool_val(true);
+    for (const auto encoded : var_slots) {
+      const topo::AclSlot slot{static_cast<topo::InterfaceId>(encoded >> 1),
+                               (encoded & 1) != 0 ? topo::Dir::Out : topo::Dir::In};
+      conj = conj && vars.at(slot);
+    }
+    opt.add(conj == ctx.bool_val(desired));
+  }
+
+  // Prefer permitting: unconstrained targets default to permit, which
+  // matches operator practice and the paper's Table 4.
+  for (const auto& [slot, var] : vars) opt.add_soft(var, 1);
+
+  const auto model = smt_.check_optimize(opt);
+  if (!model) return std::nullopt;
+
+  ClassDecision result;
+  result.cls = cls;
+  result.representative = h;
+  for (const auto& [slot, var] : vars) {
+    result.decision.emplace(slot, z3::eq(model->eval(var, true), ctx.bool_val(true)));
+  }
+  return result;
+}
+
+PlacementResult PlacementSolver::solve(const MigrationSpec& spec,
+                                       const std::vector<net::PacketSet>& classes,
+                                       const std::vector<lai::ControlIntent>& controls) {
+  const std::uint64_t queries_before = smt_.query_count();
+  PlacementResult result;
+
+  std::vector<std::size_t> all_paths(paths_.size());
+  for (std::size_t i = 0; i < all_paths.size(); ++i) all_paths[i] = i;
+
+  for (std::size_t ci = 0; ci < classes.size(); ++ci) {
+    const auto& cls = classes[ci];
+    // AEC level: Equation 10 ranges over every path in Ω.
+    if (auto solved = solve_class(spec, cls, all_paths, controls)) {
+      result.aec_solutions.emplace(ci, std::move(*solved));
+      continue;
+    }
+
+    // DEC refinement (§5.3): split by routing, solve on feasible paths.
+    for (const auto& dec : dataplane_equivalence_classes(topo_, scope_, cls)) {
+      std::vector<std::size_t> feasible;
+      for (std::size_t pi = 0; pi < paths_.size(); ++pi) {
+        if (path_forwarding_[pi].intersects(dec)) feasible.push_back(pi);
+      }
+      if (auto solved = solve_class(spec, dec, feasible, controls)) {
+        solved->dec_level = true;
+        result.dec_solutions[ci].push_back(std::move(*solved));
+      } else {
+        result.success = false;
+        result.unsolved.push_back(dec);
+      }
+    }
+  }
+  result.smt_queries = smt_.query_count() - queries_before;
+  return result;
+}
+
+}  // namespace jinjing::core

@@ -1,0 +1,88 @@
+// Per-class placement solving for the generate primitive (§5.2–§5.3).
+//
+// For every ACL equivalence class, find a decision function D(ξ) over the
+// target interfaces so that each path reproduces the desired decision
+// (Equation 10, over *all* topological paths at the AEC level). Classes
+// that come back UNSAT are split into dataplane equivalence classes and
+// re-solved over their *feasible* paths only (Y_[h]DEC).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/aec.h"
+#include "core/checker.h"
+#include "smt/context.h"
+#include "topo/paths.h"
+#include "topo/topology.h"
+
+namespace jinjing::core {
+
+/// What generate is asked to do: replace the ACLs at `sources` (by default
+/// with permit-all — the migration case; `replacements` pins a slot to any
+/// other fixed ACL, the "arbitrary updates" extension of Equation 8) and
+/// synthesize fresh ACLs at `targets`. A pure reachability-control task
+/// (§6 / Figure 4d) uses empty sources.
+struct MigrationSpec {
+  std::vector<topo::AclSlot> sources;
+  std::vector<topo::AclSlot> targets;
+  topo::AclUpdate replacements;  // optional fixed ACLs for source slots
+
+  /// The post-update decision of a source slot on a packet.
+  [[nodiscard]] bool source_permits(topo::AclSlot slot, const net::Packet& h) const {
+    const auto it = replacements.find(slot);
+    return it == replacements.end() || it->second.permits(h);
+  }
+};
+
+/// The solved decision function for one class (AEC or DEC).
+struct ClassDecision {
+  net::PacketSet cls;
+  net::Packet representative;
+  std::unordered_map<topo::AclSlot, bool, topo::AclSlotHash> decision;  // D(ξ), ξ ∈ T
+  bool dec_level = false;  // solved after DEC refinement
+};
+
+struct PlacementResult {
+  /// False when some DEC admits no decision function — the intent is
+  /// infeasible within the given targets (§5.3).
+  bool success = true;
+  /// AEC-level solutions, indexed like the input classes (unsolved AECs
+  /// have no entry here — see `dec_solutions`).
+  std::unordered_map<std::size_t, ClassDecision> aec_solutions;
+  /// DEC-level solutions, keyed by the index of their parent AEC.
+  std::unordered_map<std::size_t, std::vector<ClassDecision>> dec_solutions;
+  /// Classes (DEC level) with no valid decision function.
+  std::vector<net::PacketSet> unsolved;
+  std::uint64_t smt_queries = 0;
+};
+
+class PlacementSolver {
+ public:
+  PlacementSolver(smt::SmtContext& smt, const topo::Topology& topo, const topo::Scope& scope,
+                  const topo::PathEnumOptions& path_options = {});
+
+  /// Solves every class. `controls` switches the target decision from
+  /// "preserve c_p" to the §6 desired decision.
+  [[nodiscard]] PlacementResult solve(const MigrationSpec& spec,
+                                      const std::vector<net::PacketSet>& classes,
+                                      const std::vector<lai::ControlIntent>& controls = {});
+
+  [[nodiscard]] const std::vector<topo::Path>& paths() const { return paths_; }
+
+ private:
+  /// Tries to solve one class over the given paths; nullopt on UNSAT.
+  [[nodiscard]] std::optional<ClassDecision> solve_class(const MigrationSpec& spec,
+                                                         const net::PacketSet& cls,
+                                                         const std::vector<std::size_t>& path_set,
+                                                         const std::vector<lai::ControlIntent>& controls);
+
+  smt::SmtContext& smt_;
+  const topo::Topology& topo_;
+  const topo::Scope scope_;
+  std::vector<topo::Path> paths_;
+  std::vector<net::PacketSet> path_forwarding_;
+};
+
+}  // namespace jinjing::core

@@ -1,0 +1,83 @@
+#include "core/simplify.h"
+
+#include "net/acl_algebra.h"
+
+namespace jinjing::core {
+
+namespace {
+
+/// One simplification pass. Computes, incrementally,
+///   remaining[i] — universe minus the matches of rules 0..i-1 (what can
+///                  still reach rule i), and
+///   tail[i]      — the permitted set of the sub-ACL rules i.. + default,
+/// then removes every redundant rule whose match overlaps no other rule
+/// removed in the same pass (overlapping removals can invalidate each
+/// other's redundancy argument — e.g. twin "permit X" rules over a deny
+/// default are each redundant alone but not jointly).
+/// Returns true when at least one rule was removed.
+bool simplify_pass(std::vector<net::AclRule>& rules, net::Action default_action,
+                   const net::PacketSet& universe) {
+  const std::size_t n = rules.size();
+  if (n == 0) return false;
+
+  std::vector<net::PacketSet> match(n);
+  for (std::size_t i = 0; i < n; ++i) match[i] = net::PacketSet{rules[i].match.cube()};
+
+  std::vector<net::PacketSet> remaining(n);
+  remaining[0] = universe;
+  for (std::size_t i = 1; i < n; ++i) {
+    remaining[i] = (remaining[i - 1] - match[i - 1]).compact();
+  }
+
+  std::vector<net::PacketSet> tail(n + 1);
+  tail[n] = default_action == net::Action::Permit ? universe : net::PacketSet::empty();
+  for (std::size_t i = n; i-- > 0;) {
+    if (rules[i].action == net::Action::Permit) {
+      tail[i] = ((match[i] & universe) | (tail[i + 1] - match[i])).compact();
+    } else {
+      tail[i] = (tail[i + 1] - match[i]).compact();
+    }
+  }
+
+  std::vector<bool> remove(n, false);
+  for (std::size_t i = n; i-- > 0;) {
+    const net::PacketSet decided = remaining[i] & match[i];
+    bool redundant = false;
+    if (decided.is_empty()) {
+      redundant = true;  // shadowed, or outside the universe of interest
+    } else if (rules[i].action == net::Action::Permit) {
+      redundant = tail[i + 1].contains(decided);
+    } else {
+      redundant = !tail[i + 1].intersects(decided);
+    }
+    if (!redundant) continue;
+    // Batch-safety: skip when overlapping an already-planned removal.
+    bool conflicts = false;
+    for (std::size_t j = i + 1; j < n && !conflicts; ++j) {
+      conflicts = remove[j] && match[i].intersects(match[j]);
+    }
+    if (!conflicts) remove[i] = true;
+  }
+
+  std::vector<net::AclRule> kept;
+  kept.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!remove[i]) kept.push_back(rules[i]);
+  }
+  const bool changed = kept.size() != rules.size();
+  rules = std::move(kept);
+  return changed;
+}
+
+}  // namespace
+
+net::Acl simplify_on(const net::Acl& acl, const net::PacketSet& universe) {
+  std::vector<net::AclRule> rules = acl.rules();
+  while (simplify_pass(rules, acl.default_action(), universe)) {
+  }
+  return net::Acl{std::move(rules), acl.default_action()};
+}
+
+net::Acl simplify(const net::Acl& acl) { return simplify_on(acl, net::PacketSet::all()); }
+
+}  // namespace jinjing::core

@@ -1,0 +1,211 @@
+#include "core/synth_opt.h"
+
+#include <algorithm>
+
+namespace jinjing::core {
+
+std::vector<RuleGroup> singleton_groups(const net::Acl& acl) {
+  std::vector<RuleGroup> groups;
+  groups.reserve(acl.size());
+  for (std::size_t i = 0; i < acl.size(); ++i) {
+    RuleGroup g;
+    g.action = acl.rules()[i].action;
+    g.match = net::PacketSet{acl.rules()[i].match.cube()};
+    g.members = {i};
+    groups.push_back(std::move(g));
+  }
+  return groups;
+}
+
+std::vector<RuleGroup> group_rules(const net::Acl& acl, bool aggressive) {
+  std::vector<RuleGroup> groups;
+  for (std::size_t i = 0; i < acl.size(); ++i) {
+    const auto& rule = acl.rules()[i];
+    const net::PacketSet match{rule.match.cube()};
+
+    // Find the furthest group this rule can join: same action, and (when
+    // bubbling past later groups) no overlap with anything in between.
+    int join = -1;
+    for (int gi = static_cast<int>(groups.size()) - 1; gi >= 0; --gi) {
+      if (groups[gi].action == rule.action) {
+        join = gi;
+        break;
+      }
+      if (!aggressive || groups[gi].match.intersects(match)) break;
+    }
+    if (join >= 0) {
+      auto& g = groups[static_cast<std::size_t>(join)];
+      g.match = g.match | match;
+      g.members.push_back(i);
+    } else {
+      RuleGroup g;
+      g.action = rule.action;
+      g.match = match;
+      g.members = {i};
+      groups.push_back(std::move(g));
+    }
+  }
+  return groups;
+}
+
+bool row_order_less(const SynthRow& a, const SynthRow& b) {
+  if (a.key != b.key) return a.key < b.key;
+  return a.subpriority < b.subpriority;
+}
+
+RowRelations::RowRelations(const std::vector<SynthRow>& rows) {
+  const std::size_t n = rows.size();
+  overlaps_.assign(n, std::vector<bool>(n, false));
+  contains_.assign(n, std::vector<bool>(n, false));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) {
+        overlaps_[i][j] = true;
+        contains_[i][j] = true;
+        continue;
+      }
+      overlaps_[i][j] = rows[i].set.intersects(rows[j].set);
+      contains_[i][j] = overlaps_[i][j] && rows[i].set.contains(rows[j].set);
+    }
+  }
+}
+
+std::vector<std::size_t> minimize_row_order(const std::vector<SynthRow>& rows,
+                                            const RowRelations& relations) {
+  const std::size_t n = rows.size();
+  std::vector<bool> alive(n, true);
+  std::vector<std::size_t> emitted;
+
+  // Incrementally maintained per row:
+  //  * blockers[i] — pending lower-numbered rows of different action that
+  //    overlap i (emitting i before them could shadow them);
+  //  * cover[i]    — pending same-action rows i's set contains.
+  std::vector<std::size_t> blockers(n, 0);
+  std::vector<std::size_t> cover(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      if (j < i && rows[j].action != rows[i].action && relations.overlaps(j, i)) ++blockers[i];
+      if (rows[j].action == rows[i].action && relations.contains(i, j)) ++cover[i];
+    }
+  }
+
+  const auto retire = [&](std::size_t k) {
+    alive[k] = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!alive[i] || i == k) continue;
+      if (k < i && rows[k].action != rows[i].action && relations.overlaps(k, i)) --blockers[i];
+      if (rows[k].action == rows[i].action && relations.contains(i, k)) --cover[i];
+    }
+  };
+
+  std::size_t remaining = n;
+  while (remaining > 0) {
+    // Among unblocked rows pick the one covering the most pending rows.
+    // The lowest pending row is never blocked, so one always exists.
+    std::size_t best = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!alive[i] || blockers[i] != 0) continue;
+      if (best == n || cover[i] > cover[best]) best = i;
+    }
+    retire(best);
+    --remaining;
+    std::vector<std::size_t> covered;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (alive[j] && rows[j].action == rows[best].action && relations.contains(best, j)) {
+        covered.push_back(j);
+      }
+    }
+    for (const auto j : covered) {
+      retire(j);
+      --remaining;
+    }
+    emitted.push_back(best);
+  }
+  return emitted;
+}
+
+std::vector<SynthRow> minimize_rows(std::vector<SynthRow> rows) {
+  std::sort(rows.begin(), rows.end(), row_order_less);
+  const RowRelations relations{rows};
+  std::vector<SynthRow> out;
+  for (const auto i : minimize_row_order(rows, relations)) out.push_back(rows[i]);
+  return out;
+}
+
+DstIntervalIndex::DstIntervalIndex(const net::PacketSet& set)
+    : DstIntervalIndex(set.cubes()) {}
+
+DstIntervalIndex::DstIntervalIndex(std::vector<net::HyperCube> cubes) : cubes_(std::move(cubes)) {
+  std::vector<std::size_t> all(cubes_.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  root_ = build(std::move(all));
+}
+
+int DstIntervalIndex::build(std::vector<std::size_t> items) {
+  if (items.empty()) return -1;
+
+  // Median of interval midpoints as the split center.
+  std::vector<std::uint64_t> mids;
+  mids.reserve(items.size());
+  for (const auto i : items) {
+    const auto& iv = cubes_[i].interval(net::Field::DstIp);
+    mids.push_back(iv.lo + (iv.hi - iv.lo) / 2);
+  }
+  std::nth_element(mids.begin(), mids.begin() + static_cast<std::ptrdiff_t>(mids.size() / 2),
+                   mids.end());
+  const std::uint64_t center = mids[mids.size() / 2];
+
+  Node node;
+  node.center = center;
+  std::vector<std::size_t> left_items;
+  std::vector<std::size_t> right_items;
+  for (const auto i : items) {
+    const auto& iv = cubes_[i].interval(net::Field::DstIp);
+    if (iv.hi < center) {
+      left_items.push_back(i);
+    } else if (iv.lo > center) {
+      right_items.push_back(i);
+    } else {
+      node.here.push_back(i);
+    }
+  }
+  // Degenerate split (all spanning the center): keep them in one node.
+  const int index = static_cast<int>(nodes_.size());
+  nodes_.push_back(std::move(node));
+  nodes_[static_cast<std::size_t>(index)].left = build(std::move(left_items));
+  nodes_[static_cast<std::size_t>(index)].right = build(std::move(right_items));
+  return index;
+}
+
+std::vector<std::size_t> DstIntervalIndex::candidates(const net::Interval& query) const {
+  std::vector<std::size_t> out;
+  std::vector<int> stack;
+  if (root_ >= 0) stack.push_back(root_);
+  while (!stack.empty()) {
+    const Node& node = nodes_[static_cast<std::size_t>(stack.back())];
+    stack.pop_back();
+    for (const auto i : node.here) {
+      if (cubes_[i].interval(net::Field::DstIp).overlaps(query)) out.push_back(i);
+    }
+    if (node.left >= 0 && query.lo < node.center) stack.push_back(node.left);
+    if (node.right >= 0 && query.hi > node.center) stack.push_back(node.right);
+  }
+  return out;
+}
+
+bool DstIntervalIndex::intersects(const net::PacketSet& other) const {
+  for (const auto& cube : other.cubes()) {
+    if (overlaps_cube(cube)) return true;
+  }
+  return false;
+}
+
+bool DstIntervalIndex::overlaps_cube(const net::HyperCube& cube) const {
+  for (const auto i : candidates(cube.interval(net::Field::DstIp))) {
+    if (cubes_[i].overlaps(cube)) return true;
+  }
+  return false;
+}
+
+}  // namespace jinjing::core

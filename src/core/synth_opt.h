@@ -1,0 +1,111 @@
+// The §5.5 generate optimizations:
+//  * rule grouping — consecutive same-decision rules (and rules that can be
+//    bubbled together across non-overlapping neighbors) become one pseudo-
+//    rule, shrinking the sequence-encoding table;
+//  * "generating fewer ACL rules" — a conflict-aware greedy cover that
+//    emits the fewest rules reproducing all row decisions;
+//  * ACL search tree — an interval tree over the destination dimension
+//    accelerating the overlap tests between classes and rule groups.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/acl.h"
+#include "net/packet_set.h"
+
+namespace jinjing::core {
+
+/// A pseudo-rule: one or more original rules sharing a decision.
+struct RuleGroup {
+  net::Action action = net::Action::Permit;
+  net::PacketSet match;               // union of member matches
+  std::vector<std::size_t> members;   // original rule indices
+};
+
+/// Groups an ACL's rules (§5.5 "grouping ACL rules before sequence
+/// encoding"). With `aggressive`, a rule may also merge into an earlier
+/// same-decision group when it overlaps none of the groups in between
+/// (adjacent non-overlapping rules commute).
+[[nodiscard]] std::vector<RuleGroup> group_rules(const net::Acl& acl, bool aggressive);
+
+/// Degenerate grouping: one group per rule (the unoptimized baseline).
+[[nodiscard]] std::vector<RuleGroup> singleton_groups(const net::Acl& acl);
+
+/// One row of the synthesized-decision table for a specific target
+/// interface, ready for emission.
+struct SynthRow {
+  std::vector<std::size_t> key;  // group indices per column (sequence encoding)
+  int subpriority = 1;           // 0 = §5.4-step-4 deny inserted above its row
+  net::PacketSet set;
+  net::Action action = net::Action::Permit;
+};
+
+/// Sequence-encoding order: lexicographic on (key, subpriority).
+[[nodiscard]] bool row_order_less(const SynthRow& a, const SynthRow& b);
+
+/// Pairwise set relations between rows, computed once and shared across
+/// target interfaces (row sets are target-independent; only actions vary).
+class RowRelations {
+ public:
+  explicit RowRelations(const std::vector<SynthRow>& rows);
+
+  [[nodiscard]] bool overlaps(std::size_t i, std::size_t j) const {
+    return overlaps_[i][j];
+  }
+  [[nodiscard]] bool contains(std::size_t i, std::size_t j) const {
+    return contains_[i][j];
+  }
+
+ private:
+  std::vector<std::vector<bool>> overlaps_;
+  std::vector<std::vector<bool>> contains_;
+};
+
+/// The "fewer ACL rules" greedy cover over pre-sorted rows: returns the
+/// indices to emit, in emission order, such that the emitted list decides
+/// every packet exactly like the full sorted table. Rows blocked by a
+/// lower-numbered overlapping row of different action wait; among unblocked
+/// rows the one covering the most other rows is emitted first, and covered
+/// rows are dropped.
+[[nodiscard]] std::vector<std::size_t> minimize_row_order(const std::vector<SynthRow>& rows,
+                                                          const RowRelations& relations);
+
+/// Convenience wrapper: sorts, computes relations, and returns the emitted
+/// rows themselves.
+[[nodiscard]] std::vector<SynthRow> minimize_rows(std::vector<SynthRow> rows);
+
+/// Static interval tree over the destination-address dimension of a list of
+/// cubes (the §5.5 "ACL search tree"). Answers which cubes may overlap a
+/// query interval without scanning the whole list. Used both for synthesis
+/// overlap fields and for the Definition 4.2 related-rules filter.
+class DstIntervalIndex {
+ public:
+  explicit DstIntervalIndex(const net::PacketSet& set);
+  explicit DstIntervalIndex(std::vector<net::HyperCube> cubes);
+
+  /// Indices of indexed cubes whose dst interval overlaps `query`.
+  [[nodiscard]] std::vector<std::size_t> candidates(const net::Interval& query) const;
+
+  /// Fast emptiness test: does `other` intersect any indexed cube?
+  [[nodiscard]] bool intersects(const net::PacketSet& other) const;
+
+  /// Does `cube` overlap any indexed cube?
+  [[nodiscard]] bool overlaps_cube(const net::HyperCube& cube) const;
+
+ private:
+  struct Node {
+    std::uint64_t center = 0;
+    std::vector<std::size_t> here;  // cubes whose dst interval spans center
+    int left = -1;
+    int right = -1;
+  };
+
+  int build(std::vector<std::size_t> items);
+
+  std::vector<net::HyperCube> cubes_;
+  std::vector<Node> nodes_;
+  int root_ = -1;
+};
+
+}  // namespace jinjing::core

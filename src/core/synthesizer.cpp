@@ -1,0 +1,259 @@
+#include "core/synthesizer.h"
+
+#include <algorithm>
+#include <map>
+
+#include "net/acl_algebra.h"
+
+namespace jinjing::core {
+
+namespace {
+
+/// One original-ACL column of the sequence-encoding table. Slots holding
+/// identical ACLs share a column: duplicates add no discriminating power to
+/// the keys and no narrowing to the overlap fields.
+struct Column {
+  std::vector<RuleGroup> groups;            // + trailing default pseudo-group
+  std::vector<net::PacketSet> effective;    // per group, after shadowing
+};
+
+std::vector<Column> build_columns(const topo::Topology& topo, const topo::Scope& scope,
+                                  const SynthesisOptions& options,
+                                  const std::vector<lai::ControlIntent>& controls) {
+  std::vector<Column> columns;
+  std::vector<const net::Acl*> seen;
+  for (const auto slot : topo.bound_slots()) {
+    if (!scope.contains_interface(topo, slot.iface)) continue;
+    const net::Acl& acl = topo.acl(slot);
+    const bool duplicate = std::any_of(seen.begin(), seen.end(),
+                                       [&acl](const net::Acl* other) { return *other == acl; });
+    if (duplicate) continue;
+    seen.push_back(&acl);
+
+    Column col;
+    col.groups = options.group_rules ? group_rules(acl, /*aggressive=*/true)
+                                     : singleton_groups(acl);
+    // The implicit default behaves like a final match-all pseudo-group.
+    RuleGroup def;
+    def.action = acl.default_action();
+    def.match = net::PacketSet::all();
+    col.groups.push_back(std::move(def));
+
+    // Effective (post-shadowing) set per group.
+    col.effective.assign(col.groups.size(), net::PacketSet{});
+    std::vector<std::size_t> rule_group(acl.size(), 0);
+    for (std::size_t gi = 0; gi < col.groups.size(); ++gi) {
+      for (const auto ri : col.groups[gi].members) rule_group[ri] = gi;
+    }
+    net::PacketSet remaining = net::PacketSet::all();
+    for (std::size_t ri = 0; ri < acl.size(); ++ri) {
+      const net::PacketSet hit = remaining & net::PacketSet{acl.rules()[ri].match.cube()};
+      col.effective[rule_group[ri]] = col.effective[rule_group[ri]] | hit;
+      remaining = remaining - hit;
+    }
+    col.effective.back() = remaining;  // the default pseudo-group
+    columns.push_back(std::move(col));
+  }
+
+  // §6: each control-intent header is a pseudo-column ("inside the header" /
+  // "outside"). Classes the ACLs cannot tell apart — e.g. an isolated slice
+  // of an otherwise uniform permit class — get distinct sequence-encoding
+  // keys and overlap fields narrowed to the header. The pseudo-column has
+  // no interface; it only shapes keys and row sets.
+  for (const auto& intent : controls) {
+    Column col;
+    RuleGroup inside;
+    inside.match = intent.header;
+    RuleGroup outside;
+    outside.match = net::PacketSet::all();
+    col.groups.push_back(std::move(inside));
+    col.groups.push_back(std::move(outside));
+    col.effective.push_back(intent.header);
+    col.effective.push_back(intent.header.complement());
+    columns.push_back(std::move(col));
+  }
+  return columns;
+}
+
+/// Groups of `col` whose effective set intersects `cls`.
+std::vector<std::size_t> hit_groups(const Column& col, const net::PacketSet& cls,
+                                    bool use_search_tree,
+                                    const std::vector<DstIntervalIndex>* indices) {
+  std::vector<std::size_t> hits;
+  for (std::size_t gi = 0; gi < col.groups.size(); ++gi) {
+    const bool overlap = use_search_tree && indices != nullptr
+                             ? (*indices)[gi].intersects(cls)
+                             : col.effective[gi].intersects(cls);
+    if (overlap) hits.push_back(gi);
+  }
+  return hits;
+}
+
+/// A fully-expanded row: key + set + which class decision applies.
+struct Row {
+  SynthRow synth;           // key, subpriority, set (action filled per target)
+  std::size_t class_index;  // parent AEC
+  int dec_index;            // -1 = AEC-level decision, else index into decs
+};
+
+}  // namespace
+
+SynthesisResult synthesize(const topo::Topology& topo, const topo::Scope& scope,
+                           const MigrationSpec& spec,
+                           const std::vector<net::PacketSet>& classes,
+                           const PlacementResult& placement, const SynthesisOptions& options,
+                           const std::vector<lai::ControlIntent>& controls) {
+  SynthesisResult result;
+  const auto columns = build_columns(topo, scope, options, controls);
+
+  result.stats.column_count = columns.size();
+  for (const auto& col : columns) result.stats.group_count += col.groups.size();
+
+  // Optional §5.5 search-tree indices over each group's effective set.
+  std::vector<std::vector<DstIntervalIndex>> indices;
+  if (options.use_search_tree) {
+    indices.reserve(columns.size());
+    for (const auto& col : columns) {
+      std::vector<DstIntervalIndex> per_group;
+      per_group.reserve(col.effective.size());
+      for (const auto& eff : col.effective) per_group.emplace_back(eff);
+      indices.push_back(std::move(per_group));
+    }
+  }
+
+  // Steps 1 + 2: sequence encoding and overlap fields. Rows are expanded to
+  // one per DEC for classes solved at the DEC level, so that row sets (and
+  // hence the pairwise relations the §5.5 cover needs) are independent of
+  // the target interface.
+  std::vector<Row> rows;
+  for (std::size_t ci = 0; ci < classes.size(); ++ci) {
+    const bool aec_solved = placement.aec_solutions.contains(ci);
+    const bool dec_solved = placement.dec_solutions.contains(ci);
+    if (!aec_solved && !dec_solved) continue;  // fully unsolved class
+
+    std::vector<std::vector<std::size_t>> hits;
+    hits.reserve(columns.size());
+    for (std::size_t cj = 0; cj < columns.size(); ++cj) {
+      hits.push_back(hit_groups(columns[cj], classes[ci], options.use_search_tree,
+                                options.use_search_tree ? &indices[cj] : nullptr));
+    }
+
+    // Cartesian product of per-column hits. The fold starts from the class
+    // itself, so every overlap field is tightened to the class: rows of
+    // different actions are then disjoint (classes partition the universe),
+    // which makes the emitted order insensitive to shadowing. On the
+    // paper's Figure 1 example the tightened fields coincide with Table 4's.
+    struct Partial {
+      std::vector<std::size_t> key;
+      net::PacketSet set;
+    };
+    std::vector<Partial> partial;
+    partial.push_back(Partial{{}, classes[ci]});
+    for (std::size_t cj = 0; cj < columns.size(); ++cj) {
+      std::vector<Partial> next;
+      for (const auto& row : partial) {
+        for (const auto gi : hits[cj]) {
+          net::PacketSet meet = row.set & columns[cj].groups[gi].match;
+          if (meet.is_empty()) continue;
+          Partial extended;
+          extended.key = row.key;
+          extended.key.push_back(gi);
+          extended.set = std::move(meet);
+          next.push_back(std::move(extended));
+        }
+      }
+      partial = std::move(next);
+    }
+
+    for (auto& p : partial) {
+      if (aec_solved) {
+        rows.push_back(Row{SynthRow{std::move(p.key), 0, std::move(p.set)}, ci, -1});
+        continue;
+      }
+      // Step 4 (DEC split): one row per DEC at the same key, ordered by
+      // subpriority. DEC sets are disjoint, so the rows never shadow each
+      // other within a key.
+      const auto& decs = placement.dec_solutions.at(ci);
+      for (std::size_t di = 0; di < decs.size(); ++di) {
+        net::PacketSet part = p.set & decs[di].cls;
+        if (part.is_empty()) continue;
+        rows.push_back(Row{SynthRow{p.key, static_cast<int>(di), std::move(part)}, ci,
+                           static_cast<int>(di)});
+      }
+    }
+  }
+  result.stats.row_count = rows.size();
+
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return row_order_less(a.synth, b.synth); });
+
+  // Pairwise relations once; shared by every target's greedy cover.
+  std::vector<SynthRow> synth_rows;
+  synth_rows.reserve(rows.size());
+  for (const auto& row : rows) synth_rows.push_back(row.synth);
+  std::optional<RowRelations> relations;
+  if (options.minimize_rules) relations.emplace(synth_rows);
+
+  // Step 3: per-target actions + emission. Targets with identical decision
+  // vectors (common when a device binds one ACL on several interfaces) are
+  // synthesized once and share the result.
+  std::map<std::vector<bool>, net::Acl> by_decisions;
+  for (const auto target : spec.targets) {
+    std::vector<bool> decisions(rows.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const auto& row = rows[i];
+      decisions[i] =
+          row.dec_index < 0
+              ? placement.aec_solutions.at(row.class_index).decision.at(target)
+              : placement.dec_solutions.at(row.class_index)[static_cast<std::size_t>(row.dec_index)]
+                    .decision.at(target);
+    }
+
+    const auto cached = by_decisions.find(decisions);
+    if (cached != by_decisions.end()) {
+      result.stats.emitted_rules += cached->second.size();
+      result.acls.insert_or_assign(target, cached->second);
+      continue;
+    }
+
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      synth_rows[i].action = decisions[i] ? net::Action::Permit : net::Action::Deny;
+    }
+
+    std::vector<std::size_t> order;
+    if (options.minimize_rules) {
+      order = minimize_row_order(synth_rows, *relations);
+    } else {
+      order.resize(synth_rows.size());
+      for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    }
+
+    std::vector<net::AclRule> acl_rules;
+    for (const auto i : order) {
+      // With class-tightened fields, rows whose action matches the default
+      // cannot shadow anything (different-action rows are disjoint) — the
+      // optimized path drops them, which is where most of the §5.5 ACL-
+      // length reduction comes from.
+      if (options.minimize_rules && synth_rows[i].action == net::Action::Permit) continue;
+      for (const auto& rule : net::rules_for_set(synth_rows[i].set, synth_rows[i].action)) {
+        acl_rules.push_back(rule);
+      }
+    }
+    net::Acl acl{std::move(acl_rules), net::Action::Permit};
+    result.stats.emitted_rules += acl.size();
+    by_decisions.emplace(std::move(decisions), acl);
+    result.acls.insert_or_assign(target, std::move(acl));
+  }
+
+  // Sources take their fixed post-update ACL (permit-all unless an explicit
+  // replacement was given).
+  for (const auto source : spec.sources) {
+    if (result.acls.contains(source)) continue;
+    const auto it = spec.replacements.find(source);
+    result.acls.emplace(source, it == spec.replacements.end() ? net::Acl::permit_all()
+                                                              : it->second);
+  }
+  return result;
+}
+
+}  // namespace jinjing::core

@@ -1,0 +1,51 @@
+// ACL synthesis (§5.4): turning solved class decisions into concrete ACLs.
+//
+// Step 1 — sequence encoding: each class "hits" one rule group per original
+//   ACL column; the tuple of hit indices orders the rows. A packet's own
+//   row is always the lexicographically-least row it matches (a packet
+//   matching group g in a column has its first-match group ≤ g), so listing
+//   rows in sequence-encoding order reproduces first-match semantics.
+// Step 2 — overlap field: a row's match is the intersection of the hit
+//   groups' matches.
+// Step 3 — decisions: each target interface fills its column from D_AEC.
+// Step 4 — DEC splits: where an AEC was solved per-DEC, the denied DECs are
+//   carved out and emitted as deny rows immediately above the row (sub-
+//   priority 0), reproducing the paper's "permit*" insertion.
+#pragma once
+
+#include "core/placement.h"
+#include "core/synth_opt.h"
+
+namespace jinjing::core {
+
+struct SynthesisOptions {
+  bool group_rules = true;      // §5.5 grouping (aggressive, reorder-aware)
+  bool minimize_rules = true;   // §5.5 greedy cover
+  bool use_search_tree = true;  // §5.5 dst interval tree for overlap tests
+};
+
+struct SynthesisStats {
+  std::size_t column_count = 0;
+  std::size_t group_count = 0;   // total groups across columns
+  std::size_t row_count = 0;     // sequence-encoding table rows
+  std::size_t emitted_rules = 0; // total ACL rules across target interfaces
+};
+
+struct SynthesisResult {
+  topo::AclUpdate acls;  // targets -> synthesized ACLs, sources -> permit-all
+  SynthesisStats stats;
+};
+
+/// Synthesizes target ACLs from the placement solution. `classes` must be
+/// the same list placement solved (indices align). `controls` must be the
+/// intents the classes were refined with: each intent header becomes a
+/// pseudo-column of the sequence encoding, so classes that the ACLs alone
+/// cannot distinguish still get distinct keys and tight overlap fields.
+[[nodiscard]] SynthesisResult synthesize(const topo::Topology& topo, const topo::Scope& scope,
+                                         const MigrationSpec& spec,
+                                         const std::vector<net::PacketSet>& classes,
+                                         const PlacementResult& placement,
+                                         const SynthesisOptions& options = {},
+                                         const std::vector<lai::ControlIntent>& controls = {});
+
+}  // namespace jinjing::core

@@ -1,0 +1,111 @@
+#include "gen/fixtures.h"
+
+#include <initializer_list>
+
+#include "net/acl.h"
+
+namespace jinjing::gen {
+
+using net::Acl;
+using net::PacketSet;
+
+net::PacketSet Figure1::traffic_class(int k) {
+  net::HyperCube cube;
+  cube.set_interval(net::Field::DstIp,
+                    net::parse_prefix(std::to_string(k) + ".0.0.0/8").interval());
+  return PacketSet{cube};
+}
+
+net::Packet Figure1::traffic_packet(int k) {
+  return net::packet_to(std::to_string(k) + ".0.0.1");
+}
+
+namespace {
+
+/// Union of dst-/8 traffic classes.
+PacketSet classes(std::initializer_list<int> ks) {
+  PacketSet out;
+  for (const int k : ks) out = out | Figure1::traffic_class(k);
+  return out;
+}
+
+}  // namespace
+
+Figure1 make_figure1() {
+  Figure1 f;
+  auto& t = f.topo;
+
+  f.A = t.add_device("A");
+  f.B = t.add_device("B");
+  f.C = t.add_device("C");
+  f.D = t.add_device("D");
+
+  f.A1 = t.add_interface(f.A, "1");
+  f.A2 = t.add_interface(f.A, "2");
+  f.A3 = t.add_interface(f.A, "3");
+  f.A4 = t.add_interface(f.A, "4");
+  f.B1 = t.add_interface(f.B, "1");
+  f.B2 = t.add_interface(f.B, "2");
+  f.C1 = t.add_interface(f.C, "1");
+  f.C2 = t.add_interface(f.C, "2");
+  f.C3 = t.add_interface(f.C, "3");
+  f.C4 = t.add_interface(f.C, "4");
+  f.D1 = t.add_interface(f.D, "1");
+  f.D2 = t.add_interface(f.D, "2");
+  f.D3 = t.add_interface(f.D, "3");
+
+  t.mark_external(f.A1);
+  t.mark_external(f.C3);
+  t.mark_external(f.D3);
+
+  // Intra-device forwarding.
+  t.add_edge(f.A1, f.A2, classes({2, 3}));
+  t.add_edge(f.A1, f.A3, classes({4, 5, 6, 7}));
+  t.add_edge(f.A1, f.A4, classes({1, 2, 3, 4, 5, 6}));
+  t.add_edge(f.B1, f.B2, classes({2, 3}));
+  t.add_edge(f.C1, f.C3, classes({5, 6, 7}));
+  t.add_edge(f.C1, f.C4, classes({4}));
+  t.add_edge(f.C2, f.C4, classes({2, 3}));
+  t.add_edge(f.D1, f.D3, classes({1, 2, 3, 4, 5, 6}));
+  t.add_edge(f.D2, f.D3, classes({2, 3, 4}));
+
+  // Inter-device links.
+  t.add_edge(f.A2, f.B1, classes({2, 3}));
+  t.add_edge(f.A3, f.C1, classes({4, 5, 6, 7}));
+  t.add_edge(f.A4, f.D1, classes({1, 2, 3, 4, 5, 6}));
+  t.add_edge(f.B2, f.C2, classes({2, 3}));
+  t.add_edge(f.C4, f.D2, classes({2, 3, 4}));
+
+  // ACLs (Figure 1).
+  t.bind_acl(f.A1, topo::Dir::In, Acl::parse({"deny dst 6.0.0.0/8", "permit all"}));
+  t.bind_acl(f.C1, topo::Dir::In, Acl::parse({"deny dst 7.0.0.0/8", "permit all"}));
+  t.bind_acl(f.D2, topo::Dir::In,
+             Acl::parse({"deny dst 1.0.0.0/8", "deny dst 2.0.0.0/8", "permit all"}));
+
+  f.scope = topo::Scope::whole_network(t);
+  f.traffic = classes({1, 2, 3, 4, 5, 6, 7});
+  return f;
+}
+
+topo::AclUpdate Figure1::running_example_update() const {
+  topo::AclUpdate update;
+  update.emplace(topo::AclSlot{A1, topo::Dir::In},
+                 Acl::parse({"deny dst 1.0.0.0/8", "deny dst 2.0.0.0/8", "deny dst 6.0.0.0/8",
+                             "permit all"}));
+  update.emplace(topo::AclSlot{A3, topo::Dir::Out},
+                 Acl::parse({"deny dst 7.0.0.0/8", "permit all"}));
+  update.emplace(topo::AclSlot{C1, topo::Dir::In}, Acl::permit_all());
+  update.emplace(topo::AclSlot{D2, topo::Dir::In}, Acl::permit_all());
+  return update;
+}
+
+std::vector<topo::AclSlot> Figure1::migration_sources() const {
+  return {topo::AclSlot{A1, topo::Dir::In}, topo::AclSlot{D2, topo::Dir::In}};
+}
+
+std::vector<topo::AclSlot> Figure1::migration_targets() const {
+  return {topo::AclSlot{C1, topo::Dir::In}, topo::AclSlot{C2, topo::Dir::In},
+          topo::AclSlot{D1, topo::Dir::In}};
+}
+
+}  // namespace jinjing::gen

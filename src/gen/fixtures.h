@@ -1,0 +1,63 @@
+// The paper's Figure 1 motivating network, reconstructed exactly from the
+// facts stated throughout §2–§5, as a reusable fixture for tests, examples
+// and benchmarks.
+//
+// Routers A, B, C, D. Traffic k (k = 1..7) means "dst k.0.0.0/8". Interfaces
+// and forwarding predicates (dst /8 octets carried):
+//
+//   external -> A1 (entry; ingress ACL: deny 6/8, permit all)
+//   A1 -> A2 {2,3}        A2 -> B1 {2,3}        B1 -> B2 {2,3}
+//   A1 -> A3 {4,5,6,7}    A3 -> C1 {4,5,6,7}    B2 -> C2 {2,3}
+//   A1 -> A4 {1,2,3,4,5,6} A4 -> D1 {1,2,3,4,5,6}
+//   C1 -> C3 {5,6,7} (C3 exits; C1 ingress ACL: deny 7/8, permit all)
+//   C1 -> C4 {4}          C2 -> C4 {2,3}        C4 -> D2 {2,3,4}
+//   D1 -> D3 {1,2,3,4,5,6} D2 -> D3 {2,3,4} (D3 exits;
+//                          D2 ingress ACL: deny 1/8, deny 2/8, permit all)
+//
+// This reproduces every concrete statement in the paper:
+//  * paths A1→D3: p0=<A1,A4,D1,D3>, p1=<A1,A3,C1,C4,D2,D3>,
+//    p2=<A1,A2,B1,B2,C2,C4,D2,D3>; path A1→C3: <A1,A3,C1,C3>.
+//  * FECs of traffic 1-7: {1}, {2,3}, {4}, {5,6}, {7}   (§4.1)
+//  * [2]_FEC's feasible A1→D3 paths are exactly {p0, p2}  (§4.1 example)
+//  * traffic 2 can cross A2→B1, traffic 1 cannot          (§5.3)
+//  * AECs: [1]={1,2}, [3]={3,4,5}, [6]={6}, [7]={7}       (Table 3)
+#pragma once
+
+#include <vector>
+
+#include "topo/paths.h"
+#include "topo/topology.h"
+
+namespace jinjing::gen {
+
+struct Figure1 {
+  topo::Topology topo;
+  topo::Scope scope;            // all of A, B, C, D
+  net::PacketSet traffic;       // dst 1.0.0.0/8 .. 7.0.0.0/8 entering at A1
+
+  topo::DeviceId A = 0, B = 0, C = 0, D = 0;
+  topo::InterfaceId A1 = 0, A2 = 0, A3 = 0, A4 = 0;
+  topo::InterfaceId B1 = 0, B2 = 0;
+  topo::InterfaceId C1 = 0, C2 = 0, C3 = 0, C4 = 0;
+  topo::InterfaceId D1 = 0, D2 = 0, D3 = 0;
+
+  /// The set "dst k.0.0.0/8" (all other fields free), k in [1, 7].
+  [[nodiscard]] static net::PacketSet traffic_class(int k);
+
+  /// A representative packet of traffic class k.
+  [[nodiscard]] static net::Packet traffic_packet(int k);
+
+  /// The §3.2 running-example update: move "deny 1/8, deny 2/8" from D2 to
+  /// the top of A1, move "deny 7/8" from C1 to A3 (egress), and clear C1/D2.
+  [[nodiscard]] topo::AclUpdate running_example_update() const;
+
+  /// The §5 migration task: sources whose ACLs are removed...
+  [[nodiscard]] std::vector<topo::AclSlot> migration_sources() const;
+  /// ...and targets where new ACLs may be generated.
+  [[nodiscard]] std::vector<topo::AclSlot> migration_targets() const;
+};
+
+/// Builds the fixture.
+[[nodiscard]] Figure1 make_figure1();
+
+}  // namespace jinjing::gen

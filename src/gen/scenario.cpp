@@ -1,0 +1,206 @@
+#include "gen/scenario.h"
+
+#include <algorithm>
+#include <random>
+
+#include "net/acl_algebra.h"
+
+namespace jinjing::gen {
+
+namespace {
+
+using net::AclRule;
+
+/// One random mutation of a rule: flip, narrow, or replace.
+AclRule mutate_rule(const AclRule& rule, std::mt19937& rng) {
+  std::uniform_int_distribution<int> kind(0, 2);
+  AclRule out = rule;
+  switch (kind(rng)) {
+    case 0:  // flip the action
+      out.action = net::negate(out.action);
+      break;
+    case 1:  // narrow the dst prefix by one bit (keeps the low half)
+      if (out.match.dst.len < 32) {
+        out.match.dst = net::Prefix{out.match.dst.addr,
+                                    static_cast<std::uint8_t>(out.match.dst.len + 1)};
+      } else {
+        out.action = net::negate(out.action);
+      }
+      break;
+    default:  // constrain to a port slice
+      out.match.dport = net::PortRange{0, 1023};
+      break;
+  }
+  return out;
+}
+
+std::string slot_ref(const Wan& wan, topo::AclSlot slot) {
+  return wan.topo.qualified_name(slot.iface) +
+         (slot.dir == topo::Dir::In ? "-in" : "-out");
+}
+
+}  // namespace
+
+topo::AclUpdate perturb_rules(const Wan& wan, double fraction, unsigned seed) {
+  std::mt19937 rng(seed);
+
+  // Global mutation budget: `fraction` of all mutable rules network-wide
+  // (the trailing permit-all of each ACL is preserved), at least one.
+  std::vector<std::pair<topo::AclSlot, std::size_t>> sites;
+  for (const auto slot : wan.topo.bound_slots()) {
+    const net::Acl& acl = wan.topo.acl(slot);
+    for (std::size_t i = 0; i + 1 < acl.size(); ++i) sites.emplace_back(slot, i);
+  }
+  if (sites.empty()) return {};
+  std::shuffle(sites.begin(), sites.end(), rng);
+  const auto budget = std::max<std::size_t>(
+      1, static_cast<std::size_t>(fraction * static_cast<double>(sites.size()) + 0.5));
+
+  topo::AclUpdate update;
+  for (std::size_t s = 0; s < budget && s < sites.size(); ++s) {
+    const auto& [slot, index] = sites[s];
+    if (!update.contains(slot)) update.emplace(slot, wan.topo.acl(slot));
+    net::Acl& acl = update.at(slot);
+    std::vector<AclRule> rules = acl.rules();
+    rules[index] = mutate_rule(rules[index], rng);
+    acl = net::Acl{std::move(rules), acl.default_action()};
+  }
+  return update;
+}
+
+core::MigrationSpec migration_spec(const Wan& wan) {
+  core::MigrationSpec spec;
+  spec.sources = wan.agg_slots;
+  spec.targets = wan.gateway_slots;
+  return spec;
+}
+
+ControlOpenScenario control_open(const Wan& wan, std::size_t k, unsigned seed) {
+  std::mt19937 rng(seed);
+  ControlOpenScenario sc;
+  sc.spec.targets = wan.gateway_slots;
+
+  const std::size_t per_gw = wan.params.prefixes_per_gateway * 4;  // z in 0..3
+  const std::size_t open_per_gw = std::min(k, per_gw);
+
+  for (std::size_t g = 0; g < wan.gateways.size(); ++g) {
+    // Enumerate this gateway's protected /24s and sample without
+    // replacement.
+    std::vector<net::Prefix> protected_24s;
+    for (std::size_t j = 0; j < wan.params.prefixes_per_gateway; ++j) {
+      const auto octet =
+          static_cast<std::uint8_t>(g * wan.params.prefixes_per_gateway + j);
+      for (int z = 0; z < 4; ++z) {
+        protected_24s.push_back(
+            net::Prefix{net::Ipv4{10, octet, static_cast<std::uint8_t>(z), 0}, 24});
+      }
+    }
+    std::shuffle(protected_24s.begin(), protected_24s.end(), rng);
+
+    for (std::size_t i = 0; i < open_per_gw; ++i) {
+      lai::ControlIntent intent;
+      intent.from = wan.core_entry_ifaces;
+      intent.to = {wan.gateway_egress_slots[g].iface};
+      intent.verb = lai::ControlVerb::Open;
+      intent.header = lai::header_set({lai::HeaderSpec::Kind::Dst, protected_24s[i]});
+      sc.intents.push_back(std::move(intent));
+      ++sc.opened;
+    }
+  }
+  return sc;
+}
+
+topo::AclUpdate ingress_to_egress_update(const Wan& wan) {
+  topo::AclUpdate update;
+  for (std::size_t g = 0; g < wan.gateways.size(); ++g) {
+    // All u-slots of a gateway share one ACL; take the first as the source.
+    const net::Acl* acl = nullptr;
+    for (const auto slot : wan.gateway_slots) {
+      if (wan.topo.device_of(slot.iface) == wan.gateways[g]) {
+        if (acl == nullptr) acl = &wan.topo.acl(slot);
+        update.insert_or_assign(slot, net::Acl::permit_all());
+      }
+    }
+    if (acl != nullptr) update.insert_or_assign(wan.gateway_egress_slots[g], *acl);
+  }
+  return update;
+}
+
+std::vector<topo::AclSlot> gateway_layer_allow(const Wan& wan) {
+  std::vector<topo::AclSlot> allowed = wan.gateway_slots;
+  allowed.insert(allowed.end(), wan.gateway_egress_slots.begin(),
+                 wan.gateway_egress_slots.end());
+  return allowed;
+}
+
+std::string check_fix_program(const Wan& wan, const topo::AclUpdate& update) {
+  std::string out = "scope ";
+  for (topo::DeviceId d = 0; d < wan.topo.device_count(); ++d) {
+    if (d > 0) out += ", ";
+    out += wan.topo.device_name(d);
+  }
+  out += "\nallow ";
+  for (std::size_t g = 0; g < wan.gateways.size(); ++g) {
+    if (g > 0) out += ", ";
+    out += wan.topo.device_name(wan.gateways[g]);
+  }
+  out += "\n";
+  std::size_t i = 0;
+  for (const auto& [slot, acl] : update) {
+    out += "modify " + slot_ref(wan, slot) + " to acl_" + std::to_string(i++) + "\n";
+  }
+  out += "check\nfix\n";
+  return out;
+}
+
+std::string migration_program(const Wan& wan) {
+  std::string out = "scope ";
+  for (topo::DeviceId d = 0; d < wan.topo.device_count(); ++d) {
+    if (d > 0) out += ", ";
+    out += wan.topo.device_name(d);
+  }
+  out += "\nallow ";
+  for (std::size_t i = 0; i < wan.gateway_slots.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += slot_ref(wan, wan.gateway_slots[i]);
+  }
+  out += "\n";
+  for (const auto slot : wan.agg_slots) {
+    out += "modify " + slot_ref(wan, slot) + " to permit_all\n";
+  }
+  out += "generate\n";
+  return out;
+}
+
+std::string control_open_program(const Wan& wan, const ControlOpenScenario& sc) {
+  std::string out = "scope ";
+  for (topo::DeviceId d = 0; d < wan.topo.device_count(); ++d) {
+    if (d > 0) out += ", ";
+    out += wan.topo.device_name(d);
+  }
+  out += "\nallow ";
+  for (std::size_t i = 0; i < wan.gateway_slots.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += slot_ref(wan, wan.gateway_slots[i]);
+  }
+  out += "\n";
+  for (const auto& intent : sc.intents) {
+    out += "control ";
+    for (std::size_t i = 0; i < intent.from.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += wan.topo.qualified_name(intent.from[i]);
+    }
+    out += " -> ";
+    for (std::size_t i = 0; i < intent.to.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += wan.topo.qualified_name(intent.to[i]) + "-out";
+    }
+    // Every generated intent header is a single dst cube.
+    const auto matches = net::matches_for_cube(intent.header.cubes().front());
+    out += " open dst " + net::to_string(matches.front().dst) + "\n";
+  }
+  out += "generate\n";
+  return out;
+}
+
+}  // namespace jinjing::gen

@@ -1,0 +1,52 @@
+// Workload recipes for the §7–§8 experiments, built on the synthetic WAN.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/placement.h"
+#include "gen/wan.h"
+#include "lai/sema.h"
+
+namespace jinjing::gen {
+
+/// Figures 4a/4b: randomly perturb `fraction` of the rules in every
+/// configured ACL (flip action / narrow prefix / delete / insert).
+/// Deterministic for a given seed. The trailing permit-all is preserved.
+[[nodiscard]] topo::AclUpdate perturb_rules(const Wan& wan, double fraction, unsigned seed);
+
+/// Figure 4c: the common migration — move all ACLs from the middle
+/// (aggregation) layer down to the gateway layer.
+[[nodiscard]] core::MigrationSpec migration_spec(const Wan& wan);
+
+/// Figure 4d: control-open scenario — open `k` gateway-protected /24
+/// subnets per gateway (clamped to availability) and regenerate the
+/// gateway ACLs. `intents` feed check/generate; `spec` lists the targets.
+struct ControlOpenScenario {
+  std::vector<lai::ControlIntent> intents;
+  core::MigrationSpec spec;
+  std::size_t opened = 0;  // total prefixes opened
+};
+[[nodiscard]] ControlOpenScenario control_open(const Wan& wan, std::size_t k, unsigned seed);
+
+/// §7 Scenario 2: relocate every gateway's ingress ACL to its host-side
+/// egress interface — subtly breaking intra-cell (pe) reachability.
+[[nodiscard]] topo::AclUpdate ingress_to_egress_update(const Wan& wan);
+
+/// The slots fix may touch in the scenario-2 repair (the gateway layer).
+[[nodiscard]] std::vector<topo::AclSlot> gateway_layer_allow(const Wan& wan);
+
+// ---- LAI program emitters (Table 5: program line counts). ----------------
+
+/// The check+fix program for a perturbation update (modify one line per
+/// perturbed slot).
+[[nodiscard]] std::string check_fix_program(const Wan& wan, const topo::AclUpdate& update);
+
+/// The migration program (modify sources to permit-all, generate at
+/// targets).
+[[nodiscard]] std::string migration_program(const Wan& wan);
+
+/// The control-open program (one control line per opened prefix group).
+[[nodiscard]] std::string control_open_program(const Wan& wan, const ControlOpenScenario& sc);
+
+}  // namespace jinjing::gen

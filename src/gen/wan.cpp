@@ -1,0 +1,291 @@
+#include "gen/wan.h"
+
+#include <random>
+#include <stdexcept>
+#include <string>
+
+#include "net/acl.h"
+
+namespace jinjing::gen {
+
+namespace {
+
+using net::Acl;
+using net::AclRule;
+
+/// Dst-prefix packet set.
+net::PacketSet dst_set(const net::Prefix& p) {
+  net::HyperCube cube;
+  cube.set_interval(net::Field::DstIp, p.interval());
+  return net::PacketSet{cube};
+}
+
+net::PacketSet dst_union(const std::vector<net::Prefix>& prefixes) {
+  net::PacketSet out;
+  for (const auto& p : prefixes) out = out | dst_set(p);
+  return out;
+}
+
+}  // namespace
+
+WanParams small_wan() {
+  WanParams p;
+  p.cores = 2;
+  p.aggs = 2;
+  p.cells = 2;
+  p.gateways_per_cell = 2;
+  p.prefixes_per_gateway = 3;
+  p.rules_per_acl = 24;
+  p.seed = 11;
+  return p;
+}
+
+WanParams medium_wan() {
+  WanParams p;
+  p.cores = 3;
+  p.aggs = 3;
+  p.cells = 3;
+  p.gateways_per_cell = 2;
+  p.prefixes_per_gateway = 4;
+  p.rules_per_acl = 64;
+  p.seed = 22;
+  return p;
+}
+
+WanParams large_wan() {
+  WanParams p;
+  p.cores = 4;
+  p.aggs = 6;
+  p.cells = 6;
+  p.gateways_per_cell = 4;
+  p.prefixes_per_gateway = 6;
+  p.rules_per_acl = 96;
+  p.seed = 33;
+  return p;
+}
+
+net::PacketSet Wan::gateway_dst_set(std::size_t gw) const {
+  return dst_union(gateway_prefixes[gw]);
+}
+
+net::PacketSet Wan::cell_dst_set(std::size_t cell) const {
+  net::PacketSet out;
+  for (const auto gw : cell_members[cell]) out = out | gateway_dst_set(gw);
+  return out;
+}
+
+std::size_t total_rules(const Wan& wan) {
+  std::size_t total = 0;
+  for (const auto slot : wan.topo.bound_slots()) total += wan.topo.acl(slot).size();
+  return total;
+}
+
+Wan make_wan(const WanParams& params) {
+  const std::size_t gw_count = params.cells * params.gateways_per_cell;
+  if (gw_count * params.prefixes_per_gateway > 200) {
+    throw std::invalid_argument("WAN address plan exceeds the 10.x/16 budget");
+  }
+
+  Wan wan;
+  wan.params = params;
+  auto& t = wan.topo;
+  std::mt19937 rng(params.seed);
+
+  // ---- Address plan: gateway g announces 10.(g*P+j).0.0/16. -------------
+  wan.gateway_prefixes.resize(gw_count);
+  for (std::size_t g = 0; g < gw_count; ++g) {
+    for (std::size_t j = 0; j < params.prefixes_per_gateway; ++j) {
+      const auto octet = static_cast<std::uint8_t>(g * params.prefixes_per_gateway + j);
+      wan.gateway_prefixes[g].push_back(net::Prefix{net::Ipv4{10, octet, 0, 0}, 16});
+    }
+  }
+
+  // ---- Devices & interfaces. --------------------------------------------
+  for (std::size_t c = 0; c < params.cores; ++c) {
+    wan.cores.push_back(t.add_device("core" + std::to_string(c)));
+  }
+  for (std::size_t a = 0; a < params.aggs; ++a) {
+    wan.aggs.push_back(t.add_device("agg" + std::to_string(a)));
+  }
+  wan.cell_members.resize(params.cells);
+  for (std::size_t cell = 0; cell < params.cells; ++cell) {
+    for (std::size_t k = 0; k < params.gateways_per_cell; ++k) {
+      wan.cell_members[cell].push_back(wan.gateways.size());
+      wan.gateways.push_back(
+          t.add_device("gw" + std::to_string(cell) + "_" + std::to_string(k)));
+    }
+  }
+
+  // agg <-> gateway connectivity with the configured asymmetry.
+  const auto connected = [&params](std::size_t a, std::size_t g) {
+    return params.asymmetry == 0 || (a + g) % params.asymmetry != 1;
+  };
+
+  // Interfaces.
+  std::vector<topo::InterfaceId> core_up(params.cores);
+  std::vector<std::vector<topo::InterfaceId>> core_down(params.cores,
+                                                        std::vector<topo::InterfaceId>(params.aggs));
+  std::vector<std::vector<topo::InterfaceId>> agg_up(params.aggs,
+                                                     std::vector<topo::InterfaceId>(params.cores));
+  std::vector<std::unordered_map<std::size_t, topo::InterfaceId>> agg_down(params.aggs);
+  std::vector<std::unordered_map<std::size_t, topo::InterfaceId>> gw_up(gw_count);
+  std::vector<topo::InterfaceId> gw_host(gw_count);
+  std::vector<topo::InterfaceId> gw_pe(gw_count);
+
+  for (std::size_t c = 0; c < params.cores; ++c) {
+    core_up[c] = t.add_interface(wan.cores[c], "up");
+    t.mark_external(core_up[c]);
+    wan.core_entry_ifaces.push_back(core_up[c]);
+    for (std::size_t a = 0; a < params.aggs; ++a) {
+      core_down[c][a] = t.add_interface(wan.cores[c], "d" + std::to_string(a));
+    }
+  }
+  for (std::size_t a = 0; a < params.aggs; ++a) {
+    for (std::size_t c = 0; c < params.cores; ++c) {
+      agg_up[a][c] = t.add_interface(wan.aggs[a], "u" + std::to_string(c));
+    }
+    for (std::size_t g = 0; g < gw_count; ++g) {
+      if (connected(a, g)) {
+        agg_down[a][g] = t.add_interface(wan.aggs[a], "d" + std::to_string(g));
+      }
+    }
+  }
+  for (std::size_t g = 0; g < gw_count; ++g) {
+    for (std::size_t a = 0; a < params.aggs; ++a) {
+      if (connected(a, g)) {
+        gw_up[g][a] = t.add_interface(wan.gateways[g], "u" + std::to_string(a));
+      }
+    }
+    gw_host[g] = t.add_interface(wan.gateways[g], "host");
+    gw_pe[g] = t.add_interface(wan.gateways[g], "pe");
+    t.mark_external(gw_host[g]);
+    t.mark_external(gw_pe[g]);
+    wan.gateway_egress_slots.push_back({gw_host[g], topo::Dir::Out});
+    wan.gateway_peer_ifaces.push_back(gw_pe[g]);
+  }
+
+  // ---- Forwarding edges (dst-based, downward). ---------------------------
+  std::vector<net::PacketSet> gw_dst(gw_count);
+  for (std::size_t g = 0; g < gw_count; ++g) gw_dst[g] = dst_union(wan.gateway_prefixes[g]);
+
+  std::vector<net::PacketSet> via_agg(params.aggs);
+  for (std::size_t a = 0; a < params.aggs; ++a) {
+    for (std::size_t g = 0; g < gw_count; ++g) {
+      if (connected(a, g)) via_agg[a] = via_agg[a] | gw_dst[g];
+    }
+  }
+
+  for (std::size_t c = 0; c < params.cores; ++c) {
+    for (std::size_t a = 0; a < params.aggs; ++a) {
+      t.add_edge(core_up[c], core_down[c][a], via_agg[a]);
+      t.add_edge(core_down[c][a], agg_up[a][c], via_agg[a]);
+    }
+  }
+  for (std::size_t a = 0; a < params.aggs; ++a) {
+    for (std::size_t c = 0; c < params.cores; ++c) {
+      for (std::size_t g = 0; g < gw_count; ++g) {
+        if (connected(a, g)) t.add_edge(agg_up[a][c], agg_down[a][g], gw_dst[g]);
+      }
+    }
+    for (std::size_t g = 0; g < gw_count; ++g) {
+      if (connected(a, g)) t.add_edge(agg_down[a][g], gw_up[g][a], gw_dst[g]);
+    }
+  }
+  for (std::size_t g = 0; g < gw_count; ++g) {
+    for (const auto& [a, up] : gw_up[g]) {
+      t.add_edge(up, gw_host[g], gw_dst[g]);
+    }
+  }
+
+  // Intra-cell peer fabric: traffic sourced in the cell enters a gateway on
+  // "pe" and leaves through "host" — untouched by the ingress ACLs.
+  net::PacketSet peer_traffic;
+  for (std::size_t cell = 0; cell < params.cells; ++cell) {
+    // Source interval of the whole cell (contiguous by the address plan).
+    net::PacketSet cell_src;
+    for (const auto gw : wan.cell_members[cell]) {
+      for (const auto& p : wan.gateway_prefixes[gw]) {
+        net::HyperCube c;
+        c.set_interval(net::Field::SrcIp, p.interval());
+        cell_src = cell_src | net::PacketSet{c};
+      }
+    }
+    for (const auto gw : wan.cell_members[cell]) {
+      const net::PacketSet pred = cell_src & gw_dst[gw];
+      t.add_edge(gw_pe[gw], gw_host[gw], pred);
+      peer_traffic = peer_traffic | pred;
+    }
+  }
+
+  // ---- ACLs from the shared address plan. --------------------------------
+  // Sub-/24 z-octets: 0..3 are gateway-protected subnets (denied at the
+  // gateway), 4..7 are middle-layer filtered (denied at aggregation), so
+  // control-open intents on protected subnets stay solvable at the
+  // gateways.
+  const auto plan_24 = [&](std::size_t g, std::size_t j, int z) {
+    const auto octet = static_cast<std::uint8_t>(g * params.prefixes_per_gateway + j);
+    return net::Prefix{net::Ipv4{10, octet, static_cast<std::uint8_t>(z), 0}, 24};
+  };
+
+  std::uniform_int_distribution<std::size_t> any_gw(0, gw_count - 1);
+  std::uniform_int_distribution<std::size_t> any_pfx(0, params.prefixes_per_gateway - 1);
+  std::uniform_int_distribution<int> mid_z(8, 255);
+  std::uniform_int_distribution<int> port_slice(-1, 7);  // -1 = any port
+  std::uniform_int_distribution<int> coin(0, 3);
+
+  // Rules are drawn from a large (dst /24 x dport slice) space so that an
+  // update's differential stays sparse relative to the rule population —
+  // the regime the paper's production network is in. The z octets 0..3 are
+  // reserved for the gateway-protected subnets the control-open scenario
+  // targets.
+  const auto sparse_deny = [&]() {
+    net::Match m = net::Match::dst_prefix(plan_24(any_gw(rng), any_pfx(rng), mid_z(rng)));
+    const int slice = port_slice(rng);
+    if (slice >= 0) {
+      const auto lo = static_cast<std::uint16_t>(slice * 8192);
+      m.dport = net::PortRange{lo, static_cast<std::uint16_t>(lo + 8191)};
+    }
+    return AclRule::deny(m);
+  };
+
+  for (std::size_t a = 0; a < params.aggs; ++a) {
+    std::vector<AclRule> rules;
+    for (std::size_t r = 0; r + 1 < params.rules_per_acl; ++r) rules.push_back(sparse_deny());
+    rules.push_back(AclRule::permit_all());
+    const Acl acl{rules};
+    for (std::size_t c = 0; c < params.cores; ++c) {
+      const topo::AclSlot slot{agg_up[a][c], topo::Dir::In};
+      t.bind_acl(slot, acl);
+      wan.agg_slots.push_back(slot);
+    }
+  }
+
+  for (std::size_t g = 0; g < gw_count; ++g) {
+    std::vector<AclRule> rules;
+    // Protect the gateway's own z in {0..3} subnets from the backbone side.
+    for (std::size_t j = 0; j < params.prefixes_per_gateway; ++j) {
+      for (int z = 0; z < 4; ++z) {
+        if (rules.size() + 1 >= params.rules_per_acl) break;
+        rules.push_back(AclRule::deny(net::Match::dst_prefix(plan_24(g, j, z))));
+      }
+    }
+    // Pad with sparse deny rules like the aggregation layer's.
+    while (rules.size() + 1 < params.rules_per_acl) rules.push_back(sparse_deny());
+    rules.push_back(AclRule::permit_all());
+    const Acl acl{rules};
+    for (const auto& [a, up] : gw_up[g]) {
+      const topo::AclSlot slot{up, topo::Dir::In};
+      t.bind_acl(slot, acl);
+      wan.gateway_slots.push_back(slot);
+    }
+  }
+
+  // ---- Scope & entering traffic. -----------------------------------------
+  wan.scope = topo::Scope::whole_network(t);
+  net::PacketSet backbone;
+  for (std::size_t g = 0; g < gw_count; ++g) backbone = backbone | gw_dst[g];
+  wan.traffic = backbone | peer_traffic;
+  return wan;
+}
+
+}  // namespace jinjing::gen

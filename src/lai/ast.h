@@ -1,0 +1,73 @@
+// Abstract syntax of LAI programs (Figure 2).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/ip.h"
+#include "topo/topology.h"
+
+namespace jinjing::lai {
+
+/// A (possibly wildcarded) interface reference: "A:1", "R1:*", "R2:*-in".
+/// A bare device name "A" is shorthand for "A:*".
+struct IfaceRef {
+  std::string device;
+  std::optional<std::string> iface;  // nullopt = '*'
+  std::optional<topo::Dir> dir;      // nullopt = both directions
+
+  friend bool operator==(const IfaceRef&, const IfaceRef&) = default;
+};
+
+/// modify <slot> to <acl-name>: replace the ACL in a slot with a named ACL
+/// from the configuration library supplied next to the program.
+struct ModifyStmt {
+  IfaceRef slot;
+  std::string acl_name;
+
+  friend bool operator==(const ModifyStmt&, const ModifyStmt&) = default;
+};
+
+enum class ControlVerb : std::uint8_t { Isolate, Open, Maintain };
+
+[[nodiscard]] std::string_view to_string(ControlVerb v);
+
+/// Header constraint of a control statement: all traffic, or traffic whose
+/// src/dst lies in a prefix ("from p" ≡ "src p", "to p" ≡ "dst p").
+struct HeaderSpec {
+  enum class Kind : std::uint8_t { All, Src, Dst } kind = Kind::All;
+  net::Prefix prefix;
+
+  friend bool operator==(const HeaderSpec&, const HeaderSpec&) = default;
+};
+
+/// control <from-list> -> <to-list> (isolate|open|maintain) <header>
+struct ControlStmt {
+  std::vector<IfaceRef> from;
+  std::vector<IfaceRef> to;
+  ControlVerb verb = ControlVerb::Maintain;
+  HeaderSpec header;
+
+  friend bool operator==(const ControlStmt&, const ControlStmt&) = default;
+};
+
+enum class Command : std::uint8_t { Check, Fix, Generate };
+
+[[nodiscard]] std::string_view to_string(Command c);
+
+/// A parsed LAI program: region (scope/allow), requirement (modify/control)
+/// and the command list, with control statements kept in specification
+/// order (their order defines priority, §6).
+struct Program {
+  std::vector<IfaceRef> scope;
+  std::vector<IfaceRef> allow;
+  std::vector<ModifyStmt> modifies;
+  std::vector<ControlStmt> controls;
+  std::vector<Command> commands;
+
+  friend bool operator==(const Program&, const Program&) = default;
+};
+
+}  // namespace jinjing::lai

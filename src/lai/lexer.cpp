@@ -1,0 +1,150 @@
+#include "lai/lexer.h"
+
+#include <array>
+#include <cctype>
+#include <utility>
+
+namespace jinjing::lai {
+
+namespace {
+
+constexpr std::array<std::pair<std::string_view, TokenKind>, 17> kKeywords = {{
+    {"scope", TokenKind::KwScope},
+    {"allow", TokenKind::KwAllow},
+    {"modify", TokenKind::KwModify},
+    {"to", TokenKind::KwTo},
+    {"control", TokenKind::KwControl},
+    {"isolate", TokenKind::KwIsolate},
+    {"open", TokenKind::KwOpen},
+    {"maintain", TokenKind::KwMaintain},
+    {"check", TokenKind::KwCheck},
+    {"fix", TokenKind::KwFix},
+    {"generate", TokenKind::KwGenerate},
+    {"src", TokenKind::KwSrc},
+    {"dst", TokenKind::KwDst},
+    {"from", TokenKind::KwFrom},
+    {"and", TokenKind::KwAnd},
+    {"all", TokenKind::KwAll},
+    {"nil", TokenKind::KwNil},
+}};
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.' || c == '/' ||
+         c == '\'';
+}
+
+}  // namespace
+
+std::string_view to_string(TokenKind k) {
+  switch (k) {
+    case TokenKind::KwScope: return "scope";
+    case TokenKind::KwAllow: return "allow";
+    case TokenKind::KwModify: return "modify";
+    case TokenKind::KwTo: return "to";
+    case TokenKind::KwControl: return "control";
+    case TokenKind::KwIsolate: return "isolate";
+    case TokenKind::KwOpen: return "open";
+    case TokenKind::KwMaintain: return "maintain";
+    case TokenKind::KwCheck: return "check";
+    case TokenKind::KwFix: return "fix";
+    case TokenKind::KwGenerate: return "generate";
+    case TokenKind::KwSrc: return "src";
+    case TokenKind::KwDst: return "dst";
+    case TokenKind::KwFrom: return "from";
+    case TokenKind::KwAnd: return "and";
+    case TokenKind::KwAll: return "all";
+    case TokenKind::KwNil: return "nil";
+    case TokenKind::Colon: return ":";
+    case TokenKind::Comma: return ",";
+    case TokenKind::Arrow: return "->";
+    case TokenKind::Semicolon: return ";";
+    case TokenKind::Star: return "*";
+    case TokenKind::DirIn: return "-in";
+    case TokenKind::DirOut: return "-out";
+    case TokenKind::Ident: return "identifier";
+    case TokenKind::Newline: return "newline";
+    case TokenKind::End: return "end of input";
+  }
+  return "?";
+}
+
+std::vector<Token> tokenize(std::string_view source) {
+  std::vector<Token> tokens;
+  std::size_t line = 1;
+  std::size_t column = 1;
+  std::size_t i = 0;
+
+  const auto push = [&](TokenKind kind, std::string text = {}) {
+    tokens.push_back(Token{kind, std::move(text), line, column});
+  };
+
+  while (i < source.size()) {
+    const char c = source[i];
+    if (c == '\n') {
+      // Collapse runs of newlines into one separator token.
+      if (!tokens.empty() && tokens.back().kind != TokenKind::Newline) push(TokenKind::Newline);
+      ++i;
+      ++line;
+      column = 1;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      ++column;
+      continue;
+    }
+    if (c == '#') {
+      while (i < source.size() && source[i] != '\n') ++i;
+      continue;
+    }
+    if (c == ':') { push(TokenKind::Colon); ++i; ++column; continue; }
+    if (c == ',') { push(TokenKind::Comma); ++i; ++column; continue; }
+    if (c == ';') { push(TokenKind::Semicolon); ++i; ++column; continue; }
+    if (c == '*') { push(TokenKind::Star); ++i; ++column; continue; }
+    if (c == '-') {
+      const auto rest = source.substr(i);
+      if (rest.starts_with("->")) {
+        push(TokenKind::Arrow);
+        i += 2;
+        column += 2;
+        continue;
+      }
+      if (rest.starts_with("-in") && (rest.size() == 3 || !is_ident_char(rest[3]))) {
+        push(TokenKind::DirIn);
+        i += 3;
+        column += 3;
+        continue;
+      }
+      if (rest.starts_with("-out") && (rest.size() == 4 || !is_ident_char(rest[4]))) {
+        push(TokenKind::DirOut);
+        i += 4;
+        column += 4;
+        continue;
+      }
+      throw LaiError("unexpected '-'", line, column);
+    }
+    if (is_ident_char(c)) {
+      std::size_t j = i;
+      while (j < source.size() && is_ident_char(source[j])) ++j;
+      const auto word = source.substr(i, j - i);
+      TokenKind kind = TokenKind::Ident;
+      for (const auto& [kw, k] : kKeywords) {
+        if (word == kw) {
+          kind = k;
+          break;
+        }
+      }
+      push(kind, std::string(word));
+      column += j - i;
+      i = j;
+      continue;
+    }
+    throw LaiError(std::string("unexpected character '") + c + "'", line, column);
+  }
+  // Drop a trailing newline separator and terminate.
+  if (!tokens.empty() && tokens.back().kind == TokenKind::Newline) tokens.pop_back();
+  tokens.push_back(Token{TokenKind::End, {}, line, column});
+  return tokens;
+}
+
+}  // namespace jinjing::lai

@@ -1,0 +1,29 @@
+// Tokenizer for LAI programs.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lai/token.h"
+
+namespace jinjing::lai {
+
+class LaiError : public std::runtime_error {
+ public:
+  LaiError(const std::string& what, std::size_t line, std::size_t column)
+      : std::runtime_error("LAI:" + std::to_string(line) + ":" + std::to_string(column) + ": " +
+                           what),
+        line(line),
+        column(column) {}
+
+  std::size_t line;
+  std::size_t column;
+};
+
+/// Tokenizes the whole program. '#' starts a line comment. Throws LaiError
+/// on characters outside the language.
+[[nodiscard]] std::vector<Token> tokenize(std::string_view source);
+
+}  // namespace jinjing::lai

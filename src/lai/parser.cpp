@@ -1,0 +1,219 @@
+#include "lai/parser.h"
+
+namespace jinjing::lai {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Program run() {
+    Program prog;
+    skip_separators();
+    while (!at(TokenKind::End)) {
+      statement(prog);
+      if (!at(TokenKind::End)) expect_separator();
+      skip_separators();
+    }
+    if (prog.scope.empty()) error("LAI program must declare a scope");
+    if (prog.commands.empty()) error("LAI program must end with a command (check/fix/generate)");
+    return prog;
+  }
+
+ private:
+  void statement(Program& prog) {
+    switch (peek().kind) {
+      case TokenKind::KwScope:
+        advance();
+        prog.scope = iface_list();
+        return;
+      case TokenKind::KwAllow:
+        advance();
+        prog.allow = iface_list();
+        return;
+      case TokenKind::KwModify: {
+        advance();
+        // "modify A:1-in to acl1, C:1-in to acl2" or repeated statements.
+        while (true) {
+          ModifyStmt m;
+          m.slot = iface_ref();
+          expect(TokenKind::KwTo);
+          m.acl_name = expect(TokenKind::Ident).text;
+          prog.modifies.push_back(std::move(m));
+          if (!at(TokenKind::Comma) && !at(TokenKind::KwAnd)) break;
+          advance();
+        }
+        return;
+      }
+      case TokenKind::KwControl: {
+        advance();
+        ControlStmt c;
+        c.from = iface_list();
+        expect(TokenKind::Arrow);
+        c.to = iface_list();
+        c.verb = control_verb();
+        c.header = header_spec();
+        prog.controls.push_back(std::move(c));
+        return;
+      }
+      case TokenKind::KwCheck:
+        advance();
+        prog.commands.push_back(Command::Check);
+        return;
+      case TokenKind::KwFix:
+        advance();
+        prog.commands.push_back(Command::Fix);
+        return;
+      case TokenKind::KwGenerate:
+        advance();
+        prog.commands.push_back(Command::Generate);
+        return;
+      default:
+        error("expected a statement, got '" + spelling(peek()) + "'");
+    }
+  }
+
+  ControlVerb control_verb() {
+    switch (peek().kind) {
+      case TokenKind::KwIsolate: advance(); return ControlVerb::Isolate;
+      case TokenKind::KwOpen: advance(); return ControlVerb::Open;
+      case TokenKind::KwMaintain: advance(); return ControlVerb::Maintain;
+      default: error("expected isolate/open/maintain"); return ControlVerb::Maintain;
+    }
+  }
+
+  HeaderSpec header_spec() {
+    HeaderSpec spec;
+    switch (peek().kind) {
+      case TokenKind::KwAll:
+        advance();
+        spec.kind = HeaderSpec::Kind::All;
+        return spec;
+      case TokenKind::KwSrc:
+      case TokenKind::KwFrom:
+        advance();
+        spec.kind = HeaderSpec::Kind::Src;
+        break;
+      case TokenKind::KwDst:
+      case TokenKind::KwTo:
+        advance();
+        spec.kind = HeaderSpec::Kind::Dst;
+        break;
+      default:
+        // Header is optional: "isolate" alone means all traffic.
+        spec.kind = HeaderSpec::Kind::All;
+        return spec;
+    }
+    if (at(TokenKind::KwAll)) {
+      // "isolate dst all" — prefix 0.0.0.0/0.
+      advance();
+      spec.prefix = net::Prefix::any();
+      return spec;
+    }
+    const auto& tok = expect(TokenKind::Ident);
+    try {
+      spec.prefix = net::parse_prefix(tok.text);
+    } catch (const net::ParseError& e) {
+      error(e.what());
+    }
+    return spec;
+  }
+
+  std::vector<IfaceRef> iface_list() {
+    std::vector<IfaceRef> list;
+    if (at(TokenKind::KwNil)) {
+      advance();
+      return list;
+    }
+    list.push_back(iface_ref());
+    while (at(TokenKind::Comma) || at(TokenKind::KwAnd)) {
+      advance();
+      list.push_back(iface_ref());
+    }
+    return list;
+  }
+
+  IfaceRef iface_ref() {
+    IfaceRef ref;
+    ref.device = expect(TokenKind::Ident).text;
+    if (at(TokenKind::Colon)) {
+      advance();
+      if (at(TokenKind::Star)) {
+        advance();
+      } else {
+        ref.iface = expect(TokenKind::Ident).text;
+      }
+    }
+    if (at(TokenKind::DirIn)) {
+      advance();
+      ref.dir = topo::Dir::In;
+    } else if (at(TokenKind::DirOut)) {
+      advance();
+      ref.dir = topo::Dir::Out;
+    }
+    return ref;
+  }
+
+  // --- token plumbing ---------------------------------------------------
+  [[nodiscard]] const Token& peek() const { return tokens_[pos_]; }
+  [[nodiscard]] bool at(TokenKind k) const { return peek().kind == k; }
+  void advance() {
+    if (!at(TokenKind::End)) ++pos_;
+  }
+
+  const Token& expect(TokenKind k) {
+    if (!at(k)) {
+      error("expected " + std::string(to_string(k)) + ", got '" + spelling(peek()) + "'");
+    }
+    const Token& tok = peek();
+    advance();
+    return tok;
+  }
+
+  void expect_separator() {
+    if (!at(TokenKind::Newline) && !at(TokenKind::Semicolon)) {
+      error("expected end of statement, got '" + spelling(peek()) + "'");
+    }
+    advance();
+  }
+
+  void skip_separators() {
+    while (at(TokenKind::Newline) || at(TokenKind::Semicolon)) advance();
+  }
+
+  static std::string spelling(const Token& tok) {
+    return tok.kind == TokenKind::Ident ? tok.text : std::string(to_string(tok.kind));
+  }
+
+  [[noreturn]] void error(const std::string& message) const {
+    throw LaiError(message, peek().line, peek().column);
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string_view to_string(ControlVerb v) {
+  switch (v) {
+    case ControlVerb::Isolate: return "isolate";
+    case ControlVerb::Open: return "open";
+    case ControlVerb::Maintain: return "maintain";
+  }
+  return "?";
+}
+
+std::string_view to_string(Command c) {
+  switch (c) {
+    case Command::Check: return "check";
+    case Command::Fix: return "fix";
+    case Command::Generate: return "generate";
+  }
+  return "?";
+}
+
+Program parse(std::string_view source) { return Parser{tokenize(source)}.run(); }
+
+}  // namespace jinjing::lai

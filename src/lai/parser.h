@@ -1,0 +1,15 @@
+// Recursive-descent parser for LAI.
+#pragma once
+
+#include <string_view>
+
+#include "lai/ast.h"
+#include "lai/lexer.h"
+
+namespace jinjing::lai {
+
+/// Parses a complete LAI program. Throws LaiError with position info on
+/// syntax errors.
+[[nodiscard]] Program parse(std::string_view source);
+
+}  // namespace jinjing::lai

@@ -1,0 +1,60 @@
+#include "lai/printer.h"
+
+namespace jinjing::lai {
+
+namespace {
+
+std::string print_list(const std::vector<IfaceRef>& refs) {
+  if (refs.empty()) return "nil";
+  std::string out;
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += print(refs[i]);
+  }
+  return out;
+}
+
+std::string print_header(const HeaderSpec& spec) {
+  switch (spec.kind) {
+    case HeaderSpec::Kind::All: return " all";
+    case HeaderSpec::Kind::Src: return " src " + to_string(spec.prefix);
+    case HeaderSpec::Kind::Dst: return " dst " + to_string(spec.prefix);
+  }
+  return {};
+}
+
+}  // namespace
+
+std::string print(const IfaceRef& ref) {
+  std::string out = ref.device + ":" + (ref.iface ? *ref.iface : "*");
+  if (ref.dir) out += *ref.dir == topo::Dir::In ? "-in" : "-out";
+  return out;
+}
+
+std::string print(const Program& prog) {
+  std::string out;
+  out += "scope " + print_list(prog.scope) + "\n";
+  if (!prog.allow.empty()) out += "allow " + print_list(prog.allow) + "\n";
+  for (const auto& m : prog.modifies) {
+    out += "modify " + print(m.slot) + " to " + m.acl_name + "\n";
+  }
+  for (const auto& c : prog.controls) {
+    out += "control " + print_list(c.from) + " -> " + print_list(c.to) + " " +
+           std::string(to_string(c.verb)) + print_header(c.header) + "\n";
+  }
+  for (const auto cmd : prog.commands) {
+    out += std::string(to_string(cmd)) + "\n";
+  }
+  return out;
+}
+
+std::size_t line_count(const Program& prog) {
+  std::size_t lines = 1;  // scope
+  if (!prog.allow.empty()) ++lines;
+  lines += prog.modifies.size();
+  lines += prog.controls.size();
+  lines += prog.commands.size();
+  return lines;
+}
+
+}  // namespace jinjing::lai

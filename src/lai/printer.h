@@ -1,0 +1,17 @@
+// Pretty-printer: AST back to LAI source. parse(print(p)) == p.
+#pragma once
+
+#include <string>
+
+#include "lai/ast.h"
+
+namespace jinjing::lai {
+
+[[nodiscard]] std::string print(const IfaceRef& ref);
+[[nodiscard]] std::string print(const Program& prog);
+
+/// Number of statements the program spells out — the paper's Table 5
+/// "LAI program line count" metric.
+[[nodiscard]] std::size_t line_count(const Program& prog);
+
+}  // namespace jinjing::lai

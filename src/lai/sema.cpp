@@ -1,0 +1,112 @@
+#include "lai/sema.h"
+
+#include <algorithm>
+
+namespace jinjing::lai {
+
+namespace {
+
+topo::DeviceId resolve_device(const topo::Topology& topo, const std::string& name) {
+  const auto device = topo.find_device(name);
+  if (!device) throw SemaError("unknown device '" + name + "'");
+  return *device;
+}
+
+/// All interfaces an IfaceRef denotes.
+std::vector<topo::InterfaceId> resolve_interfaces(const topo::Topology& topo,
+                                                  const IfaceRef& ref) {
+  const auto device = resolve_device(topo, ref.device);
+  if (!ref.iface) return topo.interfaces_of(device);
+  const auto iface = topo.find_interface(ref.device + ":" + *ref.iface);
+  if (!iface) throw SemaError("unknown interface '" + ref.device + ":" + *ref.iface + "'");
+  return {*iface};
+}
+
+/// All ACL slots an IfaceRef denotes (both directions when unsuffixed).
+std::vector<topo::AclSlot> resolve_slots(const topo::Topology& topo, const IfaceRef& ref) {
+  std::vector<topo::AclSlot> slots;
+  for (const auto iface : resolve_interfaces(topo, ref)) {
+    if (!ref.dir || *ref.dir == topo::Dir::In) slots.push_back({iface, topo::Dir::In});
+    if (!ref.dir || *ref.dir == topo::Dir::Out) slots.push_back({iface, topo::Dir::Out});
+  }
+  return slots;
+}
+
+}  // namespace
+
+bool UpdateTask::is_allowed(topo::AclSlot slot) const {
+  return std::find(allowed.begin(), allowed.end(), slot) != allowed.end();
+}
+
+net::PacketSet header_set(const HeaderSpec& spec) {
+  net::HyperCube cube;
+  switch (spec.kind) {
+    case HeaderSpec::Kind::All:
+      break;
+    case HeaderSpec::Kind::Src:
+      cube.set_interval(net::Field::SrcIp, spec.prefix.interval());
+      break;
+    case HeaderSpec::Kind::Dst:
+      cube.set_interval(net::Field::DstIp, spec.prefix.interval());
+      break;
+  }
+  return net::PacketSet{cube};
+}
+
+UpdateTask resolve(const Program& prog, const topo::Topology& topo, const AclLibrary& acls) {
+  UpdateTask task;
+
+  for (const auto& ref : prog.scope) {
+    task.scope.add(resolve_device(topo, ref.device));
+  }
+
+  for (const auto& ref : prog.allow) {
+    for (const auto slot : resolve_slots(topo, ref)) {
+      if (!task.scope.contains_interface(topo, slot.iface)) {
+        throw SemaError("allowed interface " + topo.qualified_name(slot.iface) +
+                        " is outside the scope");
+      }
+      if (!task.is_allowed(slot)) task.allowed.push_back(slot);
+    }
+  }
+
+  for (const auto& m : prog.modifies) {
+    if (!m.slot.iface) {
+      throw SemaError("modify requires a concrete interface, got '" + m.slot.device + ":*'");
+    }
+    const auto ifaces = resolve_interfaces(topo, m.slot);
+    // Unsuffixed modify slots default to the ingress ACL.
+    const topo::AclSlot slot{ifaces.front(), m.slot.dir.value_or(topo::Dir::In)};
+    const auto it = acls.find(m.acl_name);
+    if (it == acls.end()) throw SemaError("unknown ACL name '" + m.acl_name + "'");
+    if (task.modify.contains(slot)) {
+      throw SemaError("duplicate modify for " + topo.qualified_name(slot.iface) + "-" +
+                      std::string(to_string(slot.dir)));
+    }
+    if (!task.scope.contains_interface(topo, slot.iface)) {
+      throw SemaError("modified interface " + topo.qualified_name(slot.iface) +
+                      " is outside the scope");
+    }
+    task.modify.emplace(slot, it->second);
+  }
+
+  for (const auto& c : prog.controls) {
+    ControlIntent intent;
+    for (const auto& ref : c.from) {
+      const auto ifaces = resolve_interfaces(topo, ref);
+      intent.from.insert(intent.from.end(), ifaces.begin(), ifaces.end());
+    }
+    for (const auto& ref : c.to) {
+      const auto ifaces = resolve_interfaces(topo, ref);
+      intent.to.insert(intent.to.end(), ifaces.begin(), ifaces.end());
+    }
+    intent.verb = c.verb;
+    intent.header = header_set(c.header);
+    task.controls.push_back(std::move(intent));
+  }
+
+  task.commands = prog.commands;
+  return task;
+}
+
+}  // namespace jinjing::lai

@@ -1,0 +1,54 @@
+// Semantic analysis: resolving a parsed LAI Program against a concrete
+// Topology (and a library of named ACLs for modify statements) into a typed
+// UpdateTask that the Jinjing engine executes.
+#pragma once
+
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "lai/ast.h"
+#include "net/packet_set.h"
+#include "topo/topology.h"
+
+namespace jinjing::lai {
+
+class SemaError : public std::runtime_error {
+ public:
+  explicit SemaError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Named ACL definitions accompanying a program: "modify A:1-in to acl_a1"
+/// looks "acl_a1" up here. Supplied by the operator's configuration files.
+using AclLibrary = std::map<std::string, net::Acl, std::less<>>;
+
+/// A control statement with all names resolved: which entry/exit interfaces
+/// it spans and the exact packet set it talks about.
+struct ControlIntent {
+  std::vector<topo::InterfaceId> from;
+  std::vector<topo::InterfaceId> to;
+  ControlVerb verb = ControlVerb::Maintain;
+  net::PacketSet header;  // the packets this intent constrains
+};
+
+/// The fully-resolved update task.
+struct UpdateTask {
+  topo::Scope scope;
+  std::vector<topo::AclSlot> allowed;  // slots that may be modified
+  topo::AclUpdate modify;              // L'_Ω: the proposed ACL rewrites
+  std::vector<ControlIntent> controls; // in specification (priority) order
+  std::vector<Command> commands;
+
+  [[nodiscard]] bool is_allowed(topo::AclSlot slot) const;
+};
+
+/// The packet set a HeaderSpec denotes.
+[[nodiscard]] net::PacketSet header_set(const HeaderSpec& spec);
+
+/// Resolves `prog` against the topology. Throws SemaError for unknown
+/// devices/interfaces/ACL names or ill-formed combinations.
+[[nodiscard]] UpdateTask resolve(const Program& prog, const topo::Topology& topo,
+                                 const AclLibrary& acls = {});
+
+}  // namespace jinjing::lai

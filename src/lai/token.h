@@ -1,0 +1,39 @@
+// Tokens of the LAI intent language (Figure 2 of the paper, extended with
+// the production syntax used in §7: comma-separated interface lists, '*'
+// wildcards, '-in'/'-out' direction suffixes and 'from'/'to' header specs).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace jinjing::lai {
+
+enum class TokenKind : std::uint8_t {
+  // keywords
+  KwScope, KwAllow, KwModify, KwTo, KwControl, KwIsolate, KwOpen, KwMaintain,
+  KwCheck, KwFix, KwGenerate, KwSrc, KwDst, KwFrom, KwAnd, KwAll, KwNil,
+  // punctuation
+  Colon,      // :
+  Comma,      // ,
+  Arrow,      // ->
+  Semicolon,  // ; (statement separator, interchangeable with newline)
+  Star,       // *
+  DirIn,      // -in
+  DirOut,     // -out
+  // literals
+  Ident,      // device / interface / ACL names, prefixes like 1.2.0.0/16
+  Newline,
+  End,
+};
+
+[[nodiscard]] std::string_view to_string(TokenKind k);
+
+struct Token {
+  TokenKind kind = TokenKind::End;
+  std::string text;   // original spelling (for Ident)
+  std::size_t line = 1;
+  std::size_t column = 1;
+};
+
+}  // namespace jinjing::lai

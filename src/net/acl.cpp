@@ -1,0 +1,119 @@
+#include "net/acl.h"
+
+#include <sstream>
+
+namespace jinjing::net {
+
+std::string_view to_string(Action a) { return a == Action::Permit ? "permit" : "deny"; }
+
+bool Match::matches(const Packet& p) const {
+  return src.contains(p.sip) && dst.contains(p.dip) && sport.contains(p.sport) &&
+         dport.contains(p.dport) && proto.contains(p.proto);
+}
+
+bool Match::is_any() const {
+  return src.is_any() && dst.is_any() && sport.is_any() && dport.is_any() && proto.is_any();
+}
+
+HyperCube Match::cube() const {
+  HyperCube c;
+  c.set_interval(Field::SrcIp, src.interval());
+  c.set_interval(Field::DstIp, dst.interval());
+  c.set_interval(Field::SrcPort, sport.interval());
+  c.set_interval(Field::DstPort, dport.interval());
+  c.set_interval(Field::Proto, proto.interval());
+  return c;
+}
+
+bool Match::overlaps(const Match& other) const { return cube().overlaps(other.cube()); }
+
+std::string to_string(const Match& m) {
+  if (m.is_any()) return "all";
+  std::string out;
+  const auto append = [&out](const std::string& part) {
+    if (!out.empty()) out += " ";
+    out += part;
+  };
+  if (!m.src.is_any()) append("src " + to_string(m.src));
+  if (!m.dst.is_any()) append("dst " + to_string(m.dst));
+  if (!m.sport.is_any()) append("sport " + to_string(m.sport));
+  if (!m.dport.is_any()) append("dport " + to_string(m.dport));
+  if (!m.proto.is_any()) append("proto " + to_string(m.proto));
+  return out;
+}
+
+std::string to_string(const AclRule& r) {
+  return std::string(to_string(r.action)) + " " + to_string(r.match);
+}
+
+AclRule parse_rule(std::string_view text) {
+  std::istringstream in{std::string(text)};
+  std::string word;
+  if (!(in >> word)) throw ParseError("empty ACL rule");
+
+  AclRule rule;
+  if (word == "permit") {
+    rule.action = Action::Permit;
+  } else if (word == "deny") {
+    rule.action = Action::Deny;
+  } else {
+    throw ParseError("ACL rule must start with permit/deny: '" + std::string(text) + "'");
+  }
+
+  while (in >> word) {
+    if (word == "all" || word == "any") continue;
+    std::string value;
+    if (!(in >> value)) throw ParseError("missing value after '" + word + "' in ACL rule");
+    if (word == "src") {
+      rule.match.src = parse_prefix(value);
+    } else if (word == "dst") {
+      rule.match.dst = parse_prefix(value);
+    } else if (word == "sport") {
+      rule.match.sport = parse_port_range(value);
+    } else if (word == "dport") {
+      rule.match.dport = parse_port_range(value);
+    } else if (word == "proto") {
+      rule.match.proto = parse_proto(value);
+    } else {
+      throw ParseError("unknown ACL match keyword: '" + word + "'");
+    }
+  }
+  return rule;
+}
+
+Acl Acl::parse(const std::vector<std::string>& rule_texts, Action default_action) {
+  std::vector<AclRule> rules;
+  rules.reserve(rule_texts.size());
+  for (const auto& text : rule_texts) rules.push_back(parse_rule(text));
+  return Acl{std::move(rules), default_action};
+}
+
+void Acl::prepend(const std::vector<AclRule>& rules) {
+  rules_.insert(rules_.begin(), rules.begin(), rules.end());
+}
+
+Action Acl::evaluate(const Packet& p) const {
+  for (const auto& rule : rules_) {
+    if (rule.match.matches(p)) return rule.action;
+  }
+  return default_action_;
+}
+
+std::optional<std::size_t> Acl::first_match(const Packet& p) const {
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    if (rules_[i].match.matches(p)) return i;
+  }
+  return std::nullopt;
+}
+
+std::string to_string(const Acl& acl) {
+  std::string out;
+  for (const auto& rule : acl.rules()) {
+    out += to_string(rule);
+    out += "\n";
+  }
+  out += std::string(to_string(acl.default_action())) + " all (default)\n";
+  return out;
+}
+
+}  // namespace jinjing::net

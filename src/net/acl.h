@@ -1,0 +1,121 @@
+// Access Control Lists: ordered permit/deny rules with first-match-wins
+// semantics, as described in §2.1 of the paper.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/hypercube.h"
+#include "net/ip.h"
+#include "net/packet.h"
+
+namespace jinjing::net {
+
+enum class Action : std::uint8_t { Permit, Deny };
+
+[[nodiscard]] constexpr Action negate(Action a) {
+  return a == Action::Permit ? Action::Deny : Action::Permit;
+}
+
+[[nodiscard]] std::string_view to_string(Action a);
+
+/// The 5-tuple match of an ACL rule. Each field defaults to "any".
+struct Match {
+  Prefix src;
+  Prefix dst;
+  PortRange sport;
+  PortRange dport;
+  ProtoMatch proto;
+
+  [[nodiscard]] static Match any() { return {}; }
+  [[nodiscard]] static Match dst_prefix(const Prefix& p) {
+    Match m;
+    m.dst = p;
+    return m;
+  }
+  [[nodiscard]] static Match src_prefix(const Prefix& p) {
+    Match m;
+    m.src = p;
+    return m;
+  }
+
+  [[nodiscard]] bool matches(const Packet& p) const;
+  [[nodiscard]] bool is_any() const;
+
+  /// The hypercube of packets this match denotes (m_k in the paper).
+  [[nodiscard]] HyperCube cube() const;
+
+  /// m_k ∧ m_k' satisfiable — Definition 4.2's overlap test.
+  [[nodiscard]] bool overlaps(const Match& other) const;
+
+  friend bool operator==(const Match&, const Match&) = default;
+};
+
+[[nodiscard]] std::string to_string(const Match& m);
+
+/// One ACL rule: action + match.
+struct AclRule {
+  Action action = Action::Permit;
+  Match match;
+
+  [[nodiscard]] static AclRule permit(const Match& m) { return {Action::Permit, m}; }
+  [[nodiscard]] static AclRule deny(const Match& m) { return {Action::Deny, m}; }
+  [[nodiscard]] static AclRule permit_all() { return {Action::Permit, Match::any()}; }
+  [[nodiscard]] static AclRule deny_all() { return {Action::Deny, Match::any()}; }
+
+  friend bool operator==(const AclRule&, const AclRule&) = default;
+};
+
+[[nodiscard]] std::string to_string(const AclRule& r);
+
+/// Parses a rule like "deny dst 1.0.0.0/8", "permit src 10.0.0.0/24 dst
+/// 1.2.0.0/16 dport 80 proto tcp", or "permit all". Throws ParseError.
+[[nodiscard]] AclRule parse_rule(std::string_view text);
+
+/// An ACL: an ordered rule list plus a default action for packets that fall
+/// off the end. The paper's examples use an explicit trailing "permit all";
+/// both styles evaluate identically here.
+class Acl {
+ public:
+  Acl() = default;
+  explicit Acl(std::vector<AclRule> rules, Action default_action = Action::Permit)
+      : rules_(std::move(rules)), default_action_(default_action) {}
+
+  /// The empty "permit everything" ACL — what an unconfigured interface does.
+  [[nodiscard]] static Acl permit_all() { return Acl{}; }
+
+  /// Builds an ACL by parsing one rule per line/element.
+  [[nodiscard]] static Acl parse(const std::vector<std::string>& rule_texts,
+                                 Action default_action = Action::Permit);
+
+  [[nodiscard]] const std::vector<AclRule>& rules() const { return rules_; }
+  [[nodiscard]] Action default_action() const { return default_action_; }
+  [[nodiscard]] bool empty() const { return rules_.empty(); }
+  [[nodiscard]] std::size_t size() const { return rules_.size(); }
+
+  void push_back(AclRule r) { rules_.push_back(r); }
+
+  /// Inserts rules at the top (highest priority) — how fixing plans land.
+  void prepend(const std::vector<AclRule>& rules);
+
+  /// First-match evaluation: the decision model f_ξ(h) of §3.3.
+  [[nodiscard]] Action evaluate(const Packet& p) const;
+  [[nodiscard]] bool permits(const Packet& p) const { return evaluate(p) == Action::Permit; }
+
+  /// Index of the first rule matching p, or nullopt if only the default
+  /// applies. Used by the §5.4 sequence encoding.
+  [[nodiscard]] std::optional<std::size_t> first_match(const Packet& p) const;
+
+  friend bool operator==(const Acl&, const Acl&) = default;
+
+ private:
+  std::vector<AclRule> rules_;
+  Action default_action_ = Action::Permit;
+};
+
+[[nodiscard]] std::string to_string(const Acl& acl);
+
+}  // namespace jinjing::net

@@ -1,0 +1,105 @@
+#include "net/acl_algebra.h"
+
+#include <bit>
+
+namespace jinjing::net {
+namespace {
+
+/// Greedy cover of an address interval by CIDR prefixes.
+std::vector<Prefix> prefixes_for_interval(const Interval& iv) {
+  std::vector<Prefix> out;
+  std::uint64_t lo = iv.lo;
+  while (lo <= iv.hi) {
+    // Largest power-of-two block aligned at lo that stays within [lo, hi].
+    unsigned max_align = lo == 0 ? 32 : static_cast<unsigned>(std::countr_zero(lo));
+    if (max_align > 32) max_align = 32;
+    std::uint64_t span = iv.hi - lo + 1;
+    unsigned block = 0;
+    while (block < max_align && (std::uint64_t{1} << (block + 1)) <= span) ++block;
+    if ((std::uint64_t{1} << block) > span) {
+      // Defensive: cannot happen, a /32 block always fits.
+      break;
+    }
+    out.emplace_back(Ipv4{static_cast<std::uint32_t>(lo)}, static_cast<std::uint8_t>(32 - block));
+    lo += std::uint64_t{1} << block;
+    if (lo == 0) break;  // wrapped past 2^32 - 1
+  }
+  return out;
+}
+
+PortRange port_range_for(const Interval& iv) {
+  return PortRange{static_cast<std::uint16_t>(iv.lo), static_cast<std::uint16_t>(iv.hi)};
+}
+
+}  // namespace
+
+PacketSet permitted_set(const Acl& acl) {
+  PacketSet permitted;
+  PacketSet remaining = PacketSet::all();
+  for (const auto& rule : acl.rules()) {
+    if (remaining.is_empty()) break;
+    const PacketSet matched = remaining & PacketSet{rule.match.cube()};
+    if (rule.action == Action::Permit) permitted = permitted | matched;
+    remaining = remaining - matched;
+  }
+  if (acl.default_action() == Action::Permit) permitted = permitted | remaining;
+  return permitted.compact();
+}
+
+PacketSet effective_match_set(const Acl& acl, std::size_t index) {
+  PacketSet remaining = PacketSet::all();
+  for (std::size_t i = 0; i < index && i < acl.rules().size(); ++i) {
+    remaining = remaining - PacketSet{acl.rules()[i].match.cube()};
+  }
+  if (index >= acl.rules().size()) return remaining;  // the default rule
+  return remaining & PacketSet{acl.rules()[index].match.cube()};
+}
+
+bool equivalent(const Acl& a, const Acl& b) { return permitted_set(a).equals(permitted_set(b)); }
+
+bool equivalent_on(const Acl& a, const Acl& b, const PacketSet& universe) {
+  return (permitted_set(a) & universe).equals(permitted_set(b) & universe);
+}
+
+std::vector<Match> matches_for_cube(const HyperCube& cube) {
+  std::vector<Match> out;
+  const auto src_prefixes = prefixes_for_interval(cube.interval(Field::SrcIp));
+  const auto dst_prefixes = prefixes_for_interval(cube.interval(Field::DstIp));
+  const Interval proto_iv = cube.interval(Field::Proto);
+
+  std::vector<ProtoMatch> protos;
+  if (proto_iv == Interval::full(8)) {
+    protos.push_back(ProtoMatch::any());
+  } else {
+    for (std::uint64_t p = proto_iv.lo; p <= proto_iv.hi; ++p) {
+      protos.push_back(ProtoMatch{static_cast<std::uint8_t>(p)});
+    }
+  }
+
+  for (const auto& src : src_prefixes) {
+    for (const auto& dst : dst_prefixes) {
+      for (const auto& proto : protos) {
+        Match m;
+        m.src = src;
+        m.dst = dst;
+        m.sport = port_range_for(cube.interval(Field::SrcPort));
+        m.dport = port_range_for(cube.interval(Field::DstPort));
+        m.proto = proto;
+        out.push_back(m);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<AclRule> rules_for_set(const PacketSet& set, Action action) {
+  std::vector<AclRule> out;
+  for (const auto& cube : set.cubes()) {
+    for (const auto& match : matches_for_cube(cube)) {
+      out.push_back(AclRule{action, match});
+    }
+  }
+  return out;
+}
+
+}  // namespace jinjing::net

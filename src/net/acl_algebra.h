@@ -1,0 +1,37 @@
+// Set-based ACL algebra: compiling an ACL's decision model into an exact
+// permitted PacketSet, plus exact equivalence and rule-shape helpers.
+//
+// This is the header-space dual of the SMT decision-model encoding; the two
+// are cross-validated in tests.
+#pragma once
+
+#include <vector>
+
+#include "net/acl.h"
+#include "net/packet_set.h"
+
+namespace jinjing::net {
+
+/// The exact set of packets the ACL permits (first-match semantics).
+[[nodiscard]] PacketSet permitted_set(const Acl& acl);
+
+/// The set of packets matched by rule `index` *after* first-match shadowing
+/// by earlier rules — i.e. the packets whose decision this rule determines.
+[[nodiscard]] PacketSet effective_match_set(const Acl& acl, std::size_t index);
+
+/// Decision-model equivalence: both ACLs permit exactly the same packets.
+[[nodiscard]] bool equivalent(const Acl& a, const Acl& b);
+
+/// Decision-model equivalence restricted to a universe of packets.
+[[nodiscard]] bool equivalent_on(const Acl& a, const Acl& b, const PacketSet& universe);
+
+/// Expresses a packet set as ACL rules with the given action, one per cube.
+/// Cubes whose intervals are not prefix/range shaped are split into
+/// prefix-aligned rules, so the output is always well-formed ACL syntax.
+[[nodiscard]] std::vector<AclRule> rules_for_set(const PacketSet& set, Action action);
+
+/// Converts one hypercube into match structs (possibly several, because an
+/// arbitrary IP interval may need multiple prefixes to cover).
+[[nodiscard]] std::vector<Match> matches_for_cube(const HyperCube& cube);
+
+}  // namespace jinjing::net

@@ -1,0 +1,114 @@
+#include "net/hypercube.h"
+
+namespace jinjing::net {
+
+HyperCube::HyperCube() {
+  for (const Field f : kAllFields) {
+    ivs_[static_cast<std::size_t>(f)] = Interval::full(field_bits(f));
+  }
+}
+
+HyperCube HyperCube::point(const Packet& p) {
+  HyperCube c;
+  for (const Field f : kAllFields) c.set_interval(f, Interval::point(p.field(f)));
+  return c;
+}
+
+bool HyperCube::contains(const Packet& p) const {
+  for (const Field f : kAllFields) {
+    if (!interval(f).contains(p.field(f))) return false;
+  }
+  return true;
+}
+
+bool HyperCube::contains(const HyperCube& other) const {
+  for (std::size_t i = 0; i < kNumFields; ++i) {
+    if (!ivs_[i].contains(other.ivs_[i])) return false;
+  }
+  return true;
+}
+
+bool HyperCube::overlaps(const HyperCube& other) const {
+  for (std::size_t i = 0; i < kNumFields; ++i) {
+    if (!ivs_[i].overlaps(other.ivs_[i])) return false;
+  }
+  return true;
+}
+
+Volume HyperCube::volume() const {
+  Volume v = 1;
+  for (const auto& iv : ivs_) v *= iv.size();
+  return v;
+}
+
+Packet HyperCube::min_packet() const {
+  Packet p;
+  for (const Field f : kAllFields) p.set_field(f, interval(f).lo);
+  return p;
+}
+
+std::optional<HyperCube> intersect(const HyperCube& a, const HyperCube& b) {
+  std::array<Interval, kNumFields> ivs;
+  for (const Field f : kAllFields) {
+    const auto iv = intersect(a.interval(f), b.interval(f));
+    if (!iv) return std::nullopt;
+    ivs[static_cast<std::size_t>(f)] = *iv;
+  }
+  return HyperCube{ivs};
+}
+
+std::vector<HyperCube> subtract(const HyperCube& a, const HyperCube& b) {
+  if (!a.overlaps(b)) return {a};
+
+  // Carve off the parts of `a` outside `b`, one dimension at a time. The
+  // remainder shrinks toward a ∩ b and is dropped at the end.
+  std::vector<HyperCube> pieces;
+  HyperCube rest = a;
+  for (const Field f : kAllFields) {
+    const auto diff = subtract(rest.interval(f), b.interval(f));
+    if (diff.below) {
+      HyperCube piece = rest;
+      piece.set_interval(f, *diff.below);
+      pieces.push_back(piece);
+    }
+    if (diff.above) {
+      HyperCube piece = rest;
+      piece.set_interval(f, *diff.above);
+      pieces.push_back(piece);
+    }
+    const auto middle = intersect(rest.interval(f), b.interval(f));
+    if (!middle) return pieces;  // defensive: cannot happen since a overlaps b
+    rest.set_interval(f, *middle);
+  }
+  return pieces;
+}
+
+std::string to_string(const HyperCube& c) {
+  std::string out = "{";
+  bool first = true;
+  for (const Field f : kAllFields) {
+    const Interval full = Interval::full(field_bits(f));
+    if (c.interval(f) == full) continue;
+    if (!first) out += ", ";
+    first = false;
+    out += std::string(field_name(f)) + "=" + to_string(c.interval(f));
+  }
+  if (first) out += "*";
+  out += "}";
+  return out;
+}
+
+std::string to_string(const Packet& p) {
+  return "(" + to_string(p.sip) + " -> " + to_string(p.dip) + ", sport=" + std::to_string(p.sport) +
+         ", dport=" + std::to_string(p.dport) + ", proto=" + std::to_string(p.proto) + ")";
+}
+
+Packet packet_to(Ipv4 dst) {
+  Packet p;
+  p.dip = dst;
+  return p;
+}
+
+Packet packet_to(std::string_view dst_ip) { return packet_to(parse_ipv4(dst_ip)); }
+
+}  // namespace jinjing::net

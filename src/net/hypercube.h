@@ -1,0 +1,62 @@
+// Five-dimensional hyperrectangles over the packet-header space.
+//
+// Every ACL rule match (prefixes + port ranges + proto) denotes a hypercube;
+// unions of hypercubes (PacketSet) are closed under the boolean operations
+// the verification algorithms need.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/interval.h"
+#include "net/packet.h"
+
+namespace jinjing::net {
+
+/// Unsigned 128-bit counter for header-space volumes (the full space has
+/// 2^104 points, which overflows 64 bits).
+using Volume = unsigned __int128;
+
+/// An axis-aligned box: one closed interval per header field. Never empty.
+class HyperCube {
+ public:
+  /// Constructs the full header space.
+  HyperCube();
+
+  explicit HyperCube(std::array<Interval, kNumFields> ivs) : ivs_(ivs) {}
+
+  /// The cube containing exactly one packet.
+  [[nodiscard]] static HyperCube point(const Packet& p);
+
+  [[nodiscard]] const Interval& interval(Field f) const {
+    return ivs_[static_cast<std::size_t>(f)];
+  }
+  void set_interval(Field f, Interval iv) { ivs_[static_cast<std::size_t>(f)] = iv; }
+
+  [[nodiscard]] bool contains(const Packet& p) const;
+  [[nodiscard]] bool contains(const HyperCube& other) const;
+  [[nodiscard]] bool overlaps(const HyperCube& other) const;
+
+  [[nodiscard]] Volume volume() const;
+
+  /// The lexicographically-smallest packet in the cube.
+  [[nodiscard]] Packet min_packet() const;
+
+  friend bool operator==(const HyperCube&, const HyperCube&) = default;
+
+ private:
+  std::array<Interval, kNumFields> ivs_;
+};
+
+/// Intersection, or nullopt when the cubes are disjoint.
+[[nodiscard]] std::optional<HyperCube> intersect(const HyperCube& a, const HyperCube& b);
+
+/// a \ b as a list of pairwise-disjoint cubes (at most 2 * kNumFields).
+[[nodiscard]] std::vector<HyperCube> subtract(const HyperCube& a, const HyperCube& b);
+
+[[nodiscard]] std::string to_string(const HyperCube& c);
+
+}  // namespace jinjing::net

@@ -1,0 +1,77 @@
+// Closed integer intervals over unsigned 64-bit values.
+//
+// Intervals are the one-dimensional building block of the exact header-space
+// engine: every matchable header field (IPv4 address under a prefix, port
+// under a range, protocol number) denotes a closed interval [lo, hi].
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace jinjing::net {
+
+/// A closed interval [lo, hi] of unsigned values. Invariant: lo <= hi.
+/// Empty intervals are represented by std::optional<Interval> == nullopt
+/// at API boundaries; an Interval object itself is always non-empty.
+struct Interval {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  constexpr Interval() = default;
+  constexpr Interval(std::uint64_t lo_, std::uint64_t hi_) : lo(lo_), hi(hi_) {}
+
+  /// The single-point interval [v, v].
+  [[nodiscard]] static constexpr Interval point(std::uint64_t v) { return {v, v}; }
+
+  /// The full domain of a field that is `bits` wide: [0, 2^bits - 1].
+  [[nodiscard]] static constexpr Interval full(unsigned bits) {
+    return {0, bits >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << bits) - 1};
+  }
+
+  [[nodiscard]] constexpr bool contains(std::uint64_t v) const { return lo <= v && v <= hi; }
+
+  [[nodiscard]] constexpr bool contains(const Interval& other) const {
+    return lo <= other.lo && other.hi <= hi;
+  }
+
+  [[nodiscard]] constexpr bool overlaps(const Interval& other) const {
+    return lo <= other.hi && other.lo <= hi;
+  }
+
+  /// Number of values in the interval. Saturates only for the full 64-bit
+  /// domain, which none of our (<= 32-bit) fields reach.
+  [[nodiscard]] constexpr std::uint64_t size() const { return hi - lo + 1; }
+
+  friend constexpr bool operator==(const Interval&, const Interval&) = default;
+};
+
+/// Intersection of two intervals, or nullopt when disjoint.
+[[nodiscard]] constexpr std::optional<Interval> intersect(const Interval& a, const Interval& b) {
+  const std::uint64_t lo = std::max(a.lo, b.lo);
+  const std::uint64_t hi = std::min(a.hi, b.hi);
+  if (lo > hi) return std::nullopt;
+  return Interval{lo, hi};
+}
+
+/// The (up to two) pieces of `a` not covered by `b`.
+struct IntervalDifference {
+  std::optional<Interval> below;  // part of a strictly below b
+  std::optional<Interval> above;  // part of a strictly above b
+};
+
+[[nodiscard]] constexpr IntervalDifference subtract(const Interval& a, const Interval& b) {
+  IntervalDifference out;
+  if (!a.overlaps(b)) {
+    out.below = a;
+    return out;
+  }
+  if (a.lo < b.lo) out.below = Interval{a.lo, b.lo - 1};
+  if (a.hi > b.hi) out.above = Interval{b.hi + 1, a.hi};
+  return out;
+}
+
+[[nodiscard]] std::string to_string(const Interval& iv);
+
+}  // namespace jinjing::net

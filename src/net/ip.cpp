@@ -1,0 +1,118 @@
+#include "net/ip.h"
+
+#include <charconv>
+
+namespace jinjing::net {
+namespace {
+
+std::uint64_t parse_uint(std::string_view text, std::uint64_t max, std::string_view what) {
+  std::uint64_t value = 0;
+  const auto* begin = text.data();
+  const auto* end = begin + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end || value > max) {
+    throw ParseError("invalid " + std::string(what) + ": '" + std::string(text) + "'");
+  }
+  return value;
+}
+
+/// Mask with the top `len` bits set.
+constexpr std::uint32_t prefix_mask(std::uint8_t len) {
+  return len == 0 ? 0 : ~std::uint32_t{0} << (32 - len);
+}
+
+}  // namespace
+
+std::string to_string(const Interval& iv) {
+  return "[" + std::to_string(iv.lo) + ", " + std::to_string(iv.hi) + "]";
+}
+
+Ipv4 parse_ipv4(std::string_view text) {
+  std::uint32_t value = 0;
+  std::size_t start = 0;
+  for (int octet = 0; octet < 4; ++octet) {
+    const std::size_t dot = (octet < 3) ? text.find('.', start) : text.size();
+    if (dot == std::string_view::npos) throw ParseError("invalid IPv4: '" + std::string(text) + "'");
+    const auto part = text.substr(start, dot - start);
+    value = (value << 8) | static_cast<std::uint32_t>(parse_uint(part, 255, "IPv4 octet"));
+    start = dot + 1;
+  }
+  return Ipv4{value};
+}
+
+std::string to_string(const Ipv4& ip) {
+  return std::to_string((ip.value >> 24) & 0xFF) + "." + std::to_string((ip.value >> 16) & 0xFF) +
+         "." + std::to_string((ip.value >> 8) & 0xFF) + "." + std::to_string(ip.value & 0xFF);
+}
+
+Prefix::Prefix(Ipv4 a, std::uint8_t l) : addr(a.value & prefix_mask(l)), len(l) {
+  if (l > 32) throw ParseError("prefix length out of range: " + std::to_string(l));
+}
+
+bool Prefix::contains(Ipv4 ip) const { return (ip.value & prefix_mask(len)) == addr.value; }
+
+bool Prefix::contains(const Prefix& other) const {
+  return len <= other.len && contains(other.addr);
+}
+
+bool Prefix::overlaps(const Prefix& other) const {
+  return contains(other) || other.contains(*this);
+}
+
+Interval Prefix::interval() const {
+  const std::uint32_t mask = prefix_mask(len);
+  return {addr.value, addr.value | ~mask};
+}
+
+Prefix parse_prefix(std::string_view text) {
+  const std::size_t slash = text.find('/');
+  if (slash == std::string_view::npos) return Prefix::host(parse_ipv4(text));
+  const Ipv4 addr = parse_ipv4(text.substr(0, slash));
+  const auto len = static_cast<std::uint8_t>(parse_uint(text.substr(slash + 1), 32, "prefix length"));
+  return Prefix{addr, len};
+}
+
+std::string to_string(const Prefix& p) {
+  return to_string(p.addr) + "/" + std::to_string(p.len);
+}
+
+PortRange::PortRange(std::uint16_t l, std::uint16_t h) : lo(l), hi(h) {
+  if (l > h) throw ParseError("inverted port range");
+}
+
+PortRange parse_port_range(std::string_view text) {
+  const std::size_t dash = text.find('-');
+  if (dash == std::string_view::npos) {
+    const auto p = static_cast<std::uint16_t>(parse_uint(text, 0xFFFF, "port"));
+    return PortRange::single(p);
+  }
+  const auto lo = static_cast<std::uint16_t>(parse_uint(text.substr(0, dash), 0xFFFF, "port"));
+  const auto hi = static_cast<std::uint16_t>(parse_uint(text.substr(dash + 1), 0xFFFF, "port"));
+  return PortRange{lo, hi};
+}
+
+std::string to_string(const PortRange& r) {
+  if (r.is_any()) return "any";
+  if (r.lo == r.hi) return std::to_string(r.lo);
+  return std::to_string(r.lo) + "-" + std::to_string(r.hi);
+}
+
+ProtoMatch parse_proto(std::string_view text) {
+  if (text == "any" || text == "ip") return ProtoMatch::any();
+  if (text == "tcp") return ProtoMatch::tcp();
+  if (text == "udp") return ProtoMatch::udp();
+  if (text == "icmp") return ProtoMatch{1};
+  return ProtoMatch{static_cast<std::uint8_t>(parse_uint(text, 255, "protocol"))};
+}
+
+std::string to_string(const ProtoMatch& m) {
+  if (m.is_any()) return "any";
+  switch (*m.proto) {
+    case 1: return "icmp";
+    case 6: return "tcp";
+    case 17: return "udp";
+    default: return std::to_string(*m.proto);
+  }
+}
+
+}  // namespace jinjing::net

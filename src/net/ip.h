@@ -1,0 +1,117 @@
+// IPv4 addresses, prefixes, port ranges and protocol matches.
+//
+// These are the operator-facing vocabulary of ACL rules: a rule matches a
+// packet by (src prefix, dst prefix, src port range, dst port range, proto).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "net/interval.h"
+
+namespace jinjing::net {
+
+/// Error thrown by all textual parsers in this library.
+class ParseError : public std::runtime_error {
+ public:
+  explicit ParseError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// An IPv4 address as a host-order 32-bit integer.
+struct Ipv4 {
+  std::uint32_t value = 0;
+
+  constexpr Ipv4() = default;
+  explicit constexpr Ipv4(std::uint32_t v) : value(v) {}
+  constexpr Ipv4(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : value((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) | (std::uint32_t{c} << 8) | d) {}
+
+  friend constexpr bool operator==(const Ipv4&, const Ipv4&) = default;
+};
+
+/// Parses dotted-quad notation, e.g. "10.0.0.1". Throws ParseError.
+[[nodiscard]] Ipv4 parse_ipv4(std::string_view text);
+[[nodiscard]] std::string to_string(const Ipv4& ip);
+
+/// An IPv4 prefix `addr/len`. The address is stored canonically with all
+/// host bits cleared. len == 0 matches everything.
+struct Prefix {
+  Ipv4 addr;
+  std::uint8_t len = 0;
+
+  constexpr Prefix() = default;
+  Prefix(Ipv4 a, std::uint8_t l);
+
+  /// The prefix 0.0.0.0/0 matching all addresses.
+  [[nodiscard]] static constexpr Prefix any() { return {}; }
+
+  /// The /32 prefix containing exactly `ip`.
+  [[nodiscard]] static Prefix host(Ipv4 ip) { return Prefix{ip, 32}; }
+
+  /// The prefix of length `len` containing `ip` (host bits cleared).
+  [[nodiscard]] static Prefix containing(Ipv4 ip, std::uint8_t len) { return Prefix{ip, len}; }
+
+  [[nodiscard]] bool contains(Ipv4 ip) const;
+  [[nodiscard]] bool contains(const Prefix& other) const;
+  [[nodiscard]] bool overlaps(const Prefix& other) const;
+
+  /// The contiguous address interval this prefix denotes.
+  [[nodiscard]] Interval interval() const;
+
+  [[nodiscard]] bool is_any() const { return len == 0; }
+
+  friend constexpr bool operator==(const Prefix&, const Prefix&) = default;
+};
+
+/// Parses "a.b.c.d/len"; a bare address parses as a /32. Throws ParseError.
+[[nodiscard]] Prefix parse_prefix(std::string_view text);
+[[nodiscard]] std::string to_string(const Prefix& p);
+
+/// An inclusive L4 port range. Default = all ports.
+struct PortRange {
+  std::uint16_t lo = 0;
+  std::uint16_t hi = 0xFFFF;
+
+  constexpr PortRange() = default;
+  PortRange(std::uint16_t l, std::uint16_t h);
+
+  [[nodiscard]] static constexpr PortRange any() { return {}; }
+  [[nodiscard]] static PortRange single(std::uint16_t p) { return PortRange{p, p}; }
+
+  [[nodiscard]] constexpr bool contains(std::uint16_t p) const { return lo <= p && p <= hi; }
+  [[nodiscard]] bool is_any() const { return lo == 0 && hi == 0xFFFF; }
+  [[nodiscard]] Interval interval() const { return {lo, hi}; }
+
+  friend constexpr bool operator==(const PortRange&, const PortRange&) = default;
+};
+
+[[nodiscard]] PortRange parse_port_range(std::string_view text);
+[[nodiscard]] std::string to_string(const PortRange& r);
+
+/// IP protocol match: either a specific protocol number or any.
+struct ProtoMatch {
+  std::optional<std::uint8_t> proto;  // nullopt = any
+
+  constexpr ProtoMatch() = default;
+  explicit constexpr ProtoMatch(std::uint8_t p) : proto(p) {}
+
+  [[nodiscard]] static constexpr ProtoMatch any() { return {}; }
+  [[nodiscard]] static constexpr ProtoMatch tcp() { return ProtoMatch{6}; }
+  [[nodiscard]] static constexpr ProtoMatch udp() { return ProtoMatch{17}; }
+
+  [[nodiscard]] constexpr bool contains(std::uint8_t p) const { return !proto || *proto == p; }
+  [[nodiscard]] bool is_any() const { return !proto.has_value(); }
+  [[nodiscard]] Interval interval() const {
+    return proto ? Interval::point(*proto) : Interval::full(8);
+  }
+
+  friend constexpr bool operator==(const ProtoMatch&, const ProtoMatch&) = default;
+};
+
+[[nodiscard]] ProtoMatch parse_proto(std::string_view text);
+[[nodiscard]] std::string to_string(const ProtoMatch& m);
+
+}  // namespace jinjing::net

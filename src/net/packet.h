@@ -1,0 +1,76 @@
+// The packet-header model: a 5-tuple (sip, dip, sport, dport, proto).
+//
+// The paper models a packet as a 104-bit boolean vector; we keep the fields
+// typed and expose the per-field bit widths that the SMT encoder and the
+// header-space engine share.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "net/ip.h"
+
+namespace jinjing::net {
+
+/// Index of a header field inside the 5-tuple. The order is fixed and shared
+/// by HyperCube, the SMT encoding, and neighborhood enlargement.
+enum class Field : std::uint8_t { SrcIp = 0, DstIp = 1, SrcPort = 2, DstPort = 3, Proto = 4 };
+
+inline constexpr std::size_t kNumFields = 5;
+
+/// Bit width of each field, indexed by Field.
+inline constexpr std::array<unsigned, kNumFields> kFieldBits = {32, 32, 16, 16, 8};
+
+[[nodiscard]] constexpr unsigned field_bits(Field f) {
+  return kFieldBits[static_cast<std::size_t>(f)];
+}
+
+[[nodiscard]] constexpr std::string_view field_name(Field f) {
+  constexpr std::array<std::string_view, kNumFields> names = {"sip", "dip", "sport", "dport",
+                                                              "proto"};
+  return names[static_cast<std::size_t>(f)];
+}
+
+inline constexpr std::array<Field, kNumFields> kAllFields = {
+    Field::SrcIp, Field::DstIp, Field::SrcPort, Field::DstPort, Field::Proto};
+
+/// A concrete packet header.
+struct Packet {
+  Ipv4 sip;
+  Ipv4 dip;
+  std::uint16_t sport = 0;
+  std::uint16_t dport = 0;
+  std::uint8_t proto = 6;  // TCP by default
+
+  [[nodiscard]] std::uint64_t field(Field f) const {
+    switch (f) {
+      case Field::SrcIp: return sip.value;
+      case Field::DstIp: return dip.value;
+      case Field::SrcPort: return sport;
+      case Field::DstPort: return dport;
+      case Field::Proto: return proto;
+    }
+    return 0;  // unreachable
+  }
+
+  void set_field(Field f, std::uint64_t v) {
+    switch (f) {
+      case Field::SrcIp: sip.value = static_cast<std::uint32_t>(v); break;
+      case Field::DstIp: dip.value = static_cast<std::uint32_t>(v); break;
+      case Field::SrcPort: sport = static_cast<std::uint16_t>(v); break;
+      case Field::DstPort: dport = static_cast<std::uint16_t>(v); break;
+      case Field::Proto: proto = static_cast<std::uint8_t>(v); break;
+    }
+  }
+
+  friend constexpr bool operator==(const Packet&, const Packet&) = default;
+};
+
+[[nodiscard]] std::string to_string(const Packet& p);
+
+/// Convenience constructor: a TCP packet to `dst` (other fields zero).
+[[nodiscard]] Packet packet_to(Ipv4 dst);
+[[nodiscard]] Packet packet_to(std::string_view dst_ip);
+
+}  // namespace jinjing::net

@@ -1,0 +1,130 @@
+#include "net/packet_set.h"
+
+#include <stdexcept>
+
+namespace jinjing::net {
+
+bool PacketSet::contains(const Packet& p) const {
+  for (const auto& c : cubes_) {
+    if (c.contains(p)) return true;
+  }
+  return false;
+}
+
+bool PacketSet::contains(const PacketSet& other) const { return (other - *this).is_empty(); }
+
+Volume PacketSet::volume() const {
+  Volume v = 0;
+  for (const auto& c : cubes_) v += c.volume();
+  return v;
+}
+
+Packet PacketSet::sample() const {
+  if (cubes_.empty()) throw std::logic_error("PacketSet::sample on an empty set");
+  return cubes_.front().min_packet();
+}
+
+PacketSet operator&(const PacketSet& a, const PacketSet& b) {
+  PacketSet out;
+  for (const auto& ca : a.cubes_) {
+    for (const auto& cb : b.cubes_) {
+      if (auto c = intersect(ca, cb)) out.cubes_.push_back(*c);
+    }
+  }
+  return out;
+}
+
+PacketSet operator-(const PacketSet& a, const PacketSet& b) {
+  PacketSet out;
+  for (const auto& ca : a.cubes_) {
+    std::vector<HyperCube> pieces{ca};
+    for (const auto& cb : b.cubes_) {
+      std::vector<HyperCube> next;
+      for (const auto& piece : pieces) {
+        auto sub = subtract(piece, cb);
+        next.insert(next.end(), sub.begin(), sub.end());
+      }
+      pieces = std::move(next);
+      if (pieces.empty()) break;
+    }
+    out.cubes_.insert(out.cubes_.end(), pieces.begin(), pieces.end());
+  }
+  return out;
+}
+
+PacketSet operator|(const PacketSet& a, const PacketSet& b) {
+  // Keep cubes disjoint: add only the part of b not already covered by a.
+  PacketSet out = a;
+  PacketSet fresh = b - a;
+  out.cubes_.insert(out.cubes_.end(), fresh.cubes_.begin(), fresh.cubes_.end());
+  return out;
+}
+
+PacketSet PacketSet::complement() const { return all() - *this; }
+
+namespace {
+
+/// If a and b can merge into one cube (equal in all dimensions but one,
+/// where their intervals touch or overlap), returns the merged cube.
+std::optional<HyperCube> merge_cubes(const HyperCube& a, const HyperCube& b) {
+  std::optional<Field> differing;
+  for (const Field f : kAllFields) {
+    if (a.interval(f) == b.interval(f)) continue;
+    if (differing) return std::nullopt;  // differ in two dimensions
+    differing = f;
+  }
+  if (!differing) return std::nullopt;  // identical cubes cannot coexist (disjoint invariant)
+  const Interval& ia = a.interval(*differing);
+  const Interval& ib = b.interval(*differing);
+  const bool touching = ia.overlaps(ib) || (ia.hi != ~std::uint64_t{0} && ia.hi + 1 == ib.lo) ||
+                        (ib.hi != ~std::uint64_t{0} && ib.hi + 1 == ia.lo);
+  if (!touching) return std::nullopt;
+  HyperCube merged = a;
+  merged.set_interval(*differing, Interval{std::min(ia.lo, ib.lo), std::max(ia.hi, ib.hi)});
+  return merged;
+}
+
+}  // namespace
+
+PacketSet& PacketSet::compact() {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < cubes_.size() && !changed; ++i) {
+      for (std::size_t j = i + 1; j < cubes_.size(); ++j) {
+        if (auto merged = merge_cubes(cubes_[i], cubes_[j])) {
+          cubes_[i] = *merged;
+          cubes_.erase(cubes_.begin() + static_cast<std::ptrdiff_t>(j));
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  return *this;
+}
+
+bool PacketSet::equals(const PacketSet& other) const {
+  return (*this - other).is_empty() && (other - *this).is_empty();
+}
+
+bool PacketSet::intersects(const PacketSet& other) const {
+  for (const auto& ca : cubes_) {
+    for (const auto& cb : other.cubes_) {
+      if (ca.overlaps(cb)) return true;
+    }
+  }
+  return false;
+}
+
+std::string to_string(const PacketSet& s) {
+  if (s.is_empty()) return "{}";
+  std::string out;
+  for (std::size_t i = 0; i < s.cubes().size(); ++i) {
+    if (i > 0) out += " u ";
+    out += to_string(s.cubes()[i]);
+  }
+  return out;
+}
+
+}  // namespace jinjing::net

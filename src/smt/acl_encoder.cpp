@@ -1,0 +1,60 @@
+#include "smt/acl_encoder.h"
+
+#include <span>
+
+namespace jinjing::smt {
+
+namespace {
+
+z3::expr action_val(z3::context& ctx, net::Action a) {
+  return ctx.bool_val(a == net::Action::Permit);
+}
+
+z3::expr sequential_encode(const PacketVars& h, std::span<const net::AclRule> rules,
+                           const z3::expr& default_value) {
+  // Build the ite chain inside-out so the first rule ends up outermost.
+  z3::expr result = default_value;
+  for (auto it = rules.rbegin(); it != rules.rend(); ++it) {
+    result = z3::ite(match_expr(h, it->match), action_val(result.ctx(), it->action), result);
+  }
+  return result;
+}
+
+struct TreeNode {
+  z3::expr matched;   // any rule in this span matches h
+  z3::expr decision;  // the span's first-match decision (valid when matched)
+};
+
+TreeNode tree_encode(const PacketVars& h, std::span<const net::AclRule> rules) {
+  z3::context& ctx = h.field(net::Field::SrcIp).ctx();
+  if (rules.size() == 1) {
+    return TreeNode{match_expr(h, rules.front().match), action_val(ctx, rules.front().action)};
+  }
+  const std::size_t mid = rules.size() / 2;
+  const TreeNode top = tree_encode(h, rules.subspan(0, mid));
+  const TreeNode bottom = tree_encode(h, rules.subspan(mid));
+  return TreeNode{
+      top.matched || bottom.matched,
+      z3::ite(top.matched, top.decision, bottom.decision),
+  };
+}
+
+}  // namespace
+
+z3::expr acl_permits(const PacketVars& h, const net::Acl& acl, EncoderStrategy strategy) {
+  z3::context& ctx = h.field(net::Field::SrcIp).ctx();
+  const z3::expr default_value = action_val(ctx, acl.default_action());
+  if (acl.rules().empty()) return default_value;
+
+  switch (strategy) {
+    case EncoderStrategy::Sequential:
+      return sequential_encode(h, acl.rules(), default_value);
+    case EncoderStrategy::Tree: {
+      const TreeNode root = tree_encode(h, acl.rules());
+      return z3::ite(root.matched, root.decision, default_value);
+    }
+  }
+  return default_value;  // unreachable
+}
+
+}  // namespace jinjing::smt

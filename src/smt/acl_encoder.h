@@ -1,0 +1,27 @@
+// ACL decision-model encoding f_ξ(h) (§3.3) with the two strategies the
+// paper compares:
+//
+//  * Sequential — rules encoded by priority as a nested if-then-else chain;
+//    O(n) search depth in the solver.
+//  * Tree — the §4.1 "ACL decision model optimization": a tournament-style
+//    dependency tree. The rule list is split recursively; a half's decision
+//    applies when any of its rules matches, giving O(log n) depth:
+//        f(rules) = ite(matched(top half), f(top half), f(bottom half))
+//    with matched(·) also combined as a balanced tree.
+#pragma once
+
+#include <z3++.h>
+
+#include "net/acl.h"
+#include "smt/context.h"
+#include "smt/encode.h"
+
+namespace jinjing::smt {
+
+enum class EncoderStrategy { Sequential, Tree };
+
+/// f_ξ(h): TRUE iff the ACL permits the symbolic packet h.
+[[nodiscard]] z3::expr acl_permits(const PacketVars& h, const net::Acl& acl,
+                                   EncoderStrategy strategy = EncoderStrategy::Tree);
+
+}  // namespace jinjing::smt

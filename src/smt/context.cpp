@@ -1,0 +1,68 @@
+#include "smt/context.h"
+
+#include <chrono>
+
+namespace jinjing::smt {
+
+namespace {
+
+std::array<z3::expr, net::kNumFields> make_fields(z3::context& ctx, const std::string& prefix) {
+  return {
+      ctx.bv_const((prefix + "_sip").c_str(), net::field_bits(net::Field::SrcIp)),
+      ctx.bv_const((prefix + "_dip").c_str(), net::field_bits(net::Field::DstIp)),
+      ctx.bv_const((prefix + "_sport").c_str(), net::field_bits(net::Field::SrcPort)),
+      ctx.bv_const((prefix + "_dport").c_str(), net::field_bits(net::Field::DstPort)),
+      ctx.bv_const((prefix + "_proto").c_str(), net::field_bits(net::Field::Proto)),
+  };
+}
+
+}  // namespace
+
+PacketVars::PacketVars(z3::context& ctx, const std::string& prefix)
+    : fields_(make_fields(ctx, prefix)) {}
+
+net::Packet SmtContext::extract_packet(const z3::model& model, const PacketVars& vars) {
+  net::Packet p;
+  for (const net::Field f : net::kAllFields) {
+    const z3::expr value = model.eval(vars.field(f), /*model_completion=*/true);
+    p.set_field(f, value.get_numeral_uint64());
+  }
+  return p;
+}
+
+std::optional<net::Packet> SmtContext::solve_for_packet(z3::solver& solver,
+                                                        const PacketVars& vars) {
+  ++query_count_;
+  const auto start = std::chrono::steady_clock::now();
+  const z3::check_result result = solver.check();
+  solve_seconds_ += std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  accumulate_stats(solver.statistics());
+  if (result != z3::sat) return std::nullopt;
+  return extract_packet(solver.get_model(), vars);
+}
+
+std::optional<z3::model> SmtContext::check_optimize(z3::optimize& opt) {
+  ++query_count_;
+  const auto start = std::chrono::steady_clock::now();
+  const z3::check_result result = opt.check();
+  solve_seconds_ += std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  accumulate_stats(opt.statistics());
+  if (result != z3::sat) return std::nullopt;
+  return opt.get_model();
+}
+
+std::uint64_t SmtContext::statistic(const std::string& key) const {
+  const auto it = stat_totals_.find(key);
+  return it == stat_totals_.end() ? 0 : it->second;
+}
+
+void SmtContext::accumulate_stats(const z3::stats& stats) {
+  for (unsigned i = 0; i < stats.size(); ++i) {
+    const std::string key = stats.key(i);
+    const std::uint64_t value = stats.is_uint(i) ? stats.uint_value(i)
+                                                 : static_cast<std::uint64_t>(stats.double_value(i));
+    stat_totals_[key] += value;
+  }
+}
+
+}  // namespace jinjing::smt

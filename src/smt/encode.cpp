@@ -1,0 +1,72 @@
+#include "smt/encode.h"
+
+namespace jinjing::smt {
+
+namespace {
+
+z3::context& ctx_of(const PacketVars& h) { return h.field(net::Field::SrcIp).ctx(); }
+
+z3::expr bv_val(z3::context& ctx, std::uint64_t v, unsigned bits) {
+  return ctx.bv_val(v, bits);
+}
+
+}  // namespace
+
+z3::expr in_interval(const PacketVars& h, net::Field f, const net::Interval& iv) {
+  z3::context& ctx = ctx_of(h);
+  const unsigned bits = net::field_bits(f);
+  if (iv == net::Interval::full(bits)) return ctx.bool_val(true);
+  const z3::expr& x = h.field(f);
+  if (iv.lo == iv.hi) return x == bv_val(ctx, iv.lo, bits);
+  z3::expr result = ctx.bool_val(true);
+  if (iv.lo > 0) result = result && z3::uge(x, bv_val(ctx, iv.lo, bits));
+  result = result && z3::ule(x, bv_val(ctx, iv.hi, bits));
+  return result.simplify();
+}
+
+z3::expr in_prefix(const PacketVars& h, net::Field f, const net::Prefix& p) {
+  z3::context& ctx = ctx_of(h);
+  if (p.is_any()) return ctx.bool_val(true);
+  const unsigned bits = net::field_bits(f);
+  const std::uint32_t mask = p.len == 0 ? 0 : ~std::uint32_t{0} << (32 - p.len);
+  return (h.field(f) & bv_val(ctx, mask, bits)) == bv_val(ctx, p.addr.value, bits);
+}
+
+z3::expr match_expr(const PacketVars& h, const net::Match& m) {
+  z3::context& ctx = ctx_of(h);
+  z3::expr result = ctx.bool_val(true);
+  if (!m.src.is_any()) result = result && in_prefix(h, net::Field::SrcIp, m.src);
+  if (!m.dst.is_any()) result = result && in_prefix(h, net::Field::DstIp, m.dst);
+  if (!m.sport.is_any()) result = result && in_interval(h, net::Field::SrcPort, m.sport.interval());
+  if (!m.dport.is_any()) result = result && in_interval(h, net::Field::DstPort, m.dport.interval());
+  if (!m.proto.is_any()) result = result && in_interval(h, net::Field::Proto, m.proto.interval());
+  return result.simplify();
+}
+
+z3::expr cube_expr(const PacketVars& h, const net::HyperCube& c) {
+  z3::expr result = ctx_of(h).bool_val(true);
+  for (const net::Field f : net::kAllFields) {
+    result = result && in_interval(h, f, c.interval(f));
+  }
+  return result.simplify();
+}
+
+z3::expr set_expr(const PacketVars& h, const net::PacketSet& s) {
+  z3::context& ctx = ctx_of(h);
+  z3::expr result = ctx.bool_val(false);
+  for (const auto& cube : s.cubes()) {
+    result = result || cube_expr(h, cube);
+  }
+  return result.simplify();
+}
+
+z3::expr equals_packet(const PacketVars& h, const net::Packet& p) {
+  z3::context& ctx = ctx_of(h);
+  z3::expr result = ctx.bool_val(true);
+  for (const net::Field f : net::kAllFields) {
+    result = result && (h.field(f) == bv_val(ctx, p.field(f), net::field_bits(f)));
+  }
+  return result;
+}
+
+}  // namespace jinjing::smt

@@ -1,0 +1,31 @@
+// Encoding of matches, intervals, cubes and packet sets over a symbolic
+// packet (the m_k(h) and ψ_[h](h') functions of §4).
+#pragma once
+
+#include <z3++.h>
+
+#include "net/acl.h"
+#include "net/packet_set.h"
+#include "smt/context.h"
+
+namespace jinjing::smt {
+
+/// lo <= h.f <= hi (unsigned bitvector comparison).
+[[nodiscard]] z3::expr in_interval(const PacketVars& h, net::Field f, const net::Interval& iv);
+
+/// The prefix constraint (h.f & mask) == addr.
+[[nodiscard]] z3::expr in_prefix(const PacketVars& h, net::Field f, const net::Prefix& p);
+
+/// m_k(h): the rule-match predicate for a 5-tuple match.
+[[nodiscard]] z3::expr match_expr(const PacketVars& h, const net::Match& m);
+
+/// Membership in one hypercube.
+[[nodiscard]] z3::expr cube_expr(const PacketVars& h, const net::HyperCube& c);
+
+/// ψ_S(h): membership in a packet set (disjunction over its cubes).
+[[nodiscard]] z3::expr set_expr(const PacketVars& h, const net::PacketSet& s);
+
+/// h == p (pins the symbolic packet to a concrete one).
+[[nodiscard]] z3::expr equals_packet(const PacketVars& h, const net::Packet& p);
+
+}  // namespace jinjing::smt

@@ -1,0 +1,80 @@
+#include "topo/fec.h"
+
+namespace jinjing::topo {
+
+std::vector<net::PacketSet> refine_into_atoms(const net::PacketSet& universe,
+                                              const std::vector<net::PacketSet>& predicates) {
+  std::vector<net::PacketSet> classes;
+  if (!universe.is_empty()) classes.push_back(universe);
+  for (const auto& pred : predicates) {
+    std::vector<net::PacketSet> next;
+    next.reserve(classes.size());
+    for (const auto& cls : classes) {
+      net::PacketSet inside = cls & pred;
+      if (inside.is_empty()) {
+        next.push_back(cls);
+        continue;
+      }
+      net::PacketSet outside = cls - pred;
+      next.push_back(std::move(inside.compact()));
+      if (!outside.is_empty()) next.push_back(std::move(outside.compact()));
+    }
+    classes = std::move(next);
+  }
+  return classes;
+}
+
+std::vector<net::PacketSet> forwarding_equivalence_classes(const Topology& topo,
+                                                           const Scope& scope,
+                                                           const net::PacketSet& entering) {
+  std::vector<net::PacketSet> predicates;
+  for (const auto& edge : topo.edges()) {
+    if (scope.contains_interface(topo, edge.from) && scope.contains_interface(topo, edge.to)) {
+      predicates.push_back(edge.predicate);
+    }
+  }
+  return refine_into_atoms(entering, predicates);
+}
+
+net::PacketSet fec_region_of(const Topology& topo, const Scope& scope,
+                             const net::PacketSet& seed, const net::Packet& h) {
+  net::PacketSet region = seed;
+  for (const auto& edge : topo.edges()) {
+    if (!scope.contains_interface(topo, edge.from) || !scope.contains_interface(topo, edge.to)) {
+      continue;
+    }
+    region = edge.predicate.contains(h) ? (region & edge.predicate) : (region - edge.predicate);
+    if (region.is_empty()) break;  // defensive: h itself remains inside
+    region.compact();
+  }
+  return region;
+}
+
+std::vector<EntryClasses> per_entry_equivalence_classes(const Topology& topo, const Scope& scope,
+                                                        const net::PacketSet& entering) {
+  std::vector<EntryClasses> out;
+  for (const InterfaceId entry : entry_interfaces(topo, scope)) {
+    // Edges reachable from the entry by BFS over the in-scope graph.
+    std::vector<bool> visited(topo.interface_count(), false);
+    std::vector<InterfaceId> queue{entry};
+    visited[entry] = true;
+    std::vector<net::PacketSet> predicates;
+    while (!queue.empty()) {
+      const InterfaceId at = queue.back();
+      queue.pop_back();
+      for (const auto ei : topo.out_edges(at)) {
+        const Edge& edge = topo.edges()[ei];
+        if (!scope.contains_interface(topo, edge.to)) continue;
+        predicates.push_back(edge.predicate);
+        if (!visited[edge.to]) {
+          visited[edge.to] = true;
+          queue.push_back(edge.to);
+        }
+      }
+    }
+    out.push_back(EntryClasses{entry, refine_into_atoms(entering, predicates)});
+  }
+  return out;
+}
+
+}  // namespace jinjing::topo

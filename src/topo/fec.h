@@ -1,0 +1,48 @@
+// Forwarding equivalence classes (§4.1, Equation 2).
+//
+// Two packets are forwarding-equivalent when every forwarding predicate
+// g ∈ G_Ω treats them identically. The FECs of the traffic entering Ω are
+// the atoms of {g_{i,j}} restricted to that traffic, computed exactly by
+// successive packet-set refinement.
+#pragma once
+
+#include <vector>
+
+#include "topo/topology.h"
+
+namespace jinjing::topo {
+
+/// Splits `entering` (the traffic X_Ω from the IP management system) into
+/// forwarding equivalence classes w.r.t. all in-scope edge predicates.
+/// The result is a disjoint partition of `entering`; empty classes are
+/// dropped. Order is deterministic.
+[[nodiscard]] std::vector<net::PacketSet> forwarding_equivalence_classes(
+    const Topology& topo, const Scope& scope, const net::PacketSet& entering);
+
+/// Generic atom refinement: partitions `universe` so every predicate in
+/// `predicates` is constant on each part. Shared by FEC (forwarding
+/// predicates), AEC (ACL permitted-sets) and DEC derivation.
+[[nodiscard]] std::vector<net::PacketSet> refine_into_atoms(
+    const net::PacketSet& universe, const std::vector<net::PacketSet>& predicates);
+
+/// Per-entry forwarding classes: for each entry border interface of Ω, the
+/// entering traffic is split only by the predicates of edges *reachable
+/// from that entry*. Traffic entering at s never meets the other entries'
+/// edges, so this avoids the spurious global refinement (e.g. intra-cell
+/// source predicates fragmenting backbone classes) while checking exactly
+/// the same (class, feasible-path) combinations.
+struct EntryClasses {
+  InterfaceId entry = 0;
+  std::vector<net::PacketSet> classes;
+};
+
+[[nodiscard]] std::vector<EntryClasses> per_entry_equivalence_classes(
+    const Topology& topo, const Scope& scope, const net::PacketSet& entering);
+
+/// The part of `seed` forwarded exactly like `h` by every in-scope edge —
+/// seed ∩ [h]_FEC, computed lazily by folding the edge predicates around h
+/// instead of materializing the global FEC partition.
+[[nodiscard]] net::PacketSet fec_region_of(const Topology& topo, const Scope& scope,
+                                           const net::PacketSet& seed, const net::Packet& h);
+
+}  // namespace jinjing::topo

@@ -1,0 +1,90 @@
+#include "topo/rib.h"
+
+#include <algorithm>
+
+namespace jinjing::topo {
+
+namespace {
+
+net::PacketSet prefix_set(const net::Prefix& p) {
+  net::HyperCube cube;
+  cube.set_interval(net::Field::DstIp, p.interval());
+  return net::PacketSet{cube};
+}
+
+}  // namespace
+
+void Rib::add(const net::Prefix& prefix, InterfaceId next_hop) {
+  add(prefix, std::vector<InterfaceId>{next_hop});
+}
+
+void Rib::add(const net::Prefix& prefix, std::vector<InterfaceId> next_hops) {
+  // Merge into an existing entry for the same prefix (ECMP accretion).
+  for (auto& entry : entries_) {
+    if (entry.prefix == prefix) {
+      for (const auto hop : next_hops) {
+        if (std::find(entry.next_hops.begin(), entry.next_hops.end(), hop) ==
+            entry.next_hops.end()) {
+          entry.next_hops.push_back(hop);
+        }
+      }
+      return;
+    }
+  }
+  entries_.push_back(RibEntry{prefix, std::move(next_hops)});
+}
+
+std::vector<InterfaceId> Rib::lookup(net::Ipv4 dst) const {
+  const RibEntry* best = nullptr;
+  for (const auto& entry : entries_) {
+    if (!entry.prefix.contains(dst)) continue;
+    if (best == nullptr || entry.prefix.len > best->prefix.len) best = &entry;
+  }
+  return best == nullptr ? std::vector<InterfaceId>{} : best->next_hops;
+}
+
+net::PacketSet Rib::forwarded_to(InterfaceId iface) const {
+  net::PacketSet out;
+  for (const auto& entry : entries_) {
+    if (std::find(entry.next_hops.begin(), entry.next_hops.end(), iface) ==
+        entry.next_hops.end()) {
+      continue;
+    }
+    // LPM: this entry is effective where no longer-prefix entry covers.
+    net::PacketSet effective = prefix_set(entry.prefix);
+    for (const auto& other : entries_) {
+      if (other.prefix.len > entry.prefix.len && entry.prefix.contains(other.prefix)) {
+        effective = effective - prefix_set(other.prefix);
+        if (effective.is_empty()) break;
+      }
+    }
+    out = out | effective;
+  }
+  return out.compact();
+}
+
+net::PacketSet Rib::routable() const {
+  net::PacketSet out;
+  for (const auto& entry : entries_) out = out | prefix_set(entry.prefix);
+  return out.compact();
+}
+
+void install_rib(Topology& topo, const std::vector<InterfaceId>& ingress, const Rib& rib) {
+  // Collect the egress interfaces the RIB mentions.
+  std::vector<InterfaceId> egress;
+  for (const auto& entry : rib.entries()) {
+    for (const auto hop : entry.next_hops) {
+      if (std::find(egress.begin(), egress.end(), hop) == egress.end()) egress.push_back(hop);
+    }
+  }
+  for (const auto out : egress) {
+    const auto predicate = rib.forwarded_to(out);
+    if (predicate.is_empty()) continue;
+    for (const auto in : ingress) {
+      if (in == out) continue;
+      topo.add_edge(in, out, predicate);
+    }
+  }
+}
+
+}  // namespace jinjing::topo

@@ -1,0 +1,58 @@
+// Routing information bases: longest-prefix-match tables that compile into
+// the forwarding predicates g_{i,j} the verification algorithms consume.
+//
+// The paper's pipeline takes "routing tables" from the IP management
+// system (§4.1); a device's RIB maps destination prefixes to egress
+// interfaces (several for ECMP). LPM semantics compile exactly into packet
+// sets: an entry's effective predicate is its prefix minus every
+// longer-prefix entry, so the resulting edge predicates partition the
+// routable space per device.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "net/packet_set.h"
+#include "topo/topology.h"
+
+namespace jinjing::topo {
+
+/// One RIB entry: destination prefix -> egress interfaces (>1 = ECMP).
+struct RibEntry {
+  net::Prefix prefix;
+  std::vector<InterfaceId> next_hops;
+};
+
+/// A device's routing table. Entries may be added in any order; lookups
+/// follow longest-prefix-match with an optional default route (0.0.0.0/0
+/// is simply an ordinary entry).
+class Rib {
+ public:
+  void add(const net::Prefix& prefix, InterfaceId next_hop);
+  void add(const net::Prefix& prefix, std::vector<InterfaceId> next_hops);
+
+  [[nodiscard]] const std::vector<RibEntry>& entries() const { return entries_; }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+
+  /// LPM lookup: the egress interfaces for a destination, empty when no
+  /// entry covers it (the packet is dropped).
+  [[nodiscard]] std::vector<InterfaceId> lookup(net::Ipv4 dst) const;
+
+  /// The exact set of packets this RIB forwards to `iface`: the union over
+  /// its entries of (prefix minus all longer-prefix entries).
+  [[nodiscard]] net::PacketSet forwarded_to(InterfaceId iface) const;
+
+  /// The set of destinations with any route at all.
+  [[nodiscard]] net::PacketSet routable() const;
+
+ private:
+  std::vector<RibEntry> entries_;
+};
+
+/// Installs a device's RIB into the topology: for every ingress interface
+/// `from` of the device and every egress interface the RIB forwards to, an
+/// intra-device edge with the compiled predicate is added. `ingress` lists
+/// the device's traffic-receiving interfaces.
+void install_rib(Topology& topo, const std::vector<InterfaceId>& ingress, const Rib& rib);
+
+}  // namespace jinjing::topo

@@ -1,0 +1,188 @@
+#include "topo/topology.h"
+
+#include <algorithm>
+
+namespace jinjing::topo {
+
+DeviceId Topology::add_device(std::string name) {
+  if (device_index_.contains(name)) throw TopologyError("duplicate device name: " + name);
+  const auto id = static_cast<DeviceId>(device_names_.size());
+  device_index_.emplace(name, id);
+  device_names_.push_back(std::move(name));
+  return id;
+}
+
+InterfaceId Topology::add_interface(DeviceId device, std::string name) {
+  if (device >= device_names_.size()) throw TopologyError("unknown device id");
+  const auto id = static_cast<InterfaceId>(iface_device_.size());
+  iface_device_.push_back(device);
+  iface_names_.push_back(std::move(name));
+  out_edges_.emplace_back();
+  return id;
+}
+
+void Topology::mark_external(InterfaceId iface) {
+  check_iface(iface);
+  external_.insert(iface);
+}
+
+void Topology::add_edge(InterfaceId from, InterfaceId to, net::PacketSet predicate) {
+  check_iface(from);
+  check_iface(to);
+  const std::size_t index = edges_.size();
+  edges_.push_back(Edge{from, to, std::move(predicate)});
+  out_edges_[from].push_back(index);
+}
+
+void Topology::bind_acl(AclSlot slot, net::Acl acl) {
+  check_iface(slot.iface);
+  acls_[slot] = std::move(acl);
+}
+
+const net::Acl& Topology::acl(AclSlot slot) const {
+  static const net::Acl kPermitAll = net::Acl::permit_all();
+  const auto it = acls_.find(slot);
+  return it == acls_.end() ? kPermitAll : it->second;
+}
+
+std::vector<AclSlot> Topology::bound_slots() const {
+  std::vector<AclSlot> slots;
+  slots.reserve(acls_.size());
+  for (const auto& [slot, acl] : acls_) slots.push_back(slot);
+  std::sort(slots.begin(), slots.end(), [](const AclSlot& a, const AclSlot& b) {
+    return a.iface != b.iface ? a.iface < b.iface : a.dir < b.dir;
+  });
+  return slots;
+}
+
+const std::vector<std::size_t>& Topology::out_edges(InterfaceId iface) const {
+  check_iface(iface);
+  return out_edges_[iface];
+}
+
+DeviceId Topology::device_of(InterfaceId iface) const {
+  check_iface(iface);
+  return iface_device_[iface];
+}
+
+const std::string& Topology::device_name(DeviceId d) const {
+  if (d >= device_names_.size()) throw TopologyError("unknown device id");
+  return device_names_[d];
+}
+
+const std::string& Topology::interface_name(InterfaceId i) const {
+  check_iface(i);
+  return iface_names_[i];
+}
+
+std::string Topology::qualified_name(InterfaceId i) const {
+  return device_name(device_of(i)) + ":" + interface_name(i);
+}
+
+std::optional<DeviceId> Topology::find_device(std::string_view name) const {
+  const auto it = device_index_.find(std::string(name));
+  if (it == device_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<InterfaceId> Topology::find_interface(std::string_view qualified) const {
+  const auto colon = qualified.find(':');
+  if (colon == std::string_view::npos) return std::nullopt;
+  const auto device = find_device(qualified.substr(0, colon));
+  if (!device) return std::nullopt;
+  const auto iface_name = qualified.substr(colon + 1);
+  for (InterfaceId i = 0; i < iface_device_.size(); ++i) {
+    if (iface_device_[i] == *device && iface_names_[i] == iface_name) return i;
+  }
+  return std::nullopt;
+}
+
+std::vector<InterfaceId> Topology::interfaces_of(DeviceId d) const {
+  std::vector<InterfaceId> out;
+  for (InterfaceId i = 0; i < iface_device_.size(); ++i) {
+    if (iface_device_[i] == d) out.push_back(i);
+  }
+  return out;
+}
+
+void Topology::check_iface(InterfaceId iface) const {
+  if (iface >= iface_device_.size()) throw TopologyError("unknown interface id");
+}
+
+std::vector<AclSlot> ConfigView::bound_slots() const {
+  std::vector<AclSlot> slots = topo_->bound_slots();
+  if (update_ != nullptr) {
+    for (const auto& [slot, acl] : *update_) {
+      if (std::find(slots.begin(), slots.end(), slot) == slots.end()) slots.push_back(slot);
+    }
+    std::sort(slots.begin(), slots.end(), [](const AclSlot& a, const AclSlot& b) {
+      return a.iface != b.iface ? a.iface < b.iface : a.dir < b.dir;
+    });
+  }
+  return slots;
+}
+
+Scope Scope::whole_network(const Topology& topo) {
+  std::unordered_set<DeviceId> all;
+  for (DeviceId d = 0; d < topo.device_count(); ++d) all.insert(d);
+  return Scope{std::move(all)};
+}
+
+namespace {
+
+enum class BorderKind { Entry, Exit, Any };
+
+std::vector<InterfaceId> border_impl(const Topology& topo, const Scope& scope, BorderKind kind) {
+  std::vector<InterfaceId> out;
+  std::vector<bool> seen(topo.interface_count(), false);
+  const auto add = [&](InterfaceId i) {
+    if (!seen[i]) {
+      seen[i] = true;
+      out.push_back(i);
+    }
+  };
+
+  // Cross-scope edges make both flavors of border interface.
+  for (const auto& edge : topo.edges()) {
+    const bool from_in = scope.contains_interface(topo, edge.from);
+    const bool to_in = scope.contains_interface(topo, edge.to);
+    if (from_in && !to_in && kind != BorderKind::Entry) add(edge.from);
+    if (!from_in && to_in && kind != BorderKind::Exit) add(edge.to);
+  }
+
+  // Externally attached interfaces: entry if they inject traffic into the
+  // scope (have out-edges), exit if they drain it (appear as edge targets).
+  for (InterfaceId i = 0; i < topo.interface_count(); ++i) {
+    if (!topo.is_external(i) || !scope.contains_interface(topo, i)) continue;
+    const bool has_out = !topo.out_edges(i).empty();
+    bool has_in = false;
+    for (const auto& edge : topo.edges()) {
+      if (edge.to == i) {
+        has_in = true;
+        break;
+      }
+    }
+    if (kind == BorderKind::Any || (kind == BorderKind::Entry && has_out) ||
+        (kind == BorderKind::Exit && has_in)) {
+      add(i);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+std::vector<InterfaceId> border_interfaces(const Topology& topo, const Scope& scope) {
+  return border_impl(topo, scope, BorderKind::Any);
+}
+
+std::vector<InterfaceId> entry_interfaces(const Topology& topo, const Scope& scope) {
+  return border_impl(topo, scope, BorderKind::Entry);
+}
+
+std::vector<InterfaceId> exit_interfaces(const Topology& topo, const Scope& scope) {
+  return border_impl(topo, scope, BorderKind::Exit);
+}
+
+}  // namespace jinjing::topo

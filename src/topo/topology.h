@@ -1,0 +1,178 @@
+// Network topology substrate: devices, interfaces, directed forwarding edges
+// with packet-set predicates, and per-interface-per-direction ACL bindings.
+//
+// The model follows §3.3 of the paper: an interface ξ may hold an ingress
+// and/or egress ACL L_ξ; a directed edge (i → j) carries the forwarding
+// predicate g_{i,j} as an exact PacketSet. Intra-device edges connect an
+// ingress interface to an egress interface of the same device; inter-device
+// edges are physical links.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/acl.h"
+#include "net/packet_set.h"
+
+namespace jinjing::topo {
+
+using DeviceId = std::uint32_t;
+using InterfaceId = std::uint32_t;
+
+/// Which ACL slot of an interface a binding or update refers to.
+enum class Dir : std::uint8_t { In, Out };
+
+[[nodiscard]] constexpr std::string_view to_string(Dir d) { return d == Dir::In ? "in" : "out"; }
+
+/// An interface slot that can hold an ACL: (interface, direction).
+struct AclSlot {
+  InterfaceId iface = 0;
+  Dir dir = Dir::In;
+
+  friend constexpr bool operator==(const AclSlot&, const AclSlot&) = default;
+};
+
+struct AclSlotHash {
+  std::size_t operator()(const AclSlot& s) const {
+    return std::hash<std::uint64_t>{}((std::uint64_t{s.iface} << 1) | (s.dir == Dir::Out));
+  }
+};
+
+class TopologyError : public std::runtime_error {
+ public:
+  explicit TopologyError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A directed forwarding edge with its predicate g_{i,j}.
+struct Edge {
+  InterfaceId from = 0;
+  InterfaceId to = 0;
+  net::PacketSet predicate;
+};
+
+class Topology {
+ public:
+  [[nodiscard]] DeviceId add_device(std::string name);
+
+  [[nodiscard]] InterfaceId add_interface(DeviceId device, std::string name);
+
+  /// Marks an interface as attached to the world outside the network
+  /// (it can originate/terminate externally-entering traffic).
+  void mark_external(InterfaceId iface);
+
+  /// Adds a directed forwarding edge carrying `predicate`.
+  void add_edge(InterfaceId from, InterfaceId to, net::PacketSet predicate);
+
+  /// Binds (replaces) the ACL in a slot.
+  void bind_acl(AclSlot slot, net::Acl acl);
+  void bind_acl(InterfaceId iface, Dir dir, net::Acl acl) { bind_acl(AclSlot{iface, dir}, std::move(acl)); }
+
+  /// The ACL in a slot; an unbound slot behaves as "permit all".
+  [[nodiscard]] const net::Acl& acl(AclSlot slot) const;
+  [[nodiscard]] const net::Acl& acl(InterfaceId iface, Dir dir) const { return acl(AclSlot{iface, dir}); }
+  [[nodiscard]] bool has_acl(AclSlot slot) const { return acls_.contains(slot); }
+
+  /// All slots that currently hold an ACL.
+  [[nodiscard]] std::vector<AclSlot> bound_slots() const;
+
+  // --- Introspection ---------------------------------------------------
+  [[nodiscard]] std::size_t device_count() const { return device_names_.size(); }
+  [[nodiscard]] std::size_t interface_count() const { return iface_device_.size(); }
+  [[nodiscard]] const std::vector<Edge>& edges() const { return edges_; }
+  [[nodiscard]] const std::vector<std::size_t>& out_edges(InterfaceId iface) const;
+
+  [[nodiscard]] DeviceId device_of(InterfaceId iface) const;
+  [[nodiscard]] bool is_external(InterfaceId iface) const { return external_.contains(iface); }
+  [[nodiscard]] const std::string& device_name(DeviceId d) const;
+  [[nodiscard]] const std::string& interface_name(InterfaceId i) const;
+  /// "Device:iface" — the LAI notation for an interface.
+  [[nodiscard]] std::string qualified_name(InterfaceId i) const;
+
+  [[nodiscard]] std::optional<DeviceId> find_device(std::string_view name) const;
+  /// Finds "Device:iface"; returns nullopt when absent.
+  [[nodiscard]] std::optional<InterfaceId> find_interface(std::string_view qualified) const;
+  /// All interfaces of a device.
+  [[nodiscard]] std::vector<InterfaceId> interfaces_of(DeviceId d) const;
+
+ private:
+  void check_iface(InterfaceId iface) const;
+
+  std::vector<std::string> device_names_;
+  std::vector<DeviceId> iface_device_;
+  std::vector<std::string> iface_names_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<std::size_t>> out_edges_;  // per-interface edge indices
+  std::unordered_map<AclSlot, net::Acl, AclSlotHash> acls_;
+  std::unordered_set<InterfaceId> external_;
+  std::unordered_map<std::string, DeviceId> device_index_;
+};
+
+/// A proposed ACL configuration update: the slots being rewritten and their
+/// new ACLs. Slots not present keep their current ACL (L'_Ω = L_Ω ⊕ update).
+using AclUpdate = std::unordered_map<AclSlot, net::Acl, AclSlotHash>;
+
+/// A read-only view of the network's ACL configuration, optionally overlaid
+/// with a proposed update. This lets check/fix reason about L_Ω and L'_Ω
+/// against one immutable Topology.
+class ConfigView {
+ public:
+  explicit ConfigView(const Topology& topo, const AclUpdate* update = nullptr)
+      : topo_(&topo), update_(update) {}
+
+  [[nodiscard]] const Topology& topology() const { return *topo_; }
+
+  /// The effective ACL for a slot under this view.
+  [[nodiscard]] const net::Acl& acl(AclSlot slot) const {
+    if (update_ != nullptr) {
+      const auto it = update_->find(slot);
+      if (it != update_->end()) return it->second;
+    }
+    return topo_->acl(slot);
+  }
+
+  /// Slots holding a (possibly updated) non-trivial ACL, sorted.
+  [[nodiscard]] std::vector<AclSlot> bound_slots() const;
+
+ private:
+  const Topology* topo_;
+  const AclUpdate* update_;
+};
+
+/// A management scope Ω: the set of devices whose ACLs are under management.
+class Scope {
+ public:
+  Scope() = default;
+  explicit Scope(std::unordered_set<DeviceId> devices) : devices_(std::move(devices)) {}
+
+  /// The scope containing every device of the topology.
+  [[nodiscard]] static Scope whole_network(const Topology& topo);
+
+  void add(DeviceId d) { devices_.insert(d); }
+  [[nodiscard]] bool contains_device(DeviceId d) const { return devices_.contains(d); }
+  [[nodiscard]] bool contains_interface(const Topology& topo, InterfaceId i) const {
+    return contains_device(topo.device_of(i));
+  }
+  [[nodiscard]] const std::unordered_set<DeviceId>& devices() const { return devices_; }
+  [[nodiscard]] std::size_t size() const { return devices_.size(); }
+
+ private:
+  std::unordered_set<DeviceId> devices_;
+};
+
+/// Border interfaces of Ω (§3.3): in-scope interfaces that exchange traffic
+/// with the outside — externally attached, or linked across the scope edge.
+[[nodiscard]] std::vector<InterfaceId> border_interfaces(const Topology& topo, const Scope& scope);
+
+/// Border interfaces that can receive traffic from outside Ω.
+[[nodiscard]] std::vector<InterfaceId> entry_interfaces(const Topology& topo, const Scope& scope);
+
+/// Border interfaces that can send traffic outside Ω.
+[[nodiscard]] std::vector<InterfaceId> exit_interfaces(const Topology& topo, const Scope& scope);
+
+}  // namespace jinjing::topo

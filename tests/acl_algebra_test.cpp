@@ -1,0 +1,124 @@
+#include "net/acl_algebra.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace jinjing::net {
+namespace {
+
+PacketSet dst_prefix_set(const char* prefix) {
+  HyperCube c;
+  c.set_interval(Field::DstIp, parse_prefix(prefix).interval());
+  return PacketSet{c};
+}
+
+TEST(AclAlgebra, PermittedSetOfPermitAll) {
+  EXPECT_TRUE(permitted_set(Acl::permit_all()).equals(PacketSet::all()));
+}
+
+TEST(AclAlgebra, PermittedSetRespectsShadowing) {
+  // The permit 1.2/16 is shadowed by the deny 1/8 above it.
+  const auto acl = Acl::parse({"deny dst 1.0.0.0/8", "permit dst 1.2.0.0/16", "permit all"});
+  const auto permitted = permitted_set(acl);
+  EXPECT_TRUE(permitted.equals(PacketSet::all() - dst_prefix_set("1.0.0.0/8")));
+}
+
+TEST(AclAlgebra, PermittedSetDefaultDeny) {
+  const Acl acl{{parse_rule("permit dst 1.0.0.0/8")}, Action::Deny};
+  EXPECT_TRUE(permitted_set(acl).equals(dst_prefix_set("1.0.0.0/8")));
+}
+
+TEST(AclAlgebra, EffectiveMatchSetExcludesShadowed) {
+  const auto acl = Acl::parse({"deny dst 1.0.0.0/8", "permit dst 1.0.0.0/7", "permit all"});
+  // Rule 1 (1.0.0.0/7 = 1/8 u 0/8... actually 0.0.0.0-1.255.255.255) minus the /8 deny.
+  const auto effective = effective_match_set(acl, 1);
+  const auto expected = dst_prefix_set("0.0.0.0/7") - dst_prefix_set("1.0.0.0/8");
+  EXPECT_TRUE(effective.equals(expected));
+  // Index past the end = what the default rule sees.
+  const auto rest = effective_match_set(acl, 3);
+  EXPECT_TRUE(rest.is_empty());  // "permit all" at index 2 swallows everything
+}
+
+TEST(AclAlgebra, EquivalenceDetectsReorderSafety) {
+  // Disjoint rules may be reordered.
+  const auto a = Acl::parse({"deny dst 1.0.0.0/8", "deny dst 2.0.0.0/8", "permit all"});
+  const auto b = Acl::parse({"deny dst 2.0.0.0/8", "deny dst 1.0.0.0/8", "permit all"});
+  EXPECT_TRUE(equivalent(a, b));
+  // Overlapping rules may not.
+  const auto c = Acl::parse({"deny dst 1.0.0.0/8", "permit dst 1.2.0.0/16", "permit all"});
+  const auto d = Acl::parse({"permit dst 1.2.0.0/16", "deny dst 1.0.0.0/8", "permit all"});
+  EXPECT_FALSE(equivalent(c, d));
+}
+
+TEST(AclAlgebra, EquivalentOnRestrictsUniverse) {
+  const auto a = Acl::parse({"deny dst 1.0.0.0/8", "permit all"});
+  const auto b = Acl::parse({"permit all"});
+  EXPECT_FALSE(equivalent(a, b));
+  EXPECT_TRUE(equivalent_on(a, b, dst_prefix_set("2.0.0.0/8")));
+  EXPECT_FALSE(equivalent_on(a, b, dst_prefix_set("1.0.0.0/8")));
+}
+
+TEST(AclAlgebra, RulesForSetRoundTrip) {
+  const auto set = dst_prefix_set("1.0.0.0/8") | dst_prefix_set("3.0.0.0/8");
+  const auto rules = rules_for_set(set, Action::Deny);
+  Acl acl{rules};  // deny the set, permit the rest
+  EXPECT_TRUE(permitted_set(acl).equals(set.complement()));
+}
+
+TEST(AclAlgebra, MatchesForCubeCoverNonPrefixInterval) {
+  // [1, 6] is not a single prefix: needs 1/32? no — 1,2-3,4-5,6 => multiple.
+  HyperCube c;
+  c.set_interval(Field::DstIp, Interval(1, 6));
+  const auto matches = matches_for_cube(c);
+  PacketSet covered;
+  for (const auto& m : matches) covered = covered | PacketSet{m.cube()};
+  EXPECT_TRUE(covered.equals(PacketSet{c}));
+  EXPECT_GT(matches.size(), 1u);
+}
+
+TEST(AclAlgebra, MatchesForCubeHandlesProtoPoints) {
+  HyperCube c;
+  c.set_interval(Field::Proto, Interval(6, 7));
+  const auto matches = matches_for_cube(c);
+  PacketSet covered;
+  for (const auto& m : matches) covered = covered | PacketSet{m.cube()};
+  EXPECT_TRUE(covered.equals(PacketSet{c}));
+}
+
+// Property: evaluate() agrees with permitted_set() membership on random
+// packets for random ACLs — the two semantics implementations must match.
+class AclSemanticsAgreement : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(AclSemanticsAgreement, PointwiseAgreesWithSetCompilation) {
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<int> action(0, 1);
+  std::uniform_int_distribution<int> octet(0, 7);
+  std::uniform_int_distribution<int> len_choice(0, 2);
+  std::uniform_int_distribution<int> n_rules(0, 6);
+
+  std::vector<AclRule> rules;
+  const int n = n_rules(rng);
+  for (int i = 0; i < n; ++i) {
+    Match m;
+    const std::uint8_t lens[] = {8, 16, 0};
+    m.dst = Prefix{Ipv4{static_cast<std::uint8_t>(octet(rng)), 0, 0, 0},
+                   lens[len_choice(rng)]};
+    rules.push_back({action(rng) ? Action::Permit : Action::Deny, m});
+  }
+  const Acl acl{rules, action(rng) ? Action::Permit : Action::Deny};
+  const auto permitted = permitted_set(acl);
+
+  for (int i = 0; i < 50; ++i) {
+    Packet p = packet_to(Ipv4{static_cast<std::uint8_t>(octet(rng)),
+                              static_cast<std::uint8_t>(octet(rng)), 0, 1});
+    EXPECT_EQ(acl.permits(p), permitted.contains(p)) << to_string(p) << "\n" << to_string(acl);
+  }
+  // Volume conservation: permitted + denied = everything.
+  EXPECT_EQ(permitted.volume() + permitted.complement().volume(), PacketSet::all().volume());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AclSemanticsAgreement, ::testing::Range(1u, 26u));
+
+}  // namespace
+}  // namespace jinjing::net

@@ -1,0 +1,106 @@
+#include "net/acl.h"
+
+#include <gtest/gtest.h>
+
+namespace jinjing::net {
+namespace {
+
+TEST(Match, ParseRuleVariants) {
+  const auto r1 = parse_rule("deny dst 1.0.0.0/8");
+  EXPECT_EQ(r1.action, Action::Deny);
+  EXPECT_EQ(r1.match.dst, parse_prefix("1.0.0.0/8"));
+  EXPECT_TRUE(r1.match.src.is_any());
+
+  const auto r2 = parse_rule("permit src 10.0.0.0/24 dst 1.2.0.0/16 dport 80 proto tcp");
+  EXPECT_EQ(r2.action, Action::Permit);
+  EXPECT_EQ(r2.match.src, parse_prefix("10.0.0.0/24"));
+  EXPECT_EQ(r2.match.dst, parse_prefix("1.2.0.0/16"));
+  EXPECT_EQ(r2.match.dport, PortRange::single(80));
+  EXPECT_EQ(r2.match.proto, ProtoMatch::tcp());
+
+  const auto r3 = parse_rule("permit all");
+  EXPECT_TRUE(r3.match.is_any());
+}
+
+TEST(Match, ParseRejectsGarbage) {
+  EXPECT_THROW((void)parse_rule(""), ParseError);
+  EXPECT_THROW((void)parse_rule("allow dst 1.0.0.0/8"), ParseError);
+  EXPECT_THROW((void)parse_rule("permit dst"), ParseError);
+  EXPECT_THROW((void)parse_rule("permit dest 1.0.0.0/8"), ParseError);
+}
+
+TEST(Match, MatchesChecksAllFields) {
+  const auto r = parse_rule("permit src 10.0.0.0/8 dst 1.0.0.0/8 sport 1000-2000 dport 80");
+  Packet p;
+  p.sip = Ipv4{10, 1, 1, 1};
+  p.dip = Ipv4{1, 1, 1, 1};
+  p.sport = 1500;
+  p.dport = 80;
+  EXPECT_TRUE(r.match.matches(p));
+  p.sport = 999;
+  EXPECT_FALSE(r.match.matches(p));
+  p.sport = 1500;
+  p.dip = Ipv4{2, 1, 1, 1};
+  EXPECT_FALSE(r.match.matches(p));
+}
+
+TEST(Match, OverlapTest) {
+  const auto a = parse_rule("deny dst 1.0.0.0/8").match;
+  const auto b = parse_rule("permit dst 1.2.0.0/16").match;
+  const auto c = parse_rule("permit dst 2.0.0.0/8").match;
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_FALSE(a.overlaps(c));
+  EXPECT_TRUE(a.overlaps(Match::any()));
+}
+
+TEST(Acl, FirstMatchWins) {
+  const auto acl = Acl::parse({"deny dst 1.0.0.0/8", "permit dst 1.2.3.0/24", "permit all"});
+  // The /24 permit is shadowed by the /8 deny above it.
+  EXPECT_EQ(acl.evaluate(packet_to("1.2.3.4")), Action::Deny);
+  EXPECT_EQ(acl.evaluate(packet_to("9.9.9.9")), Action::Permit);
+}
+
+TEST(Acl, DefaultActionAppliesWhenNoRuleMatches) {
+  const Acl deny_by_default{{AclRule::permit(Match::dst_prefix(parse_prefix("1.0.0.0/8")))},
+                            Action::Deny};
+  EXPECT_EQ(deny_by_default.evaluate(packet_to("1.1.1.1")), Action::Permit);
+  EXPECT_EQ(deny_by_default.evaluate(packet_to("2.1.1.1")), Action::Deny);
+}
+
+TEST(Acl, EmptyAclPermitsAll) {
+  EXPECT_TRUE(Acl::permit_all().permits(packet_to("200.1.2.3")));
+}
+
+TEST(Acl, FirstMatchIndex) {
+  const auto acl = Acl::parse({"deny dst 1.0.0.0/8", "deny dst 2.0.0.0/8", "permit all"});
+  EXPECT_EQ(acl.first_match(packet_to("2.0.0.1")), std::size_t{1});
+  EXPECT_EQ(acl.first_match(packet_to("3.0.0.1")), std::size_t{2});
+  const auto no_permit_all = Acl::parse({"deny dst 1.0.0.0/8"});
+  EXPECT_EQ(no_permit_all.first_match(packet_to("3.0.0.1")), std::nullopt);
+}
+
+TEST(Acl, PrependGivesHighestPriority) {
+  auto acl = Acl::parse({"deny dst 1.0.0.0/8"});
+  acl.prepend({parse_rule("permit dst 1.2.0.0/16")});
+  EXPECT_EQ(acl.evaluate(packet_to("1.2.0.1")), Action::Permit);
+  EXPECT_EQ(acl.evaluate(packet_to("1.3.0.1")), Action::Deny);
+}
+
+TEST(Acl, ToStringShowsRulesAndDefault) {
+  const auto acl = Acl::parse({"deny dst 1.0.0.0/8"});
+  const auto text = to_string(acl);
+  EXPECT_NE(text.find("deny dst 1.0.0.0/8"), std::string::npos);
+  EXPECT_NE(text.find("permit all (default)"), std::string::npos);
+}
+
+TEST(Acl, RuleRoundTripsThroughText) {
+  for (const char* text :
+       {"deny dst 1.0.0.0/8", "permit src 10.0.0.0/24 dst 1.2.0.0/16 dport 80 proto tcp",
+        "permit all", "deny src 7.7.0.0/16 sport 1-1023 proto udp"}) {
+    const auto rule = parse_rule(text);
+    EXPECT_EQ(parse_rule(to_string(rule)), rule) << text;
+  }
+}
+
+}  // namespace
+}  // namespace jinjing::net

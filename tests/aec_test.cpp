@@ -1,0 +1,99 @@
+#include "core/aec.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gen/fixtures.h"
+#include "net/acl_algebra.h"
+
+namespace jinjing::core {
+namespace {
+
+using gen::Figure1;
+
+TEST(Aec, Table3ClassesOverEnteringTraffic) {
+  // Table 3: [1]={traffic 1,2}, [3]={3,4,5}, [6]={6}, [7]={7}.
+  const auto f = gen::make_figure1();
+  const topo::ConfigView view{f.topo};
+  const auto slots = f.topo.bound_slots();
+  const auto classes = acl_equivalence_classes(view, slots, f.traffic);
+  ASSERT_EQ(classes.size(), 4u);
+
+  const std::vector<net::PacketSet> expected = {
+      Figure1::traffic_class(1) | Figure1::traffic_class(2),
+      Figure1::traffic_class(3) | Figure1::traffic_class(4) | Figure1::traffic_class(5),
+      Figure1::traffic_class(6),
+      Figure1::traffic_class(7),
+  };
+  for (const auto& want : expected) {
+    EXPECT_TRUE(std::any_of(classes.begin(), classes.end(),
+                            [&](const net::PacketSet& got) { return got.equals(want); }))
+        << "missing AEC " << to_string(want);
+  }
+}
+
+TEST(Aec, FullUniverseAddsNoExtraClasses) {
+  // Over all packets the "everything else" traffic joins the all-permit
+  // class, so the count stays 4.
+  const auto f = gen::make_figure1();
+  const topo::ConfigView view{f.topo};
+  const auto classes = acl_equivalence_classes(view, f.topo.bound_slots(),
+                                               net::PacketSet::all());
+  EXPECT_EQ(classes.size(), 4u);
+}
+
+TEST(Aec, ClassesAreDecisionUniform) {
+  const auto f = gen::make_figure1();
+  const topo::ConfigView view{f.topo};
+  const auto slots = f.topo.bound_slots();
+  const auto classes = acl_equivalence_classes(view, slots, f.traffic);
+  for (const auto& cls : classes) {
+    for (const auto slot : slots) {
+      const auto permitted = net::permitted_set(view.acl(slot));
+      EXPECT_TRUE(permitted.contains(cls) || !permitted.intersects(cls));
+    }
+  }
+}
+
+TEST(Aec, ControlIntentRefinesClasses) {
+  // An isolate intent on half of traffic 3's prefix splits the big permit
+  // class.
+  const auto f = gen::make_figure1();
+  lai::ControlIntent intent;
+  intent.from = {f.A1};
+  intent.to = {f.D3};
+  intent.verb = lai::ControlVerb::Isolate;
+  net::HyperCube half;
+  half.set_interval(net::Field::DstIp, net::parse_prefix("3.0.0.0/9").interval());
+  intent.header = net::PacketSet{half};
+
+  const topo::ConfigView view{f.topo};
+  const auto without = acl_equivalence_classes(view, f.topo.bound_slots(), f.traffic);
+  const auto with = acl_equivalence_classes(view, f.topo.bound_slots(), f.traffic, {intent});
+  EXPECT_EQ(with.size(), without.size() + 1);
+}
+
+TEST(Dec, SplitsTable3Class1ByRouting) {
+  // §5.3: [1]_AEC (traffic 1-2) splits into [1]_DEC and [2]_DEC.
+  const auto f = gen::make_figure1();
+  const auto aec1 = Figure1::traffic_class(1) | Figure1::traffic_class(2);
+  const auto decs = dataplane_equivalence_classes(f.topo, f.scope, aec1);
+  ASSERT_EQ(decs.size(), 2u);
+  EXPECT_TRUE(std::any_of(decs.begin(), decs.end(), [](const net::PacketSet& s) {
+    return s.equals(Figure1::traffic_class(1));
+  }));
+  EXPECT_TRUE(std::any_of(decs.begin(), decs.end(), [](const net::PacketSet& s) {
+    return s.equals(Figure1::traffic_class(2));
+  }));
+}
+
+TEST(Dec, RoutingUniformClassStaysWhole) {
+  const auto f = gen::make_figure1();
+  const auto decs = dataplane_equivalence_classes(f.topo, f.scope, Figure1::traffic_class(7));
+  ASSERT_EQ(decs.size(), 1u);
+  EXPECT_TRUE(decs[0].equals(Figure1::traffic_class(7)));
+}
+
+}  // namespace
+}  // namespace jinjing::core

@@ -1,0 +1,134 @@
+#include "net/bdd.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "net/acl_algebra.h"
+
+namespace jinjing::net {
+namespace {
+
+TEST(Bdd, TerminalsAndVars) {
+  BddManager bdd;
+  EXPECT_TRUE(BddManager::is_empty(BddManager::kFalse));
+  EXPECT_FALSE(BddManager::is_empty(BddManager::kTrue));
+  EXPECT_EQ(bdd.land(BddManager::kTrue, BddManager::kTrue), BddManager::kTrue);
+  EXPECT_EQ(bdd.land(BddManager::kTrue, BddManager::kFalse), BddManager::kFalse);
+  EXPECT_EQ(bdd.lnot(BddManager::kFalse), BddManager::kTrue);
+
+  const auto x = bdd.var(0);
+  EXPECT_EQ(bdd.land(x, bdd.lnot(x)), BddManager::kFalse);
+  EXPECT_EQ(bdd.lor(x, bdd.lnot(x)), BddManager::kTrue);
+  EXPECT_EQ(bdd.land(x, x), x);  // hash-consing: idempotence is identity
+}
+
+TEST(Bdd, FromPacketIsSingleton) {
+  BddManager bdd;
+  const auto p = packet_to("1.2.3.4");
+  const auto node = bdd.from_packet(p);
+  EXPECT_TRUE(bdd.contains(node, p));
+  EXPECT_EQ(bdd.volume(node), Volume{1});
+  auto q = p;
+  q.dip.value ^= 1;
+  EXPECT_FALSE(bdd.contains(node, q));
+  const auto back = bdd.sample(node);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, p);
+}
+
+TEST(Bdd, PrefixCubeMembershipAndVolume) {
+  BddManager bdd;
+  HyperCube cube;
+  cube.set_interval(Field::DstIp, parse_prefix("10.20.0.0/16").interval());
+  const auto node = bdd.from_cube(cube);
+  EXPECT_TRUE(bdd.contains(node, packet_to("10.20.3.4")));
+  EXPECT_FALSE(bdd.contains(node, packet_to("10.21.0.0")));
+  EXPECT_EQ(bdd.volume(node), PacketSet{cube}.volume());
+}
+
+TEST(Bdd, NonAlignedIntervalExact) {
+  BddManager bdd;
+  HyperCube cube;
+  cube.set_interval(Field::DstPort, Interval(100, 1000));  // not a power-of-two block
+  const auto node = bdd.from_cube(cube);
+  Packet p;
+  for (const auto port : {99, 100, 500, 1000, 1001}) {
+    p.dport = static_cast<std::uint16_t>(port);
+    EXPECT_EQ(bdd.contains(node, p), port >= 100 && port <= 1000) << port;
+  }
+  EXPECT_EQ(bdd.volume(node), PacketSet{cube}.volume());
+}
+
+TEST(Bdd, FullSpaceVolume) {
+  BddManager bdd;
+  EXPECT_EQ(bdd.volume(bdd.from_set(PacketSet::all())), Volume{1} << 104);
+  EXPECT_EQ(bdd.volume(BddManager::kFalse), Volume{0});
+}
+
+TEST(Bdd, SampleIsMember) {
+  BddManager bdd;
+  const auto set = permitted_set(Acl::parse({"deny dst 1.0.0.0/8", "permit all"}));
+  const auto node = bdd.from_set(set);
+  const auto p = bdd.sample(node);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(bdd.contains(node, *p));
+  EXPECT_TRUE(set.contains(*p));
+}
+
+// Cross-validation: BDD algebra agrees with the hypercube engine on random
+// prefix/port-structured sets.
+class BddAgreesWithPacketSet : public ::testing::TestWithParam<unsigned> {
+ protected:
+  PacketSet random_set(std::mt19937& rng) {
+    std::uniform_int_distribution<int> n_rules(1, 5);
+    std::uniform_int_distribution<int> octet(0, 255);
+    std::uniform_int_distribution<int> len_choice(0, 2);
+    std::uniform_int_distribution<int> action(0, 1);
+    std::vector<AclRule> rules;
+    const int n = n_rules(rng);
+    for (int i = 0; i < n; ++i) {
+      Match m;
+      const std::uint8_t lens[] = {8, 16, 24};
+      m.dst = Prefix{Ipv4{10, static_cast<std::uint8_t>(octet(rng)),
+                          static_cast<std::uint8_t>(octet(rng)), 0},
+                     lens[len_choice(rng)]};
+      if (octet(rng) < 64) m.dport = PortRange{443, 8443};
+      rules.push_back({action(rng) ? Action::Permit : Action::Deny, m});
+    }
+    return permitted_set(Acl{rules, action(rng) ? Action::Permit : Action::Deny});
+  }
+};
+
+TEST_P(BddAgreesWithPacketSet, AlgebraAndVolumesMatch) {
+  std::mt19937 rng(GetParam());
+  BddManager bdd;
+  const auto a = random_set(rng);
+  const auto b = random_set(rng);
+  const auto na = bdd.from_set(a);
+  const auto nb = bdd.from_set(b);
+
+  EXPECT_EQ(bdd.volume(na), a.volume());
+  EXPECT_EQ(bdd.volume(nb), b.volume());
+  EXPECT_EQ(bdd.volume(bdd.land(na, nb)), (a & b).volume());
+  EXPECT_EQ(bdd.volume(bdd.lor(na, nb)), (a | b).volume());
+  EXPECT_EQ(bdd.volume(bdd.ldiff(na, nb)), (a - b).volume());
+  EXPECT_EQ(bdd.volume(bdd.lnot(na)), a.complement().volume());
+
+  // Canonical equality mirrors set equality.
+  EXPECT_EQ(BddManager::equal(na, nb), a.equals(b));
+  EXPECT_EQ(bdd.ldiff(na, nb) == BddManager::kFalse, b.contains(a));
+
+  // Pointwise agreement on samples from both representations.
+  if (!a.is_empty()) {
+    EXPECT_TRUE(bdd.contains(na, a.sample()));
+    const auto witness = bdd.sample(na);
+    ASSERT_TRUE(witness.has_value());
+    EXPECT_TRUE(a.contains(*witness));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BddAgreesWithPacketSet, ::testing::Range(1u, 26u));
+
+}  // namespace
+}  // namespace jinjing::net

@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include "config/acl_format.h"
+#include "config/topology_format.h"
+#include "gen/fixtures.h"
+#include "net/acl_algebra.h"
+#include "topo/paths.h"
+
+namespace jinjing::config {
+namespace {
+
+TEST(AclFormat, ParseCanonicalBody) {
+  const auto acl = parse_acl(R"(
+# core filter
+deny dst 1.0.0.0/8
+deny dst 2.0.0.0/8 dport 80-443
+permit all
+)");
+  ASSERT_EQ(acl.size(), 3u);
+  EXPECT_EQ(acl.rules()[1].match.dport, net::PortRange(80, 443));
+}
+
+TEST(AclFormat, ParseErrorsCarryLineNumbers) {
+  try {
+    (void)parse_acl("permit all\nbogus rule here\n");
+    FAIL() << "expected ParseError";
+  } catch (const net::ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos) << e.what();
+  }
+}
+
+TEST(IosFormat, BasicRules) {
+  const auto r1 = parse_ios_rule("access-list 101 deny ip any 1.0.0.0 0.255.255.255");
+  EXPECT_EQ(r1.action, net::Action::Deny);
+  EXPECT_TRUE(r1.match.src.is_any());
+  EXPECT_EQ(r1.match.dst, net::parse_prefix("1.0.0.0/8"));
+  EXPECT_TRUE(r1.match.proto.is_any());
+
+  const auto r2 =
+      parse_ios_rule("permit tcp 10.0.0.0 0.0.0.255 1.2.0.0 0.0.255.255 eq 80");
+  EXPECT_EQ(r2.action, net::Action::Permit);
+  EXPECT_EQ(r2.match.proto, net::ProtoMatch::tcp());
+  EXPECT_EQ(r2.match.src, net::parse_prefix("10.0.0.0/24"));
+  EXPECT_EQ(r2.match.dst, net::parse_prefix("1.2.0.0/16"));
+  EXPECT_EQ(r2.match.dport, net::PortRange::single(80));
+
+  const auto r3 = parse_ios_rule("permit ip host 9.9.9.9 any");
+  EXPECT_EQ(r3.match.src, net::parse_prefix("9.9.9.9/32"));
+}
+
+TEST(IosFormat, PortQualifiers) {
+  EXPECT_EQ(parse_ios_rule("permit tcp any any range 1000 2000").match.dport,
+            net::PortRange(1000, 2000));
+  EXPECT_EQ(parse_ios_rule("permit tcp any any gt 1023").match.dport,
+            net::PortRange(1024, 65535));
+  EXPECT_EQ(parse_ios_rule("permit tcp any any lt 1024").match.dport, net::PortRange(0, 1023));
+  EXPECT_EQ(parse_ios_rule("permit tcp any eq 53 any").match.sport, net::PortRange::single(53));
+}
+
+TEST(IosFormat, RejectsMalformed) {
+  EXPECT_THROW((void)parse_ios_rule("access-list 101 frobnicate ip any any"), net::ParseError);
+  EXPECT_THROW((void)parse_ios_rule("permit ip any"), net::ParseError);
+  EXPECT_THROW((void)parse_ios_rule("permit ip 1.0.0.0 0.255.0.255 any"), net::ParseError)
+      << "non-contiguous wildcard";
+  EXPECT_THROW((void)parse_ios_rule("permit ip any any extra"), net::ParseError);
+  EXPECT_THROW((void)parse_ios_rule("permit tcp any any gt 65535"), net::ParseError);
+}
+
+TEST(IosFormat, DialectDetectionAndAutoParse) {
+  const char* ios = R"(
+! vendor config
+access-list 101 deny ip any 6.0.0.0 0.255.255.255
+access-list 101 permit ip any any
+)";
+  EXPECT_EQ(detect_dialect(ios), AclDialect::Ios);
+  EXPECT_EQ(detect_dialect("deny dst 6.0.0.0/8"), AclDialect::Canonical);
+
+  const auto acl = parse_acl_auto(ios);
+  ASSERT_EQ(acl.size(), 2u);
+  EXPECT_FALSE(acl.permits(net::packet_to("6.1.2.3")));
+  EXPECT_TRUE(acl.permits(net::packet_to("7.1.2.3")));
+}
+
+TEST(IosFormat, RoundTripPreservesSemantics) {
+  const auto original = net::Acl::parse({
+      "deny dst 6.0.0.0/8",
+      "permit src 10.0.0.0/24 dst 1.2.0.0/16 dport 80 proto tcp",
+      "deny src 7.7.7.7 sport 1000-2000 proto udp",
+      "permit all",
+  });
+  const auto ios_text = print_acl_ios(original, 101);
+  const auto reparsed = parse_acl(ios_text, AclDialect::Ios);
+  EXPECT_TRUE(net::equivalent(original, reparsed)) << ios_text;
+
+  const auto canonical = parse_acl(print_acl(original));
+  EXPECT_EQ(canonical, original);
+}
+
+TEST(PacketSetSpec, ParseUnion) {
+  const auto set = parse_packet_set("dst 1.0.0.0/8 | dst 2.0.0.0/8 dport 80");
+  EXPECT_TRUE(set.contains(net::packet_to("1.9.9.9")));
+  net::Packet p = net::packet_to("2.0.0.1");
+  EXPECT_FALSE(set.contains(p));
+  p.dport = 80;
+  EXPECT_TRUE(set.contains(p));
+  EXPECT_TRUE(parse_packet_set("all").equals(net::PacketSet::all()));
+  EXPECT_TRUE(parse_packet_set("  ").equals(net::PacketSet::all()));
+}
+
+TEST(PacketSetSpec, PrintParseRoundTrip) {
+  const auto set = parse_packet_set("dst 1.0.0.0/8 | src 10.0.0.0/16 dport 443");
+  EXPECT_TRUE(parse_packet_set(print_packet_set(set)).equals(set));
+  EXPECT_EQ(print_packet_set(net::PacketSet::all()), "all");
+}
+
+constexpr const char* kNetwork = R"(
+# two devices, one link
+device A
+device B
+interface A:1 external
+interface A:2
+interface B:1
+interface B:2 external
+link A:1 -> A:2 dst 1.0.0.0/8 | dst 2.0.0.0/8
+link A:2 -> B:1 dst 1.0.0.0/8 | dst 2.0.0.0/8
+link B:1 -> B:2 dst 1.0.0.0/8 | dst 2.0.0.0/8
+acl A:1-in
+  deny dst 2.0.0.0/8
+  permit all
+end
+acl B:2-out
+access-list 101 deny ip any 1.128.0.0 0.127.255.255
+access-list 101 permit ip any any
+end
+traffic dst 1.0.0.0/8 | dst 2.0.0.0/8
+)";
+
+TEST(NetworkFormat, ParsesDevicesLinksAclsTraffic) {
+  const auto network = parse_network(kNetwork);
+  EXPECT_EQ(network.topo.device_count(), 2u);
+  EXPECT_EQ(network.topo.interface_count(), 4u);
+  EXPECT_EQ(network.topo.edges().size(), 3u);
+
+  const auto a1 = network.topo.find_interface("A:1");
+  const auto b2 = network.topo.find_interface("B:2");
+  ASSERT_TRUE(a1 && b2);
+  EXPECT_TRUE(network.topo.has_acl({*a1, topo::Dir::In}));
+  EXPECT_TRUE(network.topo.has_acl({*b2, topo::Dir::Out}));
+  // The IOS block parsed: 1.128/9 denied on egress.
+  EXPECT_FALSE(network.topo.acl(*b2, topo::Dir::Out).permits(net::packet_to("1.200.0.1")));
+  EXPECT_TRUE(network.topo.acl(*b2, topo::Dir::Out).permits(net::packet_to("1.1.0.1")));
+
+  // Paths: A:1 -> B:2.
+  const auto scope = topo::Scope::whole_network(network.topo);
+  const auto paths = topo::enumerate_paths(network.topo, scope);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(to_string(network.topo, paths[0]), "<A:1, A:2, B:1, B:2>");
+}
+
+TEST(NetworkFormat, RoundTripsThroughPrint) {
+  const auto network = parse_network(kNetwork);
+  const auto printed = print_network(network);
+  const auto reparsed = parse_network(printed);
+  EXPECT_EQ(reparsed.topo.device_count(), network.topo.device_count());
+  EXPECT_EQ(reparsed.topo.interface_count(), network.topo.interface_count());
+  EXPECT_EQ(reparsed.topo.edges().size(), network.topo.edges().size());
+  EXPECT_TRUE(reparsed.traffic.equals(network.traffic));
+  for (const auto slot : network.topo.bound_slots()) {
+    const auto iface = reparsed.topo.find_interface(network.topo.qualified_name(slot.iface));
+    ASSERT_TRUE(iface.has_value());
+    EXPECT_TRUE(net::equivalent(reparsed.topo.acl(*iface, slot.dir), network.topo.acl(slot)));
+  }
+}
+
+TEST(NetworkFormat, Figure1RoundTrip) {
+  // The Figure 1 fixture survives print -> parse with identical checking
+  // behaviour (paths and FEC counts).
+  const auto f = gen::make_figure1();
+  NetworkFile source;
+  source.topo = f.topo;
+  source.traffic = f.traffic;
+  const auto printed = print_network(source);
+  const auto reparsed = parse_network(printed);
+  const auto scope = topo::Scope::whole_network(reparsed.topo);
+  EXPECT_EQ(topo::enumerate_paths(reparsed.topo, scope).size(), 4u);
+}
+
+TEST(NetworkFormat, ErrorsArePrecise) {
+  EXPECT_THROW((void)parse_network("gizmo A"), net::ParseError);
+  EXPECT_THROW((void)parse_network("interface A:1"), net::ParseError);          // unknown device
+  EXPECT_THROW((void)parse_network("device A\nlink A:1 B:2 all"), net::ParseError);  // no arrow
+  EXPECT_THROW((void)parse_network("device A\ninterface A:1\nacl A:1-in\npermit all\n"),
+               net::ParseError);  // unterminated block
+  try {
+    (void)parse_network("device A\ndevice B\nlink A:9 -> B:9 all");
+    FAIL();
+  } catch (const net::ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+
+TEST(Groups, DeclareAndExpandInAclBody) {
+  const auto acl = parse_acl_auto(R"(
+group WEB = dst 1.0.0.0/8 dport 80 | dst 2.0.0.0/8 dport 443
+deny @WEB
+permit all
+)");
+  ASSERT_EQ(acl.size(), 3u);
+  net::Packet p = net::packet_to("1.5.0.1");
+  p.dport = 80;
+  EXPECT_FALSE(acl.permits(p));
+  p.dport = 81;
+  EXPECT_TRUE(acl.permits(p));
+  p = net::packet_to("2.0.0.9");
+  p.dport = 443;
+  EXPECT_FALSE(acl.permits(p));
+}
+
+TEST(Groups, ComposeAndShadowing) {
+  GroupTable groups;
+  EXPECT_TRUE(parse_group_line("group A = dst 1.0.0.0/8", groups));
+  EXPECT_TRUE(parse_group_line("group B = @A | dst 2.0.0.0/8", groups));
+  EXPECT_EQ(groups.at("B").size(), 2u);
+  EXPECT_FALSE(parse_group_line("permit all", groups));
+  EXPECT_THROW((void)parse_group_line("group X =", groups), net::ParseError);
+  EXPECT_THROW((void)parse_group_line("group = dst 1.0.0.0/8", groups), net::ParseError);
+}
+
+TEST(Groups, UnknownGroupRejected) {
+  EXPECT_THROW((void)parse_acl_auto("deny @GHOST\n"), net::ParseError);
+  EXPECT_THROW((void)parse_match_union("@nope", {}), net::ParseError);
+}
+
+TEST(Groups, NetworkFileGroupsReachAclsAndPredicates) {
+  const auto network = parse_network(R"(
+group SERVICES = dst 1.0.0.0/8 | dst 2.0.0.0/8
+device A
+device B
+interface A:1 external
+interface A:2
+interface B:1
+interface B:2 external
+link A:1 -> A:2 @SERVICES
+link A:2 -> B:1 @SERVICES
+link B:1 -> B:2 @SERVICES
+acl A:1-in
+deny @SERVICES
+end
+traffic @SERVICES
+)");
+  const auto a1 = network.topo.find_interface("A:1");
+  ASSERT_TRUE(a1.has_value());
+  EXPECT_FALSE(network.topo.acl(*a1, topo::Dir::In).permits(net::packet_to("1.1.1.1")));
+  EXPECT_TRUE(network.traffic.contains(net::packet_to("2.1.1.1")));
+  EXPECT_FALSE(network.traffic.contains(net::packet_to("3.1.1.1")));
+}
+
+}  // namespace
+}  // namespace jinjing::config

@@ -1,0 +1,142 @@
+#include "core/deploy.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "gen/fixtures.h"
+#include "net/acl_algebra.h"
+
+namespace jinjing::core {
+namespace {
+
+using gen::Figure1;
+
+TEST(Rollback, RestoresOriginalAcls) {
+  const auto f = gen::make_figure1();
+  const auto update = f.running_example_update();
+  const auto rollback = rollback_update(f.topo, update);
+  ASSERT_EQ(rollback.size(), update.size());
+  for (const auto& [slot, acl] : rollback) {
+    EXPECT_EQ(acl, f.topo.acl(slot));
+  }
+}
+
+TEST(Rollback, EmptyUpdateEmptyRollback) {
+  const auto f = gen::make_figure1();
+  EXPECT_TRUE(rollback_update(f.topo, {}).empty());
+}
+
+TEST(StagedPlan, DropsUnchangedSlots) {
+  const auto f = gen::make_figure1();
+  topo::AclUpdate update;
+  update.emplace(topo::AclSlot{f.A1, topo::Dir::In}, f.topo.acl(f.A1, topo::Dir::In));
+  EXPECT_TRUE(staged_plan(f.topo, update, StagingMode::AvailabilityFirst).empty());
+}
+
+TEST(StagedPlan, PureLooseningSkipsTransitionalInAvailabilityMode) {
+  // Clearing D2 only loosens it: under availability-first the final ACL is
+  // itself the union bound, so one push suffices.
+  const auto f = gen::make_figure1();
+  topo::AclUpdate update;
+  update.emplace(topo::AclSlot{f.D2, topo::Dir::In}, net::Acl::permit_all());
+  const auto steps = staged_plan(f.topo, update, StagingMode::AvailabilityFirst);
+  ASSERT_EQ(steps.size(), 1u);
+  EXPECT_EQ(steps[0].phase, 0);
+
+  // Security-first needs the transitional (intersection = old behaviour).
+  const auto secure = staged_plan(f.topo, update, StagingMode::SecurityFirst);
+  EXPECT_EQ(secure.size(), 2u);
+}
+
+TEST(StagedPlan, PhasesAreOrdered) {
+  const auto f = gen::make_figure1();
+  const auto update = f.running_example_update();
+  for (const auto mode : {StagingMode::AvailabilityFirst, StagingMode::SecurityFirst}) {
+    const auto steps = staged_plan(f.topo, update, mode);
+    int last_phase = 0;
+    for (const auto& step : steps) {
+      EXPECT_GE(step.phase, last_phase);
+      last_phase = step.phase;
+    }
+  }
+}
+
+// The staging guarantee, verified exactly: at every point of any in-phase
+// interleaving, each slot's permitted set lies within the mode's bound.
+class StagedPlanProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(StagedPlanProperty, TransientBehaviourIsBounded) {
+  const auto f = gen::make_figure1();
+  const auto update = f.running_example_update();
+  const bool availability = GetParam() % 2 == 0;
+  const auto mode = availability ? StagingMode::AvailabilityFirst : StagingMode::SecurityFirst;
+  const auto steps = staged_plan(f.topo, update, mode);
+
+  // Replay the pushes in a random order that respects phases: shuffle each
+  // phase independently, then concatenate in phase order.
+  std::mt19937 rng(GetParam());
+  std::vector<std::size_t> order;
+  for (int phase = 0; phase <= 1; ++phase) {
+    std::vector<std::size_t> in_phase;
+    for (std::size_t i = 0; i < steps.size(); ++i) {
+      if (steps[i].phase == phase) in_phase.push_back(i);
+    }
+    std::shuffle(in_phase.begin(), in_phase.end(), rng);
+    order.insert(order.end(), in_phase.begin(), in_phase.end());
+  }
+
+  topo::AclUpdate state;  // what has been pushed so far
+  const auto check_bounds = [&]() {
+    const topo::ConfigView view{f.topo, &state};
+    for (const auto& [slot, after] : update) {
+      const auto current = net::permitted_set(view.acl(slot));
+      const auto before_set = net::permitted_set(f.topo.acl(slot));
+      const auto after_set = net::permitted_set(after);
+      if (availability) {
+        EXPECT_TRUE((before_set | after_set).contains(current));
+        EXPECT_TRUE(current.contains(before_set & after_set));
+      } else {
+        // Security-first: never permit beyond either endpoint... i.e. the
+        // current set is within the union, and everything both endpoints
+        // deny stays denied.
+        EXPECT_TRUE((before_set | after_set).contains(current));
+      }
+    }
+  };
+
+  check_bounds();
+  for (const auto i : order) {
+    state.insert_or_assign(steps[i].slot, steps[i].acl);
+    check_bounds();
+  }
+
+  // Deployment complete: the final state equals the update.
+  const topo::ConfigView final_view{f.topo, &state};
+  for (const auto& [slot, after] : update) {
+    EXPECT_TRUE(net::equivalent(final_view.acl(slot), after));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StagedPlanProperty, ::testing::Range(1u, 9u));
+
+TEST(DescribeUpdate, ListsAddedAndRemovedRules) {
+  const auto f = gen::make_figure1();
+  const auto update = f.running_example_update();
+  const auto text = describe_update(f.topo, update);
+  EXPECT_NE(text.find("A:1-in:"), std::string::npos);
+  EXPECT_NE(text.find("+ deny dst 1.0.0.0/8"), std::string::npos);
+  EXPECT_NE(text.find("D:2-in:"), std::string::npos);
+  EXPECT_NE(text.find("- deny dst 2.0.0.0/8"), std::string::npos);
+}
+
+TEST(DescribeUpdate, NoChanges) {
+  const auto f = gen::make_figure1();
+  EXPECT_EQ(describe_update(f.topo, {}), "(no changes)\n");
+  topo::AclUpdate same;
+  same.emplace(topo::AclSlot{f.A1, topo::Dir::In}, f.topo.acl(f.A1, topo::Dir::In));
+  EXPECT_EQ(describe_update(f.topo, same), "(no changes)\n");
+}
+
+}  // namespace
+}  // namespace jinjing::core

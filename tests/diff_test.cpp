@@ -1,0 +1,136 @@
+#include "core/diff.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "net/acl_algebra.h"
+
+namespace jinjing::core {
+namespace {
+
+using net::Acl;
+using net::AclRule;
+
+TEST(Lcs, IdenticalListsFullyMarked) {
+  const auto rules = Acl::parse({"deny dst 1.0.0.0/8", "permit all"}).rules();
+  const auto marks = lcs_marks(rules, rules);
+  EXPECT_EQ(marks.in_a, (std::vector<bool>{true, true}));
+  EXPECT_EQ(marks.in_b, (std::vector<bool>{true, true}));
+}
+
+TEST(Lcs, InsertionMarksOnlyCommonPart) {
+  const auto before = Acl::parse({"deny dst 1.0.0.0/8", "permit all"}).rules();
+  const auto after =
+      Acl::parse({"deny dst 1.0.0.0/8", "deny dst 9.0.0.0/8", "permit all"}).rules();
+  const auto marks = lcs_marks(before, after);
+  EXPECT_EQ(marks.in_a, (std::vector<bool>{true, true}));
+  EXPECT_EQ(marks.in_b, (std::vector<bool>{true, false, true}));
+}
+
+TEST(Lcs, DisjointListsShareNothing) {
+  const auto a = Acl::parse({"deny dst 1.0.0.0/8"}).rules();
+  const auto b = Acl::parse({"permit dst 2.0.0.0/8"}).rules();
+  const auto marks = lcs_marks(a, b);
+  EXPECT_EQ(marks.in_a, (std::vector<bool>{false}));
+  EXPECT_EQ(marks.in_b, (std::vector<bool>{false}));
+}
+
+TEST(Lcs, ReorderKeepsOneCopy) {
+  // Swapping two rules: LCS keeps one; the two positions of the other are
+  // the differential.
+  const auto a = Acl::parse({"deny dst 1.0.0.0/8", "deny dst 2.0.0.0/8"}).rules();
+  const auto b = Acl::parse({"deny dst 2.0.0.0/8", "deny dst 1.0.0.0/8"}).rules();
+  const auto marks = lcs_marks(a, b);
+  int common = 0;
+  for (const bool m : marks.in_a) common += m;
+  EXPECT_EQ(common, 1);
+}
+
+TEST(DifferentialRules, CapturesAddedAndRemoved) {
+  const auto before = Acl::parse({"deny dst 1.0.0.0/8", "deny dst 2.0.0.0/8", "permit all"});
+  const auto after = Acl::parse({"deny dst 2.0.0.0/8", "deny dst 3.0.0.0/8", "permit all"});
+  const auto diff = differential_rules(before, after);
+  ASSERT_EQ(diff.size(), 2u);
+  EXPECT_EQ(diff[0], net::parse_rule("deny dst 1.0.0.0/8"));  // removed
+  EXPECT_EQ(diff[1], net::parse_rule("deny dst 3.0.0.0/8"));  // added
+}
+
+TEST(DifferentialRules, EmptyWhenUnchanged) {
+  const auto acl = Acl::parse({"deny dst 1.0.0.0/8", "permit all"});
+  EXPECT_TRUE(differential_rules(acl, acl).empty());
+}
+
+TEST(DifferentialRules, DefaultActionChangeIsMatchAll) {
+  const Acl before{{net::parse_rule("deny dst 1.0.0.0/8")}, net::Action::Permit};
+  const Acl after{{net::parse_rule("deny dst 1.0.0.0/8")}, net::Action::Deny};
+  const auto diff = differential_rules(before, after);
+  ASSERT_EQ(diff.size(), 1u);
+  EXPECT_TRUE(diff[0].match.is_any());
+}
+
+TEST(RelatedRules, KeepsOnlyOverlapping) {
+  const auto acl = Acl::parse(
+      {"deny dst 1.0.0.0/8", "permit dst 1.2.0.0/16", "deny dst 9.0.0.0/8", "permit all"});
+  const std::vector<AclRule> diff = {net::parse_rule("deny dst 1.2.3.0/24")};
+  const auto reduced = related_rules(acl, diff);
+  // 1/8 and 1.2/16 and permit-all overlap the /24; 9/8 does not.
+  ASSERT_EQ(reduced.size(), 3u);
+  EXPECT_EQ(reduced.rules()[0], net::parse_rule("deny dst 1.0.0.0/8"));
+  EXPECT_EQ(reduced.rules()[1], net::parse_rule("permit dst 1.2.0.0/16"));
+  EXPECT_EQ(reduced.rules()[2], net::parse_rule("permit all"));
+  EXPECT_EQ(reduced.default_action(), acl.default_action());
+}
+
+TEST(RelatedRules, EmptyDiffDropsEverything) {
+  const auto acl = Acl::parse({"deny dst 1.0.0.0/8", "permit all"});
+  EXPECT_TRUE(related_rules(acl, {}).empty());
+}
+
+// Theorem 4.1 property: for random ACL pairs, the reduced pair is
+// equivalent exactly when the original pair is (pointwise, via the exact
+// header-space engine).
+class Theorem41 : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(Theorem41, ReducedEquivalenceMatchesOriginal) {
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<int> octet(0, 5);
+  std::uniform_int_distribution<int> action(0, 1);
+  std::uniform_int_distribution<int> n_rules(1, 6);
+  std::uniform_int_distribution<int> mutate(0, 2);
+
+  const auto random_rule = [&]() {
+    net::Match m;
+    m.dst = net::Prefix{net::Ipv4{static_cast<std::uint8_t>(octet(rng)), 0, 0, 0}, 8};
+    return AclRule{action(rng) ? net::Action::Permit : net::Action::Deny, m};
+  };
+
+  std::vector<AclRule> rules;
+  const int n = n_rules(rng);
+  for (int i = 0; i < n; ++i) rules.push_back(random_rule());
+  const Acl before{rules};
+
+  // Mutate: drop / insert / replace a random rule.
+  std::vector<AclRule> mutated = rules;
+  const auto pos = static_cast<std::size_t>(std::uniform_int_distribution<int>(
+      0, static_cast<int>(mutated.size()) - 1)(rng));
+  switch (mutate(rng)) {
+    case 0: mutated.erase(mutated.begin() + static_cast<std::ptrdiff_t>(pos)); break;
+    case 1: mutated.insert(mutated.begin() + static_cast<std::ptrdiff_t>(pos), random_rule()); break;
+    default: mutated[pos] = random_rule(); break;
+  }
+  const Acl after{mutated};
+
+  const auto diff = differential_rules(before, after);
+  const auto reduced_before = related_rules(before, diff);
+  const auto reduced_after = related_rules(after, diff);
+
+  EXPECT_EQ(net::equivalent(before, after), net::equivalent(reduced_before, reduced_after))
+      << to_string(before) << "--\n"
+      << to_string(after);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Theorem41, ::testing::Range(1u, 41u));
+
+}  // namespace
+}  // namespace jinjing::core

@@ -1,0 +1,88 @@
+#include "topo/fec.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gen/fixtures.h"
+
+namespace jinjing::topo {
+namespace {
+
+using gen::Figure1;
+
+TEST(Fec, Figure1HasExactlyThePaperClasses) {
+  const auto f = gen::make_figure1();
+  const auto fecs = forwarding_equivalence_classes(f.topo, f.scope, f.traffic);
+  ASSERT_EQ(fecs.size(), 5u);
+
+  // The paper's classes: {1}, {2,3}, {4}, {5,6}, {7}.
+  const std::vector<net::PacketSet> expected = {
+      Figure1::traffic_class(1),
+      Figure1::traffic_class(2) | Figure1::traffic_class(3),
+      Figure1::traffic_class(4),
+      Figure1::traffic_class(5) | Figure1::traffic_class(6),
+      Figure1::traffic_class(7),
+  };
+  for (const auto& want : expected) {
+    const bool found = std::any_of(fecs.begin(), fecs.end(),
+                                   [&](const net::PacketSet& got) { return got.equals(want); });
+    EXPECT_TRUE(found) << "missing FEC " << to_string(want);
+  }
+}
+
+TEST(Fec, ClassesPartitionTheEnteringTraffic) {
+  const auto f = gen::make_figure1();
+  const auto fecs = forwarding_equivalence_classes(f.topo, f.scope, f.traffic);
+  net::PacketSet covered;
+  for (const auto& fec : fecs) {
+    EXPECT_FALSE(fec.is_empty());
+    EXPECT_FALSE(covered.intersects(fec)) << "classes overlap";
+    covered = covered | fec;
+  }
+  EXPECT_TRUE(covered.equals(f.traffic));
+}
+
+TEST(Fec, MembersOfAClassUseTheSameEdges) {
+  const auto f = gen::make_figure1();
+  const auto fecs = forwarding_equivalence_classes(f.topo, f.scope, f.traffic);
+  for (const auto& fec : fecs) {
+    // Every edge predicate either contains the class or misses it entirely.
+    for (const auto& edge : f.topo.edges()) {
+      const bool inside = edge.predicate.contains(fec);
+      const bool outside = !edge.predicate.intersects(fec);
+      EXPECT_TRUE(inside || outside);
+    }
+  }
+}
+
+TEST(Fec, EmptyTrafficYieldsNoClasses) {
+  const auto f = gen::make_figure1();
+  EXPECT_TRUE(forwarding_equivalence_classes(f.topo, f.scope, net::PacketSet::empty()).empty());
+}
+
+TEST(RefineIntoAtoms, NoPredicatesKeepsUniverse) {
+  const auto universe = Figure1::traffic_class(1) | Figure1::traffic_class(2);
+  const auto atoms = refine_into_atoms(universe, {});
+  ASSERT_EQ(atoms.size(), 1u);
+  EXPECT_TRUE(atoms[0].equals(universe));
+}
+
+TEST(RefineIntoAtoms, PredicateConstantOnEachAtom) {
+  const auto universe = net::PacketSet::all();
+  const std::vector<net::PacketSet> preds = {
+      Figure1::traffic_class(1) | Figure1::traffic_class(2),
+      Figure1::traffic_class(2) | Figure1::traffic_class(3),
+  };
+  const auto atoms = refine_into_atoms(universe, preds);
+  // Atoms: {1}, {2}, {3}, rest => 4 classes.
+  EXPECT_EQ(atoms.size(), 4u);
+  for (const auto& atom : atoms) {
+    for (const auto& pred : preds) {
+      EXPECT_TRUE(pred.contains(atom) || !pred.intersects(atom));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace jinjing::topo

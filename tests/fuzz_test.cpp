@@ -1,0 +1,113 @@
+// Deterministic fuzz: the parsers must reject malformed input with their
+// typed errors — never crash, hang, or accept garbage silently.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "config/acl_format.h"
+#include "config/topology_format.h"
+#include "lai/parser.h"
+
+namespace jinjing {
+namespace {
+
+/// Random printable garbage with structure-ish characters overrepresented.
+std::string random_text(std::mt19937& rng, std::size_t length) {
+  static constexpr char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyz0123456789 .:/-|,*#!\n\t;'\"()";
+  std::uniform_int_distribution<std::size_t> pick(0, sizeof(kAlphabet) - 2);
+  std::string out;
+  out.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) out.push_back(kAlphabet[pick(rng)]);
+  return out;
+}
+
+/// Truncations and single-character corruptions of a valid input.
+std::vector<std::string> mutations(const std::string& valid, std::mt19937& rng) {
+  std::vector<std::string> out;
+  std::uniform_int_distribution<std::size_t> pos(0, valid.size() - 1);
+  for (int i = 0; i < 10; ++i) out.push_back(valid.substr(0, pos(rng)));
+  for (int i = 0; i < 10; ++i) {
+    std::string m = valid;
+    m[pos(rng)] = static_cast<char>('!' + static_cast<int>(pos(rng)) % 90);
+    out.push_back(m);
+  }
+  return out;
+}
+
+template <typename Parse>
+void expect_no_crash(const std::string& input, Parse&& parse) {
+  try {
+    parse(input);
+  } catch (const net::ParseError&) {
+  } catch (const lai::LaiError&) {
+  }
+  // Any other exception type (or a crash) fails the test via gtest/ctest.
+}
+
+class ParserFuzz : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ParserFuzz, LaiParserNeverCrashes) {
+  std::mt19937 rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    expect_no_crash(random_text(rng, 1 + i % 120),
+                    [](const std::string& s) { (void)lai::parse(s); });
+  }
+  const std::string valid =
+      "scope A:*, B:*\nallow A:*-in\nmodify A:1-in to x\n"
+      "control A:1 -> B:2 isolate dst 1.0.0.0/8\ncheck\nfix\n";
+  for (const auto& m : mutations(valid, rng)) {
+    expect_no_crash(m, [](const std::string& s) { (void)lai::parse(s); });
+  }
+}
+
+TEST_P(ParserFuzz, AclParsersNeverCrash) {
+  std::mt19937 rng(GetParam() + 1000);
+  for (int i = 0; i < 200; ++i) {
+    const auto text = random_text(rng, 1 + i % 100);
+    expect_no_crash(text, [](const std::string& s) { (void)config::parse_acl_auto(s); });
+    expect_no_crash(text, [](const std::string& s) {
+      (void)config::parse_acl(s, config::AclDialect::Ios);
+    });
+  }
+  const std::string valid =
+      "deny dst 1.0.0.0/8\npermit src 10.0.0.0/24 dport 80 proto tcp\npermit all\n";
+  for (const auto& m : mutations(valid, rng)) {
+    expect_no_crash(m, [](const std::string& s) { (void)config::parse_acl_auto(s); });
+  }
+  const std::string ios =
+      "access-list 101 deny ip any 1.0.0.0 0.255.255.255\n"
+      "access-list 101 permit tcp any any eq 80\n";
+  for (const auto& m : mutations(ios, rng)) {
+    expect_no_crash(m, [](const std::string& s) { (void)config::parse_acl_auto(s); });
+  }
+}
+
+TEST_P(ParserFuzz, NetworkParserNeverCrashes) {
+  std::mt19937 rng(GetParam() + 2000);
+  for (int i = 0; i < 100; ++i) {
+    expect_no_crash(random_text(rng, 1 + i % 200),
+                    [](const std::string& s) { (void)config::parse_network(s); });
+  }
+  const std::string valid =
+      "device A\ndevice B\ninterface A:1 external\ninterface A:2\ninterface B:1\n"
+      "link A:1 -> A:2 dst 1.0.0.0/8\nlink A:2 -> B:1 all\n"
+      "route B 1.0.0.0/8 -> B:1\nacl A:1-in\n  deny dst 1.0.0.0/8\nend\n"
+      "traffic dst 1.0.0.0/8\n";
+  for (const auto& m : mutations(valid, rng)) {
+    expect_no_crash(m, [](const std::string& s) { (void)config::parse_network(s); });
+  }
+}
+
+TEST_P(ParserFuzz, PacketSpecNeverCrashes) {
+  std::mt19937 rng(GetParam() + 3000);
+  for (int i = 0; i < 200; ++i) {
+    expect_no_crash(random_text(rng, 1 + i % 60),
+                    [](const std::string& s) { (void)config::parse_packet_set(s); });
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz, ::testing::Range(1u, 6u));
+
+}  // namespace
+}  // namespace jinjing

@@ -1,0 +1,107 @@
+#include "net/hypercube.h"
+
+#include <gtest/gtest.h>
+
+namespace jinjing::net {
+namespace {
+
+TEST(HyperCube, DefaultIsFullSpace) {
+  const HyperCube c;
+  EXPECT_EQ(c.interval(Field::SrcIp), Interval::full(32));
+  EXPECT_EQ(c.interval(Field::Proto), Interval::full(8));
+  // 2^(32+32+16+16+8) = 2^104.
+  EXPECT_EQ(c.volume(), Volume{1} << 104);
+}
+
+TEST(HyperCube, PointContainsExactlyThatPacket) {
+  Packet p;
+  p.sip = Ipv4{10, 0, 0, 1};
+  p.dip = Ipv4{1, 2, 3, 4};
+  p.sport = 1234;
+  p.dport = 80;
+  p.proto = 6;
+  const auto c = HyperCube::point(p);
+  EXPECT_TRUE(c.contains(p));
+  EXPECT_EQ(c.volume(), Volume{1});
+  Packet q = p;
+  q.dport = 81;
+  EXPECT_FALSE(c.contains(q));
+  EXPECT_EQ(c.min_packet(), p);
+}
+
+TEST(HyperCube, IntersectPerField) {
+  HyperCube a;
+  a.set_interval(Field::DstIp, Interval(100, 200));
+  HyperCube b;
+  b.set_interval(Field::DstIp, Interval(150, 300));
+  b.set_interval(Field::DstPort, Interval(80, 80));
+  const auto c = intersect(a, b);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->interval(Field::DstIp), Interval(150, 200));
+  EXPECT_EQ(c->interval(Field::DstPort), Interval(80, 80));
+}
+
+TEST(HyperCube, IntersectDisjoint) {
+  HyperCube a;
+  a.set_interval(Field::Proto, Interval(6, 6));
+  HyperCube b;
+  b.set_interval(Field::Proto, Interval(17, 17));
+  EXPECT_FALSE(intersect(a, b).has_value());
+  EXPECT_FALSE(a.overlaps(b));
+}
+
+TEST(HyperCube, SubtractDisjointReturnsOriginal) {
+  HyperCube a;
+  a.set_interval(Field::DstIp, Interval(0, 10));
+  HyperCube b;
+  b.set_interval(Field::DstIp, Interval(20, 30));
+  const auto pieces = subtract(a, b);
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0], a);
+}
+
+TEST(HyperCube, SubtractSelfIsEmpty) {
+  HyperCube a;
+  a.set_interval(Field::SrcPort, Interval(10, 20));
+  EXPECT_TRUE(subtract(a, a).empty());
+}
+
+TEST(HyperCube, SubtractPreservesVolume) {
+  HyperCube a;
+  a.set_interval(Field::DstIp, Interval(0, 99));
+  a.set_interval(Field::DstPort, Interval(0, 9));
+  HyperCube b;
+  b.set_interval(Field::DstIp, Interval(50, 149));
+  b.set_interval(Field::DstPort, Interval(5, 14));
+  const auto pieces = subtract(a, b);
+  Volume pieces_volume = 0;
+  for (const auto& piece : pieces) {
+    pieces_volume += piece.volume();
+    EXPECT_TRUE(a.contains(piece));
+    EXPECT_FALSE(piece.overlaps(b));
+  }
+  const auto inter = intersect(a, b);
+  ASSERT_TRUE(inter.has_value());
+  EXPECT_EQ(pieces_volume + inter->volume(), a.volume());
+
+  // Pieces must be pairwise disjoint.
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    for (std::size_t j = i + 1; j < pieces.size(); ++j) {
+      EXPECT_FALSE(pieces[i].overlaps(pieces[j]));
+    }
+  }
+}
+
+TEST(HyperCube, ContainmentIsPartialOrder) {
+  HyperCube big;
+  big.set_interval(Field::DstIp, Interval(0, 100));
+  HyperCube small;
+  small.set_interval(Field::DstIp, Interval(10, 20));
+  small.set_interval(Field::Proto, Interval(6, 6));
+  EXPECT_TRUE(big.contains(small));
+  EXPECT_FALSE(small.contains(big));
+  EXPECT_TRUE(big.contains(big));
+}
+
+}  // namespace
+}  // namespace jinjing::net

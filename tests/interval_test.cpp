@@ -1,0 +1,112 @@
+#include "net/interval.h"
+
+#include <gtest/gtest.h>
+
+namespace jinjing::net {
+namespace {
+
+TEST(Interval, FullDomainBounds) {
+  EXPECT_EQ(Interval::full(8), Interval(0, 255));
+  EXPECT_EQ(Interval::full(16), Interval(0, 65535));
+  EXPECT_EQ(Interval::full(32), Interval(0, 0xFFFFFFFFull));
+  EXPECT_EQ(Interval::full(64).hi, ~std::uint64_t{0});
+}
+
+TEST(Interval, PointContainsOnlyItself) {
+  const auto p = Interval::point(42);
+  EXPECT_TRUE(p.contains(42));
+  EXPECT_FALSE(p.contains(41));
+  EXPECT_FALSE(p.contains(43));
+  EXPECT_EQ(p.size(), 1u);
+}
+
+TEST(Interval, ContainsInterval) {
+  const Interval big{10, 20};
+  EXPECT_TRUE(big.contains(Interval(10, 20)));
+  EXPECT_TRUE(big.contains(Interval(12, 18)));
+  EXPECT_FALSE(big.contains(Interval(9, 20)));
+  EXPECT_FALSE(big.contains(Interval(10, 21)));
+}
+
+TEST(Interval, OverlapsSymmetric) {
+  const Interval a{0, 10};
+  const Interval b{10, 20};
+  const Interval c{11, 20};
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_TRUE(b.overlaps(a));
+  EXPECT_FALSE(a.overlaps(c));
+  EXPECT_FALSE(c.overlaps(a));
+}
+
+TEST(Interval, IntersectDisjointIsNull) {
+  EXPECT_FALSE(intersect(Interval(0, 4), Interval(5, 9)).has_value());
+}
+
+TEST(Interval, IntersectOverlapping) {
+  const auto iv = intersect(Interval(0, 10), Interval(5, 20));
+  ASSERT_TRUE(iv.has_value());
+  EXPECT_EQ(*iv, Interval(5, 10));
+}
+
+TEST(Interval, SubtractMiddleSplits) {
+  const auto diff = subtract(Interval(0, 10), Interval(3, 7));
+  ASSERT_TRUE(diff.below.has_value());
+  ASSERT_TRUE(diff.above.has_value());
+  EXPECT_EQ(*diff.below, Interval(0, 2));
+  EXPECT_EQ(*diff.above, Interval(8, 10));
+}
+
+TEST(Interval, SubtractDisjointKeepsAll) {
+  const auto diff = subtract(Interval(0, 10), Interval(20, 30));
+  ASSERT_TRUE(diff.below.has_value());
+  EXPECT_EQ(*diff.below, Interval(0, 10));
+  EXPECT_FALSE(diff.above.has_value());
+}
+
+TEST(Interval, SubtractCoveringLeavesNothing) {
+  const auto diff = subtract(Interval(3, 7), Interval(0, 10));
+  EXPECT_FALSE(diff.below.has_value());
+  EXPECT_FALSE(diff.above.has_value());
+}
+
+TEST(Interval, SubtractEdges) {
+  const auto left = subtract(Interval(0, 10), Interval(0, 4));
+  EXPECT_FALSE(left.below.has_value());
+  ASSERT_TRUE(left.above.has_value());
+  EXPECT_EQ(*left.above, Interval(5, 10));
+
+  const auto right = subtract(Interval(0, 10), Interval(6, 10));
+  ASSERT_TRUE(right.below.has_value());
+  EXPECT_EQ(*right.below, Interval(0, 5));
+  EXPECT_FALSE(right.above.has_value());
+}
+
+// Property sweep: subtraction pieces are disjoint from the subtrahend and
+// together with the intersection exactly tile the original interval.
+class IntervalSubtractProperty : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(IntervalSubtractProperty, PiecesTileOriginal) {
+  const auto [alo, ahi, blo, bhi] = GetParam();
+  if (alo > ahi || blo > bhi) GTEST_SKIP();
+  const Interval a(alo, ahi);
+  const Interval b(blo, bhi);
+  const auto diff = subtract(a, b);
+  std::uint64_t covered = 0;
+  for (const auto& piece : {diff.below, diff.above}) {
+    if (!piece) continue;
+    EXPECT_TRUE(a.contains(*piece));
+    EXPECT_FALSE(piece->overlaps(b));
+    covered += piece->size();
+  }
+  const auto inter = intersect(a, b);
+  covered += inter ? inter->size() : 0;
+  EXPECT_EQ(covered, a.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, IntervalSubtractProperty,
+                         ::testing::Combine(::testing::Values(0, 3, 7), ::testing::Values(5, 9, 15),
+                                            ::testing::Values(0, 4, 8, 12),
+                                            ::testing::Values(2, 6, 10, 20)));
+
+}  // namespace
+}  // namespace jinjing::net

@@ -1,0 +1,114 @@
+#include "net/ip.h"
+
+#include <gtest/gtest.h>
+
+namespace jinjing::net {
+namespace {
+
+TEST(Ipv4, ParseAndFormatRoundTrip) {
+  for (const char* text : {"0.0.0.0", "1.2.3.4", "255.255.255.255", "10.0.0.1"}) {
+    EXPECT_EQ(to_string(parse_ipv4(text)), text);
+  }
+}
+
+TEST(Ipv4, ParseRejectsMalformed) {
+  for (const char* text : {"", "1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d", "1..2.3"}) {
+    EXPECT_THROW((void)parse_ipv4(text), ParseError) << text;
+  }
+}
+
+TEST(Ipv4, OctetConstructor) {
+  EXPECT_EQ((Ipv4{1, 2, 3, 4}).value, 0x01020304u);
+  EXPECT_EQ(to_string(Ipv4{10, 20, 30, 40}), "10.20.30.40");
+}
+
+TEST(Prefix, CanonicalizesHostBits) {
+  const Prefix p{Ipv4{1, 2, 3, 4}, 8};
+  EXPECT_EQ(p.addr, (Ipv4{1, 0, 0, 0}));
+  EXPECT_EQ(to_string(p), "1.0.0.0/8");
+}
+
+TEST(Prefix, ContainsAddress) {
+  const Prefix p = parse_prefix("10.1.0.0/16");
+  EXPECT_TRUE(p.contains(parse_ipv4("10.1.2.3")));
+  EXPECT_FALSE(p.contains(parse_ipv4("10.2.0.0")));
+}
+
+TEST(Prefix, ContainsNarrowerPrefix) {
+  const Prefix wide = parse_prefix("10.0.0.0/8");
+  const Prefix narrow = parse_prefix("10.1.0.0/16");
+  EXPECT_TRUE(wide.contains(narrow));
+  EXPECT_FALSE(narrow.contains(wide));
+  EXPECT_TRUE(wide.overlaps(narrow));
+  EXPECT_TRUE(narrow.overlaps(wide));
+}
+
+TEST(Prefix, DisjointPrefixesDoNotOverlap) {
+  EXPECT_FALSE(parse_prefix("10.0.0.0/8").overlaps(parse_prefix("11.0.0.0/8")));
+}
+
+TEST(Prefix, AnyMatchesEverything) {
+  EXPECT_TRUE(Prefix::any().contains(parse_ipv4("255.255.255.255")));
+  EXPECT_TRUE(Prefix::any().is_any());
+  EXPECT_EQ(Prefix::any().interval(), Interval::full(32));
+}
+
+TEST(Prefix, IntervalBounds) {
+  const Prefix p = parse_prefix("1.0.0.0/8");
+  EXPECT_EQ(p.interval().lo, 0x01000000u);
+  EXPECT_EQ(p.interval().hi, 0x01FFFFFFu);
+}
+
+TEST(Prefix, BareAddressParsesAsHost) {
+  const Prefix p = parse_prefix("1.2.3.4");
+  EXPECT_EQ(p.len, 32);
+  EXPECT_EQ(p.interval().size(), 1u);
+}
+
+TEST(Prefix, ParseRejectsBadLength) {
+  EXPECT_THROW((void)parse_prefix("1.0.0.0/33"), ParseError);
+  EXPECT_THROW((void)parse_prefix("1.0.0.0/"), ParseError);
+  EXPECT_THROW((void)parse_prefix("1.0.0.0/-1"), ParseError);
+}
+
+TEST(PortRange, SingleAndRange) {
+  EXPECT_EQ(parse_port_range("80"), PortRange::single(80));
+  EXPECT_EQ(parse_port_range("1024-2048"), PortRange(1024, 2048));
+  EXPECT_THROW((void)parse_port_range("2048-1024"), ParseError);
+  EXPECT_THROW((void)parse_port_range("65536"), ParseError);
+}
+
+TEST(PortRange, AnyByDefault) {
+  EXPECT_TRUE(PortRange::any().is_any());
+  EXPECT_TRUE(PortRange::any().contains(0));
+  EXPECT_TRUE(PortRange::any().contains(65535));
+}
+
+TEST(ProtoMatch, NamedProtocols) {
+  EXPECT_EQ(parse_proto("tcp"), ProtoMatch::tcp());
+  EXPECT_EQ(parse_proto("udp"), ProtoMatch::udp());
+  EXPECT_EQ(parse_proto("any"), ProtoMatch::any());
+  EXPECT_EQ(parse_proto("47"), ProtoMatch{47});
+  EXPECT_THROW((void)parse_proto("256"), ParseError);
+}
+
+TEST(ProtoMatch, ContainsSemantics) {
+  EXPECT_TRUE(ProtoMatch::any().contains(6));
+  EXPECT_TRUE(ProtoMatch::tcp().contains(6));
+  EXPECT_FALSE(ProtoMatch::tcp().contains(17));
+}
+
+// Prefix interval size is 2^(32-len) — swept over all lengths.
+class PrefixIntervalProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PrefixIntervalProperty, SizeMatchesLength) {
+  const auto len = static_cast<std::uint8_t>(GetParam());
+  const Prefix p{Ipv4{172, 16, 99, 201}, len};
+  EXPECT_EQ(p.interval().size(), std::uint64_t{1} << (32 - len));
+  EXPECT_TRUE(p.contains(p.addr));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLengths, PrefixIntervalProperty, ::testing::Range(0, 33));
+
+}  // namespace
+}  // namespace jinjing::net

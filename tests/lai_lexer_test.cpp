@@ -1,0 +1,73 @@
+#include "lai/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace jinjing::lai {
+namespace {
+
+std::vector<TokenKind> kinds(std::string_view src) {
+  std::vector<TokenKind> out;
+  for (const auto& tok : tokenize(src)) out.push_back(tok.kind);
+  return out;
+}
+
+TEST(LaiLexer, KeywordsAndPunctuation) {
+  EXPECT_EQ(kinds("scope A:*"), (std::vector<TokenKind>{TokenKind::KwScope, TokenKind::Ident,
+                                                        TokenKind::Colon, TokenKind::Star,
+                                                        TokenKind::End}));
+  EXPECT_EQ(kinds("check"), (std::vector<TokenKind>{TokenKind::KwCheck, TokenKind::End}));
+}
+
+TEST(LaiLexer, ArrowAndDirectionSuffixes) {
+  EXPECT_EQ(kinds("R1:*-in -> R3:*-out"),
+            (std::vector<TokenKind>{TokenKind::Ident, TokenKind::Colon, TokenKind::Star,
+                                    TokenKind::DirIn, TokenKind::Arrow, TokenKind::Ident,
+                                    TokenKind::Colon, TokenKind::Star, TokenKind::DirOut,
+                                    TokenKind::End}));
+}
+
+TEST(LaiLexer, PrefixesLexAsSingleIdent) {
+  const auto toks = tokenize("isolate from 1.2.0.0/16");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[0].kind, TokenKind::KwIsolate);
+  EXPECT_EQ(toks[1].kind, TokenKind::KwFrom);
+  EXPECT_EQ(toks[2].kind, TokenKind::Ident);
+  EXPECT_EQ(toks[2].text, "1.2.0.0/16");
+}
+
+TEST(LaiLexer, NewlinesCollapseIntoOneSeparator) {
+  const auto toks = kinds("check\n\n\nfix");
+  EXPECT_EQ(toks, (std::vector<TokenKind>{TokenKind::KwCheck, TokenKind::Newline,
+                                          TokenKind::KwFix, TokenKind::End}));
+}
+
+TEST(LaiLexer, CommentsIgnored) {
+  const auto toks = kinds("check # verify the update\nfix");
+  EXPECT_EQ(toks, (std::vector<TokenKind>{TokenKind::KwCheck, TokenKind::Newline,
+                                          TokenKind::KwFix, TokenKind::End}));
+}
+
+TEST(LaiLexer, PrimedNamesAreIdents) {
+  const auto toks = tokenize("modify D:2 to D2'");
+  EXPECT_EQ(toks[5].kind, TokenKind::Ident);
+  EXPECT_EQ(toks[5].text, "D2'");
+}
+
+TEST(LaiLexer, TrailingNewlineDropped) {
+  EXPECT_EQ(kinds("check\n"), (std::vector<TokenKind>{TokenKind::KwCheck, TokenKind::End}));
+}
+
+TEST(LaiLexer, ErrorsCarryPosition) {
+  try {
+    (void)tokenize("scope A\n   ?");
+    FAIL() << "expected LaiError";
+  } catch (const LaiError& e) {
+    EXPECT_EQ(e.line, 2u);
+    EXPECT_EQ(e.column, 4u);
+  }
+}
+
+TEST(LaiLexer, BareDashRejected) { EXPECT_THROW((void)tokenize("a - b"), LaiError); }
+
+}  // namespace
+}  // namespace jinjing::lai

@@ -1,0 +1,134 @@
+#include "lai/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "lai/printer.h"
+
+namespace jinjing::lai {
+namespace {
+
+// The §3.2 running example (Figure 3).
+constexpr const char* kRunningExample = R"(
+scope A:*, B:*, C:*, D:*
+allow A:*, B:*
+modify A:1-in to A1p, A:3-out to A3p, C:1-in to C1p, D:2-in to D2p
+check
+fix
+)";
+
+// §7 Scenario 1: isolating a service area.
+constexpr const char* kScenario1 = R"(
+scope R1:*, R2:*, R3:*
+allow R1:*-in, R2:*-in, R3:*-in
+control R1:*, R2:* -> R3:*-out isolate from 1.2.0.0/16
+control R3:*-in -> R1:*, R2:* isolate to 1.2.0.0/16
+generate
+)";
+
+TEST(LaiParser, RunningExampleStructure) {
+  const auto prog = parse(kRunningExample);
+  ASSERT_EQ(prog.scope.size(), 4u);
+  EXPECT_EQ(prog.scope[0], (IfaceRef{"A", std::nullopt, std::nullopt}));
+  ASSERT_EQ(prog.allow.size(), 2u);
+  ASSERT_EQ(prog.modifies.size(), 4u);
+  EXPECT_EQ(prog.modifies[0].slot, (IfaceRef{"A", "1", topo::Dir::In}));
+  EXPECT_EQ(prog.modifies[0].acl_name, "A1p");
+  EXPECT_EQ(prog.modifies[1].slot, (IfaceRef{"A", "3", topo::Dir::Out}));
+  EXPECT_TRUE(prog.controls.empty());
+  EXPECT_EQ(prog.commands, (std::vector<Command>{Command::Check, Command::Fix}));
+}
+
+TEST(LaiParser, Scenario1Controls) {
+  const auto prog = parse(kScenario1);
+  ASSERT_EQ(prog.controls.size(), 2u);
+  const auto& c0 = prog.controls[0];
+  EXPECT_EQ(c0.from.size(), 2u);
+  EXPECT_EQ(c0.to.size(), 1u);
+  EXPECT_EQ(c0.to[0], (IfaceRef{"R3", std::nullopt, topo::Dir::Out}));
+  EXPECT_EQ(c0.verb, ControlVerb::Isolate);
+  EXPECT_EQ(c0.header.kind, HeaderSpec::Kind::Src);
+  EXPECT_EQ(c0.header.prefix, net::parse_prefix("1.2.0.0/16"));
+  EXPECT_EQ(prog.controls[1].header.kind, HeaderSpec::Kind::Dst);
+  EXPECT_EQ(prog.commands, (std::vector<Command>{Command::Generate}));
+}
+
+TEST(LaiParser, MaintainThenIsolatePriorityOrderPreserved) {
+  const auto prog = parse(R"(
+scope A:*
+allow A:*
+control A:1 -> C:3 maintain dst 7.0.0.0/8
+control A:1 -> C:3 isolate dst all
+generate
+)");
+  ASSERT_EQ(prog.controls.size(), 2u);
+  EXPECT_EQ(prog.controls[0].verb, ControlVerb::Maintain);
+  EXPECT_EQ(prog.controls[1].verb, ControlVerb::Isolate);
+  // "dst all" resolves to the any-prefix.
+  EXPECT_EQ(prog.controls[1].header.prefix, net::Prefix::any());
+}
+
+TEST(LaiParser, SemicolonsSeparateStatements) {
+  const auto prog = parse("scope A:*; allow A:*; check");
+  EXPECT_EQ(prog.commands, (std::vector<Command>{Command::Check}));
+}
+
+TEST(LaiParser, BareDeviceNameIsWildcard) {
+  const auto prog = parse("scope A, B\ncheck");
+  ASSERT_EQ(prog.scope.size(), 2u);
+  EXPECT_EQ(prog.scope[0], (IfaceRef{"A", std::nullopt, std::nullopt}));
+}
+
+TEST(LaiParser, NilList) {
+  const auto prog = parse("scope A:*\nallow nil\ncheck");
+  EXPECT_TRUE(prog.allow.empty());
+}
+
+TEST(LaiParser, AndKeywordAsSeparator) {
+  const auto prog = parse("scope A:1 and B:2\ncheck");
+  ASSERT_EQ(prog.scope.size(), 2u);
+  EXPECT_EQ(prog.scope[1], (IfaceRef{"B", "2", std::nullopt}));
+}
+
+TEST(LaiParser, ErrorsOnMissingScope) {
+  EXPECT_THROW((void)parse("check"), LaiError);
+}
+
+TEST(LaiParser, ErrorsOnMissingCommand) {
+  EXPECT_THROW((void)parse("scope A:*"), LaiError);
+}
+
+TEST(LaiParser, ErrorsOnBadControl) {
+  EXPECT_THROW((void)parse("scope A:*\ncontrol A:1 C:3 isolate\ncheck"), LaiError);
+  EXPECT_THROW((void)parse("scope A:*\ncontrol A:1 -> C:3 destroy\ncheck"), LaiError);
+  EXPECT_THROW((void)parse("scope A:*\ncontrol A:1 -> C:3 isolate dst 1.0.0.0/99\ncheck"),
+               LaiError);
+}
+
+TEST(LaiParser, ErrorsOnGarbageStatement) {
+  EXPECT_THROW((void)parse("scope A:*\nfrobnicate\ncheck"), LaiError);
+}
+
+// Round-trip property: parse(print(parse(src))) == parse(src).
+class LaiRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(LaiRoundTrip, PrintParseFixpoint) {
+  const auto prog = parse(GetParam());
+  const auto printed = print(prog);
+  const auto reparsed = parse(printed);
+  EXPECT_EQ(prog, reparsed) << printed;
+  EXPECT_EQ(print(reparsed), printed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Programs, LaiRoundTrip,
+                         ::testing::Values(kRunningExample, kScenario1,
+                                           "scope A:*\nallow nil\ncheck",
+                                           "scope X\ncontrol X:1 -> X:2 open dst 9.0.0.0/8\n"
+                                           "control X:1 -> X:2 maintain all\ngenerate"));
+
+TEST(LaiPrinter, LineCountMatchesStatements) {
+  EXPECT_EQ(line_count(parse(kRunningExample)), 8u);  // scope+allow+4 modify+check+fix
+  EXPECT_EQ(line_count(parse(kScenario1)), 5u);
+}
+
+}  // namespace
+}  // namespace jinjing::lai

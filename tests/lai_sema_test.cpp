@@ -1,0 +1,120 @@
+#include "lai/sema.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/fixtures.h"
+#include "lai/parser.h"
+
+namespace jinjing::lai {
+namespace {
+
+AclLibrary running_example_library() {
+  AclLibrary lib;
+  lib.emplace("A1p", net::Acl::parse({"deny dst 1.0.0.0/8", "deny dst 2.0.0.0/8",
+                                      "deny dst 6.0.0.0/8", "permit all"}));
+  lib.emplace("A3p", net::Acl::parse({"deny dst 7.0.0.0/8", "permit all"}));
+  lib.emplace("permit_all", net::Acl::permit_all());
+  return lib;
+}
+
+constexpr const char* kProgram = R"(
+scope A:*, B:*, C:*, D:*
+allow A:*, B:*
+modify A:1-in to A1p, A:3-out to A3p, C:1-in to permit_all, D:2-in to permit_all
+check
+fix
+)";
+
+TEST(LaiSema, ResolvesRunningExample) {
+  const auto f = gen::make_figure1();
+  const auto task = resolve(parse(kProgram), f.topo, running_example_library());
+
+  EXPECT_EQ(task.scope.size(), 4u);
+  // allow A:*, B:* => both directions of A1-A4, B1, B2 = 12 slots.
+  EXPECT_EQ(task.allowed.size(), 12u);
+  EXPECT_TRUE(task.is_allowed({f.A1, topo::Dir::In}));
+  EXPECT_TRUE(task.is_allowed({f.B2, topo::Dir::Out}));
+  EXPECT_FALSE(task.is_allowed({f.C1, topo::Dir::In}));
+
+  ASSERT_EQ(task.modify.size(), 4u);
+  const auto& a1 = task.modify.at({f.A1, topo::Dir::In});
+  EXPECT_EQ(a1.size(), 4u);
+  const auto& a3 = task.modify.at({f.A3, topo::Dir::Out});
+  EXPECT_EQ(a3.size(), 2u);
+  EXPECT_EQ(task.commands, (std::vector<Command>{Command::Check, Command::Fix}));
+}
+
+TEST(LaiSema, DirSuffixNarrowsAllowedSlots) {
+  const auto f = gen::make_figure1();
+  const auto task = resolve(parse("scope A:*\nallow A:*-in\ncheck"), f.topo);
+  EXPECT_EQ(task.allowed.size(), 4u);
+  EXPECT_TRUE(task.is_allowed({f.A1, topo::Dir::In}));
+  EXPECT_FALSE(task.is_allowed({f.A1, topo::Dir::Out}));
+}
+
+TEST(LaiSema, ModifyDefaultsToIngress) {
+  const auto f = gen::make_figure1();
+  AclLibrary lib;
+  lib.emplace("pa", net::Acl::permit_all());
+  const auto task = resolve(parse("scope D:*\nmodify D:2 to pa\ncheck"), f.topo, lib);
+  EXPECT_TRUE(task.modify.contains({f.D2, topo::Dir::In}));
+}
+
+TEST(LaiSema, ControlResolvesInterfacesAndHeader) {
+  const auto f = gen::make_figure1();
+  const auto task = resolve(parse(R"(
+scope A:*, B:*, C:*, D:*
+control A:1 -> D:3 isolate dst 2.0.0.0/8
+generate
+)"),
+                            f.topo);
+  ASSERT_EQ(task.controls.size(), 1u);
+  const auto& c = task.controls[0];
+  EXPECT_EQ(c.from, (std::vector<topo::InterfaceId>{f.A1}));
+  EXPECT_EQ(c.to, (std::vector<topo::InterfaceId>{f.D3}));
+  EXPECT_EQ(c.verb, ControlVerb::Isolate);
+  EXPECT_TRUE(c.header.equals(gen::Figure1::traffic_class(2)));
+}
+
+TEST(LaiSema, HeaderSetKinds) {
+  EXPECT_TRUE(header_set({HeaderSpec::Kind::All, {}}).equals(net::PacketSet::all()));
+  const auto src = header_set({HeaderSpec::Kind::Src, net::parse_prefix("9.0.0.0/8")});
+  net::Packet p;
+  p.sip = net::parse_ipv4("9.1.1.1");
+  EXPECT_TRUE(src.contains(p));
+  p.sip = net::parse_ipv4("8.1.1.1");
+  EXPECT_FALSE(src.contains(p));
+}
+
+TEST(LaiSema, UnknownNamesRejected) {
+  const auto f = gen::make_figure1();
+  EXPECT_THROW((void)resolve(parse("scope Z:*\ncheck"), f.topo), SemaError);
+  EXPECT_THROW((void)resolve(parse("scope A:*\nallow A:9\ncheck"), f.topo), SemaError);
+  EXPECT_THROW((void)resolve(parse("scope A:*\nmodify A:1 to ghost\ncheck"), f.topo), SemaError);
+}
+
+TEST(LaiSema, ModifyWildcardRejected) {
+  const auto f = gen::make_figure1();
+  AclLibrary lib;
+  lib.emplace("pa", net::Acl::permit_all());
+  EXPECT_THROW((void)resolve(parse("scope A:*\nmodify A:* to pa\ncheck"), f.topo, lib), SemaError);
+}
+
+TEST(LaiSema, DuplicateModifyRejected) {
+  const auto f = gen::make_figure1();
+  AclLibrary lib;
+  lib.emplace("pa", net::Acl::permit_all());
+  EXPECT_THROW((void)resolve(parse("scope A:*\nmodify A:1 to pa, A:1 to pa\ncheck"), f.topo, lib),
+               SemaError);
+}
+
+TEST(LaiSema, OutOfScopeReferencesRejected) {
+  const auto f = gen::make_figure1();
+  AclLibrary lib;
+  lib.emplace("pa", net::Acl::permit_all());
+  EXPECT_THROW((void)resolve(parse("scope A:*\nallow D:*\ncheck"), f.topo), SemaError);
+  EXPECT_THROW((void)resolve(parse("scope A:*\nmodify D:2 to pa\ncheck"), f.topo, lib), SemaError);
+}
+
+}  // namespace
+}  // namespace jinjing::lai

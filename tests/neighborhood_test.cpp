@@ -1,0 +1,106 @@
+#include "core/neighborhood.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/fixtures.h"
+#include "topo/fec.h"
+
+namespace jinjing::core {
+namespace {
+
+using gen::Figure1;
+
+TEST(DecisionModels, CollectsBothSides) {
+  const auto f = gen::make_figure1();
+  const auto update = f.running_example_update();
+  const topo::ConfigView before{f.topo};
+  const topo::ConfigView after{f.topo, &update};
+  const auto models = DecisionModels::from_views(before, after);
+  // 5 bound slots after the update (A1, A3-out, C1, D2 + originals) x 2.
+  EXPECT_EQ(models.size(), 2 * after.bound_slots().size());
+}
+
+TEST(DecisionModels, AgreementRegionContainsWitness) {
+  const auto f = gen::make_figure1();
+  const auto update = f.running_example_update();
+  const topo::ConfigView before{f.topo};
+  const topo::ConfigView after{f.topo, &update};
+  const auto models = DecisionModels::from_views(before, after);
+  for (int k = 1; k <= 7; ++k) {
+    const auto h = Figure1::traffic_packet(k);
+    const auto region = models.agreement_region(h);
+    EXPECT_TRUE(region.contains(h)) << k;
+  }
+}
+
+TEST(Neighborhood, RunningExampleEnlargesToWholeTrafficClass) {
+  // The paper: "the entire Traffic 2 is identified as a neighborhood".
+  const auto f = gen::make_figure1();
+  const auto update = f.running_example_update();
+  const topo::ConfigView before{f.topo};
+  const topo::ConfigView after{f.topo, &update};
+  const auto models = DecisionModels::from_views(before, after);
+
+  const auto fec2 = Figure1::traffic_class(2) | Figure1::traffic_class(3);
+  const auto h = Figure1::traffic_packet(2);
+  const auto cube = enlarge_neighborhood(h, fec2, models);
+  EXPECT_TRUE(net::PacketSet{cube}.equals(Figure1::traffic_class(2)));
+
+  const auto h1 = Figure1::traffic_packet(1);
+  const auto cube1 = enlarge_neighborhood(h1, Figure1::traffic_class(1), models);
+  EXPECT_TRUE(net::PacketSet{cube1}.equals(Figure1::traffic_class(1)));
+}
+
+TEST(Neighborhood, AllMembersBehaveLikeRepresentative) {
+  const auto f = gen::make_figure1();
+  const auto update = f.running_example_update();
+  const topo::ConfigView before{f.topo};
+  const topo::ConfigView after{f.topo, &update};
+  const auto models = DecisionModels::from_views(before, after);
+
+  const auto fecs = topo::forwarding_equivalence_classes(f.topo, f.scope, f.traffic);
+  for (const auto& fec : fecs) {
+    const auto h = fec.sample();
+    const auto cube = enlarge_neighborhood(h, fec, models);
+    const net::PacketSet neighborhood{cube};
+    EXPECT_TRUE(fec.contains(neighborhood));
+    // Every ACL (before and after) is constant on the neighborhood.
+    for (const auto slot : after.bound_slots()) {
+      for (const auto* view : {&before, &after}) {
+        const auto permitted = net::permitted_set(view->acl(slot));
+        EXPECT_TRUE(permitted.contains(neighborhood) || !permitted.intersects(neighborhood));
+      }
+    }
+  }
+}
+
+TEST(Neighborhood, PointFecYieldsPointOrLarger) {
+  const auto f = gen::make_figure1();
+  const topo::ConfigView view{f.topo};
+  const auto models = DecisionModels::from_views(view, view);
+  const auto h = Figure1::traffic_packet(4);
+  const auto cube = enlarge_neighborhood(h, net::PacketSet::point(h), models);
+  EXPECT_TRUE(net::PacketSet{cube}.equals(net::PacketSet::point(h)));
+}
+
+TEST(Neighborhood, FieldsArePrefixAligned) {
+  const auto f = gen::make_figure1();
+  const auto update = f.running_example_update();
+  const topo::ConfigView before{f.topo};
+  const topo::ConfigView after{f.topo, &update};
+  const auto models = DecisionModels::from_views(before, after);
+  net::Packet h = Figure1::traffic_packet(2);
+  h.sport = 1234;
+  h.dport = 80;
+  const auto cube =
+      enlarge_neighborhood(h, Figure1::traffic_class(2) | Figure1::traffic_class(3), models);
+  for (const auto field : net::kAllFields) {
+    const auto iv = cube.interval(field);
+    const auto size = iv.size();
+    EXPECT_EQ(size & (size - 1), 0u) << "block size must be a power of two";
+    EXPECT_EQ(iv.lo % size, 0u) << "block must be aligned";
+  }
+}
+
+}  // namespace
+}  // namespace jinjing::core

@@ -1,0 +1,186 @@
+#include "net/packet_set.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace jinjing::net {
+namespace {
+
+PacketSet dst_set(std::uint64_t lo, std::uint64_t hi) {
+  HyperCube c;
+  c.set_interval(Field::DstIp, Interval(lo, hi));
+  return PacketSet{c};
+}
+
+TEST(PacketSet, EmptyAndAll) {
+  EXPECT_TRUE(PacketSet::empty().is_empty());
+  EXPECT_FALSE(PacketSet::all().is_empty());
+  EXPECT_EQ(PacketSet::all().volume(), Volume{1} << 104);
+  EXPECT_TRUE(PacketSet::all().complement().is_empty());
+  EXPECT_TRUE(PacketSet::empty().complement().equals(PacketSet::all()));
+}
+
+TEST(PacketSet, UnionKeepsDisjointInvariantAndVolume) {
+  const auto a = dst_set(0, 100);
+  const auto b = dst_set(50, 150);
+  const auto u = a | b;
+  EXPECT_EQ(u.volume(), dst_set(0, 150).volume());
+  EXPECT_TRUE(u.equals(dst_set(0, 150)));
+  // Internal cubes pairwise disjoint.
+  for (std::size_t i = 0; i < u.cubes().size(); ++i) {
+    for (std::size_t j = i + 1; j < u.cubes().size(); ++j) {
+      EXPECT_FALSE(u.cubes()[i].overlaps(u.cubes()[j]));
+    }
+  }
+}
+
+TEST(PacketSet, IntersectAndSubtract) {
+  const auto a = dst_set(0, 100);
+  const auto b = dst_set(50, 150);
+  EXPECT_TRUE((a & b).equals(dst_set(50, 100)));
+  EXPECT_TRUE((a - b).equals(dst_set(0, 49)));
+  EXPECT_TRUE((b - a).equals(dst_set(101, 150)));
+}
+
+TEST(PacketSet, SubtractSelfIsEmpty) {
+  const auto a = dst_set(10, 1000);
+  EXPECT_TRUE((a - a).is_empty());
+}
+
+TEST(PacketSet, ContainsPacket) {
+  const auto s = dst_set(0x01000000, 0x01FFFFFF);  // 1.0.0.0/8
+  EXPECT_TRUE(s.contains(packet_to("1.2.3.4")));
+  EXPECT_FALSE(s.contains(packet_to("2.0.0.1")));
+}
+
+TEST(PacketSet, ContainsSet) {
+  EXPECT_TRUE(dst_set(0, 100).contains(dst_set(10, 20)));
+  EXPECT_FALSE(dst_set(0, 100).contains(dst_set(90, 110)));
+  EXPECT_TRUE(PacketSet::all().contains(dst_set(5, 6)));
+  EXPECT_TRUE(dst_set(3, 9).contains(PacketSet::empty()));
+}
+
+TEST(PacketSet, SampleOnEmptyThrows) {
+  EXPECT_THROW((void)PacketSet::empty().sample(), std::logic_error);
+}
+
+TEST(PacketSet, SampleIsMember) {
+  const auto s = dst_set(7, 9) | dst_set(100, 200);
+  EXPECT_TRUE(s.contains(s.sample()));
+}
+
+TEST(PacketSet, IntersectsIsFastOverlapCheck) {
+  EXPECT_TRUE(dst_set(0, 10).intersects(dst_set(10, 20)));
+  EXPECT_FALSE(dst_set(0, 10).intersects(dst_set(11, 20)));
+  EXPECT_FALSE(PacketSet::empty().intersects(PacketSet::all()));
+}
+
+// Algebraic laws checked over randomized small sets.
+class PacketSetLaws : public ::testing::TestWithParam<unsigned> {
+ protected:
+  PacketSet random_set(std::mt19937& rng) {
+    std::uniform_int_distribution<int> n_cubes(1, 3);
+    std::uniform_int_distribution<std::uint64_t> ip(0, 255);
+    std::uniform_int_distribution<std::uint64_t> port(0, 15);
+    PacketSet s;
+    const int n = n_cubes(rng);
+    for (int i = 0; i < n; ++i) {
+      HyperCube c;
+      auto lo = ip(rng), hi = ip(rng);
+      if (lo > hi) std::swap(lo, hi);
+      c.set_interval(Field::DstIp, Interval(lo, hi));
+      auto plo = port(rng), phi = port(rng);
+      if (plo > phi) std::swap(plo, phi);
+      c.set_interval(Field::DstPort, Interval(plo, phi));
+      s = s | PacketSet{c};
+    }
+    return s;
+  }
+};
+
+TEST_P(PacketSetLaws, DeMorganAndDistribution) {
+  std::mt19937 rng(GetParam());
+  const auto a = random_set(rng);
+  const auto b = random_set(rng);
+  const auto c = random_set(rng);
+
+  // De Morgan: ~(a | b) == ~a & ~b
+  EXPECT_TRUE((a | b).complement().equals(a.complement() & b.complement()));
+  // a - b == a & ~b
+  EXPECT_TRUE((a - b).equals(a & b.complement()));
+  // Distribution: a & (b | c) == (a & b) | (a & c)
+  EXPECT_TRUE((a & (b | c)).equals((a & b) | (a & c)));
+  // Inclusion-exclusion on volumes.
+  EXPECT_EQ((a | b).volume() + (a & b).volume(), a.volume() + b.volume());
+  // Idempotence.
+  EXPECT_TRUE((a | a).equals(a));
+  EXPECT_TRUE((a & a).equals(a));
+  // Double complement.
+  EXPECT_TRUE(a.complement().complement().equals(a));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PacketSetLaws, ::testing::Range(1u, 21u));
+
+
+TEST(PacketSetCompact, MergesAdjacentCubes) {
+  const auto merged = (dst_set(0, 99) | dst_set(100, 199)).compact();
+  EXPECT_EQ(merged.cube_count(), 1u);
+  EXPECT_TRUE(merged.equals(dst_set(0, 199)));
+}
+
+TEST(PacketSetCompact, DoesNotMergeAcrossGaps) {
+  auto gapped = dst_set(0, 99) | dst_set(101, 199);
+  const auto before = gapped.cube_count();
+  EXPECT_EQ(gapped.compact().cube_count(), before);
+}
+
+TEST(PacketSetCompact, DoesNotMergeMultiDimensionDifferences) {
+  net::HyperCube a;
+  a.set_interval(Field::DstIp, Interval(0, 99));
+  a.set_interval(Field::DstPort, Interval(0, 9));
+  net::HyperCube b;
+  b.set_interval(Field::DstIp, Interval(100, 199));
+  b.set_interval(Field::DstPort, Interval(10, 19));
+  auto s = PacketSet{a} | PacketSet{b};
+  EXPECT_EQ(s.compact().cube_count(), 2u);
+}
+
+TEST(PacketSetCompact, CascadesMerges) {
+  // Four quarters of a square merge down to one cube.
+  net::HyperCube q[4];
+  for (int i = 0; i < 4; ++i) {
+    q[i].set_interval(Field::DstIp, Interval((i & 1) ? 50 : 0, (i & 1) ? 99 : 49));
+    q[i].set_interval(Field::DstPort, Interval((i & 2) ? 50 : 0, (i & 2) ? 99 : 49));
+  }
+  auto s = PacketSet{q[0]} | PacketSet{q[1]} | PacketSet{q[2]} | PacketSet{q[3]};
+  EXPECT_EQ(s.compact().cube_count(), 1u);
+}
+
+class PacketSetCompactProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(PacketSetCompactProperty, PreservesSetExactly) {
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<std::uint64_t> v(0, 63);
+  PacketSet s;
+  for (int i = 0; i < 6; ++i) {
+    net::HyperCube c;
+    auto a = v(rng), b = v(rng);
+    if (a > b) std::swap(a, b);
+    c.set_interval(Field::DstIp, Interval(a, b));
+    auto p = v(rng), q = v(rng);
+    if (p > q) std::swap(p, q);
+    c.set_interval(Field::SrcPort, Interval(p, q));
+    s = s | PacketSet{c};
+  }
+  PacketSet compacted = s;
+  compacted.compact();
+  EXPECT_TRUE(compacted.equals(s));
+  EXPECT_LE(compacted.cube_count(), s.cube_count());
+  EXPECT_EQ(compacted.volume(), s.volume());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PacketSetCompactProperty, ::testing::Range(1u, 16u));
+
+}  // namespace
+}  // namespace jinjing::net

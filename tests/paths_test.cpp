@@ -1,0 +1,140 @@
+#include "topo/paths.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gen/fixtures.h"
+
+namespace jinjing::topo {
+namespace {
+
+using gen::Figure1;
+
+std::vector<std::string> path_strings(const Topology& topo, const std::vector<Path>& paths) {
+  std::vector<std::string> out;
+  out.reserve(paths.size());
+  for (const auto& p : paths) out.push_back(to_string(topo, p));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(Paths, Figure1EnumeratesExactlyThePaperPaths) {
+  const auto f = gen::make_figure1();
+  const auto paths = enumerate_paths(f.topo, f.scope);
+  const auto strings = path_strings(f.topo, paths);
+  const std::vector<std::string> expected = {
+      "<A:1, A:2, B:1, B:2, C:2, C:4, D:2, D:3>",  // p2
+      "<A:1, A:3, C:1, C:3>",                      // to C3
+      "<A:1, A:3, C:1, C:4, D:2, D:3>",            // p1
+      "<A:1, A:4, D:1, D:3>",                      // p0
+  };
+  EXPECT_EQ(strings, expected);
+}
+
+TEST(Paths, HopRolesAlternateInOut) {
+  const auto f = gen::make_figure1();
+  const auto paths = enumerate_paths(f.topo, f.scope);
+  for (const auto& p : paths) {
+    for (std::size_t i = 0; i < p.hops().size(); ++i) {
+      EXPECT_EQ(p.hops()[i].dir, i % 2 == 0 ? Dir::In : Dir::Out)
+          << to_string(f.topo, p) << " hop " << i;
+    }
+  }
+}
+
+TEST(Paths, ForwardingSetMatchesEdgePredicates) {
+  const auto f = gen::make_figure1();
+  const auto paths = enumerate_paths(f.topo, f.scope);
+  // p0 carries traffic 1-6; p1 carries only 4; p2 carries 2-3.
+  for (const auto& p : paths) {
+    const auto fwd = forwarding_set(f.topo, p);
+    const auto name = to_string(f.topo, p);
+    if (name == "<A:1, A:4, D:1, D:3>") {
+      EXPECT_TRUE(fwd.equals(Figure1::traffic_class(1) | Figure1::traffic_class(2) |
+                             Figure1::traffic_class(3) | Figure1::traffic_class(4) |
+                             Figure1::traffic_class(5) | Figure1::traffic_class(6)));
+    } else if (name == "<A:1, A:3, C:1, C:4, D:2, D:3>") {
+      EXPECT_TRUE(fwd.equals(Figure1::traffic_class(4)));
+    } else if (name == "<A:1, A:2, B:1, B:2, C:2, C:4, D:2, D:3>") {
+      EXPECT_TRUE(fwd.equals(Figure1::traffic_class(2) | Figure1::traffic_class(3)));
+    } else if (name == "<A:1, A:3, C:1, C:3>") {
+      EXPECT_TRUE(fwd.equals(Figure1::traffic_class(5) | Figure1::traffic_class(6) |
+                             Figure1::traffic_class(7)));
+    } else {
+      FAIL() << "unexpected path " << name;
+    }
+  }
+}
+
+TEST(Paths, PathPermitsAppliesAllHopAcls) {
+  const auto f = gen::make_figure1();
+  const auto paths = enumerate_paths(f.topo, f.scope);
+  const auto p1_it = std::find_if(paths.begin(), paths.end(), [&](const Path& p) {
+    return to_string(f.topo, p) == "<A:1, A:3, C:1, C:4, D:2, D:3>";
+  });
+  ASSERT_NE(p1_it, paths.end());
+  // On p1: A1 denies 6, C1 denies 7, D2 denies 1 and 2.
+  EXPECT_FALSE(path_permits(f.topo, *p1_it, Figure1::traffic_packet(1)));
+  EXPECT_FALSE(path_permits(f.topo, *p1_it, Figure1::traffic_packet(2)));
+  EXPECT_TRUE(path_permits(f.topo, *p1_it, Figure1::traffic_packet(4)));
+  EXPECT_FALSE(path_permits(f.topo, *p1_it, Figure1::traffic_packet(6)));
+  EXPECT_FALSE(path_permits(f.topo, *p1_it, Figure1::traffic_packet(7)));
+}
+
+TEST(Paths, PathPermittedSetAgreesWithPointwiseEvaluation) {
+  const auto f = gen::make_figure1();
+  const ConfigView view{f.topo};
+  for (const auto& p : enumerate_paths(f.topo, f.scope)) {
+    const auto permitted = path_permitted_set(view, p);
+    for (int k = 1; k <= 7; ++k) {
+      EXPECT_EQ(permitted.contains(Figure1::traffic_packet(k)),
+                path_permits(f.topo, p, Figure1::traffic_packet(k)))
+          << to_string(f.topo, p) << " traffic " << k;
+    }
+  }
+}
+
+TEST(Paths, UpdatedViewChangesPathDecision) {
+  const auto f = gen::make_figure1();
+  const auto update = f.running_example_update();
+  const ConfigView updated{f.topo, &update};
+  const auto paths = enumerate_paths(f.topo, f.scope);
+  const auto p0_it = std::find_if(paths.begin(), paths.end(), [&](const Path& p) {
+    return to_string(f.topo, p) == "<A:1, A:4, D:1, D:3>";
+  });
+  ASSERT_NE(p0_it, paths.end());
+  // Originally traffic 2 is permitted on p0; after moving the deny to A1 it
+  // is dropped — the paper's motivating inconsistency.
+  EXPECT_TRUE(path_permits(f.topo, *p0_it, Figure1::traffic_packet(2)));
+  EXPECT_FALSE(path_permits(updated, *p0_it, Figure1::traffic_packet(2)));
+}
+
+TEST(Paths, VisitsInterfaceAndSlot) {
+  const auto f = gen::make_figure1();
+  const auto paths = enumerate_paths(f.topo, f.scope);
+  const auto& p0 = *std::find_if(paths.begin(), paths.end(), [&](const Path& p) {
+    return to_string(f.topo, p) == "<A:1, A:4, D:1, D:3>";
+  });
+  EXPECT_TRUE(p0.visits(f.A1));
+  EXPECT_FALSE(p0.visits(f.C1));
+  EXPECT_TRUE(p0.visits(AclSlot{f.A1, Dir::In}));
+  EXPECT_FALSE(p0.visits(AclSlot{f.A1, Dir::Out}));
+}
+
+TEST(Paths, MaxPathsGuardThrows) {
+  const auto f = gen::make_figure1();
+  PathEnumOptions options;
+  options.max_paths = 2;
+  EXPECT_THROW((void)enumerate_paths(f.topo, f.scope, options), TopologyError);
+}
+
+TEST(Paths, PruneUnroutableDropsNothingInFigure1) {
+  const auto f = gen::make_figure1();
+  PathEnumOptions options;
+  options.prune_unroutable = true;
+  EXPECT_EQ(enumerate_paths(f.topo, f.scope, options).size(), 4u);
+}
+
+}  // namespace
+}  // namespace jinjing::topo

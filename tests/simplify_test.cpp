@@ -1,0 +1,103 @@
+#include "core/simplify.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "net/acl_algebra.h"
+
+namespace jinjing::core {
+namespace {
+
+using net::Acl;
+
+TEST(Simplify, PaperRunningExampleA1) {
+  // §4.2: after fixing, A1 = "permit 1/8, permit 2/8, deny 1/8, deny 2/8,
+  // deny 6/8, permit all" and simplification removes the first four rules.
+  const auto fixed = Acl::parse({"permit dst 1.0.0.0/8", "permit dst 2.0.0.0/8",
+                                 "deny dst 1.0.0.0/8", "deny dst 2.0.0.0/8", "deny dst 6.0.0.0/8",
+                                 "permit all"});
+  // (The explicit trailing "permit all" also folds into the implicit
+  // default action of our ACL model.)
+  const auto simplified = simplify(fixed);
+  ASSERT_EQ(simplified.size(), 1u);
+  EXPECT_EQ(simplified.rules()[0], net::parse_rule("deny dst 6.0.0.0/8"));
+  EXPECT_TRUE(net::equivalent(fixed, simplified));
+}
+
+TEST(Simplify, KeepsNonRedundantRules) {
+  const auto acl = Acl::parse({"permit dst 1.2.0.0/16", "deny dst 1.0.0.0/8", "permit all"});
+  const auto simplified = simplify(acl);
+  EXPECT_EQ(simplified.size(), 2u);  // permit-all is redundant, others are not
+  EXPECT_TRUE(net::equivalent(acl, simplified));
+}
+
+TEST(Simplify, ShadowedRuleRemoved) {
+  const auto acl = Acl::parse({"deny dst 1.0.0.0/8", "permit dst 1.2.0.0/16"});
+  const auto simplified = simplify(acl);
+  EXPECT_EQ(simplified.size(), 1u);
+  EXPECT_TRUE(net::equivalent(acl, simplified));
+}
+
+TEST(Simplify, TrailingPermitAllMatchingDefaultRemoved) {
+  const auto acl = Acl::parse({"deny dst 1.0.0.0/8", "permit all"});
+  const auto simplified = simplify(acl);
+  EXPECT_EQ(simplified.size(), 1u);
+}
+
+TEST(Simplify, EmptyAclUnchanged) {
+  EXPECT_EQ(simplify(Acl::permit_all()).size(), 0u);
+}
+
+TEST(Simplify, Idempotent) {
+  const auto acl = Acl::parse({"permit dst 1.0.0.0/8", "deny dst 1.0.0.0/8", "deny dst 2.0.0.0/8",
+                               "permit all"});
+  const auto once = simplify(acl);
+  const auto twice = simplify(once);
+  EXPECT_EQ(once, twice);
+}
+
+TEST(SimplifyOn, UniverseRestrictedRemoval) {
+  // Within universe dst 1/8, the deny 2/8 rule is unobservable.
+  net::HyperCube u;
+  u.set_interval(net::Field::DstIp, net::parse_prefix("1.0.0.0/8").interval());
+  const net::PacketSet universe{u};
+  const auto acl = Acl::parse({"deny dst 2.0.0.0/8", "deny dst 1.0.0.0/8"});
+  const auto simplified = simplify_on(acl, universe);
+  ASSERT_EQ(simplified.size(), 1u);
+  EXPECT_EQ(simplified.rules()[0], net::parse_rule("deny dst 1.0.0.0/8"));
+}
+
+// Property: simplification preserves the exact decision model and never
+// grows the ACL, for random rule lists.
+class SimplifyProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SimplifyProperty, EquivalentAndNoLarger) {
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<int> octet(0, 4);
+  std::uniform_int_distribution<int> action(0, 1);
+  std::uniform_int_distribution<int> n_rules(0, 10);
+  std::uniform_int_distribution<int> len_choice(0, 2);
+
+  std::vector<net::AclRule> rules;
+  const int n = n_rules(rng);
+  for (int i = 0; i < n; ++i) {
+    net::Match m;
+    const std::uint8_t lens[] = {8, 16, 0};
+    m.dst = net::Prefix{net::Ipv4{static_cast<std::uint8_t>(octet(rng)), 0, 0, 0},
+                        lens[len_choice(rng)]};
+    rules.push_back({action(rng) ? net::Action::Permit : net::Action::Deny, m});
+  }
+  const Acl acl{rules, action(rng) ? net::Action::Permit : net::Action::Deny};
+  const auto simplified = simplify(acl);
+  EXPECT_LE(simplified.size(), acl.size());
+  EXPECT_TRUE(net::equivalent(acl, simplified)) << to_string(acl) << "--\n"
+                                                << to_string(simplified);
+  // No rule in the result is itself redundant (fixpoint reached).
+  EXPECT_EQ(simplify(simplified), simplified);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplifyProperty, ::testing::Range(1u, 31u));
+
+}  // namespace
+}  // namespace jinjing::core

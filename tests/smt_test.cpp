@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "net/acl_algebra.h"
+#include "smt/acl_encoder.h"
+#include "smt/context.h"
+#include "smt/encode.h"
+
+namespace jinjing::smt {
+namespace {
+
+using net::Acl;
+using net::packet_to;
+
+TEST(SmtEncode, IntervalMembership) {
+  SmtContext smt;
+  const auto h = smt.packet_vars();
+  auto solver = smt.make_solver();
+  solver.add(in_interval(h, net::Field::DstPort, net::Interval{80, 90}));
+  const auto packet = smt.solve_for_packet(solver, h);
+  ASSERT_TRUE(packet.has_value());
+  EXPECT_GE(packet->dport, 80);
+  EXPECT_LE(packet->dport, 90);
+
+  solver.add(h.field(net::Field::DstPort) == smt.ctx().bv_val(100, 16));
+  EXPECT_FALSE(smt.solve_for_packet(solver, h).has_value());
+}
+
+TEST(SmtEncode, PrefixMembership) {
+  SmtContext smt;
+  const auto h = smt.packet_vars();
+  auto solver = smt.make_solver();
+  solver.add(in_prefix(h, net::Field::DstIp, net::parse_prefix("10.20.0.0/16")));
+  const auto packet = smt.solve_for_packet(solver, h);
+  ASSERT_TRUE(packet.has_value());
+  EXPECT_TRUE(net::parse_prefix("10.20.0.0/16").contains(packet->dip));
+}
+
+TEST(SmtEncode, MatchAgreesWithConcreteEvaluation) {
+  SmtContext smt;
+  const auto h = smt.packet_vars();
+  const auto rule = net::parse_rule("permit src 10.0.0.0/8 dst 1.0.0.0/8 dport 80 proto tcp");
+
+  net::Packet good;
+  good.sip = net::parse_ipv4("10.1.1.1");
+  good.dip = net::parse_ipv4("1.1.1.1");
+  good.dport = 80;
+  good.proto = 6;
+
+  for (const auto& [packet, want] : {std::pair{good, true}, {packet_to("9.9.9.9"), false}}) {
+    auto solver = smt.make_solver();
+    solver.add(equals_packet(h, packet));
+    solver.add(match_expr(h, rule.match));
+    EXPECT_EQ(smt.solve_for_packet(solver, h).has_value(), want);
+    EXPECT_EQ(rule.match.matches(packet), want);
+  }
+}
+
+TEST(SmtEncode, SetMembershipMatchesPacketSet) {
+  SmtContext smt;
+  const auto h = smt.packet_vars();
+  net::HyperCube c1;
+  c1.set_interval(net::Field::DstIp, net::parse_prefix("1.0.0.0/8").interval());
+  net::HyperCube c2;
+  c2.set_interval(net::Field::DstIp, net::parse_prefix("3.0.0.0/8").interval());
+  const auto set = net::PacketSet{c1} | net::PacketSet{c2};
+
+  auto solver = smt.make_solver();
+  solver.add(set_expr(h, set));
+  const auto packet = smt.solve_for_packet(solver, h);
+  ASSERT_TRUE(packet.has_value());
+  EXPECT_TRUE(set.contains(*packet));
+
+  auto empty_solver = smt.make_solver();
+  empty_solver.add(set_expr(h, net::PacketSet::empty()));
+  EXPECT_FALSE(smt.solve_for_packet(empty_solver, h).has_value());
+}
+
+TEST(SmtEncode, QueryCountAdvances) {
+  SmtContext smt;
+  const auto h = smt.packet_vars();
+  auto solver = smt.make_solver();
+  EXPECT_EQ(smt.query_count(), 0u);
+  (void)smt.solve_for_packet(solver, h);
+  EXPECT_EQ(smt.query_count(), 1u);
+}
+
+class AclEncoderStrategies : public ::testing::TestWithParam<EncoderStrategy> {};
+
+TEST_P(AclEncoderStrategies, FirstMatchSemantics) {
+  SmtContext smt;
+  const auto h = smt.packet_vars();
+  const auto acl = Acl::parse({"deny dst 1.0.0.0/8", "permit dst 1.2.0.0/16", "permit all"});
+  const auto permits = acl_permits(h, acl, GetParam());
+
+  // The shadowed /16 permit must not fire: deny wins for 1.2.x.x.
+  auto solver = smt.make_solver();
+  solver.add(equals_packet(h, packet_to("1.2.3.4")));
+  solver.add(permits);
+  EXPECT_FALSE(smt.solve_for_packet(solver, h).has_value());
+
+  auto solver2 = smt.make_solver();
+  solver2.add(equals_packet(h, packet_to("5.5.5.5")));
+  solver2.add(permits);
+  EXPECT_TRUE(smt.solve_for_packet(solver2, h).has_value());
+}
+
+TEST_P(AclEncoderStrategies, DefaultActionRespected) {
+  SmtContext smt;
+  const auto h = smt.packet_vars();
+  const Acl deny_default{{net::parse_rule("permit dst 1.0.0.0/8")}, net::Action::Deny};
+  const auto permits = acl_permits(h, deny_default, GetParam());
+
+  auto solver = smt.make_solver();
+  solver.add(equals_packet(h, packet_to("2.2.2.2")));
+  solver.add(permits);
+  EXPECT_FALSE(smt.solve_for_packet(solver, h).has_value());
+}
+
+TEST_P(AclEncoderStrategies, EmptyAclUsesDefault) {
+  SmtContext smt;
+  const auto h = smt.packet_vars();
+  const auto permits = acl_permits(h, Acl::permit_all(), GetParam());
+  auto solver = smt.make_solver();
+  solver.add(!permits);
+  EXPECT_FALSE(smt.solve_for_packet(solver, h).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Both, AclEncoderStrategies,
+                         ::testing::Values(EncoderStrategy::Sequential, EncoderStrategy::Tree));
+
+// Property: for random ACLs, the Sequential and Tree encodings are
+// SMT-equivalent, and both agree with the header-space permitted_set.
+class EncoderEquivalence : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(EncoderEquivalence, TreeEqualsSequentialEqualsSetSemantics) {
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<int> action(0, 1);
+  std::uniform_int_distribution<int> octet(0, 7);
+  std::uniform_int_distribution<int> n_rules(1, 9);
+  std::uniform_int_distribution<int> len_choice(0, 2);
+
+  std::vector<net::AclRule> rules;
+  const int n = n_rules(rng);
+  for (int i = 0; i < n; ++i) {
+    net::Match m;
+    const std::uint8_t lens[] = {8, 16, 0};
+    m.dst = net::Prefix{net::Ipv4{static_cast<std::uint8_t>(octet(rng)), 0, 0, 0},
+                        lens[len_choice(rng)]};
+    if (octet(rng) == 0) m.dport = net::PortRange{80, 443};
+    rules.push_back({action(rng) ? net::Action::Permit : net::Action::Deny, m});
+  }
+  const Acl acl{rules};
+
+  SmtContext smt;
+  const auto h = smt.packet_vars();
+  const auto seq = acl_permits(h, acl, EncoderStrategy::Sequential);
+  const auto tree = acl_permits(h, acl, EncoderStrategy::Tree);
+
+  // SMT-level equivalence: seq xor tree is unsat.
+  auto solver = smt.make_solver();
+  solver.add(seq != tree);
+  EXPECT_FALSE(smt.solve_for_packet(solver, h).has_value());
+
+  // Agreement with the exact set engine: (tree != in-permitted-set) unsat.
+  const auto permitted = net::permitted_set(acl);
+  auto solver2 = smt.make_solver();
+  solver2.add(tree != set_expr(h, permitted));
+  const auto witness = smt.solve_for_packet(solver2, h);
+  EXPECT_FALSE(witness.has_value()) << (witness ? to_string(*witness) : "");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EncoderEquivalence, ::testing::Range(1u, 31u));
+
+}  // namespace
+}  // namespace jinjing::smt

@@ -1,0 +1,99 @@
+#include "topo/topology.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/fixtures.h"
+
+namespace jinjing::topo {
+namespace {
+
+TEST(Topology, DeviceAndInterfaceNaming) {
+  Topology t;
+  const auto a = t.add_device("A");
+  const auto a1 = t.add_interface(a, "1");
+  EXPECT_EQ(t.device_name(a), "A");
+  EXPECT_EQ(t.interface_name(a1), "1");
+  EXPECT_EQ(t.qualified_name(a1), "A:1");
+  EXPECT_EQ(t.device_of(a1), a);
+  EXPECT_EQ(t.find_device("A"), a);
+  EXPECT_EQ(t.find_device("Z"), std::nullopt);
+  EXPECT_EQ(t.find_interface("A:1"), a1);
+  EXPECT_EQ(t.find_interface("A:2"), std::nullopt);
+  EXPECT_EQ(t.find_interface("nodots"), std::nullopt);
+}
+
+TEST(Topology, DuplicateDeviceNameRejected) {
+  Topology t;
+  (void)t.add_device("A");
+  EXPECT_THROW((void)t.add_device("A"), TopologyError);
+}
+
+TEST(Topology, UnknownIdsRejected) {
+  Topology t;
+  EXPECT_THROW((void)t.add_interface(5, "x"), TopologyError);
+  EXPECT_THROW(t.mark_external(3), TopologyError);
+  EXPECT_THROW((void)t.device_of(3), TopologyError);
+}
+
+TEST(Topology, UnboundSlotPermitsAll) {
+  Topology t;
+  const auto a = t.add_device("A");
+  const auto a1 = t.add_interface(a, "1");
+  const AclSlot slot{a1, Dir::In};
+  EXPECT_FALSE(t.has_acl(slot));
+  EXPECT_TRUE(t.acl(slot).permits(net::packet_to("1.2.3.4")));
+}
+
+TEST(Topology, BindAclPerDirection) {
+  Topology t;
+  const auto a = t.add_device("A");
+  const auto a1 = t.add_interface(a, "1");
+  t.bind_acl(a1, Dir::In, net::Acl::parse({"deny dst 1.0.0.0/8"}));
+  EXPECT_FALSE(t.acl(a1, Dir::In).permits(net::packet_to("1.2.3.4")));
+  EXPECT_TRUE(t.acl(a1, Dir::Out).permits(net::packet_to("1.2.3.4")));
+  EXPECT_EQ(t.bound_slots().size(), 1u);
+}
+
+TEST(ConfigView, OverlayShadowsOriginal) {
+  Topology t;
+  const auto a = t.add_device("A");
+  const auto a1 = t.add_interface(a, "1");
+  t.bind_acl(a1, Dir::In, net::Acl::parse({"deny dst 1.0.0.0/8"}));
+
+  AclUpdate update;
+  update.emplace(AclSlot{a1, Dir::In}, net::Acl::permit_all());
+  update.emplace(AclSlot{a1, Dir::Out}, net::Acl::parse({"deny dst 2.0.0.0/8"}));
+
+  const ConfigView original{t};
+  const ConfigView updated{t, &update};
+  EXPECT_FALSE(original.acl({a1, Dir::In}).permits(net::packet_to("1.1.1.1")));
+  EXPECT_TRUE(updated.acl({a1, Dir::In}).permits(net::packet_to("1.1.1.1")));
+  EXPECT_FALSE(updated.acl({a1, Dir::Out}).permits(net::packet_to("2.1.1.1")));
+  EXPECT_EQ(original.bound_slots().size(), 1u);
+  EXPECT_EQ(updated.bound_slots().size(), 2u);
+}
+
+TEST(Scope, WholeNetworkAndBorders) {
+  const auto f = gen::make_figure1();
+  EXPECT_EQ(f.scope.size(), 4u);
+
+  const auto borders = border_interfaces(f.topo, f.scope);
+  EXPECT_EQ(borders, (std::vector<InterfaceId>{f.A1, f.C3, f.D3}));
+  EXPECT_EQ(entry_interfaces(f.topo, f.scope), (std::vector<InterfaceId>{f.A1}));
+  EXPECT_EQ(exit_interfaces(f.topo, f.scope), (std::vector<InterfaceId>{f.C3, f.D3}));
+}
+
+TEST(Scope, SubScopeBordersAtCrossEdges) {
+  const auto f = gen::make_figure1();
+  // Scope of just {A, B}: traffic crosses out at A3, A4, B2 and in at A1.
+  Scope ab;
+  ab.add(f.A);
+  ab.add(f.B);
+  const auto entries = entry_interfaces(f.topo, ab);
+  EXPECT_EQ(entries, (std::vector<InterfaceId>{f.A1}));
+  const auto exits = exit_interfaces(f.topo, ab);
+  EXPECT_EQ(exits, (std::vector<InterfaceId>{f.A3, f.A4, f.B2}));
+}
+
+}  // namespace
+}  // namespace jinjing::topo

@@ -1,0 +1,102 @@
+#include "gen/wan.h"
+
+#include <gtest/gtest.h>
+
+#include "topo/fec.h"
+#include "topo/paths.h"
+
+namespace jinjing::gen {
+namespace {
+
+class WanSizes : public ::testing::TestWithParam<WanParams> {};
+
+TEST_P(WanSizes, StructureIsSound) {
+  const auto wan = make_wan(GetParam());
+  const auto& p = GetParam();
+  EXPECT_EQ(wan.cores.size(), p.cores);
+  EXPECT_EQ(wan.aggs.size(), p.aggs);
+  EXPECT_EQ(wan.gateways.size(), p.cells * p.gateways_per_cell);
+  EXPECT_EQ(wan.topo.device_count(), p.cores + p.aggs + wan.gateways.size());
+  EXPECT_FALSE(wan.traffic.is_empty());
+  EXPECT_GT(total_rules(wan), 0u);
+}
+
+TEST_P(WanSizes, EveryGatewayReachableFromEveryCore) {
+  const auto wan = make_wan(GetParam());
+  const auto paths = topo::enumerate_paths(wan.topo, wan.scope);
+  ASSERT_FALSE(paths.empty());
+  for (std::size_t g = 0; g < wan.gateways.size(); ++g) {
+    const auto dst = wan.gateway_dst_set(g);
+    for (const auto entry : wan.core_entry_ifaces) {
+      const bool reachable = std::any_of(paths.begin(), paths.end(), [&](const topo::Path& p) {
+        return p.entry() == entry && topo::forwarding_set(wan.topo, p).intersects(dst);
+      });
+      EXPECT_TRUE(reachable) << "gateway " << g << " unreachable from core entry";
+    }
+  }
+}
+
+TEST_P(WanSizes, PeerFabricBypassesIngressAcls) {
+  // The intra-cell paths are exactly <pe, host>, with no ACL on either hop.
+  const auto wan = make_wan(GetParam());
+  const auto paths = topo::enumerate_paths(wan.topo, wan.scope);
+  std::size_t peer_paths = 0;
+  for (const auto& path : paths) {
+    if (path.size() != 2) continue;
+    ++peer_paths;
+    for (const auto& hop : path.hops()) {
+      EXPECT_FALSE(wan.topo.has_acl(hop.slot()));
+    }
+  }
+  EXPECT_EQ(peer_paths, wan.gateways.size());
+}
+
+TEST_P(WanSizes, NoFecExplosion) {
+  // §4.1/§9: in a well-organized network the FEC count stays small — here
+  // bounded by gateways x (cells + 1), far below the 2^n worst case.
+  const auto wan = make_wan(GetParam());
+  const auto fecs =
+      topo::forwarding_equivalence_classes(wan.topo, wan.scope, wan.traffic);
+  EXPECT_FALSE(fecs.empty());
+  EXPECT_LE(fecs.size(), wan.gateways.size() * (GetParam().cells + 1));
+}
+
+TEST_P(WanSizes, DeterministicForSeed) {
+  const auto a = make_wan(GetParam());
+  const auto b = make_wan(GetParam());
+  EXPECT_EQ(total_rules(a), total_rules(b));
+  for (const auto slot : a.topo.bound_slots()) {
+    EXPECT_EQ(a.topo.acl(slot), b.topo.acl(slot));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, WanSizes,
+                         ::testing::Values(small_wan(), medium_wan(), large_wan()),
+                         [](const auto& info) {
+                           switch (info.index) {
+                             case 0: return std::string("Small");
+                             case 1: return std::string("Medium");
+                             default: return std::string("Large");
+                           }
+                         });
+
+TEST(Wan, SizesAreOrdered) {
+  const auto s = make_wan(small_wan());
+  const auto m = make_wan(medium_wan());
+  const auto l = make_wan(large_wan());
+  EXPECT_LT(s.topo.device_count(), m.topo.device_count());
+  EXPECT_LT(m.topo.device_count(), l.topo.device_count());
+  EXPECT_LT(total_rules(s), total_rules(m));
+  EXPECT_LT(total_rules(m), total_rules(l));
+}
+
+TEST(Wan, AddressPlanBudgetEnforced) {
+  WanParams p;
+  p.cells = 60;
+  p.gateways_per_cell = 2;
+  p.prefixes_per_gateway = 2;
+  EXPECT_THROW((void)make_wan(p), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace jinjing::gen

@@ -1,0 +1,11 @@
+// Thin entry point for the `jinjing` command-line tool (logic in src/cli).
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.h"
+
+int main(int argc, char** argv) {
+  return jinjing::cli::run(std::vector<std::string>(argv + 1, argv + argc), std::cout,
+                           std::cerr);
+}
