@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jinjing.dir/tools/jinjing_main.cpp.o"
+  "CMakeFiles/jinjing.dir/tools/jinjing_main.cpp.o.d"
+  "jinjing"
+  "jinjing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jinjing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

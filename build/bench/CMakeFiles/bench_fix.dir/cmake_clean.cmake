@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fix.dir/bench_fix.cpp.o"
+  "CMakeFiles/bench_fix.dir/bench_fix.cpp.o.d"
+  "bench_fix"
+  "bench_fix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_migrate.dir/bench_migrate.cpp.o"
+  "CMakeFiles/bench_migrate.dir/bench_migrate.cpp.o.d"
+  "bench_migrate"
+  "bench_migrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_migrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

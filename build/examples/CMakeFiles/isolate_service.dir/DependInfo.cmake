@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/isolate_service.cpp" "examples/CMakeFiles/isolate_service.dir/isolate_service.cpp.o" "gcc" "examples/CMakeFiles/isolate_service.dir/isolate_service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/jinjing_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/jinjing_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/lai/CMakeFiles/jinjing_lai.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/jinjing_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/jinjing_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/jinjing_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isolate_service.dir/isolate_service.cpp.o"
+  "CMakeFiles/isolate_service.dir/isolate_service.cpp.o.d"
+  "isolate_service"
+  "isolate_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isolate_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/migration.dir/migration.cpp.o"
+  "CMakeFiles/migration.dir/migration.cpp.o.d"
+  "migration"
+  "migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safe_rollout.dir/safe_rollout.cpp.o"
+  "CMakeFiles/safe_rollout.dir/safe_rollout.cpp.o.d"
+  "safe_rollout"
+  "safe_rollout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safe_rollout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vendor_migration.dir/vendor_migration.cpp.o"
+  "CMakeFiles/vendor_migration.dir/vendor_migration.cpp.o.d"
+  "vendor_migration"
+  "vendor_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vendor_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wan_upgrade.dir/wan_upgrade.cpp.o"
+  "CMakeFiles/wan_upgrade.dir/wan_upgrade.cpp.o.d"
+  "wan_upgrade"
+  "wan_upgrade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_upgrade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

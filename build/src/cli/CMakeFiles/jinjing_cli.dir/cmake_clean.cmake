@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jinjing_cli.dir/cli.cpp.o"
+  "CMakeFiles/jinjing_cli.dir/cli.cpp.o.d"
+  "libjinjing_cli.a"
+  "libjinjing_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jinjing_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/config/acl_format.cpp" "src/config/CMakeFiles/jinjing_config.dir/acl_format.cpp.o" "gcc" "src/config/CMakeFiles/jinjing_config.dir/acl_format.cpp.o.d"
+  "/root/repo/src/config/audit.cpp" "src/config/CMakeFiles/jinjing_config.dir/audit.cpp.o" "gcc" "src/config/CMakeFiles/jinjing_config.dir/audit.cpp.o.d"
+  "/root/repo/src/config/topology_format.cpp" "src/config/CMakeFiles/jinjing_config.dir/topology_format.cpp.o" "gcc" "src/config/CMakeFiles/jinjing_config.dir/topology_format.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/jinjing_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/jinjing_topo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

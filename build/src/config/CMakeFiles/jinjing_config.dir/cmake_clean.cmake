@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jinjing_config.dir/acl_format.cpp.o"
+  "CMakeFiles/jinjing_config.dir/acl_format.cpp.o.d"
+  "CMakeFiles/jinjing_config.dir/audit.cpp.o"
+  "CMakeFiles/jinjing_config.dir/audit.cpp.o.d"
+  "CMakeFiles/jinjing_config.dir/topology_format.cpp.o"
+  "CMakeFiles/jinjing_config.dir/topology_format.cpp.o.d"
+  "libjinjing_config.a"
+  "libjinjing_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jinjing_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

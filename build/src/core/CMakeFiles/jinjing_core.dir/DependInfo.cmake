@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aec.cpp" "src/core/CMakeFiles/jinjing_core.dir/aec.cpp.o" "gcc" "src/core/CMakeFiles/jinjing_core.dir/aec.cpp.o.d"
+  "/root/repo/src/core/checker.cpp" "src/core/CMakeFiles/jinjing_core.dir/checker.cpp.o" "gcc" "src/core/CMakeFiles/jinjing_core.dir/checker.cpp.o.d"
+  "/root/repo/src/core/deploy.cpp" "src/core/CMakeFiles/jinjing_core.dir/deploy.cpp.o" "gcc" "src/core/CMakeFiles/jinjing_core.dir/deploy.cpp.o.d"
+  "/root/repo/src/core/diff.cpp" "src/core/CMakeFiles/jinjing_core.dir/diff.cpp.o" "gcc" "src/core/CMakeFiles/jinjing_core.dir/diff.cpp.o.d"
+  "/root/repo/src/core/engine.cpp" "src/core/CMakeFiles/jinjing_core.dir/engine.cpp.o" "gcc" "src/core/CMakeFiles/jinjing_core.dir/engine.cpp.o.d"
+  "/root/repo/src/core/fixer.cpp" "src/core/CMakeFiles/jinjing_core.dir/fixer.cpp.o" "gcc" "src/core/CMakeFiles/jinjing_core.dir/fixer.cpp.o.d"
+  "/root/repo/src/core/generator.cpp" "src/core/CMakeFiles/jinjing_core.dir/generator.cpp.o" "gcc" "src/core/CMakeFiles/jinjing_core.dir/generator.cpp.o.d"
+  "/root/repo/src/core/neighborhood.cpp" "src/core/CMakeFiles/jinjing_core.dir/neighborhood.cpp.o" "gcc" "src/core/CMakeFiles/jinjing_core.dir/neighborhood.cpp.o.d"
+  "/root/repo/src/core/placement.cpp" "src/core/CMakeFiles/jinjing_core.dir/placement.cpp.o" "gcc" "src/core/CMakeFiles/jinjing_core.dir/placement.cpp.o.d"
+  "/root/repo/src/core/simplify.cpp" "src/core/CMakeFiles/jinjing_core.dir/simplify.cpp.o" "gcc" "src/core/CMakeFiles/jinjing_core.dir/simplify.cpp.o.d"
+  "/root/repo/src/core/synth_opt.cpp" "src/core/CMakeFiles/jinjing_core.dir/synth_opt.cpp.o" "gcc" "src/core/CMakeFiles/jinjing_core.dir/synth_opt.cpp.o.d"
+  "/root/repo/src/core/synthesizer.cpp" "src/core/CMakeFiles/jinjing_core.dir/synthesizer.cpp.o" "gcc" "src/core/CMakeFiles/jinjing_core.dir/synthesizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/jinjing_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/jinjing_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/jinjing_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/lai/CMakeFiles/jinjing_lai.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

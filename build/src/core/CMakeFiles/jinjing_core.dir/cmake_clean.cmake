@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jinjing_core.dir/aec.cpp.o"
+  "CMakeFiles/jinjing_core.dir/aec.cpp.o.d"
+  "CMakeFiles/jinjing_core.dir/checker.cpp.o"
+  "CMakeFiles/jinjing_core.dir/checker.cpp.o.d"
+  "CMakeFiles/jinjing_core.dir/deploy.cpp.o"
+  "CMakeFiles/jinjing_core.dir/deploy.cpp.o.d"
+  "CMakeFiles/jinjing_core.dir/diff.cpp.o"
+  "CMakeFiles/jinjing_core.dir/diff.cpp.o.d"
+  "CMakeFiles/jinjing_core.dir/engine.cpp.o"
+  "CMakeFiles/jinjing_core.dir/engine.cpp.o.d"
+  "CMakeFiles/jinjing_core.dir/fixer.cpp.o"
+  "CMakeFiles/jinjing_core.dir/fixer.cpp.o.d"
+  "CMakeFiles/jinjing_core.dir/generator.cpp.o"
+  "CMakeFiles/jinjing_core.dir/generator.cpp.o.d"
+  "CMakeFiles/jinjing_core.dir/neighborhood.cpp.o"
+  "CMakeFiles/jinjing_core.dir/neighborhood.cpp.o.d"
+  "CMakeFiles/jinjing_core.dir/placement.cpp.o"
+  "CMakeFiles/jinjing_core.dir/placement.cpp.o.d"
+  "CMakeFiles/jinjing_core.dir/simplify.cpp.o"
+  "CMakeFiles/jinjing_core.dir/simplify.cpp.o.d"
+  "CMakeFiles/jinjing_core.dir/synth_opt.cpp.o"
+  "CMakeFiles/jinjing_core.dir/synth_opt.cpp.o.d"
+  "CMakeFiles/jinjing_core.dir/synthesizer.cpp.o"
+  "CMakeFiles/jinjing_core.dir/synthesizer.cpp.o.d"
+  "libjinjing_core.a"
+  "libjinjing_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jinjing_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

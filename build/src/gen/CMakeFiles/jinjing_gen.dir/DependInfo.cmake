@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/fixtures.cpp" "src/gen/CMakeFiles/jinjing_gen.dir/fixtures.cpp.o" "gcc" "src/gen/CMakeFiles/jinjing_gen.dir/fixtures.cpp.o.d"
+  "/root/repo/src/gen/scenario.cpp" "src/gen/CMakeFiles/jinjing_gen.dir/scenario.cpp.o" "gcc" "src/gen/CMakeFiles/jinjing_gen.dir/scenario.cpp.o.d"
+  "/root/repo/src/gen/wan.cpp" "src/gen/CMakeFiles/jinjing_gen.dir/wan.cpp.o" "gcc" "src/gen/CMakeFiles/jinjing_gen.dir/wan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/jinjing_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/jinjing_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/jinjing_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/jinjing_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/lai/CMakeFiles/jinjing_lai.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jinjing_gen.dir/fixtures.cpp.o"
+  "CMakeFiles/jinjing_gen.dir/fixtures.cpp.o.d"
+  "CMakeFiles/jinjing_gen.dir/scenario.cpp.o"
+  "CMakeFiles/jinjing_gen.dir/scenario.cpp.o.d"
+  "CMakeFiles/jinjing_gen.dir/wan.cpp.o"
+  "CMakeFiles/jinjing_gen.dir/wan.cpp.o.d"
+  "libjinjing_gen.a"
+  "libjinjing_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jinjing_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lai/lexer.cpp" "src/lai/CMakeFiles/jinjing_lai.dir/lexer.cpp.o" "gcc" "src/lai/CMakeFiles/jinjing_lai.dir/lexer.cpp.o.d"
+  "/root/repo/src/lai/parser.cpp" "src/lai/CMakeFiles/jinjing_lai.dir/parser.cpp.o" "gcc" "src/lai/CMakeFiles/jinjing_lai.dir/parser.cpp.o.d"
+  "/root/repo/src/lai/printer.cpp" "src/lai/CMakeFiles/jinjing_lai.dir/printer.cpp.o" "gcc" "src/lai/CMakeFiles/jinjing_lai.dir/printer.cpp.o.d"
+  "/root/repo/src/lai/sema.cpp" "src/lai/CMakeFiles/jinjing_lai.dir/sema.cpp.o" "gcc" "src/lai/CMakeFiles/jinjing_lai.dir/sema.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/jinjing_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/jinjing_topo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

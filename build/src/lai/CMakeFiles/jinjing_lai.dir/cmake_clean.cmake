@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jinjing_lai.dir/lexer.cpp.o"
+  "CMakeFiles/jinjing_lai.dir/lexer.cpp.o.d"
+  "CMakeFiles/jinjing_lai.dir/parser.cpp.o"
+  "CMakeFiles/jinjing_lai.dir/parser.cpp.o.d"
+  "CMakeFiles/jinjing_lai.dir/printer.cpp.o"
+  "CMakeFiles/jinjing_lai.dir/printer.cpp.o.d"
+  "CMakeFiles/jinjing_lai.dir/sema.cpp.o"
+  "CMakeFiles/jinjing_lai.dir/sema.cpp.o.d"
+  "libjinjing_lai.a"
+  "libjinjing_lai.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jinjing_lai.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

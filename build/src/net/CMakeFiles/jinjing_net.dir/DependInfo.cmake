@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/acl.cpp" "src/net/CMakeFiles/jinjing_net.dir/acl.cpp.o" "gcc" "src/net/CMakeFiles/jinjing_net.dir/acl.cpp.o.d"
+  "/root/repo/src/net/acl_algebra.cpp" "src/net/CMakeFiles/jinjing_net.dir/acl_algebra.cpp.o" "gcc" "src/net/CMakeFiles/jinjing_net.dir/acl_algebra.cpp.o.d"
+  "/root/repo/src/net/bdd.cpp" "src/net/CMakeFiles/jinjing_net.dir/bdd.cpp.o" "gcc" "src/net/CMakeFiles/jinjing_net.dir/bdd.cpp.o.d"
+  "/root/repo/src/net/hypercube.cpp" "src/net/CMakeFiles/jinjing_net.dir/hypercube.cpp.o" "gcc" "src/net/CMakeFiles/jinjing_net.dir/hypercube.cpp.o.d"
+  "/root/repo/src/net/ip.cpp" "src/net/CMakeFiles/jinjing_net.dir/ip.cpp.o" "gcc" "src/net/CMakeFiles/jinjing_net.dir/ip.cpp.o.d"
+  "/root/repo/src/net/packet_set.cpp" "src/net/CMakeFiles/jinjing_net.dir/packet_set.cpp.o" "gcc" "src/net/CMakeFiles/jinjing_net.dir/packet_set.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

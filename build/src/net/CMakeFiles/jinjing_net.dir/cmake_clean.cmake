@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jinjing_net.dir/acl.cpp.o"
+  "CMakeFiles/jinjing_net.dir/acl.cpp.o.d"
+  "CMakeFiles/jinjing_net.dir/acl_algebra.cpp.o"
+  "CMakeFiles/jinjing_net.dir/acl_algebra.cpp.o.d"
+  "CMakeFiles/jinjing_net.dir/bdd.cpp.o"
+  "CMakeFiles/jinjing_net.dir/bdd.cpp.o.d"
+  "CMakeFiles/jinjing_net.dir/hypercube.cpp.o"
+  "CMakeFiles/jinjing_net.dir/hypercube.cpp.o.d"
+  "CMakeFiles/jinjing_net.dir/ip.cpp.o"
+  "CMakeFiles/jinjing_net.dir/ip.cpp.o.d"
+  "CMakeFiles/jinjing_net.dir/packet_set.cpp.o"
+  "CMakeFiles/jinjing_net.dir/packet_set.cpp.o.d"
+  "libjinjing_net.a"
+  "libjinjing_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jinjing_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/smt/acl_encoder.cpp" "src/smt/CMakeFiles/jinjing_smt.dir/acl_encoder.cpp.o" "gcc" "src/smt/CMakeFiles/jinjing_smt.dir/acl_encoder.cpp.o.d"
+  "/root/repo/src/smt/context.cpp" "src/smt/CMakeFiles/jinjing_smt.dir/context.cpp.o" "gcc" "src/smt/CMakeFiles/jinjing_smt.dir/context.cpp.o.d"
+  "/root/repo/src/smt/encode.cpp" "src/smt/CMakeFiles/jinjing_smt.dir/encode.cpp.o" "gcc" "src/smt/CMakeFiles/jinjing_smt.dir/encode.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/jinjing_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jinjing_smt.dir/acl_encoder.cpp.o"
+  "CMakeFiles/jinjing_smt.dir/acl_encoder.cpp.o.d"
+  "CMakeFiles/jinjing_smt.dir/context.cpp.o"
+  "CMakeFiles/jinjing_smt.dir/context.cpp.o.d"
+  "CMakeFiles/jinjing_smt.dir/encode.cpp.o"
+  "CMakeFiles/jinjing_smt.dir/encode.cpp.o.d"
+  "libjinjing_smt.a"
+  "libjinjing_smt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jinjing_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libjinjing_smt.a"
+)

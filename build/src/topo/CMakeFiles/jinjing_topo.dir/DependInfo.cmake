@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/fec.cpp" "src/topo/CMakeFiles/jinjing_topo.dir/fec.cpp.o" "gcc" "src/topo/CMakeFiles/jinjing_topo.dir/fec.cpp.o.d"
+  "/root/repo/src/topo/paths.cpp" "src/topo/CMakeFiles/jinjing_topo.dir/paths.cpp.o" "gcc" "src/topo/CMakeFiles/jinjing_topo.dir/paths.cpp.o.d"
+  "/root/repo/src/topo/rib.cpp" "src/topo/CMakeFiles/jinjing_topo.dir/rib.cpp.o" "gcc" "src/topo/CMakeFiles/jinjing_topo.dir/rib.cpp.o.d"
+  "/root/repo/src/topo/topology.cpp" "src/topo/CMakeFiles/jinjing_topo.dir/topology.cpp.o" "gcc" "src/topo/CMakeFiles/jinjing_topo.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/jinjing_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

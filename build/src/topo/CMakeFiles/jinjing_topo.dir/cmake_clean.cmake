@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jinjing_topo.dir/fec.cpp.o"
+  "CMakeFiles/jinjing_topo.dir/fec.cpp.o.d"
+  "CMakeFiles/jinjing_topo.dir/paths.cpp.o"
+  "CMakeFiles/jinjing_topo.dir/paths.cpp.o.d"
+  "CMakeFiles/jinjing_topo.dir/rib.cpp.o"
+  "CMakeFiles/jinjing_topo.dir/rib.cpp.o.d"
+  "CMakeFiles/jinjing_topo.dir/topology.cpp.o"
+  "CMakeFiles/jinjing_topo.dir/topology.cpp.o.d"
+  "libjinjing_topo.a"
+  "libjinjing_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jinjing_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aec_test.dir/aec_test.cpp.o"
+  "CMakeFiles/aec_test.dir/aec_test.cpp.o.d"
+  "aec_test"
+  "aec_test.pdb"
+  "aec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lai_lexer_test.dir/lai_lexer_test.cpp.o"
+  "CMakeFiles/lai_lexer_test.dir/lai_lexer_test.cpp.o.d"
+  "lai_lexer_test"
+  "lai_lexer_test.pdb"
+  "lai_lexer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lai_lexer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

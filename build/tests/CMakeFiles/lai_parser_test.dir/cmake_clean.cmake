@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lai_parser_test.dir/lai_parser_test.cpp.o"
+  "CMakeFiles/lai_parser_test.dir/lai_parser_test.cpp.o.d"
+  "lai_parser_test"
+  "lai_parser_test.pdb"
+  "lai_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lai_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lai_sema_test.dir/lai_sema_test.cpp.o"
+  "CMakeFiles/lai_sema_test.dir/lai_sema_test.cpp.o.d"
+  "lai_sema_test"
+  "lai_sema_test.pdb"
+  "lai_sema_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lai_sema_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packet_set_test.dir/packet_set_test.cpp.o"
+  "CMakeFiles/packet_set_test.dir/packet_set_test.cpp.o.d"
+  "packet_set_test"
+  "packet_set_test.pdb"
+  "packet_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packet_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

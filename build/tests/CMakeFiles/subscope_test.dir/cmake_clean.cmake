@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subscope_test.dir/subscope_test.cpp.o"
+  "CMakeFiles/subscope_test.dir/subscope_test.cpp.o.d"
+  "subscope_test"
+  "subscope_test.pdb"
+  "subscope_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subscope_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
