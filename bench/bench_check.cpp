@@ -1,12 +1,34 @@
-// Figure 4a: turnaround time of the check primitive.
+// Figure 4a: turnaround time of the check primitive — plus the
+// backend/cache comparison for the repeated-check workload.
 //
-// Grid: {small, medium, large} x {1%, 3%, 5% perturbed rules} x
-// {basic version, differential rules (Theorem 4.1)}.
+// Two modes:
 //
-// Expected shape (paper): differential is about an order of magnitude
-// faster than basic; turnaround is insensitive to the perturbation rate
-// because check returns at the first violation.
+//  * With any --benchmark* flag: the google-benchmark grid
+//    {small, medium, large} x {1%, 3%, 5% perturbed rules} x
+//    {basic version, differential rules (Theorem 4.1)}. Expected shape
+//    (paper): differential is about an order of magnitude faster than
+//    basic; turnaround is insensitive to the perturbation rate because
+//    check returns at the first violation.
+//
+//  * Without flags (the default): a fixer-style repeated-check workload
+//    on the medium WAN — one update proposal plus a stream of perturbed
+//    candidate repairs, all checked against the same scope/traffic — run
+//    once per pipeline configuration and written to BENCH_check.json:
+//
+//      - hypercube_seed:  the seed pipeline (hypercube refinement re-derived
+//                         per check, fresh Z3 solver per query)
+//      - hypercube_cached: hypercube refinement + FecCache + incremental SMT
+//      - bdd_cached:       BDD refinement + FecCache + incremental SMT
+//
+//    Per configuration: wall seconds, FEC count, SMT queries, solver
+//    seconds, and the cache hit rate.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "bench_common.h"
 #include "core/checker.h"
@@ -50,7 +72,145 @@ BENCHMARK(BM_Check)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(3);
 
+struct PipelineConfig {
+  const char* name;
+  topo::SetBackend backend;
+  bool incremental_smt;
+  bool reuse_checker;  // false = seed behaviour: fresh checker (and cache) per check
+};
+
+struct PipelineResult {
+  std::string name;
+  double wall_seconds = 0;
+  std::size_t fec_count = 0;
+  std::uint64_t smt_queries = 0;
+  double solve_seconds = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  double cache_hit_rate = 0;
+  std::size_t checks = 0;
+  std::size_t inconsistent = 0;
+};
+
+/// The fixer/synthesizer shape: one proposed update plus a stream of
+/// perturbed candidate repairs, every candidate re-checked against the
+/// same scope and entering traffic.
+PipelineResult run_pipeline(const gen::Wan& wan, const std::vector<topo::AclUpdate>& candidates,
+                            const PipelineConfig& config) {
+  PipelineResult result;
+  result.name = config.name;
+
+  core::CheckOptions options;
+  options.set_backend = config.backend;
+  options.incremental_smt = config.incremental_smt;
+
+  smt::SmtContext smt;
+  core::Checker reused{smt, wan.topo, wan.scope, options};
+
+  const auto start = std::chrono::steady_clock::now();
+  for (const auto& update : candidates) {
+    core::CheckResult check;
+    if (config.reuse_checker) {
+      check = reused.check(update, wan.traffic);
+    } else {
+      smt::SmtContext fresh_smt;
+      core::Checker fresh{fresh_smt, wan.topo, wan.scope, options};
+      check = fresh.check(update, wan.traffic);
+      result.smt_queries += check.smt_queries;
+      result.solve_seconds += fresh_smt.solve_seconds();
+    }
+    result.fec_count = check.fec_count;
+    ++result.checks;
+    if (!check.consistent) ++result.inconsistent;
+  }
+  result.wall_seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+                            .count();
+  if (config.reuse_checker) {
+    result.smt_queries = smt.query_count();
+    result.solve_seconds = smt.solve_seconds();
+    result.cache_hits = reused.fec_cache().hits();
+    result.cache_misses = reused.fec_cache().misses();
+    result.cache_hit_rate = reused.fec_cache().hit_rate();
+  }
+  return result;
+}
+
+int run_repeated_check_comparison(const char* json_path) {
+  const auto& wan = bench::wan_for(1);  // medium
+  std::fprintf(stderr, "repeated-check workload: medium WAN, %zu total rules\n",
+               gen::total_rules(wan));
+
+  // One "proposal" plus perturbed candidate repairs, as a fixer loop sees.
+  std::vector<topo::AclUpdate> candidates;
+  for (unsigned seed = 1; seed <= 8; ++seed) {
+    candidates.push_back(gen::perturb_rules(wan, 0.03, seed));
+  }
+
+  const PipelineConfig configs[] = {
+      {"hypercube_seed", topo::SetBackend::Hypercube, false, false},
+      {"hypercube_cached", topo::SetBackend::Hypercube, true, true},
+      {"bdd_cached", topo::SetBackend::Bdd, true, true},
+  };
+
+  std::vector<PipelineResult> results;
+  for (const auto& config : configs) {
+    results.push_back(run_pipeline(wan, candidates, config));
+    const auto& r = results.back();
+    std::fprintf(stderr,
+                 "  %-17s %7.3fs  fecs=%zu  smt_queries=%llu  solve=%.3fs  hit_rate=%.2f\n",
+                 r.name.c_str(), r.wall_seconds, r.fec_count,
+                 static_cast<unsigned long long>(r.smt_queries), r.solve_seconds,
+                 r.cache_hit_rate);
+  }
+
+  const double baseline = results.front().wall_seconds;
+  std::FILE* out = std::fopen(json_path, "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", json_path);
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"workload\": \"repeated_check\",\n  \"network\": \"medium\",\n");
+  std::fprintf(out, "  \"candidates\": %zu,\n  \"perturb_fraction\": 0.03,\n", candidates.size());
+  std::fprintf(out, "  \"configurations\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"wall_seconds\": %.6f, \"fec_count\": %zu, "
+                 "\"smt_queries\": %llu, \"solve_seconds\": %.6f, \"cache_hits\": %llu, "
+                 "\"cache_misses\": %llu, \"cache_hit_rate\": %.4f, \"checks\": %zu, "
+                 "\"inconsistent\": %zu, \"speedup_vs_seed\": %.2f}%s\n",
+                 r.name.c_str(), r.wall_seconds, r.fec_count,
+                 static_cast<unsigned long long>(r.smt_queries), r.solve_seconds,
+                 static_cast<unsigned long long>(r.cache_hits),
+                 static_cast<unsigned long long>(r.cache_misses), r.cache_hit_rate, r.checks,
+                 r.inconsistent, r.wall_seconds > 0 ? baseline / r.wall_seconds : 0.0,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::fprintf(stderr, "wrote %s (bdd_cached speedup vs seed: %.2fx)\n", json_path,
+               baseline / results.back().wall_seconds);
+  return 0;
+}
+
 }  // namespace
 }  // namespace jinjing
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Any --benchmark* flag selects the google-benchmark grid; the bare
+  // invocation runs the backend/cache comparison and writes JSON.
+  bool run_gbench = false;
+  const char* json_path = "BENCH_check.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--benchmark", 0) == 0) run_gbench = true;
+    if (arg.rfind("--json=", 0) == 0) json_path = argv[i] + 7;
+  }
+  if (!run_gbench) return jinjing::run_repeated_check_comparison(json_path);
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -24,7 +24,8 @@ namespace {
 constexpr const char* kUsage = R"(usage:
   jinjing run   --network FILE --program FILE [--acl NAME=FILE]...
                 [--diff] [--rollback] [--stage availability|security]
-                [--out FILE]
+                [--out FILE] [--set-backend hypercube|bdd] [--threads N]
+                [--no-incremental-smt]
   jinjing show  --network FILE
   jinjing audit --network FILE
   jinjing reach --network FILE --from IFACE --to IFACE [--packet SPEC]
@@ -37,6 +38,12 @@ run      execute an LAI program (check / fix / generate) and print the plan
          --rollback  also print the plan that restores the current ACLs
          --stage M   also print a transient-safe two-phase push sequence
          --out FILE  write the plan as reusable 'acl ... end' blocks
+         --set-backend B      set representation for traffic classification
+                              (hypercube, the default, or bdd)
+         --threads N          worker threads for classification and the
+                              per-class SMT queries
+         --no-incremental-smt fresh solver per query instead of one
+                              incremental solver per session
 show     print the network summary: paths, traffic classes, ACLs
 audit    run the data-quality checks; exit 1 when errors are found
 reach    answer "what can go from A to B?" — per-path permitted traffic,
@@ -65,6 +72,9 @@ struct Options {
   std::string out_path;
   std::string acl_a_path;
   std::string acl_b_path;
+  topo::SetBackend set_backend = topo::SetBackend::Hypercube;
+  unsigned threads = 1;
+  bool incremental_smt = true;
 };
 
 std::string read_file(const std::string& path) {
@@ -119,6 +129,31 @@ Options parse_args(const std::vector<std::string>& args) {
       options.acl_b_path = value();
     } else if (arg == "--out") {
       options.out_path = value();
+    } else if (arg == "--set-backend") {
+      const auto& backend = value();
+      if (backend == "hypercube") {
+        options.set_backend = topo::SetBackend::Hypercube;
+      } else if (backend == "bdd") {
+        options.set_backend = topo::SetBackend::Bdd;
+      } else {
+        throw std::runtime_error("--set-backend expects 'hypercube' or 'bdd'");
+      }
+    } else if (arg == "--threads") {
+      const auto& count = value();
+      unsigned long parsed = 0;
+      try {
+        // stoul accepts a leading '-' by wrapping; reject it explicitly.
+        if (count.empty() || count[0] == '-') throw std::invalid_argument(count);
+        parsed = std::stoul(count);
+      } catch (const std::exception&) {
+        throw std::runtime_error("--threads expects N >= 1, got '" + count + "'");
+      }
+      if (parsed == 0 || parsed > 1024) {
+        throw std::runtime_error("--threads expects 1 <= N <= 1024");
+      }
+      options.threads = static_cast<unsigned>(parsed);
+    } else if (arg == "--no-incremental-smt") {
+      options.incremental_smt = false;
     } else if (arg == "--size") {
       options.gen_size = value();
     } else if (arg == "--seed") {
@@ -166,7 +201,13 @@ int run_command(const Options& options, std::ostream& out) {
     library.insert_or_assign(name, config::parse_acl_auto(read_file(path)));
   }
 
-  core::Engine engine{network.topo};
+  core::EngineOptions engine_options;
+  for (core::CheckOptions* check : {&engine_options.check, &engine_options.fix.check}) {
+    check->set_backend = options.set_backend;
+    check->threads = options.threads;
+    check->incremental_smt = options.incremental_smt;
+  }
+  core::Engine engine{network.topo, engine_options};
   const auto report = engine.run_program(program_text, library, network.traffic);
 
   for (const auto& outcome : report.outcomes) {

@@ -20,6 +20,13 @@ bool intent_spans_path(const lai::ControlIntent& intent, const topo::Path& path)
   return has(intent.from, path.entry()) && has(intent.to, path.exit());
 }
 
+/// Cache key for per-slot-per-side ACL expressions: (iface, direction,
+/// before/after side) packed into distinct bit fields.
+std::uint64_t acl_expr_key(topo::AclSlot slot, bool after_side) {
+  return (std::uint64_t{slot.iface} << 2) |
+         (std::uint64_t{slot.dir == topo::Dir::Out} << 1) | std::uint64_t{after_side};
+}
+
 }  // namespace
 
 bool desired_decision(const std::vector<lai::ControlIntent>& controls, const topo::Path& path,
@@ -65,10 +72,24 @@ void explain_violation(const topo::Topology& topo, const topo::ConfigView& befor
 
 Checker::Checker(smt::SmtContext& smt, const topo::Topology& topo, const topo::Scope& scope,
                  const CheckOptions& options)
-    : smt_(smt), topo_(topo), scope_(scope), options_(options) {
+    : smt_(smt),
+      topo_(topo),
+      scope_(scope),
+      options_(options),
+      fec_cache_(options.fec_cache ? options.fec_cache : std::make_shared<topo::FecCache>()) {
   paths_ = topo::enumerate_paths(topo_, scope_, options_.path_options);
   path_forwarding_.reserve(paths_.size());
   for (const auto& p : paths_) path_forwarding_.push_back(topo::forwarding_set(topo_, p));
+}
+
+std::shared_ptr<const std::vector<topo::EntryClasses>> Checker::entry_classes(
+    const net::PacketSet& entering) {
+  return fec_cache_->entry_classes(topo_, scope_, entering, fec_options());
+}
+
+std::shared_ptr<const std::vector<net::PacketSet>> Checker::global_classes(
+    const net::PacketSet& entering) {
+  return fec_cache_->global_classes(topo_, scope_, entering, fec_options());
 }
 
 std::vector<std::size_t> Checker::feasible_paths(const net::PacketSet& traffic) const {
@@ -126,14 +147,57 @@ const net::Acl& CheckSession::encoded_acl(topo::AclSlot slot, bool after_side) c
 }
 
 const z3::expr& CheckSession::acl_expr(topo::AclSlot slot, bool after_side) {
-  const std::uint64_t key = (std::uint64_t{slot.iface} << 2) |
-                            (std::uint64_t{slot.dir == topo::Dir::Out} << 1) |
-                            std::uint64_t{after_side};
+  const std::uint64_t key = acl_expr_key(slot, after_side);
   const auto it = expr_cache_.find(key);
   if (it != expr_cache_.end()) return it->second;
   const z3::expr expr =
       smt::acl_permits(vars_, encoded_acl(slot, after_side), checker_.options_.encoder);
   return expr_cache_.emplace(key, expr).first->second;
+}
+
+/// ¬(desired(c_p) ⇔ c'_p) for one path — the per-path disjunct of
+/// Equation 3, with c_p transformed by the control decision model r_p when
+/// intents are present (§6).
+z3::expr CheckSession::path_inconsistency_expr(std::size_t path_index) {
+  auto& smt = smt_;
+  const auto& h = vars_;
+  const auto& path = checker_.paths_[path_index];
+
+  const auto path_decision = [&](bool after_side) {
+    z3::expr expr = smt.bool_val(true);
+    for (const auto& hop : path.hops()) {
+      const net::Acl& acl = encoded_acl(hop.slot(), after_side);
+      if (acl.empty() && acl.default_action() == net::Action::Permit) continue;
+      expr = expr && acl_expr(hop.slot(), after_side);
+    }
+    return expr;
+  };
+
+  const z3::expr original = path_decision(/*after_side=*/false);
+  z3::expr desired = original;
+  for (auto it = controls_.rbegin(); it != controls_.rend(); ++it) {
+    if (!intent_spans_path(*it, path)) continue;
+    z3::expr value = smt.bool_val(true);
+    switch (it->verb) {
+      case lai::ControlVerb::Open: value = smt.bool_val(true); break;
+      case lai::ControlVerb::Isolate: value = smt.bool_val(false); break;
+      case lai::ControlVerb::Maintain: value = original; break;
+    }
+    desired = z3::ite(smt::set_expr(h, it->header), value, desired);
+  }
+  const z3::expr updated = path_decision(/*after_side=*/true);
+  return desired != updated;
+}
+
+const z3::expr& CheckSession::path_inconsistent(std::size_t path_index) {
+  const auto it = path_flags_.find(path_index);
+  if (it != path_flags_.end()) return it->second;
+  const z3::expr flag =
+      smt_.ctx().bool_const(("jj_incons_" + std::to_string(path_index)).c_str());
+  // Asserted at the solver's base frame: callers only push() after every
+  // flag of the query has been defined.
+  solver_->add(flag == path_inconsistency_expr(path_index));
+  return path_flags_.emplace(path_index, flag).first->second;
 }
 
 std::optional<Violation> CheckSession::find_violation(const net::PacketSet& fec,
@@ -149,44 +213,36 @@ std::optional<Violation> CheckSession::find_violation(const net::PacketSet& fec,
 
   auto& smt = smt_;
   const auto& h = vars_;
-  auto solver = smt.make_solver();
 
-  const auto path_decision = [&](const topo::Path& path, bool after_side) {
-    z3::expr expr = smt.bool_val(true);
-    for (const auto& hop : path.hops()) {
-      const net::Acl& acl = encoded_acl(hop.slot(), after_side);
-      if (acl.empty() && acl.default_action() == net::Action::Permit) continue;
-      expr = expr && acl_expr(hop.slot(), after_side);
+  std::optional<net::Packet> witness;
+  if (checker_.options_.incremental_smt) {
+    // One solver for the whole session: each path's inconsistency disjunct
+    // is asserted once (as a named indicator at the base frame), so the
+    // solver internalizes every ACL expression a single time and reuses
+    // learned clauses across the per-FEC queries. Only the query-specific
+    // ψ_[h]FEC / exclusion constraints live inside the push/pop frame.
+    if (!solver_) solver_.emplace(smt.make_solver());
+    z3::expr any_inconsistent = smt.bool_val(false);
+    for (const std::size_t pi : feasible) {
+      any_inconsistent = any_inconsistent || path_inconsistent(pi);
     }
-    return expr;
-  };
-
-  // ∨_p ¬(desired(c_p) ⇔ c'_p)  — Equation 3, with c_p transformed by the
-  // control decision model r_p when intents are present (§6).
-  z3::expr any_inconsistent = smt.bool_val(false);
-  for (const std::size_t pi : feasible) {
-    const auto& path = checker_.paths_[pi];
-    const z3::expr original = path_decision(path, /*after_side=*/false);
-    z3::expr desired = original;
-    for (auto it = controls_.rbegin(); it != controls_.rend(); ++it) {
-      if (!intent_spans_path(*it, path)) continue;
-      z3::expr value = smt.bool_val(true);
-      switch (it->verb) {
-        case lai::ControlVerb::Open: value = smt.bool_val(true); break;
-        case lai::ControlVerb::Isolate: value = smt.bool_val(false); break;
-        case lai::ControlVerb::Maintain: value = original; break;
-      }
-      desired = z3::ite(smt::set_expr(h, it->header), value, desired);
+    solver_->push();
+    solver_->add(any_inconsistent);
+    solver_->add(smt::set_expr(h, fec));                       // ψ_[h]FEC
+    if (!excluded.is_empty()) solver_->add(!smt::set_expr(h, excluded));
+    witness = smt.solve_for_packet(*solver_, h);
+    solver_->pop();
+  } else {
+    auto solver = smt.make_solver();
+    z3::expr any_inconsistent = smt.bool_val(false);
+    for (const std::size_t pi : feasible) {
+      any_inconsistent = any_inconsistent || path_inconsistency_expr(pi);
     }
-    const z3::expr updated = path_decision(path, /*after_side=*/true);
-    any_inconsistent = any_inconsistent || (desired != updated);
+    solver.add(any_inconsistent);
+    solver.add(smt::set_expr(h, fec));                         // ψ_[h]FEC
+    if (!excluded.is_empty()) solver.add(!smt::set_expr(h, excluded));
+    witness = smt.solve_for_packet(solver, h);
   }
-
-  solver.add(any_inconsistent);
-  solver.add(smt::set_expr(h, fec));                       // ψ_[h]FEC
-  if (!excluded.is_empty()) solver.add(!smt::set_expr(h, excluded));
-
-  const auto witness = smt.solve_for_packet(solver, h);
   if (!witness) return std::nullopt;
 
   // Locate the violated path by concrete evaluation on the *full* views
@@ -224,9 +280,7 @@ CheckResult Checker::check_monolithic(const topo::AclUpdate& update,
   // whole; expressions are shared across paths via a local cache.
   std::unordered_map<std::uint64_t, z3::expr> cache;
   const auto acl_expr = [&](topo::AclSlot slot, bool after_side) {
-    const std::uint64_t key = (std::uint64_t{slot.iface} << 2) |
-                              (std::uint64_t{slot.dir == topo::Dir::Out} << 1) |
-                              std::uint64_t{after_side};
+    const std::uint64_t key = acl_expr_key(slot, after_side);
     const auto it = cache.find(key);
     if (it != cache.end()) return it->second;
     const auto& view = after_side ? after : before;
@@ -271,21 +325,24 @@ CheckResult Checker::check_monolithic(const topo::AclUpdate& update,
 CheckResult Checker::check(const topo::AclUpdate& update, const net::PacketSet& entering,
                            const std::vector<lai::ControlIntent>& controls) {
   const std::uint64_t queries_before = smt_.query_count();
-  CheckSession session{*this, update, controls};
-
   CheckResult result;
   result.path_count = paths_.size();
 
   if (options_.per_entry_fec) {
-    std::vector<std::pair<topo::InterfaceId, net::PacketSet>> work;
-    for (auto& [entry, classes] : topo::per_entry_equivalence_classes(topo_, scope_, entering)) {
+    // Classes are cached across check() calls (they do not depend on the
+    // update); the work list references them in place.
+    const auto classified = entry_classes(entering);
+    std::vector<std::pair<topo::InterfaceId, const net::PacketSet*>> work;
+    for (const auto& [entry, classes] : *classified) {
       result.fec_count += classes.size();
-      for (auto& cls : classes) work.emplace_back(entry, std::move(cls));
+      for (const auto& cls : classes) work.emplace_back(entry, &cls);
     }
 
     if (options_.threads > 1) {
-      // Each worker owns a Z3 context and session; violations are merged
-      // under a mutex and a flag short-circuits the others on stop_at_first.
+      // Each worker owns a Z3 context and session (Z3 contexts are
+      // single-threaded, so the checker's own context stays untouched);
+      // violations are merged under a mutex and a flag short-circuits the
+      // others on stop_at_first.
       std::atomic<std::size_t> next{0};
       std::atomic<bool> stop{false};
       std::atomic<std::uint64_t> queries{0};
@@ -297,7 +354,7 @@ CheckResult Checker::check(const topo::AclUpdate& update, const net::PacketSet& 
           const std::size_t i = next.fetch_add(1);
           if (i >= work.size()) break;
           auto violation =
-              worker_session.find_violation(work[i].second, net::PacketSet::empty(),
+              worker_session.find_violation(*work[i].second, net::PacketSet::empty(),
                                             work[i].first);
           if (violation) {
             const std::lock_guard<std::mutex> lock{merge};
@@ -309,14 +366,16 @@ CheckResult Checker::check(const topo::AclUpdate& update, const net::PacketSet& 
         queries.fetch_add(worker_smt.query_count());
       };
       std::vector<std::thread> pool;
-      for (unsigned t = 0; t < options_.threads; ++t) pool.emplace_back(worker);
+      const std::size_t pool_size = std::min<std::size_t>(options_.threads, work.size());
+      for (std::size_t t = 0; t < pool_size; ++t) pool.emplace_back(worker);
       for (auto& t : pool) t.join();
       result.smt_queries = queries.load();
       return result;
     }
 
+    CheckSession session{*this, update, controls};
     for (const auto& [entry, cls] : work) {
-      auto violation = session.find_violation(cls, net::PacketSet::empty(), entry);
+      auto violation = session.find_violation(*cls, net::PacketSet::empty(), entry);
       if (violation) {
         result.consistent = false;
         result.violations.push_back(std::move(*violation));
@@ -327,10 +386,11 @@ CheckResult Checker::check(const topo::AclUpdate& update, const net::PacketSet& 
     return result;
   }
 
-  const auto fecs = topo::forwarding_equivalence_classes(topo_, scope_, entering);
-  result.fec_count = fecs.size();
+  const auto fecs = global_classes(entering);
+  result.fec_count = fecs->size();
 
-  for (const auto& fec : fecs) {
+  CheckSession session{*this, update, controls};
+  for (const auto& fec : *fecs) {
     auto violation = session.find_violation(fec, net::PacketSet::empty());
     if (violation) {
       result.consistent = false;

@@ -17,11 +17,14 @@
 #include <optional>
 #include <vector>
 
+#include <memory>
+
 #include "core/diff.h"
 #include "lai/sema.h"
 #include "smt/acl_encoder.h"
 #include "smt/context.h"
 #include "topo/fec.h"
+#include "topo/fec_cache.h"
 #include "topo/paths.h"
 #include "topo/topology.h"
 
@@ -40,8 +43,24 @@ struct CheckOptions {
   /// same (class, feasible path) combinations as the global FECs.
   bool per_entry_fec = true;
   /// Worker threads for the per-class queries (per-entry mode only; each
-  /// worker owns a Z3 context). 1 = sequential.
+  /// worker owns a Z3 context) and for equivalence-class refinement.
+  /// 1 = sequential.
   unsigned threads = 1;
+  /// Exact set representation backing equivalence-class refinement
+  /// (topo::FecOptions::backend). Both backends produce the same partition;
+  /// the BDD backend refines atoms as decision-diagram nodes and converts
+  /// to PacketSet only at the SMT-encoding boundary.
+  topo::SetBackend set_backend = topo::SetBackend::Hypercube;
+  /// One incremental Z3 solver per session, with push()/pop() around each
+  /// per-FEC query, so path-decision assertions are encoded once per
+  /// session instead of once per query. Off = a fresh solver per query
+  /// (the seed behaviour, kept for ablation).
+  bool incremental_smt = true;
+  /// Shared equivalence-class cache. When unset the checker creates a
+  /// private one, which still serves repeated check() calls on the same
+  /// checker (fixer-style candidate loops). The Engine installs one cache
+  /// across all its checkers/fixers.
+  std::shared_ptr<topo::FecCache> fec_cache;
   topo::PathEnumOptions path_options;
 };
 
@@ -119,6 +138,14 @@ class CheckSession {
   /// Cached f_ξ / f'_ξ encoding over the session's packet variables.
   [[nodiscard]] const z3::expr& acl_expr(topo::AclSlot slot, bool after_side);
 
+  /// ¬(desired(c_p) ⇔ c'_p) for one path (Equation 3's per-path disjunct).
+  [[nodiscard]] z3::expr path_inconsistency_expr(std::size_t path_index);
+
+  /// Indicator for "path pi's desired and updated decisions differ". Its
+  /// defining assertion is added to the incremental solver once, at the
+  /// base frame, the first time the path participates in a query.
+  [[nodiscard]] const z3::expr& path_inconsistent(std::size_t path_index);
+
   Checker& checker_;
   smt::SmtContext& smt_;
   topo::ConfigView before_;
@@ -127,6 +154,8 @@ class CheckSession {
   std::optional<ReducedGroups> reduced_;  // set in Differential mode
   smt::PacketVars vars_;                  // shared by all queries in the session
   std::unordered_map<std::uint64_t, z3::expr> expr_cache_;
+  std::optional<z3::solver> solver_;      // incremental mode: lives for the session
+  std::unordered_map<std::size_t, z3::expr> path_flags_;
 };
 
 class Checker {
@@ -159,13 +188,30 @@ class Checker {
   /// Paths whose forwarding predicates can carry `traffic` (the set Y).
   [[nodiscard]] std::vector<std::size_t> feasible_paths(const net::PacketSet& traffic) const;
 
+  /// Per-entry classes of `entering` under this checker's scope, derived
+  /// with the configured backend and served from the FEC cache (classes do
+  /// not depend on the update, so candidate loops hit).
+  [[nodiscard]] std::shared_ptr<const std::vector<topo::EntryClasses>> entry_classes(
+      const net::PacketSet& entering);
+
+  /// Global FECs of `entering`, cached likewise.
+  [[nodiscard]] std::shared_ptr<const std::vector<net::PacketSet>> global_classes(
+      const net::PacketSet& entering);
+
+  [[nodiscard]] topo::FecCache& fec_cache() { return *fec_cache_; }
+
  private:
   friend class CheckSession;
+
+  [[nodiscard]] topo::FecOptions fec_options() const {
+    return topo::FecOptions{options_.set_backend, options_.threads};
+  }
 
   smt::SmtContext& smt_;
   const topo::Topology& topo_;
   const topo::Scope scope_;
   CheckOptions options_;
+  std::shared_ptr<topo::FecCache> fec_cache_;
   std::vector<topo::Path> paths_;
   std::vector<net::PacketSet> path_forwarding_;  // forwarding set per path
 };

@@ -19,7 +19,12 @@ bool CommandOutcome::ok() const {
 bool EngineReport::success() const { return !outcomes.empty() && outcomes.back().ok(); }
 
 Engine::Engine(const topo::Topology& topo, EngineOptions options)
-    : topo_(topo), options_(std::move(options)) {}
+    : topo_(topo), options_(std::move(options)) {
+  // One equivalence-class cache across every checker/fixer the engine
+  // creates: a check → fix → check pipeline derives each partition once.
+  if (!options_.check.fec_cache) options_.check.fec_cache = std::make_shared<topo::FecCache>();
+  if (!options_.fix.check.fec_cache) options_.fix.check.fec_cache = options_.check.fec_cache;
+}
 
 EngineReport Engine::run(const lai::UpdateTask& task, const net::PacketSet& entering) {
   EngineReport report;

@@ -78,8 +78,8 @@ FixResult Fixer::fix(const topo::AclUpdate& update, const net::PacketSet& enteri
   // entries.
   net::PacketSet handled;
   auto stopwatch = std::chrono::steady_clock::now();
-  for (const auto& [entry, classes] :
-       topo::per_entry_equivalence_classes(topo, checker_.scope(), entering)) {
+  const auto classified = checker_.entry_classes(entering);
+  for (const auto& [entry, classes] : *classified) {
     for (const auto& cls : classes) {
       // Per-class context, built on the first violation.
       std::vector<std::size_t> relevant_edges;

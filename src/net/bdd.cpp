@@ -134,6 +134,109 @@ BddManager::Node BddManager::from_packet(const Packet& p) {
   return from_cube(HyperCube::point(p));
 }
 
+BddManager::Node BddManager::exists(Node a, unsigned first_bit, unsigned bits) {
+  const unsigned end = first_bit + bits;
+  std::unordered_map<Node, Node> memo;
+  const auto rec = [&](auto&& self, Node at) -> Node {
+    if (at == kFalse || at == kTrue) return at;
+    const auto it = memo.find(at);
+    if (it != memo.end()) return it->second;
+    const NodeData n = nodes_[at];  // copy: make()/lor() may reallocate nodes_
+    const Node lo = self(self, n.lo);
+    const Node hi = self(self, n.hi);
+    const Node result =
+        (n.level >= first_bit && n.level < end) ? lor(lo, hi) : make(n.level, lo, hi);
+    memo.emplace(at, result);
+    return result;
+  };
+  return rec(rec, a);
+}
+
+namespace {
+
+/// Expands the bit constraint {x : (x & mask) == value} over a `bits`-wide
+/// field into disjoint intervals. A mask whose fixed bits form a contiguous
+/// top prefix denotes one interval; otherwise the highest free bit (which
+/// then has a fixed bit below it) is split and both halves recurse.
+void expand_intervals(std::uint64_t mask, std::uint64_t value, unsigned bits,
+                      std::vector<Interval>& out) {
+  const std::uint64_t full = bits >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << bits) - 1;
+  if (mask == 0 || ((mask | (mask - 1)) & full) == full) {
+    out.push_back(Interval{value, value | (~mask & full)});
+    return;
+  }
+  unsigned h = bits - 1;
+  while (((mask >> h) & 1) != 0) --h;
+  const std::uint64_t bit = std::uint64_t{1} << h;
+  expand_intervals(mask | bit, value, bits, out);
+  expand_intervals(mask | bit, value | bit, bits, out);
+}
+
+struct PathConstraint {
+  std::array<std::uint64_t, kNumFields> mask{};   // fixed decision bits per field
+  std::array<std::uint64_t, kNumFields> value{};  // their required values
+};
+
+/// Decodes a global bit level into (field, in-field bit position).
+std::pair<Field, unsigned> decode_level(unsigned level) {
+  for (const Field f : kAllFields) {
+    const unsigned offset = bdd_field_offset(f);
+    if (level >= offset && level < offset + field_bits(f)) {
+      return {f, field_bits(f) - 1 - (level - offset)};
+    }
+  }
+  return {Field::Proto, 0};  // unreachable for in-range levels
+}
+
+}  // namespace
+
+PacketSet BddManager::to_set(Node a) const {
+  std::vector<HyperCube> cubes;
+  PathConstraint path;
+  const auto emit = [&]() {
+    // Cross-product of each field's interval decomposition.
+    std::array<std::vector<Interval>, kNumFields> field_ivs;
+    for (const Field f : kAllFields) {
+      const auto i = static_cast<std::size_t>(f);
+      expand_intervals(path.mask[i], path.value[i], field_bits(f), field_ivs[i]);
+    }
+    std::array<std::size_t, kNumFields> pick{};
+    while (true) {
+      HyperCube cube;
+      for (const Field f : kAllFields) {
+        const auto i = static_cast<std::size_t>(f);
+        cube.set_interval(f, field_ivs[i][pick[i]]);
+      }
+      cubes.push_back(cube);
+      std::size_t d = 0;
+      for (; d < kNumFields; ++d) {
+        if (++pick[d] < field_ivs[d].size()) break;
+        pick[d] = 0;
+      }
+      if (d == kNumFields) break;
+    }
+  };
+  const auto walk = [&](auto&& self, Node at) -> void {
+    if (at == kFalse) return;
+    if (at == kTrue) {
+      emit();
+      return;
+    }
+    const NodeData& n = nodes_[at];
+    const auto [field, position] = decode_level(n.level);
+    const auto i = static_cast<std::size_t>(field);
+    const std::uint64_t bit = std::uint64_t{1} << position;
+    path.mask[i] |= bit;
+    self(self, n.lo);
+    path.value[i] |= bit;
+    self(self, n.hi);
+    path.mask[i] &= ~bit;
+    path.value[i] &= ~bit;
+  };
+  walk(walk, a);
+  return PacketSet::from_disjoint_cubes(std::move(cubes));
+}
+
 bool BddManager::contains(Node set, const Packet& p) const {
   Node at = set;
   while (at != kFalse && at != kTrue) {

@@ -49,6 +49,10 @@ class BddManager {
   [[nodiscard]] Node from_set(const PacketSet& set);
   [[nodiscard]] Node from_packet(const Packet& p);
 
+  /// Existential quantification of the decision bits [first_bit,
+  /// first_bit + bits): the projection of `a` that ignores those bits.
+  [[nodiscard]] Node exists(Node a, unsigned first_bit, unsigned bits);
+
   // --- queries -----------------------------------------------------------
   /// Canonicity makes equality and emptiness O(1) once built.
   [[nodiscard]] static bool is_empty(Node a) { return a == kFalse; }
@@ -58,6 +62,14 @@ class BddManager {
 
   /// Some packet in the set, or nullopt when empty.
   [[nodiscard]] std::optional<Packet> sample(Node a) const;
+
+  /// Exact conversion back to a union of pairwise-disjoint hypercubes.
+  /// Each root-to-true path contributes per-field (mask, value) bit
+  /// constraints, expanded into their minimal interval decomposition;
+  /// distinct paths denote disjoint sets, so the resulting cubes are
+  /// disjoint. This is the boundary where the BDD-backed equivalence-class
+  /// pipeline hands atoms to the PacketSet/SMT world.
+  [[nodiscard]] PacketSet to_set(Node a) const;
 
   /// Number of satisfying headers (exact, 2^104 max).
   [[nodiscard]] Volume volume(Node a) const;

@@ -1,21 +1,34 @@
 #include "topo/fec.h"
 
+#include <atomic>
+#include <thread>
+#include <unordered_map>
+
+#include "net/bdd.h"
+
 namespace jinjing::topo {
 
-std::vector<net::PacketSet> refine_into_atoms(const net::PacketSet& universe,
-                                              const std::vector<net::PacketSet>& predicates) {
+namespace {
+
+/// Predicates are refined by reference; the pointers stay valid for the
+/// duration of one classification call (they point into topo.edges() or a
+/// caller-owned vector).
+using PredRefs = std::vector<const net::PacketSet*>;
+
+std::vector<net::PacketSet> refine_hypercube(const net::PacketSet& universe,
+                                             const PredRefs& predicates) {
   std::vector<net::PacketSet> classes;
   if (!universe.is_empty()) classes.push_back(universe);
-  for (const auto& pred : predicates) {
+  for (const auto* pred : predicates) {
     std::vector<net::PacketSet> next;
     next.reserve(classes.size());
     for (const auto& cls : classes) {
-      net::PacketSet inside = cls & pred;
+      net::PacketSet inside = cls & *pred;
       if (inside.is_empty()) {
         next.push_back(cls);
         continue;
       }
-      net::PacketSet outside = cls - pred;
+      net::PacketSet outside = cls - *pred;
       next.push_back(std::move(inside.compact()));
       if (!outside.is_empty()) next.push_back(std::move(outside.compact()));
     }
@@ -24,16 +37,152 @@ std::vector<net::PacketSet> refine_into_atoms(const net::PacketSet& universe,
   return classes;
 }
 
-std::vector<net::PacketSet> forwarding_equivalence_classes(const Topology& topo,
-                                                           const Scope& scope,
-                                                           const net::PacketSet& entering) {
-  std::vector<net::PacketSet> predicates;
-  for (const auto& edge : topo.edges()) {
-    if (scope.contains_interface(topo, edge.from) && scope.contains_interface(topo, edge.to)) {
-      predicates.push_back(edge.predicate);
+/// BDD-backed refinement. Atoms live as BDD nodes until the very end:
+/// intersection/difference are memoized node operations and emptiness is
+/// O(1), so fragmentation never costs quadratic cube sweeps. Predicate
+/// nodes are memoized by pointer so per-entry classification converts each
+/// edge predicate once per manager, not once per entry.
+class BddRefiner {
+ public:
+  std::vector<net::PacketSet> refine(const net::PacketSet& universe, const PredRefs& predicates) {
+    using Node = net::BddManager::Node;
+    std::vector<Node> atoms;
+    const Node u = mgr_.from_set(universe);
+    if (u != net::BddManager::kFalse) atoms.push_back(u);
+    for (const auto* pred : predicates) {
+      const Node p = node_for(pred);
+      std::vector<Node> next;
+      next.reserve(atoms.size());
+      for (const Node cls : atoms) {
+        const Node inside = mgr_.land(cls, p);
+        if (inside == net::BddManager::kFalse) {
+          next.push_back(cls);
+          continue;
+        }
+        const Node outside = mgr_.ldiff(cls, p);
+        next.push_back(inside);
+        if (outside != net::BddManager::kFalse) next.push_back(outside);
+      }
+      atoms = std::move(next);
+    }
+    std::vector<net::PacketSet> out;
+    out.reserve(atoms.size());
+    for (const Node atom : atoms) out.push_back(mgr_.to_set(atom).compact());
+    return out;
+  }
+
+ private:
+  net::BddManager::Node node_for(const net::PacketSet* pred) {
+    const auto it = pred_nodes_.find(pred);
+    if (it != pred_nodes_.end()) return it->second;
+    const auto node = mgr_.from_set(*pred);
+    pred_nodes_.emplace(pred, node);
+    return node;
+  }
+
+  net::BddManager mgr_;
+  std::unordered_map<const net::PacketSet*, net::BddManager::Node> pred_nodes_;
+};
+
+std::vector<net::PacketSet> refine_sequential(const net::PacketSet& universe,
+                                              const PredRefs& predicates, SetBackend backend,
+                                              BddRefiner* shared) {
+  if (backend == SetBackend::Bdd) {
+    if (shared != nullptr) return shared->refine(universe, predicates);
+    BddRefiner refiner;
+    return refiner.refine(universe, predicates);
+  }
+  return refine_hypercube(universe, predicates);
+}
+
+/// Atoms of (preds(acc) ∪ preds(part)) from the two partitions: every
+/// nonempty pairwise intersection. Exact — partition merging is how the
+/// parallel groups recombine without losing or splitting classes.
+std::vector<net::PacketSet> merge_partitions(std::vector<net::PacketSet> acc,
+                                             const std::vector<net::PacketSet>& part) {
+  std::vector<net::PacketSet> merged;
+  merged.reserve(acc.size() + part.size());
+  for (const auto& a : acc) {
+    for (const auto& b : part) {
+      net::PacketSet both = a & b;
+      if (!both.is_empty()) merged.push_back(std::move(both.compact()));
     }
   }
-  return refine_into_atoms(entering, predicates);
+  return merged;
+}
+
+std::vector<net::PacketSet> refine_refs(const net::PacketSet& universe, const PredRefs& predicates,
+                                        const FecOptions& options, BddRefiner* shared) {
+  const auto threads =
+      static_cast<unsigned>(std::min<std::size_t>(options.threads, predicates.size()));
+  if (threads <= 1) return refine_sequential(universe, predicates, options.backend, shared);
+
+  // Contiguous balanced predicate groups, one per worker; PacketSet and
+  // per-worker BddManager state are confined to their thread.
+  std::vector<PredRefs> groups(threads);
+  for (std::size_t i = 0; i < predicates.size(); ++i) {
+    groups[i * threads / predicates.size()].push_back(predicates[i]);
+  }
+  std::vector<std::vector<net::PacketSet>> parts(threads);
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t]() {
+      parts[t] = refine_sequential(universe, groups[t], options.backend, nullptr);
+    });
+  }
+  for (auto& t : pool) t.join();
+
+  auto result = std::move(parts[0]);
+  for (unsigned t = 1; t < threads; ++t) result = merge_partitions(std::move(result), parts[t]);
+  return result;
+}
+
+/// The predicates of edges reachable from `entry` by BFS over the in-scope
+/// graph.
+PredRefs reachable_predicates(const Topology& topo, const Scope& scope, InterfaceId entry) {
+  std::vector<bool> visited(topo.interface_count(), false);
+  std::vector<InterfaceId> queue{entry};
+  visited[entry] = true;
+  PredRefs predicates;
+  while (!queue.empty()) {
+    const InterfaceId at = queue.back();
+    queue.pop_back();
+    for (const auto ei : topo.out_edges(at)) {
+      const Edge& edge = topo.edges()[ei];
+      if (!scope.contains_interface(topo, edge.to)) continue;
+      predicates.push_back(&edge.predicate);
+      if (!visited[edge.to]) {
+        visited[edge.to] = true;
+        queue.push_back(edge.to);
+      }
+    }
+  }
+  return predicates;
+}
+
+}  // namespace
+
+std::vector<net::PacketSet> refine_into_atoms(const net::PacketSet& universe,
+                                              const std::vector<net::PacketSet>& predicates,
+                                              const FecOptions& options) {
+  PredRefs refs;
+  refs.reserve(predicates.size());
+  for (const auto& pred : predicates) refs.push_back(&pred);
+  return refine_refs(universe, refs, options, nullptr);
+}
+
+std::vector<net::PacketSet> forwarding_equivalence_classes(const Topology& topo,
+                                                           const Scope& scope,
+                                                           const net::PacketSet& entering,
+                                                           const FecOptions& options) {
+  PredRefs predicates;
+  for (const auto& edge : topo.edges()) {
+    if (scope.contains_interface(topo, edge.from) && scope.contains_interface(topo, edge.to)) {
+      predicates.push_back(&edge.predicate);
+    }
+  }
+  return refine_refs(entering, predicates, options, nullptr);
 }
 
 net::PacketSet fec_region_of(const Topology& topo, const Scope& scope,
@@ -51,29 +200,46 @@ net::PacketSet fec_region_of(const Topology& topo, const Scope& scope,
 }
 
 std::vector<EntryClasses> per_entry_equivalence_classes(const Topology& topo, const Scope& scope,
-                                                        const net::PacketSet& entering) {
-  std::vector<EntryClasses> out;
-  for (const InterfaceId entry : entry_interfaces(topo, scope)) {
-    // Edges reachable from the entry by BFS over the in-scope graph.
-    std::vector<bool> visited(topo.interface_count(), false);
-    std::vector<InterfaceId> queue{entry};
-    visited[entry] = true;
-    std::vector<net::PacketSet> predicates;
-    while (!queue.empty()) {
-      const InterfaceId at = queue.back();
-      queue.pop_back();
-      for (const auto ei : topo.out_edges(at)) {
-        const Edge& edge = topo.edges()[ei];
-        if (!scope.contains_interface(topo, edge.to)) continue;
-        predicates.push_back(edge.predicate);
-        if (!visited[edge.to]) {
-          visited[edge.to] = true;
-          queue.push_back(edge.to);
-        }
-      }
+                                                        const net::PacketSet& entering,
+                                                        const FecOptions& options) {
+  const auto entries = entry_interfaces(topo, scope);
+  std::vector<EntryClasses> out(entries.size());
+
+  const auto threads = static_cast<unsigned>(std::min<std::size_t>(options.threads,
+                                                                   entries.size()));
+  if (threads <= 1) {
+    // One shared BDD manager memoizes predicate conversions across entries.
+    BddRefiner shared;
+    BddRefiner* refiner = options.backend == SetBackend::Bdd ? &shared : nullptr;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      out[i] = EntryClasses{
+          entries[i],
+          refine_refs(entering, reachable_predicates(topo, scope, entries[i]),
+                      FecOptions{options.backend, options.threads}, refiner)};
     }
-    out.push_back(EntryClasses{entry, refine_into_atoms(entering, predicates)});
+    return out;
   }
+
+  // Entries are independent classification problems: fan them over workers.
+  // Each worker owns its BDD manager; inner refinement stays sequential.
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    pool.emplace_back([&]() {
+      BddRefiner shared;
+      BddRefiner* refiner = options.backend == SetBackend::Bdd ? &shared : nullptr;
+      while (true) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= entries.size()) break;
+        out[i] = EntryClasses{entries[i],
+                              refine_sequential(entering,
+                                                reachable_predicates(topo, scope, entries[i]),
+                                                options.backend, refiner)};
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
   return out;
 }
 

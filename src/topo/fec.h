@@ -4,26 +4,55 @@
 // g ∈ G_Ω treats them identically. The FECs of the traffic entering Ω are
 // the atoms of {g_{i,j}} restricted to that traffic, computed exactly by
 // successive packet-set refinement.
+//
+// Refinement is backed by one of two exact set representations (FecOptions::
+// backend): unions of disjoint hypercubes (PacketSet) or reduced ordered
+// BDDs (net::BddManager). The BDD backend refines atoms as BDD nodes —
+// intersection/difference with memoized node operations, O(1) emptiness —
+// and converts to PacketSet only when handing classes to the SMT boundary.
+// Both backends produce the same partition (property-tested).
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "topo/topology.h"
 
 namespace jinjing::topo {
 
+/// Which exact set representation backs atom refinement.
+enum class SetBackend : std::uint8_t { Hypercube, Bdd };
+
+[[nodiscard]] constexpr std::string_view to_string(SetBackend b) {
+  return b == SetBackend::Hypercube ? "hypercube" : "bdd";
+}
+
+struct FecOptions {
+  SetBackend backend = SetBackend::Hypercube;
+  /// Worker threads for refinement (1 = sequential). Within one refinement
+  /// the predicate list is split into groups refined concurrently and the
+  /// group partitions merged by pairwise intersection (an exact identity:
+  /// the atoms of a predicate union are the nonempty intersections of the
+  /// per-group atoms). Per-entry classification additionally fans whole
+  /// entries over the workers. The resulting partition is identical to the
+  /// sequential one as a set of classes; only the order may differ.
+  unsigned threads = 1;
+};
+
 /// Splits `entering` (the traffic X_Ω from the IP management system) into
 /// forwarding equivalence classes w.r.t. all in-scope edge predicates.
 /// The result is a disjoint partition of `entering`; empty classes are
-/// dropped. Order is deterministic.
+/// dropped. Order is deterministic for a fixed FecOptions.
 [[nodiscard]] std::vector<net::PacketSet> forwarding_equivalence_classes(
-    const Topology& topo, const Scope& scope, const net::PacketSet& entering);
+    const Topology& topo, const Scope& scope, const net::PacketSet& entering,
+    const FecOptions& options = {});
 
 /// Generic atom refinement: partitions `universe` so every predicate in
 /// `predicates` is constant on each part. Shared by FEC (forwarding
 /// predicates), AEC (ACL permitted-sets) and DEC derivation.
 [[nodiscard]] std::vector<net::PacketSet> refine_into_atoms(
-    const net::PacketSet& universe, const std::vector<net::PacketSet>& predicates);
+    const net::PacketSet& universe, const std::vector<net::PacketSet>& predicates,
+    const FecOptions& options = {});
 
 /// Per-entry forwarding classes: for each entry border interface of Ω, the
 /// entering traffic is split only by the predicates of edges *reachable
@@ -37,7 +66,8 @@ struct EntryClasses {
 };
 
 [[nodiscard]] std::vector<EntryClasses> per_entry_equivalence_classes(
-    const Topology& topo, const Scope& scope, const net::PacketSet& entering);
+    const Topology& topo, const Scope& scope, const net::PacketSet& entering,
+    const FecOptions& options = {});
 
 /// The part of `seed` forwarded exactly like `h` by every in-scope edge —
 /// seed ∩ [h]_FEC, computed lazily by folding the edge predicates around h

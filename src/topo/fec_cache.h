@@ -1,0 +1,67 @@
+// Memoized equivalence-class derivation.
+//
+// The classes of the traffic entering a scope depend only on (scope,
+// entering set, in-scope forwarding predicates) — NOT on the ACL update
+// under test. The fixer and synthesizer candidate loops therefore re-derive
+// identical partitions on every check() of a new candidate; this cache
+// makes those derivations one lookup. Keys are structural fingerprints of
+// the inputs, guarded by an exact comparison of the entering set's cubes
+// (and the topology's identity) so a hash collision can never return the
+// wrong classes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "topo/fec.h"
+
+namespace jinjing::topo {
+
+class FecCache {
+ public:
+  using EntryClassesPtr = std::shared_ptr<const std::vector<EntryClasses>>;
+  using ClassesPtr = std::shared_ptr<const std::vector<net::PacketSet>>;
+
+  /// Cached per_entry_equivalence_classes. Thread-safe; on a miss the
+  /// derivation runs outside the lock (two racing misses both compute, the
+  /// results are interchangeable).
+  [[nodiscard]] EntryClassesPtr entry_classes(const Topology& topo, const Scope& scope,
+                                              const net::PacketSet& entering,
+                                              const FecOptions& options);
+
+  /// Cached forwarding_equivalence_classes.
+  [[nodiscard]] ClassesPtr global_classes(const Topology& topo, const Scope& scope,
+                                          const net::PacketSet& entering,
+                                          const FecOptions& options);
+
+  [[nodiscard]] std::uint64_t hits() const;
+  [[nodiscard]] std::uint64_t misses() const;
+  /// hits / (hits + misses), or 0 when never queried.
+  [[nodiscard]] double hit_rate() const;
+
+  void clear();
+
+ private:
+  struct Slot {
+    // Exact-match guard behind the fingerprint: same topology object, same
+    // entering cubes. Scope and predicates are covered by the fingerprint
+    // (they are derived from the topology, which is identity-compared).
+    const Topology* topo = nullptr;
+    std::vector<net::HyperCube> entering_cubes;
+    EntryClassesPtr entry;
+    ClassesPtr global;
+  };
+
+  [[nodiscard]] Slot* find_slot(std::uint64_t key, const Topology& topo,
+                                const net::PacketSet& entering);
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, std::vector<Slot>> slots_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace jinjing::topo

@@ -76,6 +76,52 @@ TEST(Bdd, SampleIsMember) {
   EXPECT_TRUE(set.contains(*p));
 }
 
+TEST(Bdd, ExistsQuantifiesOutBits) {
+  BddManager bdd;
+  const auto x0 = bdd.var(0);
+  const auto x1 = bdd.var(1);
+  // ∃x0. (x0 ∧ x1) = x1;  ∃x0,x1. (x0 ∧ x1) = true.
+  EXPECT_EQ(bdd.exists(bdd.land(x0, x1), 0, 1), x1);
+  EXPECT_EQ(bdd.exists(bdd.land(x0, x1), 0, 2), BddManager::kTrue);
+  // Quantifying bits the node does not test is the identity.
+  EXPECT_EQ(bdd.exists(x1, 0, 1), x1);
+  EXPECT_EQ(bdd.exists(BddManager::kFalse, 0, 8), BddManager::kFalse);
+}
+
+TEST(Bdd, ToSetRoundTripsPrefixSets) {
+  BddManager bdd;
+  const auto set = permitted_set(Acl::parse(
+      {"deny dst 1.0.0.0/8", "permit dst 10.20.0.0/16 dport 100-1000", "permit src 9.0.0.0/8"}));
+  const auto back = bdd.to_set(bdd.from_set(set));
+  EXPECT_TRUE(back.equals(set));
+  EXPECT_EQ(back.volume(), set.volume());
+}
+
+TEST(Bdd, ToSetHandlesNonPrefixMasks) {
+  // The union of two packets differing only in a middle bit fixes a
+  // non-contiguous bit mask — the conversion must split on the free bit
+  // rather than emit one interval.
+  BddManager bdd;
+  auto p = packet_to("1.2.3.4");
+  p.dport = 5;  // 0b101
+  auto q = p;
+  q.dport = 7;  // 0b111
+  const auto node = bdd.lor(bdd.from_packet(p), bdd.from_packet(q));
+  const auto set = bdd.to_set(node);
+  EXPECT_EQ(set.volume(), Volume{2});
+  EXPECT_TRUE(set.contains(p));
+  EXPECT_TRUE(set.contains(q));
+  auto r = p;
+  r.dport = 6;
+  EXPECT_FALSE(set.contains(r));
+}
+
+TEST(Bdd, ToSetOfTerminals) {
+  BddManager bdd;
+  EXPECT_TRUE(bdd.to_set(BddManager::kFalse).is_empty());
+  EXPECT_TRUE(bdd.to_set(BddManager::kTrue).equals(PacketSet::all()));
+}
+
 // Cross-validation: BDD algebra agrees with the hypercube engine on random
 // prefix/port-structured sets.
 class BddAgreesWithPacketSet : public ::testing::TestWithParam<unsigned> {
@@ -126,6 +172,11 @@ TEST_P(BddAgreesWithPacketSet, AlgebraAndVolumesMatch) {
     ASSERT_TRUE(witness.has_value());
     EXPECT_TRUE(a.contains(*witness));
   }
+
+  // to_set is exact: converting back yields the original set.
+  EXPECT_TRUE(bdd.to_set(na).equals(a));
+  EXPECT_TRUE(bdd.to_set(bdd.land(na, nb)).equals(a & b));
+  EXPECT_TRUE(bdd.to_set(bdd.ldiff(na, nb)).equals(a - b));
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BddAgreesWithPacketSet, ::testing::Range(1u, 26u));

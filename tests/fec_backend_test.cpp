@@ -1,0 +1,267 @@
+// Backend equivalence and cache regression for equivalence-class
+// refinement: the hypercube and BDD backends must produce the same
+// partition on every input, parallel refinement must match sequential,
+// FecCache hits must return exactly the cold derivation, and the
+// incremental SMT session must agree with the per-query-solver baseline.
+#include "topo/fec.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "core/checker.h"
+#include "gen/fixtures.h"
+#include "gen/scenario.h"
+#include "gen/wan.h"
+#include "net/acl_algebra.h"
+#include "topo/fec_cache.h"
+
+namespace jinjing::topo {
+namespace {
+
+FecOptions with(SetBackend backend, unsigned threads = 1) {
+  FecOptions o;
+  o.backend = backend;
+  o.threads = threads;
+  return o;
+}
+
+/// Partitions are unordered: equal iff same size and every class of `a`
+/// has an equal class in `b` (classes are pairwise disjoint, so a
+/// bijection follows).
+bool same_partition(const std::vector<net::PacketSet>& a, const std::vector<net::PacketSet>& b) {
+  if (a.size() != b.size()) return false;
+  return std::all_of(a.begin(), a.end(), [&](const net::PacketSet& cls) {
+    return std::any_of(b.begin(), b.end(),
+                       [&](const net::PacketSet& other) { return cls.equals(other); });
+  });
+}
+
+gen::WanParams randomized_params(unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<std::size_t> small(1, 2);
+  std::uniform_int_distribution<std::size_t> rules(4, 10);
+  std::uniform_int_distribution<std::size_t> asym(0, 4);
+  gen::WanParams params;
+  params.cores = small(rng) + 1;
+  params.aggs = small(rng) + 1;
+  params.cells = small(rng);
+  params.gateways_per_cell = small(rng);
+  params.prefixes_per_gateway = small(rng);
+  params.rules_per_acl = rules(rng);
+  params.asymmetry = asym(rng);
+  params.seed = seed;
+  return params;
+}
+
+class BackendEquivalence : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BackendEquivalence, GlobalFecsMatchOnRandomWan) {
+  const auto wan = gen::make_wan(randomized_params(GetParam()));
+  const auto cube =
+      forwarding_equivalence_classes(wan.topo, wan.scope, wan.traffic, with(SetBackend::Hypercube));
+  const auto bdd =
+      forwarding_equivalence_classes(wan.topo, wan.scope, wan.traffic, with(SetBackend::Bdd));
+  EXPECT_EQ(cube.size(), bdd.size());
+  EXPECT_TRUE(same_partition(cube, bdd));
+}
+
+TEST_P(BackendEquivalence, PerEntryClassesMatchOnRandomWan) {
+  const auto wan = gen::make_wan(randomized_params(GetParam()));
+  const auto cube = per_entry_equivalence_classes(wan.topo, wan.scope, wan.traffic,
+                                                  with(SetBackend::Hypercube));
+  const auto bdd =
+      per_entry_equivalence_classes(wan.topo, wan.scope, wan.traffic, with(SetBackend::Bdd));
+  ASSERT_EQ(cube.size(), bdd.size());
+  for (std::size_t i = 0; i < cube.size(); ++i) {
+    EXPECT_EQ(cube[i].entry, bdd[i].entry);
+    EXPECT_TRUE(same_partition(cube[i].classes, bdd[i].classes)) << "entry " << cube[i].entry;
+  }
+}
+
+TEST_P(BackendEquivalence, ParallelRefinementMatchesSequential) {
+  const auto wan = gen::make_wan(randomized_params(GetParam()));
+  for (const auto backend : {SetBackend::Hypercube, SetBackend::Bdd}) {
+    const auto sequential =
+        forwarding_equivalence_classes(wan.topo, wan.scope, wan.traffic, with(backend, 1));
+    const auto parallel =
+        forwarding_equivalence_classes(wan.topo, wan.scope, wan.traffic, with(backend, 3));
+    EXPECT_TRUE(same_partition(sequential, parallel)) << to_string(backend);
+
+    const auto seq_entries =
+        per_entry_equivalence_classes(wan.topo, wan.scope, wan.traffic, with(backend, 1));
+    const auto par_entries =
+        per_entry_equivalence_classes(wan.topo, wan.scope, wan.traffic, with(backend, 3));
+    ASSERT_EQ(seq_entries.size(), par_entries.size());
+    for (std::size_t i = 0; i < seq_entries.size(); ++i) {
+      EXPECT_EQ(seq_entries[i].entry, par_entries[i].entry);
+      EXPECT_TRUE(same_partition(seq_entries[i].classes, par_entries[i].classes));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BackendEquivalence, ::testing::Range(1u, 9u));
+
+TEST(BackendEquivalence, RefineIntoAtomsMatchesOnRandomSets) {
+  std::mt19937 rng(7);
+  std::uniform_int_distribution<int> octet(0, 255);
+  std::uniform_int_distribution<int> len_choice(0, 2);
+  std::uniform_int_distribution<int> action(0, 1);
+  const auto random_set = [&] {
+    std::vector<net::AclRule> rules;
+    std::uniform_int_distribution<int> n_rules(1, 4);
+    const int n = n_rules(rng);
+    for (int i = 0; i < n; ++i) {
+      net::Match m;
+      const std::uint8_t lens[] = {8, 16, 24};
+      m.dst = net::Prefix{net::Ipv4{10, static_cast<std::uint8_t>(octet(rng)),
+                                    static_cast<std::uint8_t>(octet(rng)), 0},
+                          lens[len_choice(rng)]};
+      if (octet(rng) < 80) m.dport = net::PortRange{100, 9000};
+      rules.push_back({action(rng) ? net::Action::Permit : net::Action::Deny, m});
+    }
+    return net::permitted_set(net::Acl{rules, net::Action::Deny});
+  };
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<net::PacketSet> preds;
+    std::uniform_int_distribution<int> n_preds(1, 5);
+    const int n = n_preds(rng);
+    for (int i = 0; i < n; ++i) preds.push_back(random_set());
+    const auto universe = net::PacketSet::all();
+    const auto cube = refine_into_atoms(universe, preds, with(SetBackend::Hypercube));
+    const auto bdd = refine_into_atoms(universe, preds, with(SetBackend::Bdd));
+    EXPECT_TRUE(same_partition(cube, bdd)) << "trial " << trial;
+    // Atoms partition the universe and every predicate is constant per atom.
+    for (const auto& atoms : {cube, bdd}) {
+      net::PacketSet covered;
+      for (const auto& atom : atoms) {
+        EXPECT_FALSE(atom.is_empty());
+        EXPECT_FALSE(covered.intersects(atom));
+        covered = (covered | atom).compact();
+        for (const auto& pred : preds) {
+          EXPECT_TRUE(pred.contains(atom) || !pred.intersects(atom));
+        }
+      }
+      EXPECT_TRUE(covered.equals(universe));
+    }
+  }
+}
+
+TEST(FecCacheTest, WarmHitReturnsIdenticalClasses) {
+  const auto wan = gen::make_wan(gen::small_wan());
+  FecCache cache;
+  for (const auto backend : {SetBackend::Hypercube, SetBackend::Bdd}) {
+    const auto options = with(backend);
+    const auto cold = cache.entry_classes(wan.topo, wan.scope, wan.traffic, options);
+    const auto warm = cache.entry_classes(wan.topo, wan.scope, wan.traffic, options);
+    // A hit returns the very same payload, which in turn matches a fresh
+    // uncached derivation.
+    EXPECT_EQ(cold.get(), warm.get());
+    const auto fresh = per_entry_equivalence_classes(wan.topo, wan.scope, wan.traffic, options);
+    ASSERT_EQ(cold->size(), fresh.size());
+    for (std::size_t i = 0; i < fresh.size(); ++i) {
+      EXPECT_EQ((*cold)[i].entry, fresh[i].entry);
+      EXPECT_TRUE(same_partition((*cold)[i].classes, fresh[i].classes));
+    }
+
+    const auto global_cold = cache.global_classes(wan.topo, wan.scope, wan.traffic, options);
+    const auto global_warm = cache.global_classes(wan.topo, wan.scope, wan.traffic, options);
+    EXPECT_EQ(global_cold.get(), global_warm.get());
+    EXPECT_TRUE(same_partition(
+        *global_cold, forwarding_equivalence_classes(wan.topo, wan.scope, wan.traffic, options)));
+  }
+  EXPECT_EQ(cache.misses(), 4u);  // 2 backends x (entry + global)
+  EXPECT_EQ(cache.hits(), 4u);
+  EXPECT_DOUBLE_EQ(cache.hit_rate(), 0.5);
+}
+
+TEST(FecCacheTest, DistinctInputsDoNotCollide) {
+  const auto wan = gen::make_wan(gen::small_wan());
+  FecCache cache;
+  const auto all = cache.global_classes(wan.topo, wan.scope, wan.traffic, with(SetBackend::Bdd));
+  // Different entering set: must miss and give a different partition size
+  // or content, never the cached payload.
+  const auto narrowed = (wan.traffic & wan.gateway_dst_set(0)).compact();
+  const auto sub = cache.global_classes(wan.topo, wan.scope, narrowed, with(SetBackend::Bdd));
+  EXPECT_NE(all.get(), sub.get());
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 2u);
+  // Backend is part of the key: same inputs, other backend misses too.
+  const auto other =
+      cache.global_classes(wan.topo, wan.scope, wan.traffic, with(SetBackend::Hypercube));
+  EXPECT_EQ(cache.misses(), 3u);
+  EXPECT_TRUE(same_partition(*all, *other));
+  cache.clear();
+  EXPECT_EQ(cache.hits() + cache.misses(), 0u);
+}
+
+TEST(FecCacheTest, CheckerCandidateLoopHitsCache) {
+  // Fixer-style workload: repeated check() of different candidate updates
+  // against one checker. Classes are update-independent, so every check
+  // after the first is a cache hit.
+  const auto f = gen::make_figure1();
+  smt::SmtContext smt;
+  core::CheckOptions options;
+  options.set_backend = SetBackend::Bdd;
+  core::Checker checker{smt, f.topo, f.scope, options};
+  const auto baseline = checker.check({}, f.traffic);
+  EXPECT_TRUE(baseline.consistent);
+  EXPECT_EQ(checker.fec_cache().misses(), 1u);
+  const auto broken = checker.check(f.running_example_update(), f.traffic);
+  EXPECT_FALSE(broken.consistent);
+  EXPECT_EQ(checker.fec_cache().misses(), 1u);
+  EXPECT_GE(checker.fec_cache().hits(), 1u);
+}
+
+struct SessionModes {
+  SetBackend backend;
+  bool incremental;
+};
+
+class CheckerBackendModes : public ::testing::TestWithParam<SessionModes> {
+ protected:
+  core::CheckOptions options() const {
+    core::CheckOptions o;
+    o.set_backend = GetParam().backend;
+    o.incremental_smt = GetParam().incremental;
+    return o;
+  }
+};
+
+TEST_P(CheckerBackendModes, AgreesWithSeedPipelineOnFigure1) {
+  const auto f = gen::make_figure1();
+  smt::SmtContext smt;
+  auto o = options();
+  o.stop_at_first = false;
+  core::Checker checker{smt, f.topo, f.scope, o};
+  EXPECT_TRUE(checker.check({}, f.traffic).consistent);
+  const auto result = checker.check(f.running_example_update(), f.traffic);
+  EXPECT_FALSE(result.consistent);
+  EXPECT_EQ(result.violations.size(), 2u);  // FECs {1} and {2,3}
+  EXPECT_EQ(result.fec_count, 5u);
+}
+
+TEST_P(CheckerBackendModes, AgreesOnWanScenario) {
+  const auto wan = gen::make_wan(gen::small_wan());
+  smt::SmtContext smt;
+  core::Checker checker{smt, wan.topo, wan.scope, options()};
+  EXPECT_TRUE(checker.check({}, wan.traffic).consistent);
+  // §7 Scenario 2 (ingress→egress ACL relocation) breaks intra-cell
+  // reachability; every backend/solver mode must flag it.
+  EXPECT_FALSE(checker.check(gen::ingress_to_egress_update(wan), wan.traffic).consistent);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, CheckerBackendModes,
+    ::testing::Values(SessionModes{SetBackend::Hypercube, false},
+                      SessionModes{SetBackend::Hypercube, true},
+                      SessionModes{SetBackend::Bdd, false}, SessionModes{SetBackend::Bdd, true}),
+    [](const ::testing::TestParamInfo<SessionModes>& info) {
+      return std::string(to_string(info.param.backend)) +
+             (info.param.incremental ? "_incremental" : "_fresh");
+    });
+
+}  // namespace
+}  // namespace jinjing::topo
