@@ -24,14 +24,17 @@
 //    seconds, and the cache hit rate.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "bench_common.h"
 #include "core/checker.h"
+#include "core/engine.h"
 
 namespace jinjing {
 namespace {
@@ -85,6 +88,10 @@ struct PipelineResult {
   std::size_t fec_count = 0;
   std::uint64_t smt_queries = 0;
   double solve_seconds = 0;
+  // Pipeline-stage breakdown, summed over the candidate stream.
+  double plan_seconds = 0;
+  double compile_seconds = 0;
+  double execute_seconds = 0;
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   double cache_hit_rate = 0;
@@ -120,6 +127,9 @@ PipelineResult run_pipeline(const gen::Wan& wan, const std::vector<topo::AclUpda
       result.solve_seconds += fresh_smt.solve_seconds();
     }
     result.fec_count = check.fec_count;
+    result.plan_seconds += check.plan_seconds;
+    result.compile_seconds += check.compile_seconds;
+    result.execute_seconds += check.execute_seconds;
     ++result.checks;
     if (!check.consistent) ++result.inconsistent;
   }
@@ -132,6 +142,69 @@ PipelineResult run_pipeline(const gen::Wan& wan, const std::vector<topo::AclUpda
     result.cache_misses = reused.fec_cache().misses();
     result.cache_hit_rate = reused.fec_cache().hit_rate();
   }
+  return result;
+}
+
+/// The multi-intent batch workload: N independent update tasks pushed
+/// through one Engine — serially on a single-threaded engine, then via
+/// run_batch on the shared executor. The acceptance bar for the executor
+/// refactor is >= 1.5x throughput at N = 8.
+struct BatchResult {
+  std::size_t tasks = 0;
+  unsigned threads = 0;
+  double serial_seconds = 0;
+  double batch_seconds = 0;
+  double speedup = 0;
+  std::size_t inconsistent = 0;
+};
+
+BatchResult run_batch_workload(const gen::Wan& wan) {
+  BatchResult result;
+  std::vector<lai::UpdateTask> tasks;
+  for (unsigned seed = 1; seed <= 8; ++seed) {
+    lai::UpdateTask task;
+    task.scope = wan.scope;
+    task.modify = gen::perturb_rules(wan, 0.03, 100 + seed);
+    task.commands = {lai::Command::Check};
+    tasks.push_back(std::move(task));
+  }
+  result.tasks = tasks.size();
+  // Fan out over the real cores (capped at the task count). On a single-core
+  // host run_batch degenerates to the sequential loop, so the reported
+  // speedup stays honest instead of measuring oversubscription.
+  result.threads = std::min(8u, std::max(1u, std::thread::hardware_concurrency()));
+
+  {
+    core::EngineOptions options;
+    options.check.threads = 1;
+    core::Engine serial{wan.topo, options};
+    const auto start = std::chrono::steady_clock::now();
+    for (const auto& task : tasks) {
+      const auto report = serial.run(task, wan.traffic);
+      if (!report.success()) ++result.inconsistent;
+    }
+    result.serial_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  }
+
+  {
+    core::EngineOptions options;
+    options.check.threads = result.threads;
+    core::Engine batch{wan.topo, options};
+    const auto start = std::chrono::steady_clock::now();
+    const auto reports = batch.run_batch(tasks, wan.traffic);
+    result.batch_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    std::size_t inconsistent = 0;
+    for (const auto& report : reports) {
+      if (!report.success()) ++inconsistent;
+    }
+    if (inconsistent != result.inconsistent) {
+      std::fprintf(stderr, "WARNING: batch verdicts diverge from serial (%zu vs %zu)\n",
+                   inconsistent, result.inconsistent);
+    }
+  }
+  result.speedup = result.batch_seconds > 0 ? result.serial_seconds / result.batch_seconds : 0;
   return result;
 }
 
@@ -163,6 +236,11 @@ int run_repeated_check_comparison(const char* json_path) {
                  r.cache_hit_rate);
   }
 
+  const auto batch = run_batch_workload(wan);
+  std::fprintf(stderr, "  batch x%zu (%u threads): serial %.3fs, batch %.3fs, speedup %.2fx\n",
+               batch.tasks, batch.threads, batch.serial_seconds, batch.batch_seconds,
+               batch.speedup);
+
   const double baseline = results.front().wall_seconds;
   std::FILE* out = std::fopen(json_path, "w");
   if (!out) {
@@ -176,17 +254,24 @@ int run_repeated_check_comparison(const char* json_path) {
     const auto& r = results[i];
     std::fprintf(out,
                  "    {\"name\": \"%s\", \"wall_seconds\": %.6f, \"fec_count\": %zu, "
-                 "\"smt_queries\": %llu, \"solve_seconds\": %.6f, \"cache_hits\": %llu, "
+                 "\"smt_queries\": %llu, \"solve_seconds\": %.6f, \"plan_seconds\": %.6f, "
+                 "\"compile_seconds\": %.6f, \"execute_seconds\": %.6f, \"cache_hits\": %llu, "
                  "\"cache_misses\": %llu, \"cache_hit_rate\": %.4f, \"checks\": %zu, "
                  "\"inconsistent\": %zu, \"speedup_vs_seed\": %.2f}%s\n",
                  r.name.c_str(), r.wall_seconds, r.fec_count,
-                 static_cast<unsigned long long>(r.smt_queries), r.solve_seconds,
+                 static_cast<unsigned long long>(r.smt_queries), r.solve_seconds, r.plan_seconds,
+                 r.compile_seconds, r.execute_seconds,
                  static_cast<unsigned long long>(r.cache_hits),
                  static_cast<unsigned long long>(r.cache_misses), r.cache_hit_rate, r.checks,
                  r.inconsistent, r.wall_seconds > 0 ? baseline / r.wall_seconds : 0.0,
                  i + 1 < results.size() ? "," : "");
   }
-  std::fprintf(out, "  ]\n}\n");
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out,
+               "  \"batch\": {\"tasks\": %zu, \"threads\": %u, \"serial_seconds\": %.6f, "
+               "\"batch_seconds\": %.6f, \"speedup\": %.2f}\n}\n",
+               batch.tasks, batch.threads, batch.serial_seconds, batch.batch_seconds,
+               batch.speedup);
   std::fclose(out);
   std::fprintf(stderr, "wrote %s (bdd_cached speedup vs seed: %.2fx)\n", json_path,
                baseline / results.back().wall_seconds);

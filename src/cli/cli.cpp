@@ -25,7 +25,7 @@ constexpr const char* kUsage = R"(usage:
   jinjing run   --network FILE --program FILE [--acl NAME=FILE]...
                 [--diff] [--rollback] [--stage availability|security]
                 [--out FILE] [--set-backend hypercube|bdd] [--threads N]
-                [--no-incremental-smt]
+                [--no-incremental-smt] [--timeout-ms N] [--report-json FILE]
   jinjing show  --network FILE
   jinjing audit --network FILE
   jinjing reach --network FILE --from IFACE --to IFACE [--packet SPEC]
@@ -44,6 +44,11 @@ run      execute an LAI program (check / fix / generate) and print the plan
                               per-class SMT queries
          --no-incremental-smt fresh solver per query instead of one
                               incremental solver per session
+         --timeout-ms N       per-query Z3 deadline in milliseconds (0, the
+                              default, means none); a query hitting the
+                              deadline is an error, never a pass
+         --report-json FILE   write per-stage timings (plan/compile/solve/
+                              execute) and obligation counts to FILE
 show     print the network summary: paths, traffic classes, ACLs
 audit    run the data-quality checks; exit 1 when errors are found
 reach    answer "what can go from A to B?" — per-path permitted traffic,
@@ -75,6 +80,8 @@ struct Options {
   topo::SetBackend set_backend = topo::SetBackend::Hypercube;
   unsigned threads = 1;
   bool incremental_smt = true;
+  unsigned timeout_ms = 0;
+  std::string report_json_path;
 };
 
 std::string read_file(const std::string& path) {
@@ -152,6 +159,25 @@ Options parse_args(const std::vector<std::string>& args) {
         throw std::runtime_error("--threads expects 1 <= N <= 1024");
       }
       options.threads = static_cast<unsigned>(parsed);
+    } else if (arg == "--timeout-ms") {
+      const auto& count = value();
+      unsigned long parsed = 0;
+      try {
+        // stoul accepts a leading '-' (by wrapping) and trailing garbage;
+        // reject both explicitly.
+        if (count.empty() || count[0] == '-') throw std::invalid_argument(count);
+        std::size_t consumed = 0;
+        parsed = std::stoul(count, &consumed);
+        if (consumed != count.size()) throw std::invalid_argument(count);
+      } catch (const std::exception&) {
+        throw std::runtime_error("--timeout-ms expects N >= 0, got '" + count + "'");
+      }
+      if (parsed > 3600000) {
+        throw std::runtime_error("--timeout-ms expects 0 <= N <= 3600000");
+      }
+      options.timeout_ms = static_cast<unsigned>(parsed);
+    } else if (arg == "--report-json") {
+      options.report_json_path = value();
     } else if (arg == "--no-incremental-smt") {
       options.incremental_smt = false;
     } else if (arg == "--size") {
@@ -190,6 +216,67 @@ void print_plan(std::ostream& out, const topo::Topology& topo, const topo::AclUp
   }
 }
 
+/// The --report-json payload: per-command obligation counts and stage
+/// timings, plus pipeline totals.
+void write_report_json(const std::string& path, const core::EngineReport& report) {
+  std::ofstream file{path};
+  if (!file) throw std::runtime_error("cannot write " + path);
+  file << "{\n  \"commands\": [";
+  bool first = true;
+  std::uint64_t total_queries = 0;
+  double total_plan = 0, total_compile = 0, total_solve = 0, total_execute = 0;
+  for (const auto& outcome : report.outcomes) {
+    if (!first) file << ",";
+    first = false;
+    file << "\n    {\"command\": \"" << lai::to_string(outcome.command) << "\", \"ok\": "
+         << (outcome.ok() ? "true" : "false");
+    if (outcome.check) {
+      const auto& c = *outcome.check;
+      file << ", \"obligations\": " << c.obligation_count
+           << ", \"executed\": " << c.obligations_executed
+           << ", \"cancelled\": " << c.obligations_cancelled
+           << ", \"fec_count\": " << c.fec_count << ", \"smt_queries\": " << c.smt_queries
+           << ", \"plan_seconds\": " << c.plan_seconds
+           << ", \"compile_seconds\": " << c.compile_seconds
+           << ", \"solve_seconds\": " << c.solve_seconds
+           << ", \"execute_seconds\": " << c.execute_seconds;
+      total_queries += c.smt_queries;
+      total_plan += c.plan_seconds;
+      total_compile += c.compile_seconds;
+      total_solve += c.solve_seconds;
+      total_execute += c.execute_seconds;
+    }
+    if (outcome.fix) {
+      const auto& f = *outcome.fix;
+      file << ", \"obligations\": " << f.obligations
+           << ", \"obligations_skipped\": " << f.obligations_skipped
+           << ", \"neighborhoods\": " << f.neighborhoods.size()
+           << ", \"actions\": " << f.actions.size() << ", \"smt_queries\": " << f.smt_queries
+           << ", \"search_seconds\": " << f.search_seconds
+           << ", \"enlarge_seconds\": " << f.enlarge_seconds
+           << ", \"place_seconds\": " << f.place_seconds
+           << ", \"assemble_seconds\": " << f.assemble_seconds;
+      total_queries += f.smt_queries;
+      total_solve += f.search_seconds + f.place_seconds;
+    }
+    if (outcome.generate) {
+      const auto& g = *outcome.generate;
+      file << ", \"aec_count\": " << g.aec_count << ", \"dec_count\": " << g.dec_count
+           << ", \"smt_queries\": " << g.smt_queries
+           << ", \"derive_seconds\": " << g.derive_seconds
+           << ", \"solve_seconds\": " << g.solve_seconds
+           << ", \"synth_seconds\": " << g.synth_seconds;
+      total_queries += g.smt_queries;
+      total_solve += g.solve_seconds;
+    }
+    file << "}";
+  }
+  file << "\n  ],\n  \"totals\": {\"smt_queries\": " << total_queries
+       << ", \"plan_seconds\": " << total_plan << ", \"compile_seconds\": " << total_compile
+       << ", \"solve_seconds\": " << total_solve << ", \"execute_seconds\": " << total_execute
+       << "}\n}\n";
+}
+
 int run_command(const Options& options, std::ostream& out) {
   if (options.program_path.empty()) throw std::runtime_error("--program is required for run");
   const auto network = config::load_network(options.network_path);
@@ -206,9 +293,15 @@ int run_command(const Options& options, std::ostream& out) {
     check->set_backend = options.set_backend;
     check->threads = options.threads;
     check->incremental_smt = options.incremental_smt;
+    check->timeout_ms = options.timeout_ms;
   }
   core::Engine engine{network.topo, engine_options};
   const auto report = engine.run_program(program_text, library, network.traffic);
+
+  if (!options.report_json_path.empty()) {
+    write_report_json(options.report_json_path, report);
+    out << "report written to " << options.report_json_path << "\n";
+  }
 
   for (const auto& outcome : report.outcomes) {
     out << lai::to_string(outcome.command) << ": " << (outcome.ok() ? "ok" : "FAILED");

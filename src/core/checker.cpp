@@ -1,9 +1,8 @@
 #include "core/checker.h"
 
 #include <algorithm>
-#include <atomic>
+#include <chrono>
 #include <mutex>
-#include <thread>
 
 #include "net/acl_algebra.h"
 #include "smt/encode.h"
@@ -25,6 +24,22 @@ bool intent_spans_path(const lai::ControlIntent& intent, const topo::Path& path)
 std::uint64_t acl_expr_key(topo::AclSlot slot, bool after_side) {
   return (std::uint64_t{slot.iface} << 2) |
          (std::uint64_t{slot.dir == topo::Dir::Out} << 1) | std::uint64_t{after_side};
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+bool same_controls(const std::vector<lai::ControlIntent>& a,
+                   const std::vector<lai::ControlIntent>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].verb != b[i].verb || a[i].from != b[i].from || a[i].to != b[i].to ||
+        !a[i].header.equals(b[i].header)) {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace
@@ -77,6 +92,7 @@ Checker::Checker(smt::SmtContext& smt, const topo::Topology& topo, const topo::S
       scope_(scope),
       options_(options),
       fec_cache_(options.fec_cache ? options.fec_cache : std::make_shared<topo::FecCache>()) {
+  if (options_.timeout_ms > 0) smt_.set_timeout_ms(options_.timeout_ms);
   paths_ = topo::enumerate_paths(topo_, scope_, options_.path_options);
   path_forwarding_.reserve(paths_.size());
   for (const auto& p : paths_) path_forwarding_.push_back(topo::forwarding_set(topo_, p));
@@ -100,6 +116,44 @@ std::vector<std::size_t> Checker::feasible_paths(const net::PacketSet& traffic) 
   return out;
 }
 
+const VerifyPlan& Checker::plan(const net::PacketSet& entering) {
+  if (plan_entering_ && plan_entering_->equals(entering)) {
+    last_plan_seconds_ = 0;  // served from cache
+    return plan_;
+  }
+  const Lowering mode = options_.use_differential ? Lowering::Differential : Lowering::Basic;
+  if (options_.per_entry_fec) {
+    plan_ = build_verify_plan(paths_, path_forwarding_, entry_classes(entering), mode);
+  } else {
+    plan_ = build_verify_plan(paths_, path_forwarding_, global_classes(entering), mode);
+  }
+  plan_entering_ = entering;
+  last_plan_seconds_ = plan_.stats().plan_seconds;
+  return plan_;
+}
+
+CheckSession& Checker::session(const topo::AclUpdate& update,
+                               const std::vector<lai::ControlIntent>& controls) {
+  if (session_ && session_update_ == update && same_controls(session_controls_, controls)) {
+    last_session_seconds_ = 0;
+    return *session_;
+  }
+  // The session's ConfigView points at the stored copy, so tear the old
+  // session down before replacing what it points at.
+  session_.reset();
+  session_update_ = update;
+  session_controls_ = controls;
+  session_ = std::make_unique<CheckSession>(*this, session_update_, session_controls_);
+  last_session_seconds_ = session_->build_seconds();
+  return *session_;
+}
+
+Executor& Checker::executor() {
+  if (options_.executor) return *options_.executor;
+  if (!own_executor_) own_executor_ = std::make_shared<Executor>(options_.threads);
+  return *own_executor_;
+}
+
 CheckSession::CheckSession(Checker& checker, const topo::AclUpdate& update,
                            const std::vector<lai::ControlIntent>& controls)
     : CheckSession(checker, checker.smt_, update, controls) {}
@@ -113,6 +167,7 @@ CheckSession::CheckSession(Checker& checker, smt::SmtContext& smt,
       after_(checker.topo_, &update),
       controls_(controls),
       vars_(smt.packet_vars()) {
+  const auto start = std::chrono::steady_clock::now();
   if (checker.options_.use_differential) {
     const auto slots = after_.bound_slots();
     auto reduced = reduce_by_differential(before_, after_, slots);
@@ -135,6 +190,7 @@ CheckSession::CheckSession(Checker& checker, smt::SmtContext& smt,
     }
     reduced_ = std::move(reduced);
   }
+  build_seconds_ = seconds_since(start);
 }
 
 const net::Acl& CheckSession::encoded_acl(topo::AclSlot slot, bool after_side) const {
@@ -209,6 +265,12 @@ std::optional<Violation> CheckSession::find_violation(const net::PacketSet& fec,
       return checker_.paths_[pi].entry() != *entry;
     });
   }
+  return find_violation(fec, excluded, feasible);
+}
+
+std::optional<Violation> CheckSession::find_violation(const net::PacketSet& fec,
+                                                      const net::PacketSet& excluded,
+                                                      const std::vector<std::size_t>& feasible) {
   if (feasible.empty()) return std::nullopt;
 
   auto& smt = smt_;
@@ -324,81 +386,115 @@ CheckResult Checker::check_monolithic(const topo::AclUpdate& update,
 
 CheckResult Checker::check(const topo::AclUpdate& update, const net::PacketSet& entering,
                            const std::vector<lai::ControlIntent>& controls) {
-  const std::uint64_t queries_before = smt_.query_count();
   CheckResult result;
   result.path_count = paths_.size();
 
-  if (options_.per_entry_fec) {
-    // Classes are cached across check() calls (they do not depend on the
-    // update); the work list references them in place.
-    const auto classified = entry_classes(entering);
-    std::vector<std::pair<topo::InterfaceId, const net::PacketSet*>> work;
-    for (const auto& [entry, classes] : *classified) {
-      result.fec_count += classes.size();
-      for (const auto& cls : classes) work.emplace_back(entry, &cls);
-    }
+  // Plan: the obligation DAG (update-independent, cached).
+  const VerifyPlan& verify_plan = plan(entering);
+  const auto& obligations = verify_plan.obligations();
+  result.fec_count = verify_plan.stats().fec_count;
+  result.obligation_count = obligations.size();
+  result.plan_seconds = last_plan_seconds_;
 
-    if (options_.threads > 1) {
-      // Each worker owns a Z3 context and session (Z3 contexts are
-      // single-threaded, so the checker's own context stays untouched);
-      // violations are merged under a mutex and a flag short-circuits the
-      // others on stop_at_first.
-      std::atomic<std::size_t> next{0};
-      std::atomic<bool> stop{false};
-      std::atomic<std::uint64_t> queries{0};
-      std::mutex merge;
-      const auto worker = [&]() {
-        smt::SmtContext worker_smt;
-        CheckSession worker_session{*this, worker_smt, update, controls};
-        while (!stop.load(std::memory_order_relaxed)) {
-          const std::size_t i = next.fetch_add(1);
-          if (i >= work.size()) break;
-          auto violation =
-              worker_session.find_violation(*work[i].second, net::PacketSet::empty(),
-                                            work[i].first);
-          if (violation) {
-            const std::lock_guard<std::mutex> lock{merge};
-            result.consistent = false;
-            result.violations.push_back(std::move(*violation));
-            if (options_.stop_at_first) stop.store(true, std::memory_order_relaxed);
-          }
-        }
-        queries.fetch_add(worker_smt.query_count());
+  Executor& exec = executor();
+  const bool stop_at_first = options_.stop_at_first;
+  const bool parallel = exec.threads() > 1 && obligations.size() > 1;
+  std::vector<std::optional<Violation>> found(obligations.size());
+  ExecutionStats stats;
+
+  if (!parallel) {
+    // Sequential: one cached session on the checker's own context, executed
+    // in plan order — byte-identical to the pre-pipeline sequential loop,
+    // and the session's incremental base frame survives across commands.
+    const std::uint64_t queries_before = smt_.query_count();
+    const double solve_before = smt_.solve_seconds();
+    CheckSession& main_session = session(update, controls);
+    double busy = 0;
+    stats = exec.run(obligations.size(), [&](std::size_t) -> Executor::Task {
+      return [&](std::size_t i, const CancellationToken& token) {
+        if (token.cancelled()) return false;
+        const auto start = std::chrono::steady_clock::now();
+        const Obligation& o = obligations[i];
+        auto violation = main_session.find_violation(*o.fec, net::PacketSet::empty(), o.paths);
+        busy += seconds_since(start);
+        if (!violation) return false;
+        found[i] = std::move(*violation);
+        return stop_at_first;
       };
-      std::vector<std::thread> pool;
-      const std::size_t pool_size = std::min<std::size_t>(options_.threads, work.size());
-      for (std::size_t t = 0; t < pool_size; ++t) pool.emplace_back(worker);
-      for (auto& t : pool) t.join();
-      result.smt_queries = queries.load();
-      return result;
-    }
-
-    CheckSession session{*this, update, controls};
-    for (const auto& [entry, cls] : work) {
-      auto violation = session.find_violation(*cls, net::PacketSet::empty(), entry);
-      if (violation) {
-        result.consistent = false;
-        result.violations.push_back(std::move(*violation));
-        if (options_.stop_at_first) break;
-      }
-    }
+    });
     result.smt_queries = smt_.query_count() - queries_before;
+    result.solve_seconds = smt_.solve_seconds() - solve_before;
+    result.compile_seconds =
+        last_session_seconds_ + std::max(0.0, busy - result.solve_seconds);
+  } else {
+    // Parallel: each worker compiles its own session on a private Z3
+    // context (Z3 contexts are single-threaded); the executor distributes
+    // obligations by work stealing.
+    struct WorkerState {
+      smt::SmtContext smt;
+      std::optional<CheckSession> session;
+      double busy_seconds = 0;
+    };
+    std::mutex states_mutex;
+    std::vector<std::unique_ptr<WorkerState>> states;
+    const Executor::WorkerFactory factory = [&](std::size_t) -> Executor::Task {
+      auto owned = std::make_unique<WorkerState>();
+      WorkerState* state = owned.get();
+      if (options_.timeout_ms > 0) state->smt.set_timeout_ms(options_.timeout_ms);
+      state->session.emplace(*this, state->smt, update, controls);
+      {
+        const std::lock_guard<std::mutex> lock{states_mutex};
+        states.push_back(std::move(owned));
+      }
+      return [&, state](std::size_t i, const CancellationToken& token) {
+        if (token.cancelled()) return false;
+        const auto start = std::chrono::steady_clock::now();
+        const Obligation& o = obligations[i];
+        auto violation =
+            state->session->find_violation(*o.fec, net::PacketSet::empty(), o.paths);
+        state->busy_seconds += seconds_since(start);
+        if (!violation) return false;
+        found[i] = std::move(*violation);
+        return stop_at_first;
+      };
+    };
+    stats = exec.run(obligations.size(), factory);
+    double busy = 0;
+    double build = 0;
+    for (const auto& state : states) {
+      result.smt_queries += state->smt.query_count();
+      result.solve_seconds += state->smt.solve_seconds();
+      busy += state->busy_seconds;
+      build += state->session->build_seconds();
+    }
+    result.compile_seconds = build + std::max(0.0, busy - result.solve_seconds);
+  }
+
+  result.obligations_executed = stats.executed;
+  result.obligations_cancelled = stats.cancelled;
+  result.execute_seconds = stats.execute_seconds;
+
+  if (parallel && stop_at_first && stats.stop_index < obligations.size()) {
+    // The executor guarantees stop_index is the *minimal* obligation with a
+    // violation; re-derive its witness on a fresh context so the reported
+    // packet does not depend on which worker got there first.
+    smt::SmtContext fresh;
+    if (options_.timeout_ms > 0) fresh.set_timeout_ms(options_.timeout_ms);
+    CheckSession fresh_session{*this, fresh, update, controls};
+    const Obligation& o = obligations[stats.stop_index];
+    auto violation = fresh_session.find_violation(*o.fec, net::PacketSet::empty(), o.paths);
+    result.smt_queries += fresh.query_count();
+    if (!violation) violation = std::move(found[stats.stop_index]);  // unreachable fallback
+    result.consistent = false;
+    result.violations.push_back(std::move(*violation));
     return result;
   }
 
-  const auto fecs = global_classes(entering);
-  result.fec_count = fecs->size();
-
-  CheckSession session{*this, update, controls};
-  for (const auto& fec : *fecs) {
-    auto violation = session.find_violation(fec, net::PacketSet::empty());
-    if (violation) {
-      result.consistent = false;
-      result.violations.push_back(std::move(*violation));
-      if (options_.stop_at_first) break;
-    }
+  for (auto& violation : found) {
+    if (!violation) continue;
+    result.consistent = false;
+    result.violations.push_back(std::move(*violation));
   }
-  result.smt_queries = smt_.query_count() - queries_before;
   return result;
 }
 

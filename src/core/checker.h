@@ -1,25 +1,33 @@
-// The check primitive (§4.1, Algorithm 1).
+// The check primitive (§4.1, Algorithm 1), as a plan/compile/execute
+// pipeline.
 //
 // Verifies packet reachability consistency between the current ACL group
 // L_Ω and a proposed update L'_Ω: for every forwarding equivalence class of
 // the traffic entering Ω and every path that can carry it, the path decision
-// must be unchanged. Violations are found with Z3 on the per-FEC formula
+// must be unchanged. The decomposition into per-(entry, FEC) proof
+// obligations is materialized as a core::VerifyPlan (plan stage), each
+// obligation is lowered to the Z3 formula
 //
 //      ( ∨_{p ∈ Y} ¬(c_p ⇔ c'_p) ) ∧ ψ_[h]FEC            (Equation 3)
 //
-// Two modes reproduce the paper's comparison: Basic (whole ACLs, the
+// by a CheckSession (compile stage), and the obligations run on the shared
+// work-stealing core::Executor (execute stage) with early-exit cancellation
+// for stop_at_first.
+//
+// Two lowerings reproduce the paper's comparison: Basic (whole ACLs, the
 // Minesweeper-style baseline) and Differential (Theorem 4.1 reduction).
 // When control intents are present the original decision c_p is replaced by
 // the desired decision r_p(c_p) (§6).
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
-#include <memory>
-
 #include "core/diff.h"
+#include "core/executor.h"
+#include "core/plan.h"
 #include "lai/sema.h"
 #include "smt/acl_encoder.h"
 #include "smt/context.h"
@@ -42,9 +50,10 @@ struct CheckOptions {
   /// reachable from that entry (structured-topology fast path). Covers the
   /// same (class, feasible path) combinations as the global FECs.
   bool per_entry_fec = true;
-  /// Worker threads for the per-class queries (per-entry mode only; each
-  /// worker owns a Z3 context) and for equivalence-class refinement.
-  /// 1 = sequential.
+  /// Worker threads for obligation execution and equivalence-class
+  /// refinement. 1 = sequential (obligations run inline in plan order,
+  /// which is the byte-deterministic mode). Ignored for execution when an
+  /// explicit `executor` is installed.
   unsigned threads = 1;
   /// Exact set representation backing equivalence-class refinement
   /// (topo::FecOptions::backend). Both backends produce the same partition;
@@ -56,11 +65,18 @@ struct CheckOptions {
   /// session instead of once per query. Off = a fresh solver per query
   /// (the seed behaviour, kept for ablation).
   bool incremental_smt = true;
+  /// Per-query Z3 deadline in milliseconds (0 = none). A query that hits
+  /// the deadline surfaces as smt::SmtTimeout — never as "consistent".
+  unsigned timeout_ms = 0;
   /// Shared equivalence-class cache. When unset the checker creates a
   /// private one, which still serves repeated check() calls on the same
   /// checker (fixer-style candidate loops). The Engine installs one cache
   /// across all its checkers/fixers.
   std::shared_ptr<topo::FecCache> fec_cache;
+  /// Shared obligation executor. When unset the checker lazily creates a
+  /// private pool of `threads` workers. The Engine installs one executor
+  /// across its whole check/fix/generate pipeline.
+  std::shared_ptr<Executor> executor;
   topo::PathEnumOptions path_options;
 };
 
@@ -93,6 +109,15 @@ struct CheckResult {
   std::size_t fec_count = 0;
   std::size_t path_count = 0;
   std::uint64_t smt_queries = 0;
+
+  // Per-stage breakdown of the pipeline.
+  std::size_t obligation_count = 0;        // plan size
+  std::size_t obligations_executed = 0;    // obligations whose query ran
+  std::size_t obligations_cancelled = 0;   // skipped by stop_at_first early exit
+  double plan_seconds = 0;     // plan build (0 when served from cache)
+  double compile_seconds = 0;  // session build + formula lowering
+  double solve_seconds = 0;    // inside Z3 check() calls
+  double execute_seconds = 0;  // executor wall time for the obligation batch
 };
 
 /// The desired decision for a path/packet after applying control intents:
@@ -104,17 +129,19 @@ struct CheckResult {
 
 class Checker;
 
-/// One update's verification state: the before/after configuration views
-/// and (in Differential mode) the Theorem 4.1 reduced groups, computed once
-/// and reused across FEC queries. fix iterates find_violation with a growing
-/// exclusion set to enumerate all violating neighborhoods.
+/// The compile stage for one update: the before/after configuration views
+/// and (in Differential lowering) the Theorem 4.1 reduced groups, computed
+/// once and reused across obligations. Lowered ACL expressions and path
+/// indicators are cached, so executing many obligations against one session
+/// encodes each ACL a single time. fix iterates find_violation with a
+/// growing exclusion set to enumerate all violating neighborhoods.
 class CheckSession {
  public:
   CheckSession(Checker& checker, const topo::AclUpdate& update,
                const std::vector<lai::ControlIntent>& controls);
 
   /// Same, but issuing its SMT queries through `smt` instead of the
-  /// checker's context — one session per worker in parallel checking (Z3
+  /// checker's context — one session per worker in parallel execution (Z3
   /// contexts are single-threaded).
   CheckSession(Checker& checker, smt::SmtContext& smt, const topo::AclUpdate& update,
                const std::vector<lai::ControlIntent>& controls);
@@ -127,9 +154,19 @@ class CheckSession {
       const net::PacketSet& fec, const net::PacketSet& excluded,
       std::optional<topo::InterfaceId> entry = std::nullopt);
 
+  /// Obligation form: the feasible path set comes precomputed from the
+  /// plan instead of being re-derived per query.
+  [[nodiscard]] std::optional<Violation> find_violation(const net::PacketSet& fec,
+                                                        const net::PacketSet& excluded,
+                                                        const std::vector<std::size_t>& feasible);
+
   [[nodiscard]] const topo::ConfigView& before() const { return before_; }
   [[nodiscard]] const topo::ConfigView& after() const { return after_; }
   [[nodiscard]] const std::vector<lai::ControlIntent>& controls() const { return controls_; }
+
+  /// Seconds spent building this session (differential reduction — the
+  /// fixed cost of the compile stage).
+  [[nodiscard]] double build_seconds() const { return build_seconds_; }
 
  private:
   /// The slot's ACL as encoded for the given side (reduced or full).
@@ -151,8 +188,9 @@ class CheckSession {
   topo::ConfigView before_;
   topo::ConfigView after_;
   std::vector<lai::ControlIntent> controls_;
-  std::optional<ReducedGroups> reduced_;  // set in Differential mode
+  std::optional<ReducedGroups> reduced_;  // set in Differential lowering
   smt::PacketVars vars_;                  // shared by all queries in the session
+  double build_seconds_ = 0;
   std::unordered_map<std::uint64_t, z3::expr> expr_cache_;
   std::optional<z3::solver> solver_;      // incremental mode: lives for the session
   std::unordered_map<std::size_t, z3::expr> path_flags_;
@@ -164,9 +202,11 @@ class Checker {
   Checker(smt::SmtContext& smt, const topo::Topology& topo, const topo::Scope& scope,
           const CheckOptions& options = {});
 
-  /// Runs Algorithm 1 for the update against `entering` traffic (X_Ω).
-  /// `controls` (optional, §6) switches the target from packet reachability
-  /// consistency to desired reachability consistency.
+  /// Runs Algorithm 1 for the update against `entering` traffic (X_Ω):
+  /// plans the obligation set, compiles it against the update, and executes
+  /// it on the shared executor. `controls` (optional, §6) switches the
+  /// target from packet reachability consistency to desired reachability
+  /// consistency.
   [[nodiscard]] CheckResult check(const topo::AclUpdate& update, const net::PacketSet& entering,
                                   const std::vector<lai::ControlIntent>& controls = {});
 
@@ -178,6 +218,23 @@ class Checker {
   /// benchmark. Ignores CheckOptions::use_differential/per_entry_fec.
   [[nodiscard]] CheckResult check_monolithic(const topo::AclUpdate& update,
                                              const net::PacketSet& entering);
+
+  /// The verification plan for `entering` traffic: the obligation DAG built
+  /// from path enumeration + FEC refinement. Cached — the plan does not
+  /// depend on the ACL update, so checker re-runs, fixer candidate loops
+  /// and repeated engine commands reuse it.
+  [[nodiscard]] const VerifyPlan& plan(const net::PacketSet& entering);
+
+  /// The compile-stage session for (update, controls), cached so repeated
+  /// executions against the same update (check; fix; trailing check of a
+  /// candidate) keep their incremental Z3 base frame. Invalidated when
+  /// either differs from the cached pair.
+  [[nodiscard]] CheckSession& session(const topo::AclUpdate& update,
+                                      const std::vector<lai::ControlIntent>& controls);
+
+  /// The obligation executor: the installed shared one, or a lazily created
+  /// private pool of options().threads workers.
+  [[nodiscard]] Executor& executor();
 
   [[nodiscard]] const std::vector<topo::Path>& paths() const { return paths_; }
   [[nodiscard]] const CheckOptions& options() const { return options_; }
@@ -214,6 +271,20 @@ class Checker {
   std::shared_ptr<topo::FecCache> fec_cache_;
   std::vector<topo::Path> paths_;
   std::vector<net::PacketSet> path_forwarding_;  // forwarding set per path
+
+  // Plan cache (keyed by the entering traffic).
+  std::optional<net::PacketSet> plan_entering_;
+  VerifyPlan plan_;
+  double last_plan_seconds_ = 0;  // 0 on cache hit
+
+  // Session cache. The session's ConfigView points at session_update_, so
+  // the stored copies must outlive (and be rebuilt before) the session.
+  topo::AclUpdate session_update_;
+  std::vector<lai::ControlIntent> session_controls_;
+  std::unique_ptr<CheckSession> session_;
+  double last_session_seconds_ = 0;  // 0 on cache hit
+
+  std::shared_ptr<Executor> own_executor_;  // lazily created when none installed
 };
 
 }  // namespace jinjing::core

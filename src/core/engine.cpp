@@ -1,11 +1,20 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <mutex>
 
 #include "lai/parser.h"
 #include "net/acl_algebra.h"
 
 namespace jinjing::core {
+
+namespace {
+
+bool same_scope(const topo::Scope& a, const topo::Scope& b) {
+  return a.devices() == b.devices();
+}
+
+}  // namespace
 
 bool CommandOutcome::ok() const {
   switch (command) {
@@ -24,6 +33,37 @@ Engine::Engine(const topo::Topology& topo, EngineOptions options)
   // creates: a check → fix → check pipeline derives each partition once.
   if (!options_.check.fec_cache) options_.check.fec_cache = std::make_shared<topo::FecCache>();
   if (!options_.fix.check.fec_cache) options_.fix.check.fec_cache = options_.check.fec_cache;
+  // One executor likewise: check obligations, fix searches and generate
+  // placements all draw from the same worker pool.
+  if (!options_.check.executor) {
+    options_.check.executor = std::make_shared<Executor>(options_.check.threads);
+  }
+  executor_ = options_.check.executor;
+  if (!options_.fix.check.executor) options_.fix.check.executor = executor_;
+  if (!options_.generate.executor) options_.generate.executor = executor_;
+  // The engine-wide per-query Z3 deadline (worker contexts pick it up from
+  // their CheckOptions; the shared context is configured here).
+  if (options_.check.timeout_ms > 0) smt_.set_timeout_ms(options_.check.timeout_ms);
+}
+
+Checker& Engine::checker_for(const topo::Scope& scope) {
+  if (!session_scope_ || !same_scope(*session_scope_, scope)) {
+    fixer_.reset();
+    checker_.reset();
+    session_scope_ = scope;
+  }
+  if (!checker_) checker_ = std::make_unique<Checker>(smt_, topo_, scope, options_.check);
+  return *checker_;
+}
+
+Fixer& Engine::fixer_for(const topo::Scope& scope) {
+  if (!session_scope_ || !same_scope(*session_scope_, scope)) {
+    fixer_.reset();
+    checker_.reset();
+    session_scope_ = scope;
+  }
+  if (!fixer_) fixer_ = std::make_unique<Fixer>(smt_, topo_, scope, options_.fix);
+  return *fixer_;
 }
 
 EngineReport Engine::run(const lai::UpdateTask& task, const net::PacketSet& entering) {
@@ -37,13 +77,13 @@ EngineReport Engine::run(const lai::UpdateTask& task, const net::PacketSet& ente
     outcome.command = command;
     switch (command) {
       case lai::Command::Check: {
-        Checker checker{smt_, topo_, task.scope, options_.check};
-        outcome.check = checker.check(report.final_update, entering, task.controls);
+        outcome.check =
+            checker_for(task.scope).check(report.final_update, entering, task.controls);
         break;
       }
       case lai::Command::Fix: {
-        Fixer fixer{smt_, topo_, task.scope, options_.fix};
-        outcome.fix = fixer.fix(report.final_update, entering, task.allowed, task.controls);
+        outcome.fix =
+            fixer_for(task.scope).fix(report.final_update, entering, task.allowed, task.controls);
         report.final_update = outcome.fix->fixed_update;
         break;
       }
@@ -73,6 +113,43 @@ EngineReport Engine::run(const lai::UpdateTask& task, const net::PacketSet& ente
     report.outcomes.push_back(std::move(outcome));
   }
   return report;
+}
+
+std::vector<EngineReport> Engine::run_batch(const std::vector<lai::UpdateTask>& tasks,
+                                            const net::PacketSet& entering) {
+  std::vector<EngineReport> reports(tasks.size());
+  if (executor_->threads() <= 1 || tasks.size() <= 1) {
+    for (std::size_t i = 0; i < tasks.size(); ++i) reports[i] = run(tasks[i], entering);
+    return reports;
+  }
+
+  // Worker engines are single-threaded (their checkers run obligations
+  // inline — the outer executor's run() is not reentrant) and share this
+  // engine's FEC cache, so tasks over the same scope derive each partition
+  // once across the whole batch.
+  EngineOptions worker_options = options_;
+  worker_options.check.threads = 1;
+  worker_options.check.executor = nullptr;
+  worker_options.fix.check.threads = 1;
+  worker_options.fix.check.executor = nullptr;
+  worker_options.generate.executor = nullptr;
+
+  std::mutex engines_mutex;
+  std::vector<std::shared_ptr<Engine>> engines;
+  const Executor::WorkerFactory factory = [&](std::size_t) -> Executor::Task {
+    auto engine = std::make_shared<Engine>(topo_, worker_options);
+    {
+      const std::lock_guard<std::mutex> lock{engines_mutex};
+      engines.push_back(engine);
+    }
+    return [&, engine](std::size_t i, const CancellationToken& token) {
+      if (token.cancelled()) return false;
+      reports[i] = engine->run(tasks[i], entering);
+      return false;
+    };
+  };
+  (void)executor_->run(tasks.size(), factory);
+  return reports;
 }
 
 EngineReport Engine::run_program(std::string_view source, const lai::AclLibrary& acls,

@@ -9,10 +9,18 @@
 //               sources, allow-listed slots are synthesis targets, control
 //               statements define the desired reachability (§6).
 // The final update of the last executed command is the deployable plan.
+//
+// One Checker/Fixer pair is kept per scope and reused across the commands
+// of a task (and across tasks with the same scope), so a check; fix; check
+// program shares its verification plan, FEC partitions and incremental Z3
+// base frame instead of rebuilding them per command. One Executor and one
+// FecCache are installed across the whole check/fix/generate pipeline.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string_view>
+#include <vector>
 
 #include "core/fixer.h"
 #include "core/generator.h"
@@ -63,12 +71,31 @@ class Engine {
   [[nodiscard]] EngineReport run_program(std::string_view source, const lai::AclLibrary& acls,
                                          const net::PacketSet& entering);
 
+  /// Executes N independent update tasks, fanned out over the engine's
+  /// executor (one single-threaded worker engine per pool worker, sharing
+  /// this engine's FEC cache). Reports come back in task order. With a
+  /// single-threaded executor (or one task) this degenerates to a
+  /// sequential loop over run().
+  [[nodiscard]] std::vector<EngineReport> run_batch(const std::vector<lai::UpdateTask>& tasks,
+                                                    const net::PacketSet& entering);
+
   [[nodiscard]] smt::SmtContext& smt() { return smt_; }
+  [[nodiscard]] const std::shared_ptr<Executor>& executor() const { return executor_; }
 
  private:
+  /// The reusable per-scope verification session (rebuilt only when the
+  /// task scope changes).
+  Checker& checker_for(const topo::Scope& scope);
+  Fixer& fixer_for(const topo::Scope& scope);
+
   const topo::Topology& topo_;
   EngineOptions options_;
   smt::SmtContext smt_;
+  std::shared_ptr<Executor> executor_;
+
+  std::optional<topo::Scope> session_scope_;
+  std::unique_ptr<Checker> checker_;
+  std::unique_ptr<Fixer> fixer_;
 };
 
 }  // namespace jinjing::core

@@ -51,7 +51,9 @@ FixResult Fixer::fix(const topo::AclUpdate& update, const net::PacketSet& enteri
   const std::uint64_t queries_before = smt_.query_count();
   FixResult result;
 
-  CheckSession session{checker_, update, controls};
+  // The checker-cached session: a preceding check of the same update (or a
+  // re-fix in a candidate loop) shares its incremental Z3 base frame.
+  CheckSession& session = checker_.session(update, controls);
   const auto& topo = checker_.topology();
 
   // Permitted sets of every bound slot's before/after ACL, computed lazily
@@ -78,59 +80,68 @@ FixResult Fixer::fix(const topo::AclUpdate& update, const net::PacketSet& enteri
   // entries.
   net::PacketSet handled;
   auto stopwatch = std::chrono::steady_clock::now();
-  const auto classified = checker_.entry_classes(entering);
-  for (const auto& [entry, classes] : *classified) {
-    for (const auto& cls : classes) {
-      // Per-class context, built on the first violation.
-      std::vector<std::size_t> relevant_edges;
-      std::vector<topo::AclSlot> relevant_slots;
-      bool context_ready = false;
+  const VerifyPlan& plan = checker_.plan(entering);
+  result.obligations = plan.size();
+  for (const auto& obligation : plan.obligations()) {
+    // An obligation whose feasible paths traverse no rewritten slot cannot
+    // violate (every hop decision is unchanged) — unless control intents
+    // redefine the desired decision, in which case everything stays live.
+    if (options_.replan_touched_only && controls.empty() && !touches(obligation, update)) {
+      ++result.obligations_skipped;
+      continue;
+    }
+    const net::PacketSet& cls = *obligation.fec;
 
-      while (true) {
-        if (result.neighborhoods.size() >= options_.max_neighborhoods) {
-          throw std::runtime_error("fix: exceeded max_neighborhoods = " +
-                                   std::to_string(options_.max_neighborhoods));
-        }
-        (void)lap(stopwatch);
-        // Only the part of `handled` inside this class matters; trimming it
-        // keeps the exclusion encoding small as neighborhoods accumulate.
-        const auto violation = session.find_violation(cls, (handled & cls).compact(), entry);
-        result.search_seconds += lap(stopwatch);
-        if (!violation) break;
+    // Per-class context, built on the first violation.
+    std::vector<std::size_t> relevant_edges;
+    std::vector<topo::AclSlot> relevant_slots;
+    bool context_ready = false;
 
-        if (!context_ready) {
-          context_ready = true;
-          for (std::size_t ei = 0; ei < topo.edges().size(); ++ei) {
-            const auto& edge = topo.edges()[ei];
-            if (checker_.scope().contains_interface(topo, edge.from) &&
-                checker_.scope().contains_interface(topo, edge.to) &&
-                edge.predicate.intersects(cls)) {
-              relevant_edges.push_back(ei);
-            }
+    while (true) {
+      if (result.neighborhoods.size() >= options_.max_neighborhoods) {
+        throw std::runtime_error("fix: exceeded max_neighborhoods = " +
+                                 std::to_string(options_.max_neighborhoods));
+      }
+      (void)lap(stopwatch);
+      // Only the part of `handled` inside this class matters; trimming it
+      // keeps the exclusion encoding small as neighborhoods accumulate.
+      const auto violation =
+          session.find_violation(cls, (handled & cls).compact(), obligation.paths);
+      result.search_seconds += lap(stopwatch);
+      if (!violation) break;
+
+      if (!context_ready) {
+        context_ready = true;
+        for (std::size_t ei = 0; ei < topo.edges().size(); ++ei) {
+          const auto& edge = topo.edges()[ei];
+          if (checker_.scope().contains_interface(topo, edge.from) &&
+              checker_.scope().contains_interface(topo, edge.to) &&
+              edge.predicate.intersects(cls)) {
+            relevant_edges.push_back(ei);
           }
-          relevant_slots = decision_slots(checker_.paths(), checker_.feasible_paths(cls));
         }
+        relevant_slots = decision_slots(checker_.paths(), checker_.feasible_paths(cls));
+      }
 
-        // seed ∩ [h]_FEC ∩ agreement region, folded from the class.
-        const net::Packet& h = violation->witness;
-        net::PacketSet region = cls;
-        for (const auto ei : relevant_edges) {
-          const auto& pred = topo.edges()[ei].predicate;
-          region = pred.contains(h) ? (region & pred) : (region - pred);
+      // seed ∩ [h]_FEC ∩ agreement region, folded from the class.
+      const net::Packet& h = violation->witness;
+      net::PacketSet region = cls;
+      for (const auto ei : relevant_edges) {
+        const auto& pred = topo.edges()[ei].predicate;
+        region = pred.contains(h) ? (region & pred) : (region - pred);
+        region.compact();
+      }
+      for (const auto slot : relevant_slots) {
+        const auto& [before_set, after_set] = slot_sets(slot);
+        for (const auto* f : {&before_set, &after_set}) {
+          region = f->contains(h) ? (region & *f) : (region - *f);
           region.compact();
         }
-        for (const auto slot : relevant_slots) {
-          const auto& [before_set, after_set] = slot_sets(slot);
-          for (const auto* f : {&before_set, &after_set}) {
-            region = f->contains(h) ? (region & *f) : (region - *f);
-            region.compact();
-          }
-        }
-
-        handled = (handled | region).compact();
-        result.enlarge_seconds += lap(stopwatch);
-        result.neighborhoods.push_back(NeighborhoodReport{std::move(region), h, true});
       }
+
+      handled = (handled | region).compact();
+      result.enlarge_seconds += lap(stopwatch);
+      result.neighborhoods.push_back(NeighborhoodReport{std::move(region), h, true});
     }
   }
 

@@ -27,6 +27,12 @@ struct FixOptions {
   bool simplify_result = true;
   /// Guard against runaway neighborhood enumeration.
   std::size_t max_neighborhoods = 4096;
+  /// Skip plan obligations whose feasible paths traverse no slot the
+  /// candidate update rewrites: with no control intents, such obligations
+  /// cannot violate (before == after on every hop), so re-executions in a
+  /// candidate loop only pay for what changed. Off = execute every
+  /// obligation (the seed behaviour, kept for the parity property test).
+  bool replan_touched_only = true;
 };
 
 /// Rules to prepend (highest priority) to one slot's updated ACL.
@@ -56,6 +62,11 @@ struct FixResult {
   /// (and simplified when FixOptions::simplify_result is set).
   topo::AclUpdate fixed_update;
   std::uint64_t smt_queries = 0;
+
+  /// Plan consumption: how many obligations the violation search covered,
+  /// and how many were skipped as untouched by the update.
+  std::size_t obligations = 0;
+  std::size_t obligations_skipped = 0;
 
   // Phase timing (seconds), for the Figure 4b analysis.
   double search_seconds = 0;   // SMT violation queries

@@ -4,7 +4,9 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
+#include "core/executor.h"
 #include "core/synthesizer.h"
 
 namespace jinjing::core {
@@ -14,6 +16,9 @@ struct GenerateOptions {
   topo::PathEnumOptions path_options;
   /// The traffic to classify and preserve. Defaults to every packet.
   net::PacketSet universe = net::PacketSet::all();
+  /// Shared obligation executor for the per-class placement solving
+  /// (phase 2). Unset or single-threaded = the sequential seed path.
+  std::shared_ptr<Executor> executor;
 };
 
 struct GenerateResult {

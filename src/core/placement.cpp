@@ -116,36 +116,47 @@ std::optional<ClassDecision> PlacementSolver::solve_class(
   return result;
 }
 
+ClassOutcome PlacementSolver::solve_one(const MigrationSpec& spec, const net::PacketSet& cls,
+                                        const std::vector<lai::ControlIntent>& controls) {
+  ClassOutcome outcome;
+
+  // AEC level: Equation 10 ranges over every path in Ω.
+  std::vector<std::size_t> all_paths(paths_.size());
+  for (std::size_t i = 0; i < all_paths.size(); ++i) all_paths[i] = i;
+  if ((outcome.aec = solve_class(spec, cls, all_paths, controls))) return outcome;
+
+  // DEC refinement (§5.3): split by routing, solve on feasible paths.
+  for (const auto& dec : dataplane_equivalence_classes(topo_, scope_, cls)) {
+    std::vector<std::size_t> feasible;
+    for (std::size_t pi = 0; pi < paths_.size(); ++pi) {
+      if (path_forwarding_[pi].intersects(dec)) feasible.push_back(pi);
+    }
+    if (auto solved = solve_class(spec, dec, feasible, controls)) {
+      solved->dec_level = true;
+      outcome.decs.push_back(std::move(*solved));
+    } else {
+      outcome.unsolved.push_back(dec);
+    }
+  }
+  return outcome;
+}
+
 PlacementResult PlacementSolver::solve(const MigrationSpec& spec,
                                        const std::vector<net::PacketSet>& classes,
                                        const std::vector<lai::ControlIntent>& controls) {
   const std::uint64_t queries_before = smt_.query_count();
   PlacementResult result;
 
-  std::vector<std::size_t> all_paths(paths_.size());
-  for (std::size_t i = 0; i < all_paths.size(); ++i) all_paths[i] = i;
-
   for (std::size_t ci = 0; ci < classes.size(); ++ci) {
-    const auto& cls = classes[ci];
-    // AEC level: Equation 10 ranges over every path in Ω.
-    if (auto solved = solve_class(spec, cls, all_paths, controls)) {
-      result.aec_solutions.emplace(ci, std::move(*solved));
+    auto outcome = solve_one(spec, classes[ci], controls);
+    if (outcome.aec) {
+      result.aec_solutions.emplace(ci, std::move(*outcome.aec));
       continue;
     }
-
-    // DEC refinement (§5.3): split by routing, solve on feasible paths.
-    for (const auto& dec : dataplane_equivalence_classes(topo_, scope_, cls)) {
-      std::vector<std::size_t> feasible;
-      for (std::size_t pi = 0; pi < paths_.size(); ++pi) {
-        if (path_forwarding_[pi].intersects(dec)) feasible.push_back(pi);
-      }
-      if (auto solved = solve_class(spec, dec, feasible, controls)) {
-        solved->dec_level = true;
-        result.dec_solutions[ci].push_back(std::move(*solved));
-      } else {
-        result.success = false;
-        result.unsolved.push_back(dec);
-      }
+    if (!outcome.decs.empty()) result.dec_solutions[ci] = std::move(outcome.decs);
+    for (auto& dec : outcome.unsolved) {
+      result.success = false;
+      result.unsolved.push_back(std::move(dec));
     }
   }
   result.smt_queries = smt_.query_count() - queries_before;

@@ -58,6 +58,14 @@ struct PlacementResult {
   std::uint64_t smt_queries = 0;
 };
 
+/// Outcome of solving a single AEC: either an AEC-level decision, or the
+/// DEC refinement's solutions and unsolved remainders.
+struct ClassOutcome {
+  std::optional<ClassDecision> aec;
+  std::vector<ClassDecision> decs;
+  std::vector<net::PacketSet> unsolved;
+};
+
 class PlacementSolver {
  public:
   PlacementSolver(smt::SmtContext& smt, const topo::Topology& topo, const topo::Scope& scope,
@@ -68,6 +76,13 @@ class PlacementSolver {
   [[nodiscard]] PlacementResult solve(const MigrationSpec& spec,
                                       const std::vector<net::PacketSet>& classes,
                                       const std::vector<lai::ControlIntent>& controls = {});
+
+  /// One class's placement obligation: AEC-level solve over all paths,
+  /// falling back to DEC refinement over feasible paths (§5.3). Classes
+  /// are mutually independent, so the generate primitive fans these out
+  /// across per-worker solvers on the shared executor.
+  [[nodiscard]] ClassOutcome solve_one(const MigrationSpec& spec, const net::PacketSet& cls,
+                                       const std::vector<lai::ControlIntent>& controls = {});
 
   [[nodiscard]] const std::vector<topo::Path>& paths() const { return paths_; }
 

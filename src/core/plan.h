@@ -1,0 +1,107 @@
+// The verification-obligation IR — the "Plan" stage of the
+// plan/compile/execute pipeline.
+//
+// Every Jinjing primitive (check §4.1, fix §5, generate §5.2) reduces to
+// the same unit of work: one SMT query per (entry, FEC, feasible-path-set)
+// triple. A VerifyPlan makes that decomposition explicit: it is built once
+// per UpdateTask from path enumeration + equivalence-class refinement and
+// does NOT depend on the ACL update under test, so checkers, fixer
+// candidate loops and repeated engine commands all execute against the
+// same plan. Obligations carry the lowering strategy (differential /
+// basic, §4.1 vs Thm. 4.1) the compile stage uses to produce their Z3
+// formula, plus the precomputed ACL slots their paths traverse, which is
+// what lets an incremental re-execution skip obligations an update cannot
+// affect.
+//
+// The obligation graph is a (currently edge-free) DAG: obligations are
+// mutually independent, so the executor may run them in any order or in
+// parallel; ordering by `index` reproduces the sequential semantics.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "net/packet_set.h"
+#include "topo/fec.h"
+#include "topo/paths.h"
+#include "topo/topology.h"
+
+namespace jinjing::core {
+
+/// How the compile stage lowers an obligation to its Z3 formula: encode the
+/// Theorem 4.1 reduced rule groups, or the whole ACLs (the paper's "basic
+/// version"). Control intents layer on either as the §6 decision rewrite.
+enum class Lowering : std::uint8_t { Differential, Basic };
+
+[[nodiscard]] constexpr std::string_view to_string(Lowering l) {
+  return l == Lowering::Differential ? "differential" : "basic";
+}
+
+/// One proof obligation: "no packet of `fec` changes its (desired)
+/// decision on any path in `paths`". `fec` points into class storage owned
+/// by the plan; `paths` indexes the checker's path enumeration.
+struct Obligation {
+  std::size_t index = 0;                   // position in deterministic plan order
+  std::optional<topo::InterfaceId> entry;  // set in per-entry classification mode
+  const net::PacketSet* fec = nullptr;
+  std::vector<std::size_t> paths;          // feasible paths (the set Y), ascending
+  std::vector<topo::AclSlot> slots;        // ACL slots on those paths, sorted unique
+  Lowering mode = Lowering::Differential;
+};
+
+/// Does the update rewrite any ACL slot this obligation's paths traverse?
+/// When false (and no control intents are in play) the obligation is
+/// trivially satisfied: every hop decision is unchanged.
+[[nodiscard]] bool touches(const Obligation& obligation, const topo::AclUpdate& update);
+
+class VerifyPlan {
+ public:
+  struct Stats {
+    double plan_seconds = 0;     // wall time of the plan build
+    std::size_t fec_count = 0;   // classes across all entries
+    std::size_t path_count = 0;  // enumerated paths in scope
+  };
+
+  VerifyPlan() = default;
+
+  [[nodiscard]] const std::vector<Obligation>& obligations() const { return obligations_; }
+  [[nodiscard]] std::size_t size() const { return obligations_.size(); }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// Obligation count an update actually has to re-execute (`touches`);
+  /// with control intents present every obligation is live.
+  [[nodiscard]] std::size_t live_count(const topo::AclUpdate& update, bool has_controls) const;
+
+ private:
+  friend VerifyPlan build_verify_plan(
+      const std::vector<topo::Path>& paths,
+      const std::vector<net::PacketSet>& path_forwarding,
+      std::shared_ptr<const std::vector<topo::EntryClasses>> entry_classes, Lowering mode);
+  friend VerifyPlan build_verify_plan(
+      const std::vector<topo::Path>& paths,
+      const std::vector<net::PacketSet>& path_forwarding,
+      std::shared_ptr<const std::vector<net::PacketSet>> global_classes, Lowering mode);
+
+  // Class storage the obligations point into.
+  std::shared_ptr<const std::vector<topo::EntryClasses>> entry_classes_;
+  std::shared_ptr<const std::vector<net::PacketSet>> global_classes_;
+  std::vector<Obligation> obligations_;
+  Stats stats_;
+};
+
+/// Builds the per-entry plan: one obligation per (entry, class), in the
+/// classifier's deterministic order, with feasible paths restricted to the
+/// entry (the per-entry fast path of Algorithm 1).
+[[nodiscard]] VerifyPlan build_verify_plan(
+    const std::vector<topo::Path>& paths, const std::vector<net::PacketSet>& path_forwarding,
+    std::shared_ptr<const std::vector<topo::EntryClasses>> entry_classes, Lowering mode);
+
+/// Builds the global-FEC plan: one obligation per class over all feasible
+/// paths (Equation 2 without the per-entry restriction).
+[[nodiscard]] VerifyPlan build_verify_plan(
+    const std::vector<topo::Path>& paths, const std::vector<net::PacketSet>& path_forwarding,
+    std::shared_ptr<const std::vector<net::PacketSet>> global_classes, Lowering mode);
+
+}  // namespace jinjing::core

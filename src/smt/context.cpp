@@ -21,6 +21,26 @@ std::array<z3::expr, net::kNumFields> make_fields(z3::context& ctx, const std::s
 PacketVars::PacketVars(z3::context& ctx, const std::string& prefix)
     : fields_(make_fields(ctx, prefix)) {}
 
+z3::solver SmtContext::make_solver() {
+  z3::solver solver{ctx_};
+  if (timeout_ms_ > 0) {
+    z3::params params{ctx_};
+    params.set("timeout", timeout_ms_);
+    solver.set(params);
+  }
+  return solver;
+}
+
+z3::optimize SmtContext::make_optimize() {
+  z3::optimize opt{ctx_};
+  if (timeout_ms_ > 0) {
+    z3::params params{ctx_};
+    params.set("timeout", timeout_ms_);
+    opt.set(params);
+  }
+  return opt;
+}
+
 net::Packet SmtContext::extract_packet(const z3::model& model, const PacketVars& vars) {
   net::Packet p;
   for (const net::Field f : net::kAllFields) {
@@ -37,6 +57,9 @@ std::optional<net::Packet> SmtContext::solve_for_packet(z3::solver& solver,
   const z3::check_result result = solver.check();
   solve_seconds_ += std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
   accumulate_stats(solver.statistics());
+  if (result == z3::unknown) {
+    throw SmtTimeout("SMT query returned unknown (" + solver.reason_unknown() + ")");
+  }
   if (result != z3::sat) return std::nullopt;
   return extract_packet(solver.get_model(), vars);
 }
@@ -47,6 +70,9 @@ std::optional<z3::model> SmtContext::check_optimize(z3::optimize& opt) {
   const z3::check_result result = opt.check();
   solve_seconds_ += std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
   accumulate_stats(opt.statistics());
+  if (result == z3::unknown) {
+    throw SmtTimeout("SMT optimize query returned unknown (deadline exceeded?)");
+  }
   if (result != z3::sat) return std::nullopt;
   return opt.get_model();
 }

@@ -11,11 +11,21 @@
 #include <array>
 #include <cstdint>
 #include <optional>
+#include <stdexcept>
 #include <string>
 
 #include "net/packet.h"
 
 namespace jinjing::smt {
+
+/// Thrown when a solver query comes back `unknown` — with a per-query
+/// deadline configured that means the deadline fired. An unknown can never
+/// be treated as "no violation" (that would be unsound), so it surfaces as
+/// an error the caller must handle.
+class SmtTimeout : public std::runtime_error {
+ public:
+  explicit SmtTimeout(const std::string& what) : std::runtime_error(what) {}
+};
 
 /// The five symbolic header fields of one packet variable h.
 class PacketVars {
@@ -44,8 +54,13 @@ class SmtContext {
     return PacketVars{ctx_, prefix};
   }
 
-  [[nodiscard]] z3::solver make_solver() { return z3::solver{ctx_}; }
-  [[nodiscard]] z3::optimize make_optimize() { return z3::optimize{ctx_}; }
+  [[nodiscard]] z3::solver make_solver();
+  [[nodiscard]] z3::optimize make_optimize();
+
+  /// Per-query deadline applied to every solver/optimizer this context
+  /// creates from now on. 0 (the default) = no deadline.
+  void set_timeout_ms(unsigned ms) { timeout_ms_ = ms; }
+  [[nodiscard]] unsigned timeout_ms() const { return timeout_ms_; }
 
   [[nodiscard]] z3::expr bool_val(bool b) { return ctx_.bool_val(b); }
 
@@ -74,6 +89,7 @@ class SmtContext {
   void accumulate_stats(const z3::stats& stats);
 
   z3::context ctx_;
+  unsigned timeout_ms_ = 0;
   std::uint64_t query_count_ = 0;
   double solve_seconds_ = 0;
   std::unordered_map<std::string, std::uint64_t> stat_totals_;

@@ -234,5 +234,68 @@ TEST_F(CliTest, DiffComparesAclsSemantically) {
   EXPECT_EQ(invoke({"diff", "--acl-a", (dir_ / "x.acl").string()}).code, 2);
 }
 
+
+TEST_F(CliTest, TimeoutMsValidation) {
+  const auto base = std::vector<std::string>{"run", "--network", path("figure1.topo"),
+                                             "--program", path("running_example.lai"), "--acl",
+                                             "A1_new=" + path("a1_new.acl"), "--acl",
+                                             "A3_new=" + path("a3_new.acl")};
+
+  auto with = [&](std::initializer_list<std::string> extra) {
+    auto args = base;
+    args.insert(args.end(), extra);
+    return invoke(args);
+  };
+
+  // A generous deadline leaves the pipeline untouched.
+  const auto ok = with({"--timeout-ms", "60000"});
+  EXPECT_EQ(ok.code, 0) << ok.err;
+  EXPECT_NE(ok.out.find("fix: ok"), std::string::npos);
+
+  // 0 means "no deadline" and is accepted.
+  EXPECT_EQ(with({"--timeout-ms", "0"}).code, 0);
+
+  // Malformed values are usage errors.
+  for (const char* bad : {"abc", "-5", "", "12moments", "999999999999"}) {
+    const auto r = with({"--timeout-ms", bad});
+    EXPECT_EQ(r.code, 2) << "value '" << bad << "'";
+    EXPECT_NE(r.err.find("--timeout-ms"), std::string::npos) << r.err;
+  }
+  EXPECT_EQ(with({"--timeout-ms"}).code, 2);  // missing value
+}
+
+TEST_F(CliTest, ReportJsonEmitsPipelineBreakdown) {
+  const auto report_path = (dir_ / "report.json").string();
+  const auto r = invoke({"run", "--network", path("figure1.topo"), "--program",
+                         path("running_example.lai"), "--acl",
+                         "A1_new=" + path("a1_new.acl"), "--acl",
+                         "A3_new=" + path("a3_new.acl"), "--report-json", report_path});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("report written to"), std::string::npos);
+
+  std::ifstream file{report_path};
+  ASSERT_TRUE(file.good());
+  std::stringstream content;
+  content << file.rdbuf();
+  const auto json = content.str();
+
+  // One entry per command (check; fix), with the per-stage breakdown.
+  for (const char* key :
+       {"\"commands\"", "\"command\": \"check\"", "\"command\": \"fix\"", "\"obligations\"",
+        "\"executed\"", "\"cancelled\"", "\"obligations_skipped\"", "\"plan_seconds\"",
+        "\"compile_seconds\"", "\"solve_seconds\"", "\"execute_seconds\"", "\"smt_queries\"",
+        "\"totals\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key << " in:\n" << json;
+  }
+
+  // An unwritable path is a runtime error, not silent success.
+  const auto bad = invoke({"run", "--network", path("figure1.topo"), "--program",
+                           path("running_example.lai"), "--acl",
+                           "A1_new=" + path("a1_new.acl"), "--acl",
+                           "A3_new=" + path("a3_new.acl"), "--report-json",
+                           (dir_ / "no_such_dir" / "report.json").string()});
+  EXPECT_NE(bad.code, 0);
+}
+
 }  // namespace
 }  // namespace jinjing::cli

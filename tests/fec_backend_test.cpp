@@ -199,12 +199,15 @@ TEST(FecCacheTest, DistinctInputsDoNotCollide) {
 
 TEST(FecCacheTest, CheckerCandidateLoopHitsCache) {
   // Fixer-style workload: repeated check() of different candidate updates
-  // against one checker. Classes are update-independent, so every check
-  // after the first is a cache hit.
+  // against one checker. Classes are update-independent, so the partition
+  // is derived exactly once: the checker's plan cache serves every check
+  // after the first, and a sibling checker sharing the FecCache (the
+  // engine's check → fix layout) hits the cache instead of re-deriving.
   const auto f = gen::make_figure1();
   smt::SmtContext smt;
   core::CheckOptions options;
   options.set_backend = SetBackend::Bdd;
+  options.fec_cache = std::make_shared<topo::FecCache>();
   core::Checker checker{smt, f.topo, f.scope, options};
   const auto baseline = checker.check({}, f.traffic);
   EXPECT_TRUE(baseline.consistent);
@@ -212,7 +215,13 @@ TEST(FecCacheTest, CheckerCandidateLoopHitsCache) {
   const auto broken = checker.check(f.running_example_update(), f.traffic);
   EXPECT_FALSE(broken.consistent);
   EXPECT_EQ(checker.fec_cache().misses(), 1u);
-  EXPECT_GE(checker.fec_cache().hits(), 1u);
+
+  smt::SmtContext sibling_smt;
+  core::Checker sibling{sibling_smt, f.topo, f.scope, options};
+  const auto again = sibling.check(f.running_example_update(), f.traffic);
+  EXPECT_FALSE(again.consistent);
+  EXPECT_EQ(sibling.fec_cache().misses(), 1u);
+  EXPECT_GE(sibling.fec_cache().hits(), 1u);
 }
 
 struct SessionModes {

@@ -173,5 +173,46 @@ TEST_P(EncoderEquivalence, TreeEqualsSequentialEqualsSetSemantics) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EncoderEquivalence, ::testing::Range(1u, 31u));
 
+// A query that exceeds the per-query deadline surfaces as SmtTimeout —
+// never as "unsat" (which the pipeline would read as "no violation").
+TEST(SmtTimeoutDeadline, HardQueryThrowsInsteadOfReturningUnsat) {
+  SmtContext smt;
+  smt.set_timeout_ms(1);
+  ASSERT_EQ(smt.timeout_ms(), 1u);
+
+  const auto h = smt.packet_vars();
+  auto solver = smt.make_solver();
+  // Factor a 40-bit semiprime by bit-vector multiplication: far beyond a
+  // 1 ms budget, so check() must come back unknown.
+  auto& ctx = smt.ctx();
+  const auto x = ctx.bv_const("factor_x", 64);
+  const auto y = ctx.bv_const("factor_y", 64);
+  solver.add(x * y == ctx.bv_val(std::uint64_t{1000003} * 1000033, 64));
+  solver.add(z3::ugt(x, ctx.bv_val(1, 64)));
+  solver.add(z3::ugt(y, ctx.bv_val(1, 64)));
+  solver.add(z3::ule(x, y));
+  EXPECT_THROW((void)smt.solve_for_packet(solver, h), SmtTimeout);
+}
+
+// A generous deadline never fires on easy queries: the configured timeout
+// applies per solver without perturbing sat/unsat results.
+TEST(SmtTimeoutDeadline, EasyQueriesUnaffectedByDeadline) {
+  SmtContext smt;
+  smt.set_timeout_ms(10000);
+
+  const auto h = smt.packet_vars();
+  auto sat = smt.make_solver();
+  sat.add(in_interval(h, net::Field::DstPort, net::Interval{80, 90}));
+  const auto packet = smt.solve_for_packet(sat, h);
+  ASSERT_TRUE(packet.has_value());
+  EXPECT_GE(packet->dport, 80);
+  EXPECT_LE(packet->dport, 90);
+
+  auto unsat = smt.make_solver();
+  unsat.add(in_interval(h, net::Field::DstPort, net::Interval{80, 90}));
+  unsat.add(h.field(net::Field::DstPort) == smt.ctx().bv_val(100, 16));
+  EXPECT_FALSE(smt.solve_for_packet(unsat, h).has_value());
+}
+
 }  // namespace
 }  // namespace jinjing::smt
