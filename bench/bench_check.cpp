@@ -27,6 +27,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -35,6 +36,7 @@
 #include "bench_common.h"
 #include "core/checker.h"
 #include "core/engine.h"
+#include "obs/stats.h"
 
 namespace jinjing {
 namespace {
@@ -208,7 +210,35 @@ BatchResult run_batch_workload(const gen::Wan& wan) {
   return result;
 }
 
-int run_repeated_check_comparison(const char* json_path) {
+/// All counter totals of `registry`, indexed by obs::Counter.
+std::vector<std::uint64_t> snapshot_counters(const obs::StatsRegistry& registry) {
+  std::vector<std::uint64_t> totals(obs::kCounterCount);
+  for (std::size_t i = 0; i < obs::kCounterCount; ++i) {
+    totals[i] = registry.total(static_cast<obs::Counter>(i));
+  }
+  return totals;
+}
+
+/// `{"name": delta, ...}` for the counters that moved between snapshots.
+std::string counters_delta_json(const std::vector<std::uint64_t>& before,
+                                const std::vector<std::uint64_t>& after) {
+  std::string out = "{";
+  bool first = true;
+  for (std::size_t i = 0; i < obs::kCounterCount; ++i) {
+    const std::uint64_t delta = after[i] - before[i];
+    if (delta == 0) continue;
+    if (!first) out += ", ";
+    first = false;
+    out += "\"";
+    out += std::string(obs::to_string(static_cast<obs::Counter>(i)));
+    out += "\": ";
+    out += std::to_string(delta);
+  }
+  out += "}";
+  return out;
+}
+
+int run_repeated_check_comparison(const char* json_path, const char* trace_path) {
   const auto& wan = bench::wan_for(1);  // medium
   std::fprintf(stderr, "repeated-check workload: medium WAN, %zu total rules\n",
                gen::total_rules(wan));
@@ -225,9 +255,36 @@ int run_repeated_check_comparison(const char* json_path) {
       {"bdd_cached", topo::SetBackend::Bdd, true, true},
   };
 
+  // Observability overhead: the cached-pipeline workload with no registry
+  // installed (the hot loops take the single disabled branch) versus the
+  // same workload with every counter, histogram and span live. One warmup
+  // run then interleaved min-of-3 keeps scheduler noise out of the delta.
+  (void)run_pipeline(wan, candidates, configs[1]);
+  double disabled_seconds = 0;
+  double enabled_seconds = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    const double disabled = run_pipeline(wan, candidates, configs[1]).wall_seconds;
+    if (rep == 0 || disabled < disabled_seconds) disabled_seconds = disabled;
+    obs::StatsRegistry overhead_registry;
+    const obs::ScopedRegistry overhead_installed{overhead_registry};
+    const double enabled = run_pipeline(wan, candidates, configs[1]).wall_seconds;
+    if (rep == 0 || enabled < enabled_seconds) enabled_seconds = enabled;
+  }
+  const double overhead_pct =
+      disabled_seconds > 0 ? (enabled_seconds - disabled_seconds) / disabled_seconds * 100.0
+                           : 0.0;
+  std::fprintf(stderr, "  observability overhead: disabled %.3fs, enabled %.3fs (%+.2f%%)\n",
+               disabled_seconds, enabled_seconds, overhead_pct);
+
+  obs::StatsRegistry registry;
+  const obs::ScopedRegistry installed{registry};
+
   std::vector<PipelineResult> results;
+  std::vector<std::string> config_counters;
   for (const auto& config : configs) {
+    const auto before = snapshot_counters(registry);
     results.push_back(run_pipeline(wan, candidates, config));
+    config_counters.push_back(counters_delta_json(before, snapshot_counters(registry)));
     const auto& r = results.back();
     std::fprintf(stderr,
                  "  %-17s %7.3fs  fecs=%zu  smt_queries=%llu  solve=%.3fs  hit_rate=%.2f\n",
@@ -257,24 +314,43 @@ int run_repeated_check_comparison(const char* json_path) {
                  "\"smt_queries\": %llu, \"solve_seconds\": %.6f, \"plan_seconds\": %.6f, "
                  "\"compile_seconds\": %.6f, \"execute_seconds\": %.6f, \"cache_hits\": %llu, "
                  "\"cache_misses\": %llu, \"cache_hit_rate\": %.4f, \"checks\": %zu, "
-                 "\"inconsistent\": %zu, \"speedup_vs_seed\": %.2f}%s\n",
+                 "\"inconsistent\": %zu, \"speedup_vs_seed\": %.2f, \"counters\": %s}%s\n",
                  r.name.c_str(), r.wall_seconds, r.fec_count,
                  static_cast<unsigned long long>(r.smt_queries), r.solve_seconds, r.plan_seconds,
                  r.compile_seconds, r.execute_seconds,
                  static_cast<unsigned long long>(r.cache_hits),
                  static_cast<unsigned long long>(r.cache_misses), r.cache_hit_rate, r.checks,
                  r.inconsistent, r.wall_seconds > 0 ? baseline / r.wall_seconds : 0.0,
-                 i + 1 < results.size() ? "," : "");
+                 config_counters[i].c_str(), i + 1 < results.size() ? "," : "");
   }
   std::fprintf(out, "  ],\n");
   std::fprintf(out,
                "  \"batch\": {\"tasks\": %zu, \"threads\": %u, \"serial_seconds\": %.6f, "
-               "\"batch_seconds\": %.6f, \"speedup\": %.2f}\n}\n",
+               "\"batch_seconds\": %.6f, \"speedup\": %.2f},\n",
                batch.tasks, batch.threads, batch.serial_seconds, batch.batch_seconds,
                batch.speedup);
+  std::fprintf(out,
+               "  \"observability\": {\"disabled_seconds\": %.6f, \"enabled_seconds\": %.6f, "
+               "\"overhead_pct\": %.2f}\n}\n",
+               disabled_seconds, enabled_seconds, overhead_pct);
   std::fclose(out);
   std::fprintf(stderr, "wrote %s (bdd_cached speedup vs seed: %.2fx)\n", json_path,
                baseline / results.back().wall_seconds);
+
+  if (trace_path != nullptr) {
+    std::ofstream trace_file{trace_path};
+    if (!trace_file) {
+      std::fprintf(stderr, "cannot open %s\n", trace_path);
+      return 1;
+    }
+    registry.write_chrome_trace(trace_file);
+    trace_file.flush();
+    if (!trace_file) {
+      std::fprintf(stderr, "error while writing %s\n", trace_path);
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %s\n", trace_path);
+  }
   return 0;
 }
 
@@ -286,12 +362,14 @@ int main(int argc, char** argv) {
   // invocation runs the backend/cache comparison and writes JSON.
   bool run_gbench = false;
   const char* json_path = "BENCH_check.json";
+  const char* trace_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg.rfind("--benchmark", 0) == 0) run_gbench = true;
     if (arg.rfind("--json=", 0) == 0) json_path = argv[i] + 7;
+    if (arg.rfind("--trace=", 0) == 0) trace_path = argv[i] + 8;
   }
-  if (!run_gbench) return jinjing::run_repeated_check_comparison(json_path);
+  if (!run_gbench) return jinjing::run_repeated_check_comparison(json_path, trace_path);
 
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -1,5 +1,6 @@
 #include "cli/cli.h"
 
+#include <cstdio>
 #include <fstream>
 #include <map>
 #include <optional>
@@ -13,6 +14,7 @@
 #include "core/diff.h"
 #include "core/engine.h"
 #include "gen/wan.h"
+#include "obs/stats.h"
 #include "net/acl_algebra.h"
 #include "topo/fec.h"
 #include "topo/paths.h"
@@ -26,6 +28,7 @@ constexpr const char* kUsage = R"(usage:
                 [--diff] [--rollback] [--stage availability|security]
                 [--out FILE] [--set-backend hypercube|bdd] [--threads N]
                 [--no-incremental-smt] [--timeout-ms N] [--report-json FILE]
+                [--metrics FILE] [--trace FILE]
   jinjing show  --network FILE
   jinjing audit --network FILE
   jinjing reach --network FILE --from IFACE --to IFACE [--packet SPEC]
@@ -48,7 +51,12 @@ run      execute an LAI program (check / fix / generate) and print the plan
                               default, means none); a query hitting the
                               deadline is an error, never a pass
          --report-json FILE   write per-stage timings (plan/compile/solve/
-                              execute) and obligation counts to FILE
+                              execute), obligation counts and the full
+                              observability counter dump to FILE
+         --metrics FILE       write pipeline counters/histograms to FILE in
+                              Prometheus text exposition format
+         --trace FILE         write scoped spans to FILE as Chrome
+                              trace-event JSON (chrome://tracing, Perfetto)
 show     print the network summary: paths, traffic classes, ACLs
 audit    run the data-quality checks; exit 1 when errors are found
 reach    answer "what can go from A to B?" — per-path permitted traffic,
@@ -82,6 +90,8 @@ struct Options {
   bool incremental_smt = true;
   unsigned timeout_ms = 0;
   std::string report_json_path;
+  std::string metrics_path;
+  std::string trace_path;
 };
 
 std::string read_file(const std::string& path) {
@@ -178,6 +188,10 @@ Options parse_args(const std::vector<std::string>& args) {
       options.timeout_ms = static_cast<unsigned>(parsed);
     } else if (arg == "--report-json") {
       options.report_json_path = value();
+    } else if (arg == "--metrics") {
+      options.metrics_path = value();
+    } else if (arg == "--trace") {
+      options.trace_path = value();
     } else if (arg == "--no-incremental-smt") {
       options.incremental_smt = false;
     } else if (arg == "--size") {
@@ -216,12 +230,50 @@ void print_plan(std::ostream& out, const topo::Topology& topo, const topo::AclUp
   }
 }
 
-/// The --report-json payload: per-command obligation counts and stage
-/// timings, plus pipeline totals.
-void write_report_json(const std::string& path, const core::EngineReport& report) {
+/// JSON string-literal escaping for values that originate outside the tool
+/// (output paths, file names): quotes, backslashes and control characters.
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Opens `path`, streams `body` into it and verifies the write landed; any
+/// failure (unwritable path, disk full, ...) is a CLI error, so the caller
+/// never prints a "written to" success message for a file that is not there.
+template <typename Body>
+void write_output_file(const std::string& path, Body&& body) {
   std::ofstream file{path};
   if (!file) throw std::runtime_error("cannot write " + path);
-  file << "{\n  \"commands\": [";
+  body(file);
+  file.flush();
+  if (!file) throw std::runtime_error("error while writing " + path);
+}
+
+/// The --report-json payload: per-command obligation counts and stage
+/// timings, pipeline totals, and (when observability is installed) the full
+/// counter dump.
+void write_report_json(const std::string& path, const core::EngineReport& report,
+                       const obs::StatsRegistry* registry) {
+  write_output_file(path, [&](std::ostream& file) {
+  file << "{\n  \"report_path\": \"" << json_escape(path) << "\",\n  \"commands\": [";
   bool first = true;
   std::uint64_t total_queries = 0;
   double total_plan = 0, total_compile = 0, total_solve = 0, total_execute = 0;
@@ -274,7 +326,13 @@ void write_report_json(const std::string& path, const core::EngineReport& report
   file << "\n  ],\n  \"totals\": {\"smt_queries\": " << total_queries
        << ", \"plan_seconds\": " << total_plan << ", \"compile_seconds\": " << total_compile
        << ", \"solve_seconds\": " << total_solve << ", \"execute_seconds\": " << total_execute
-       << "}\n}\n";
+       << "}";
+  if (registry != nullptr) {
+    file << ",\n  \"observability\": ";
+    registry->write_json(file, "  ");
+  }
+  file << "\n}\n";
+  });
 }
 
 int run_command(const Options& options, std::ostream& out) {
@@ -295,12 +353,35 @@ int run_command(const Options& options, std::ostream& out) {
     check->incremental_smt = options.incremental_smt;
     check->timeout_ms = options.timeout_ms;
   }
+  // Observability is on whenever any export wants its data; the registry
+  // lives on the stack and is uninstalled before the outputs are written.
+  const bool want_observability = !options.report_json_path.empty() ||
+                                  !options.metrics_path.empty() ||
+                                  !options.trace_path.empty();
+  std::optional<obs::StatsRegistry> registry;
+  std::optional<obs::ScopedRegistry> installed;
+  if (want_observability) {
+    registry.emplace();
+    installed.emplace(*registry);
+  }
+
   core::Engine engine{network.topo, engine_options};
   const auto report = engine.run_program(program_text, library, network.traffic);
 
+  installed.reset();
   if (!options.report_json_path.empty()) {
-    write_report_json(options.report_json_path, report);
+    write_report_json(options.report_json_path, report, registry ? &*registry : nullptr);
     out << "report written to " << options.report_json_path << "\n";
+  }
+  if (!options.metrics_path.empty()) {
+    write_output_file(options.metrics_path,
+                      [&](std::ostream& file) { registry->write_prometheus(file); });
+    out << "metrics written to " << options.metrics_path << "\n";
+  }
+  if (!options.trace_path.empty()) {
+    write_output_file(options.trace_path,
+                      [&](std::ostream& file) { registry->write_chrome_trace(file); });
+    out << "trace written to " << options.trace_path << "\n";
   }
 
   for (const auto& outcome : report.outcomes) {
@@ -343,9 +424,9 @@ int run_command(const Options& options, std::ostream& out) {
     print_plan(out, network.topo, core::rollback_update(network.topo, report.final_update));
   }
   if (!options.out_path.empty()) {
-    std::ofstream file{options.out_path};
-    if (!file) throw std::runtime_error("cannot write " + options.out_path);
-    print_plan(file, network.topo, report.final_update);
+    write_output_file(options.out_path, [&](std::ostream& file) {
+      print_plan(file, network.topo, report.final_update);
+    });
     out << "\nplan written to " << options.out_path << "\n";
   }
   return report.success() ? 0 : 1;

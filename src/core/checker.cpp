@@ -5,6 +5,8 @@
 #include <mutex>
 
 #include "net/acl_algebra.h"
+#include "obs/stats.h"
+#include "obs/trace.h"
 #include "smt/encode.h"
 
 namespace jinjing::core {
@@ -119,8 +121,10 @@ std::vector<std::size_t> Checker::feasible_paths(const net::PacketSet& traffic) 
 const VerifyPlan& Checker::plan(const net::PacketSet& entering) {
   if (plan_entering_ && plan_entering_->equals(entering)) {
     last_plan_seconds_ = 0;  // served from cache
+    obs::count(obs::Counter::PlanCacheHits);
     return plan_;
   }
+  const obs::TraceSpan span{obs::Span::CheckerPlan};
   const Lowering mode = options_.use_differential ? Lowering::Differential : Lowering::Basic;
   if (options_.per_entry_fec) {
     plan_ = build_verify_plan(paths_, path_forwarding_, entry_classes(entering), mode);
@@ -129,6 +133,8 @@ const VerifyPlan& Checker::plan(const net::PacketSet& entering) {
   }
   plan_entering_ = entering;
   last_plan_seconds_ = plan_.stats().plan_seconds;
+  obs::count(obs::Counter::PlanBuilds);
+  obs::count(obs::Counter::ObligationsPlanned, plan_.obligations().size());
   return plan_;
 }
 
@@ -136,6 +142,7 @@ CheckSession& Checker::session(const topo::AclUpdate& update,
                                const std::vector<lai::ControlIntent>& controls) {
   if (session_ && session_update_ == update && same_controls(session_controls_, controls)) {
     last_session_seconds_ = 0;
+    obs::count(obs::Counter::SmtFrameReuses);
     return *session_;
   }
   // The session's ConfigView points at the stored copy, so tear the old
@@ -167,6 +174,8 @@ CheckSession::CheckSession(Checker& checker, smt::SmtContext& smt,
       after_(checker.topo_, &update),
       controls_(controls),
       vars_(smt.packet_vars()) {
+  const obs::TraceSpan span{obs::Span::CheckerCompile};
+  obs::count(obs::Counter::SmtSessionsBuilt);
   const auto start = std::chrono::steady_clock::now();
   if (checker.options_.use_differential) {
     const auto slots = after_.bound_slots();
@@ -292,6 +301,7 @@ std::optional<Violation> CheckSession::find_violation(const net::PacketSet& fec,
     solver_->add(any_inconsistent);
     solver_->add(smt::set_expr(h, fec));                       // ψ_[h]FEC
     if (!excluded.is_empty()) solver_->add(!smt::set_expr(h, excluded));
+    obs::count(obs::Counter::SmtQueriesCached);
     witness = smt.solve_for_packet(*solver_, h);
     solver_->pop();
   } else {
@@ -410,6 +420,7 @@ CheckResult Checker::check(const topo::AclUpdate& update, const net::PacketSet& 
     const double solve_before = smt_.solve_seconds();
     CheckSession& main_session = session(update, controls);
     double busy = 0;
+    const obs::TraceSpan execute_span{obs::Span::CheckerExecute};
     stats = exec.run(obligations.size(), [&](std::size_t) -> Executor::Task {
       return [&](std::size_t i, const CancellationToken& token) {
         if (token.cancelled()) return false;
@@ -458,7 +469,10 @@ CheckResult Checker::check(const topo::AclUpdate& update, const net::PacketSet& 
         return stop_at_first;
       };
     };
-    stats = exec.run(obligations.size(), factory);
+    {
+      const obs::TraceSpan execute_span{obs::Span::CheckerExecute};
+      stats = exec.run(obligations.size(), factory);
+    }
     double busy = 0;
     double build = 0;
     for (const auto& state : states) {
@@ -473,6 +487,8 @@ CheckResult Checker::check(const topo::AclUpdate& update, const net::PacketSet& 
   result.obligations_executed = stats.executed;
   result.obligations_cancelled = stats.cancelled;
   result.execute_seconds = stats.execute_seconds;
+  obs::count(obs::Counter::ObligationsExecuted, stats.executed);
+  obs::count(obs::Counter::ObligationsCancelled, stats.cancelled);
 
   if (parallel && stop_at_first && stats.stop_index < obligations.size()) {
     // The executor guarantees stop_index is the *minimal* obligation with a

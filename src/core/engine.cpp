@@ -5,6 +5,7 @@
 
 #include "lai/parser.h"
 #include "net/acl_algebra.h"
+#include "obs/trace.h"
 
 namespace jinjing::core {
 
@@ -77,17 +78,20 @@ EngineReport Engine::run(const lai::UpdateTask& task, const net::PacketSet& ente
     outcome.command = command;
     switch (command) {
       case lai::Command::Check: {
+        const obs::TraceSpan span{obs::Span::EngineCheck};
         outcome.check =
             checker_for(task.scope).check(report.final_update, entering, task.controls);
         break;
       }
       case lai::Command::Fix: {
+        const obs::TraceSpan span{obs::Span::EngineFix};
         outcome.fix =
             fixer_for(task.scope).fix(report.final_update, entering, task.allowed, task.controls);
         report.final_update = outcome.fix->fixed_update;
         break;
       }
       case lai::Command::Generate: {
+        const obs::TraceSpan span{obs::Span::EngineGenerate};
         // Modify slots are generate sources: their post-update ACL is fixed
         // (permit-all for a plain migration, or the named replacement).
         MigrationSpec spec;

@@ -4,6 +4,9 @@
 #include <chrono>
 #include <exception>
 
+#include "obs/stats.h"
+#include "obs/trace.h"
+
 namespace jinjing::core {
 
 namespace {
@@ -166,6 +169,7 @@ void Executor::work(Job& job, std::size_t worker_id) {
     if (job.ranges[victim].compare_exchange_strong(v, pack(next, mid),
                                                    std::memory_order_acq_rel)) {
       job.steals.fetch_add(1, std::memory_order_relaxed);
+      obs::observe(obs::Histogram::ExecutorQueueDepth, end - next);
       execute_range(job, task, mid, end);
     }
   }
@@ -173,12 +177,16 @@ void Executor::work(Job& job, std::size_t worker_id) {
 
 ExecutionStats Executor::run(std::size_t count, const WorkerFactory& factory) {
   const std::lock_guard<std::mutex> run_lock{run_mutex_};
+  const obs::TraceSpan run_span{obs::Span::ExecutorRun};
   const auto start = std::chrono::steady_clock::now();
   ExecutionStats stats;
   if (count == 0) {
     stats.stop_index = 0;
     return stats;
   }
+  obs::count(obs::Counter::ExecutorRuns);
+  obs::count(obs::Counter::ExecutorTasks, count);
+  obs::observe(obs::Histogram::ExecutorTasksPerRun, count);
 
   Job job{count, factory, threads_};
 
@@ -204,6 +212,7 @@ ExecutionStats Executor::run(std::size_t count, const WorkerFactory& factory) {
   stats.executed = job.executed.load();
   stats.cancelled = job.cancelled.load();
   stats.steals = job.steals.load();
+  obs::count(obs::Counter::ExecutorSteals, stats.steals);
   const std::size_t bound = job.bound.load();
   stats.stop_index = bound >= count ? count : bound;
   stats.execute_seconds =

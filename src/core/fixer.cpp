@@ -7,6 +7,8 @@
 
 #include "core/simplify.h"
 #include "net/acl_algebra.h"
+#include "obs/stats.h"
+#include "obs/trace.h"
 #include "topo/fec.h"
 
 namespace jinjing::core {
@@ -88,6 +90,7 @@ FixResult Fixer::fix(const topo::AclUpdate& update, const net::PacketSet& enteri
     // redefine the desired decision, in which case everything stays live.
     if (options_.replan_touched_only && controls.empty() && !touches(obligation, update)) {
       ++result.obligations_skipped;
+      obs::count(obs::Counter::ObligationsSkipped);
       continue;
     }
     const net::PacketSet& cls = *obligation.fec;
@@ -105,8 +108,11 @@ FixResult Fixer::fix(const topo::AclUpdate& update, const net::PacketSet& enteri
       (void)lap(stopwatch);
       // Only the part of `handled` inside this class matters; trimming it
       // keeps the exclusion encoding small as neighborhoods accumulate.
-      const auto violation =
-          session.find_violation(cls, (handled & cls).compact(), obligation.paths);
+      std::optional<Violation> violation;
+      {
+        const obs::TraceSpan span{obs::Span::FixSearch};
+        violation = session.find_violation(cls, (handled & cls).compact(), obligation.paths);
+      }
       result.search_seconds += lap(stopwatch);
       if (!violation) break;
 
@@ -124,6 +130,7 @@ FixResult Fixer::fix(const topo::AclUpdate& update, const net::PacketSet& enteri
       }
 
       // seed ∩ [h]_FEC ∩ agreement region, folded from the class.
+      const obs::TraceSpan enlarge_span{obs::Span::FixEnlarge};
       const net::Packet& h = violation->witness;
       net::PacketSet region = cls;
       for (const auto ei : relevant_edges) {
@@ -149,6 +156,7 @@ FixResult Fixer::fix(const topo::AclUpdate& update, const net::PacketSet& enteri
   (void)lap(stopwatch);
   std::unordered_map<topo::AclSlot, std::vector<net::AclRule>, topo::AclSlotHash> prepends;
   for (auto& report : result.neighborhoods) {
+    const obs::TraceSpan place_span{obs::Span::FixPlace};
     const net::PacketSet& neighborhood = report.set;
     const net::Packet& h = report.representative;
     const auto feasible = checker_.feasible_paths(neighborhood);
@@ -207,6 +215,7 @@ FixResult Fixer::fix(const topo::AclUpdate& update, const net::PacketSet& enteri
   result.place_seconds = lap(stopwatch);
 
   // Assemble the repaired update.
+  const obs::TraceSpan assemble_span{obs::Span::FixAssemble};
   result.fixed_update = update;
   for (const auto& [slot, rules] : prepends) {
     net::Acl acl = session.after().acl(slot);

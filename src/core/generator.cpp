@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "net/acl_algebra.h"
+#include "obs/trace.h"
 
 namespace jinjing::core {
 
@@ -39,8 +40,12 @@ GenerateResult Generator::generate(const MigrationSpec& spec,
   for (const auto& [slot, acl] : spec.replacements) {
     replacement_predicates.push_back(net::permitted_set(acl));
   }
-  const auto classes =
-      acl_equivalence_classes(view, slots, options_.universe, controls, replacement_predicates);
+  std::vector<net::PacketSet> classes;
+  {
+    const obs::TraceSpan span{obs::Span::GenDerive};
+    classes = acl_equivalence_classes(view, slots, options_.universe, controls,
+                                      replacement_predicates);
+  }
   result.aec_count = classes.size();
   result.derive_seconds = seconds_since(t0);
 
@@ -50,6 +55,8 @@ GenerateResult Generator::generate(const MigrationSpec& spec,
   // solvers (each with its own Z3 context) and merge in class-index order.
   t0 = std::chrono::steady_clock::now();
   PlacementResult placement;
+  {
+  const obs::TraceSpan solve_span{obs::Span::GenSolve};
   if (options_.executor && options_.executor->threads() > 1 && classes.size() > 1) {
     std::vector<ClassOutcome> outcomes(classes.size());
     struct WorkerState {
@@ -92,6 +99,7 @@ GenerateResult Generator::generate(const MigrationSpec& spec,
     PlacementSolver solver{smt_, topo_, scope_, options_.path_options};
     placement = solver.solve(spec, classes, controls);
   }
+  }
   result.aec_solved = placement.aec_solutions.size();
   for (const auto& [ci, decs] : placement.dec_solutions) result.dec_count += decs.size();
   result.dec_count += placement.unsolved.size();
@@ -101,6 +109,7 @@ GenerateResult Generator::generate(const MigrationSpec& spec,
 
   // Phase 3: synthesize ACLs (§5.4 + §5.5).
   t0 = std::chrono::steady_clock::now();
+  const obs::TraceSpan synth_span{obs::Span::GenSynth};
   auto synthesis = synthesize(topo_, scope_, spec, classes, placement, options_.synthesis,
                               controls);
   result.update = std::move(synthesis.acls);

@@ -1,0 +1,263 @@
+#include "obs/stats.h"
+
+#include <bit>
+#include <chrono>
+#include <functional>
+#include <ostream>
+#include <thread>
+
+namespace jinjing::obs {
+namespace detail {
+
+std::atomic<StatsRegistry*> g_registry{nullptr};
+
+}  // namespace detail
+
+namespace {
+
+std::atomic<std::uint64_t> g_next_serial{1};
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+constexpr std::array<std::string_view, kCounterCount> kCounterNames = {
+    "smt_queries",          "smt_queries_cached",    "smt_timeouts",
+    "smt_frame_reuses",     "smt_sessions_built",    "smt_optimize_queries",
+    "plan_builds",          "plan_cache_hits",       "fec_cache_hits",
+    "fec_cache_misses",     "bdd_memo_hits",         "bdd_memo_misses",
+    "obligations_planned",  "obligations_executed",  "obligations_cancelled",
+    "obligations_skipped",  "executor_runs",         "executor_tasks",
+    "executor_steals",
+};
+
+constexpr std::array<std::string_view, kGaugeCount> kGaugeNames = {
+    "bdd_nodes",
+};
+
+constexpr std::array<std::string_view, kHistogramCount> kHistogramNames = {
+    "smt_solve_micros",
+    "executor_queue_depth",
+    "executor_tasks_per_run",
+};
+
+constexpr std::array<std::string_view, kSpanCount> kSpanNames = {
+    "engine.check",    "engine.fix",       "engine.generate",
+    "checker.plan",    "checker.compile",  "checker.execute",
+    "executor.run",    "fec.derive",       "smt.query",
+    "smt.optimize",    "fix.search",       "fix.enlarge",
+    "fix.place",       "fix.assemble",     "generate.derive",
+    "generate.solve",  "generate.synthesize",
+};
+
+std::size_t bucket_index(std::uint64_t value) {
+  const std::size_t width = static_cast<std::size_t>(std::bit_width(value));
+  return width < kHistogramBuckets ? width : kHistogramBuckets - 1;
+}
+
+// Upper bound of the cumulative count through bucket `index`: all values with
+// bit_width <= index, i.e. value <= 2^index - 1.
+std::uint64_t bucket_le(std::size_t index) {
+  return (std::uint64_t{1} << index) - 1;
+}
+
+}  // namespace
+
+std::string_view to_string(Counter counter) {
+  return kCounterNames[static_cast<std::size_t>(counter)];
+}
+
+std::string_view to_string(Gauge gauge) {
+  return kGaugeNames[static_cast<std::size_t>(gauge)];
+}
+
+std::string_view to_string(Histogram histogram) {
+  return kHistogramNames[static_cast<std::size_t>(histogram)];
+}
+
+std::string_view to_string(Span span) {
+  return kSpanNames[static_cast<std::size_t>(span)];
+}
+
+StatsRegistry::StatsRegistry()
+    : serial_(g_next_serial.fetch_add(1, std::memory_order_relaxed)),
+      epoch_ns_(steady_now_ns()) {}
+
+StatsRegistry::~StatsRegistry() = default;
+
+StatsRegistry::Shard& StatsRegistry::shard_for_thread() {
+  thread_local const std::size_t shard =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) % kShards;
+  return shards_[shard];
+}
+
+void StatsRegistry::add(Counter counter, std::uint64_t n) {
+  shard_for_thread()
+      .counters[static_cast<std::size_t>(counter)]
+      .fetch_add(n, std::memory_order_relaxed);
+}
+
+void StatsRegistry::set_max(Gauge gauge, std::uint64_t value) {
+  std::atomic<std::uint64_t>& cell = gauges_[static_cast<std::size_t>(gauge)];
+  std::uint64_t seen = cell.load(std::memory_order_relaxed);
+  while (seen < value &&
+         !cell.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+void StatsRegistry::observe(Histogram histogram, std::uint64_t value) {
+  HistogramCells& cells = histograms_[static_cast<std::size_t>(histogram)];
+  cells.buckets[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+  cells.count.fetch_add(1, std::memory_order_relaxed);
+  cells.sum.fetch_add(value, std::memory_order_relaxed);
+}
+
+std::uint64_t StatsRegistry::total(Counter counter) const {
+  std::uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.counters[static_cast<std::size_t>(counter)].load(
+        std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t StatsRegistry::gauge(Gauge gauge) const {
+  return gauges_[static_cast<std::size_t>(gauge)].load(
+      std::memory_order_relaxed);
+}
+
+HistogramSnapshot StatsRegistry::histogram(Histogram histogram) const {
+  const HistogramCells& cells =
+      histograms_[static_cast<std::size_t>(histogram)];
+  HistogramSnapshot snapshot;
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    snapshot.buckets[i] = cells.buckets[i].load(std::memory_order_relaxed);
+  }
+  snapshot.count = cells.count.load(std::memory_order_relaxed);
+  snapshot.sum = cells.sum.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
+std::uint64_t StatsRegistry::now_us() const {
+  return (steady_now_ns() - epoch_ns_) / 1000;
+}
+
+std::shared_ptr<StatsRegistry::ThreadTraceBuffer>
+StatsRegistry::buffer_for_thread() {
+  thread_local std::uint64_t cached_serial = 0;
+  thread_local std::shared_ptr<ThreadTraceBuffer> cached;
+  if (cached_serial != serial_ || !cached) {
+    auto buffer = std::make_shared<ThreadTraceBuffer>();
+    {
+      std::lock_guard<std::mutex> lock{trace_mutex_};
+      buffer->tid = static_cast<std::uint32_t>(buffers_.size());
+      buffers_.push_back(buffer);
+    }
+    cached = std::move(buffer);
+    cached_serial = serial_;
+  }
+  return cached;
+}
+
+void StatsRegistry::record_span(Span name, std::uint64_t start_us,
+                                std::uint64_t end_us) {
+  std::shared_ptr<ThreadTraceBuffer> buffer = buffer_for_thread();
+  std::lock_guard<std::mutex> lock{buffer->mutex};
+  buffer->events.push_back(TraceEvent{
+      name, buffer->tid, start_us, end_us >= start_us ? end_us - start_us : 0});
+}
+
+std::vector<TraceEvent> StatsRegistry::trace_events() const {
+  std::vector<std::shared_ptr<ThreadTraceBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock{trace_mutex_};
+    buffers = buffers_;
+  }
+  std::vector<TraceEvent> events;
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock{buffer->mutex};
+    events.insert(events.end(), buffer->events.begin(), buffer->events.end());
+  }
+  return events;
+}
+
+void StatsRegistry::write_prometheus(std::ostream& out) const {
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    const std::string_view name = kCounterNames[i];
+    out << "# TYPE jinjing_" << name << "_total counter\n";
+    out << "jinjing_" << name << "_total "
+        << total(static_cast<Counter>(i)) << "\n";
+  }
+  for (std::size_t i = 0; i < kGaugeCount; ++i) {
+    const std::string_view name = kGaugeNames[i];
+    out << "# TYPE jinjing_" << name << " gauge\n";
+    out << "jinjing_" << name << " " << gauge(static_cast<Gauge>(i)) << "\n";
+  }
+  for (std::size_t i = 0; i < kHistogramCount; ++i) {
+    const std::string_view name = kHistogramNames[i];
+    const HistogramSnapshot snapshot = histogram(static_cast<Histogram>(i));
+    out << "# TYPE jinjing_" << name << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+      cumulative += snapshot.buckets[b];
+      out << "jinjing_" << name << "_bucket{le=\"" << bucket_le(b) << "\"} "
+          << cumulative << "\n";
+    }
+    out << "jinjing_" << name << "_bucket{le=\"+Inf\"} " << snapshot.count
+        << "\n";
+    out << "jinjing_" << name << "_sum " << snapshot.sum << "\n";
+    out << "jinjing_" << name << "_count " << snapshot.count << "\n";
+  }
+}
+
+void StatsRegistry::write_chrome_trace(std::ostream& out) const {
+  out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  const std::vector<TraceEvent> events = trace_events();
+  bool first = true;
+  for (const TraceEvent& event : events) {
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    out << "\n  {\"name\": \"" << to_string(event.name)
+        << "\", \"cat\": \"jinjing\", \"ph\": \"X\", \"ts\": "
+        << event.start_us << ", \"dur\": " << event.dur_us
+        << ", \"pid\": 1, \"tid\": " << event.tid << "}";
+  }
+  out << "\n]}\n";
+}
+
+void StatsRegistry::write_json(std::ostream& out,
+                               const std::string& indent) const {
+  out << "{\n" << indent << "  \"counters\": {";
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    out << (i == 0 ? "\n" : ",\n") << indent << "    \"" << kCounterNames[i]
+        << "\": " << total(static_cast<Counter>(i));
+  }
+  out << "\n" << indent << "  },\n" << indent << "  \"gauges\": {";
+  for (std::size_t i = 0; i < kGaugeCount; ++i) {
+    out << (i == 0 ? "\n" : ",\n") << indent << "    \"" << kGaugeNames[i]
+        << "\": " << gauge(static_cast<Gauge>(i));
+  }
+  out << "\n" << indent << "  },\n" << indent << "  \"histograms\": {";
+  for (std::size_t i = 0; i < kHistogramCount; ++i) {
+    const HistogramSnapshot snapshot = histogram(static_cast<Histogram>(i));
+    out << (i == 0 ? "\n" : ",\n") << indent << "    \"" << kHistogramNames[i]
+        << "\": {\"count\": " << snapshot.count << ", \"sum\": "
+        << snapshot.sum << "}";
+  }
+  out << "\n" << indent << "  }\n" << indent << "}";
+}
+
+ScopedRegistry::ScopedRegistry(StatsRegistry& registry)
+    : previous_(detail::g_registry.exchange(&registry,
+                                            std::memory_order_acq_rel)) {}
+
+ScopedRegistry::~ScopedRegistry() {
+  detail::g_registry.store(previous_, std::memory_order_release);
+}
+
+}  // namespace jinjing::obs

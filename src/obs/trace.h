@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+
+#include "obs/stats.h"
+
+namespace jinjing::obs {
+
+// RAII scoped span: captures the installed registry at construction and
+// records a complete trace event on destruction. When no registry is
+// installed the constructor is a single pointer load and the destructor a
+// single branch — no clock reads, no allocation.
+class TraceSpan {
+ public:
+  explicit TraceSpan(Span name)
+      : registry_(StatsRegistry::current()),
+        name_(name),
+        start_us_(registry_ != nullptr ? registry_->now_us() : 0) {}
+
+  ~TraceSpan() {
+    if (registry_ != nullptr) {
+      registry_->record_span(name_, start_us_, registry_->now_us());
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  StatsRegistry* registry_;
+  Span name_;
+  std::uint64_t start_us_;
+};
+
+}  // namespace jinjing::obs

@@ -2,6 +2,9 @@
 
 #include <chrono>
 
+#include "obs/stats.h"
+#include "obs/trace.h"
+
 namespace jinjing::smt {
 
 namespace {
@@ -53,11 +56,21 @@ net::Packet SmtContext::extract_packet(const z3::model& model, const PacketVars&
 std::optional<net::Packet> SmtContext::solve_for_packet(z3::solver& solver,
                                                         const PacketVars& vars) {
   ++query_count_;
+  obs::count(obs::Counter::SmtQueries);
   const auto start = std::chrono::steady_clock::now();
-  const z3::check_result result = solver.check();
-  solve_seconds_ += std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  z3::check_result result;
+  {
+    obs::TraceSpan span{obs::Span::SmtQuery};
+    result = solver.check();
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  solve_seconds_ += elapsed;
+  obs::observe(obs::Histogram::SmtSolveMicros,
+               static_cast<std::uint64_t>(elapsed * 1e6));
   accumulate_stats(solver.statistics());
   if (result == z3::unknown) {
+    obs::count(obs::Counter::SmtTimeouts);
     throw SmtTimeout("SMT query returned unknown (" + solver.reason_unknown() + ")");
   }
   if (result != z3::sat) return std::nullopt;
@@ -66,11 +79,22 @@ std::optional<net::Packet> SmtContext::solve_for_packet(z3::solver& solver,
 
 std::optional<z3::model> SmtContext::check_optimize(z3::optimize& opt) {
   ++query_count_;
+  obs::count(obs::Counter::SmtQueries);
+  obs::count(obs::Counter::SmtOptimizeQueries);
   const auto start = std::chrono::steady_clock::now();
-  const z3::check_result result = opt.check();
-  solve_seconds_ += std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  z3::check_result result;
+  {
+    obs::TraceSpan span{obs::Span::SmtOptimize};
+    result = opt.check();
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  solve_seconds_ += elapsed;
+  obs::observe(obs::Histogram::SmtSolveMicros,
+               static_cast<std::uint64_t>(elapsed * 1e6));
   accumulate_stats(opt.statistics());
   if (result == z3::unknown) {
+    obs::count(obs::Counter::SmtTimeouts);
     throw SmtTimeout("SMT optimize query returned unknown (deadline exceeded?)");
   }
   if (result != z3::sat) return std::nullopt;

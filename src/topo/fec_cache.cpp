@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/stats.h"
+#include "obs/trace.h"
+
 namespace jinjing::topo {
 
 namespace {
@@ -70,13 +73,19 @@ FecCache::EntryClassesPtr FecCache::entry_classes(const Topology& topo, const Sc
     const std::lock_guard<std::mutex> lock{mutex_};
     if (Slot* slot = find_slot(key, topo, entering); slot != nullptr && slot->entry) {
       ++hits_;
+      obs::count(obs::Counter::FecCacheHits);
       return slot->entry;
     }
   }
-  auto computed = std::make_shared<const std::vector<EntryClasses>>(
-      per_entry_equivalence_classes(topo, scope, entering, options));
+  EntryClassesPtr computed;
+  {
+    obs::TraceSpan span{obs::Span::FecDerive};
+    computed = std::make_shared<const std::vector<EntryClasses>>(
+        per_entry_equivalence_classes(topo, scope, entering, options));
+  }
   const std::lock_guard<std::mutex> lock{mutex_};
   ++misses_;
+  obs::count(obs::Counter::FecCacheMisses);
   Slot* slot = find_slot(key, topo, entering);
   if (slot == nullptr) {
     slots_[key].push_back(Slot{&topo, entering.cubes(), nullptr, nullptr});
@@ -94,13 +103,19 @@ FecCache::ClassesPtr FecCache::global_classes(const Topology& topo, const Scope&
     const std::lock_guard<std::mutex> lock{mutex_};
     if (Slot* slot = find_slot(key, topo, entering); slot != nullptr && slot->global) {
       ++hits_;
+      obs::count(obs::Counter::FecCacheHits);
       return slot->global;
     }
   }
-  auto computed = std::make_shared<const std::vector<net::PacketSet>>(
-      forwarding_equivalence_classes(topo, scope, entering, options));
+  ClassesPtr computed;
+  {
+    obs::TraceSpan span{obs::Span::FecDerive};
+    computed = std::make_shared<const std::vector<net::PacketSet>>(
+        forwarding_equivalence_classes(topo, scope, entering, options));
+  }
   const std::lock_guard<std::mutex> lock{mutex_};
   ++misses_;
+  obs::count(obs::Counter::FecCacheMisses);
   Slot* slot = find_slot(key, topo, entering);
   if (slot == nullptr) {
     slots_[key].push_back(Slot{&topo, entering.cubes(), nullptr, nullptr});

@@ -297,5 +297,89 @@ TEST_F(CliTest, ReportJsonEmitsPipelineBreakdown) {
   EXPECT_NE(bad.code, 0);
 }
 
+TEST_F(CliTest, ReportJsonEmbedsObservabilityCounters) {
+  const auto report_path = (dir_ / "report.json").string();
+  const auto r = invoke({"run", "--network", path("figure1.topo"), "--program",
+                         path("running_example.lai"), "--acl",
+                         "A1_new=" + path("a1_new.acl"), "--acl",
+                         "A3_new=" + path("a3_new.acl"), "--report-json", report_path});
+  ASSERT_EQ(r.code, 0) << r.err;
+
+  std::ifstream file{report_path};
+  std::stringstream content;
+  content << file.rdbuf();
+  const auto json = content.str();
+
+  EXPECT_NE(json.find("\"observability\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  // The pipeline ran: plan/compile/solve counters must be nonzero.
+  for (const char* key : {"\"smt_queries\": 0", "\"plan_builds\": 0",
+                          "\"smt_sessions_built\": 0", "\"obligations_planned\": 0"}) {
+    EXPECT_EQ(json.find(key), std::string::npos) << "zero counter " << key;
+  }
+}
+
+TEST_F(CliTest, MetricsWritesPrometheusText) {
+  const auto metrics_path = (dir_ / "metrics.prom").string();
+  const auto r = invoke({"run", "--network", path("figure1.topo"), "--program",
+                         path("running_example.lai"), "--acl",
+                         "A1_new=" + path("a1_new.acl"), "--acl",
+                         "A3_new=" + path("a3_new.acl"), "--metrics", metrics_path});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("metrics written to"), std::string::npos);
+
+  std::ifstream file{metrics_path};
+  ASSERT_TRUE(file.good());
+  std::stringstream content;
+  content << file.rdbuf();
+  const auto text = content.str();
+  EXPECT_NE(text.find("# TYPE jinjing_smt_queries_total counter"), std::string::npos);
+  EXPECT_EQ(text.find("jinjing_smt_queries_total 0\n"), std::string::npos)
+      << "pipeline ran, smt_queries must be nonzero:\n" << text;
+  EXPECT_NE(text.find("jinjing_smt_solve_micros_bucket{le=\"+Inf\"}"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE jinjing_bdd_nodes gauge"), std::string::npos);
+}
+
+TEST_F(CliTest, TraceWritesChromeTraceJson) {
+  const auto trace_path = (dir_ / "trace.json").string();
+  const auto r = invoke({"run", "--network", path("figure1.topo"), "--program",
+                         path("running_example.lai"), "--acl",
+                         "A1_new=" + path("a1_new.acl"), "--acl",
+                         "A3_new=" + path("a3_new.acl"), "--trace", trace_path});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("trace written to"), std::string::npos);
+
+  std::ifstream file{trace_path};
+  ASSERT_TRUE(file.good());
+  std::stringstream content;
+  content << file.rdbuf();
+  const auto text = content.str();
+  EXPECT_EQ(text.find("{\"displayTimeUnit\": \"ms\", \"traceEvents\": ["), 0u);
+  for (const char* span : {"\"engine.check\"", "\"engine.fix\"", "\"checker.plan\"",
+                           "\"checker.compile\"", "\"smt.query\"", "\"fix.search\""}) {
+    EXPECT_NE(text.find(span), std::string::npos) << "missing span " << span;
+  }
+  EXPECT_NE(text.find("\"ph\": \"X\""), std::string::npos);
+}
+
+TEST_F(CliTest, UnwritableExportPathsAreErrors) {
+  const auto base = std::vector<std::string>{"run", "--network", path("figure1.topo"),
+                                             "--program", path("running_example.lai"), "--acl",
+                                             "A1_new=" + path("a1_new.acl"), "--acl",
+                                             "A3_new=" + path("a3_new.acl")};
+  const auto bad_path = (dir_ / "no_such_dir" / "out.file").string();
+  for (const char* flag : {"--report-json", "--metrics", "--trace", "--out"}) {
+    auto args = base;
+    args.push_back(flag);
+    args.push_back(bad_path);
+    const auto r = invoke(args);
+    EXPECT_EQ(r.code, 2) << flag;
+    EXPECT_NE(r.err.find("cannot write"), std::string::npos) << flag << ": " << r.err;
+    EXPECT_EQ(r.out.find("written to"), std::string::npos)
+        << flag << " claimed success:\n" << r.out;
+  }
+}
+
 }  // namespace
 }  // namespace jinjing::cli

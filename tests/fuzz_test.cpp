@@ -2,11 +2,14 @@
 // typed errors — never crash, hang, or accept garbage silently.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <optional>
 #include <random>
 
 #include "config/acl_format.h"
 #include "config/topology_format.h"
 #include "lai/parser.h"
+#include "lai/printer.h"
 
 namespace jinjing {
 namespace {
@@ -108,6 +111,112 @@ TEST_P(ParserFuzz, PacketSpecNeverCrashes) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz, ::testing::Range(1u, 6u));
+
+/// A random well-formed LAI program in the canonical shape the printer
+/// emits: scope non-empty, commands non-empty, All-headers carry the
+/// default prefix, and prefixes have their host bits cleared.
+lai::Program random_program(std::mt19937& rng) {
+  const auto pick = [&rng](std::size_t lo, std::size_t hi) {
+    return std::uniform_int_distribution<std::size_t>(lo, hi)(rng);
+  };
+  const auto iface_ref = [&] {
+    lai::IfaceRef ref;
+    ref.device = "R" + std::to_string(pick(1, 9));
+    if (pick(0, 2) != 0) ref.iface = std::to_string(pick(1, 4));
+    switch (pick(0, 2)) {
+      case 0: ref.dir = topo::Dir::In; break;
+      case 1: ref.dir = topo::Dir::Out; break;
+      default: break;
+    }
+    return ref;
+  };
+  const auto iface_list = [&](std::size_t lo, std::size_t hi) {
+    std::vector<lai::IfaceRef> refs;
+    const std::size_t n = pick(lo, hi);
+    for (std::size_t i = 0; i < n; ++i) refs.push_back(iface_ref());
+    return refs;
+  };
+
+  lai::Program prog;
+  prog.scope = iface_list(1, 3);
+  prog.allow = iface_list(0, 3);
+  const std::size_t modifies = pick(0, 3);
+  for (std::size_t i = 0; i < modifies; ++i) {
+    prog.modifies.push_back(
+        lai::ModifyStmt{iface_ref(), "acl_" + std::to_string(pick(0, 20))});
+  }
+  const std::size_t controls = pick(0, 2);
+  for (std::size_t i = 0; i < controls; ++i) {
+    lai::ControlStmt c;
+    c.from = iface_list(0, 2);  // empty prints as "nil"
+    c.to = iface_list(0, 2);
+    c.verb = static_cast<lai::ControlVerb>(pick(0, 2));
+    switch (pick(0, 2)) {
+      case 0: c.header.kind = lai::HeaderSpec::Kind::Src; break;
+      case 1: c.header.kind = lai::HeaderSpec::Kind::Dst; break;
+      default: c.header.kind = lai::HeaderSpec::Kind::All; break;
+    }
+    if (c.header.kind != lai::HeaderSpec::Kind::All) {
+      c.header.prefix = net::Prefix::containing(
+          net::Ipv4{static_cast<std::uint32_t>(rng())},
+          static_cast<std::uint8_t>(pick(0, 32)));
+    }
+    prog.controls.push_back(std::move(c));
+  }
+  const std::size_t commands = pick(1, 3);
+  for (std::size_t i = 0; i < commands; ++i) {
+    prog.commands.push_back(static_cast<lai::Command>(pick(0, 2)));
+  }
+  return prog;
+}
+
+// print/parse round trip: for random programs, parse(print(p)) == p, and
+// the printed form is a fixed point (printing the re-parsed AST gives the
+// same text).
+class LaiRoundTrip : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(LaiRoundTrip, ParsePrintParseIsIdentity) {
+  std::mt19937 rng(GetParam() + 4000);
+  for (int i = 0; i < 100; ++i) {
+    const auto prog = random_program(rng);
+    const std::string source = lai::print(prog);
+    const auto reparsed = lai::parse(source);
+    EXPECT_EQ(reparsed, prog) << source;
+    EXPECT_EQ(lai::print(reparsed), source);
+    EXPECT_EQ(lai::line_count(prog),
+              static_cast<std::size_t>(std::count(source.begin(), source.end(), '\n')));
+  }
+}
+
+TEST_P(LaiRoundTrip, MutatedInputsThatParseAlsoRoundTrip) {
+  // The printer must handle *anything* the parser accepts: mutate valid
+  // programs, and wherever the parse still succeeds, print and re-parse.
+  std::mt19937 rng(GetParam() + 5000);
+  const std::string valid = lai::print(random_program(rng));
+  for (const auto& m : mutations(valid, rng)) {
+    std::optional<lai::Program> prog;
+    try {
+      prog = lai::parse(m);
+    } catch (const lai::LaiError&) {
+      continue;
+    } catch (const net::ParseError&) {
+      continue;
+    }
+    const std::string printed = lai::print(*prog);
+    EXPECT_EQ(lai::parse(printed), *prog) << "mutant:\n" << m;
+  }
+}
+
+TEST(LaiRoundTrip, NilListsSurviveTheTrip) {
+  const auto prog = lai::parse("scope A:*\ncontrol nil -> nil isolate\ncheck\n");
+  ASSERT_EQ(prog.controls.size(), 1u);
+  EXPECT_TRUE(prog.controls[0].from.empty());
+  EXPECT_TRUE(prog.controls[0].to.empty());
+  EXPECT_EQ(prog.controls[0].header.kind, lai::HeaderSpec::Kind::All);
+  EXPECT_EQ(lai::parse(lai::print(prog)), prog);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LaiRoundTrip, ::testing::Range(1u, 6u));
 
 }  // namespace
 }  // namespace jinjing
