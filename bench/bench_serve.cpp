@@ -1,0 +1,255 @@
+// Service throughput and latency: drives a live svc::Server over its Unix
+// socket with the medium WAN and writes BENCH_serve.json.
+//
+// Two experiments:
+//
+//  * Queue-depth sweep: D concurrent client sessions (D = 1, 8, 64), each
+//    submitting perturbed check jobs back-to-back so ~D jobs stay
+//    outstanding. Reports jobs/sec plus client-observed p50/p99 latency
+//    (submit to result) per depth — the knee shows where the worker pool
+//    saturates and queue wait starts to dominate.
+//
+//  * Warm vs cold: the same job stream run through the resident server
+//    (shared FecCache, network already loaded) versus a fresh engine and
+//    cache per job, which is what a cold CLI invocation pays. Expected
+//    shape: warm is measurably faster because every job after the first
+//    reuses the cached equivalence classes.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "config/acl_format.h"
+#include "core/engine.h"
+#include "gen/scenario.h"
+#include "gen/wan.h"
+#include "svc/client.h"
+#include "svc/server.h"
+
+namespace jinjing {
+namespace {
+
+/// A check program for one rule perturbation plus the ACL bodies a client
+/// ships with it (the same wire shape `jinjing client submit` uses).
+struct Workload {
+  std::string program;
+  std::map<std::string, std::string> acl_bodies;
+};
+
+Workload make_workload(const gen::Wan& wan, unsigned seed) {
+  const topo::AclUpdate update = gen::perturb_rules(wan, 0.03, seed);
+  Workload workload;
+  std::string modifies;
+  std::size_t i = 0;
+  for (const auto& [slot, acl] : update) {
+    const std::string name = "acl_" + std::to_string(i++);
+    modifies += "modify " + wan.topo.qualified_name(slot.iface) +
+                (slot.dir == topo::Dir::In ? "-in" : "-out") + " to " + name + "\n";
+    workload.acl_bodies.emplace(name, config::print_acl(acl));
+  }
+  std::string scope = "scope ";
+  for (topo::DeviceId d = 0; d < wan.topo.device_count(); ++d) {
+    if (d > 0) scope += ", ";
+    scope += wan.topo.device_name(d);
+  }
+  workload.program = scope + "\n" + modifies + "check\n";
+  return workload;
+}
+
+svc::Json submit_params(const Workload& workload) {
+  svc::Json::Object params;
+  params.emplace("program", workload.program);
+  svc::Json::Object acls;
+  for (const auto& [name, body] : workload.acl_bodies) acls.emplace(name, body);
+  params.emplace("acls", svc::Json{std::move(acls)});
+  return svc::Json{std::move(params)};
+}
+
+/// Submit one job and block until its result; returns the latency.
+double run_job(svc::Client& client, const Workload& workload) {
+  const auto start = std::chrono::steady_clock::now();
+  const svc::Json submitted = client.call("submit", submit_params(workload));
+  svc::Json::Object wait;
+  wait.emplace("job", submitted.at("job").as_u64());
+  wait.emplace("timeout_ms", std::uint64_t{600000});
+  const svc::Json result = client.call("result", svc::Json{std::move(wait)});
+  if (!result.at("done").as_bool() ||
+      result.at("status").at("state").as_string() != "done") {
+    std::fprintf(stderr, "WARNING: job did not complete: %s\n", result.dump().c_str());
+  }
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+struct DepthResult {
+  std::size_t depth = 0;
+  std::size_t jobs = 0;
+  double wall_seconds = 0;
+  double jobs_per_sec = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+};
+
+double percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0;
+  const auto idx = static_cast<std::size_t>(p * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+/// D concurrent sessions, each draining its share of `workloads`.
+DepthResult run_depth(const std::string& socket_path, std::size_t depth,
+                      const std::vector<Workload>& workloads) {
+  DepthResult result;
+  result.depth = depth;
+  result.jobs = workloads.size();
+  std::mutex latencies_mutex;
+  std::vector<double> latencies;
+  std::atomic<std::size_t> next{0};
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> sessions;
+  for (std::size_t s = 0; s < depth; ++s) {
+    sessions.emplace_back([&] {
+      svc::Client client{socket_path};
+      while (true) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= workloads.size()) break;
+        const double seconds = run_job(client, workloads[i]);
+        const std::lock_guard<std::mutex> lock{latencies_mutex};
+        latencies.push_back(seconds);
+      }
+    });
+  }
+  for (auto& session : sessions) session.join();
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+  std::sort(latencies.begin(), latencies.end());
+  result.jobs_per_sec =
+      result.wall_seconds > 0 ? static_cast<double>(result.jobs) / result.wall_seconds : 0;
+  result.p50_ms = percentile(latencies, 0.50) * 1000.0;
+  result.p99_ms = percentile(latencies, 0.99) * 1000.0;
+  return result;
+}
+
+/// The cold path: what a one-shot CLI run pays per job — fresh engine,
+/// fresh FEC cache, nothing resident.
+double run_cold(const gen::Wan& wan, const std::vector<Workload>& workloads) {
+  lai::AclLibrary library;
+  const auto start = std::chrono::steady_clock::now();
+  for (const auto& workload : workloads) {
+    library.clear();
+    library.emplace("permit_all", net::Acl::permit_all());
+    for (const auto& [name, body] : workload.acl_bodies) {
+      library.insert_or_assign(name, config::parse_acl_auto(body));
+    }
+    core::Engine engine{wan.topo};
+    const auto report = engine.run_program(workload.program, library, wan.traffic);
+    if (!report.outcomes.empty() && !report.outcomes.front().check) {
+      std::fprintf(stderr, "WARNING: cold job produced no check outcome\n");
+    }
+  }
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+}  // namespace
+}  // namespace jinjing
+
+int main(int argc, char** argv) {
+  using namespace jinjing;
+  const char* json_path = "BENCH_serve.json";
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") json_path = argv[i + 1];
+  }
+
+  const gen::Wan wan = gen::make_wan(gen::medium_wan());
+  std::fprintf(stderr, "serve workload: medium WAN, %zu total rules\n", gen::total_rules(wan));
+
+  config::NetworkFile network;
+  network.topo = wan.topo;
+  network.traffic = wan.traffic;
+  const std::string socket_path =
+      (std::filesystem::temp_directory_path() /
+       ("jinjing_bench_serve_" + std::to_string(::getpid()) + ".sock"))
+          .string();
+  svc::ServerOptions options;
+  options.socket_path = socket_path;
+  options.queue_depth = 256;
+  options.workers = std::min(4u, std::max(1u, std::thread::hardware_concurrency()));
+  svc::Server server{std::move(network), options};
+  server.start();
+
+  // One warmup job populates the shared FEC cache so the sweep measures the
+  // steady state a long-running service actually serves from.
+  {
+    svc::Client warmup{socket_path};
+    (void)run_job(warmup, make_workload(wan, 9999));
+  }
+
+  const std::size_t depths[] = {1, 8, 64};
+  std::vector<DepthResult> sweep;
+  for (const std::size_t depth : depths) {
+    // Enough jobs that every session stays busy past startup effects.
+    const std::size_t job_count = std::max<std::size_t>(24, depth * 2);
+    std::vector<Workload> workloads;
+    for (std::size_t j = 0; j < job_count; ++j) {
+      workloads.push_back(make_workload(wan, static_cast<unsigned>(depth * 1000 + j + 1)));
+    }
+    sweep.push_back(run_depth(socket_path, depth, workloads));
+    const auto& r = sweep.back();
+    std::fprintf(stderr, "  depth %-3zu %5.2f jobs/s  p50 %7.1fms  p99 %7.1fms  (%zu jobs)\n",
+                 r.depth, r.jobs_per_sec, r.p50_ms, r.p99_ms, r.jobs);
+  }
+
+  // Warm vs cold on one identical stream.
+  constexpr std::size_t kWarmColdJobs = 8;
+  std::vector<Workload> stream;
+  for (std::size_t j = 0; j < kWarmColdJobs; ++j) {
+    stream.push_back(make_workload(wan, static_cast<unsigned>(7000 + j)));
+  }
+  double warm_seconds = 0;
+  {
+    const auto start = std::chrono::steady_clock::now();
+    svc::Client client{socket_path};
+    for (const auto& workload : stream) (void)run_job(client, workload);
+    warm_seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  }
+  const double cold_seconds = run_cold(wan, stream);
+  const double speedup = warm_seconds > 0 ? cold_seconds / warm_seconds : 0;
+  std::fprintf(stderr, "  warm %.3fs vs cold %.3fs over %zu jobs: %.2fx\n", warm_seconds,
+               cold_seconds, kWarmColdJobs, speedup);
+
+  server.request_shutdown();
+  server.wait();
+  std::filesystem::remove(socket_path);
+
+  std::FILE* out = std::fopen(json_path, "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", json_path);
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"workload\": \"serve\",\n  \"network\": \"medium\",\n");
+  std::fprintf(out, "  \"workers\": %u,\n  \"queue_depths\": [\n", options.workers);
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const auto& r = sweep[i];
+    std::fprintf(out,
+                 "    {\"depth\": %zu, \"jobs\": %zu, \"wall_seconds\": %.6f, "
+                 "\"jobs_per_sec\": %.3f, \"p50_ms\": %.3f, \"p99_ms\": %.3f}%s\n",
+                 r.depth, r.jobs, r.wall_seconds, r.jobs_per_sec, r.p50_ms, r.p99_ms,
+                 i + 1 < sweep.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out,
+               "  \"warm_vs_cold\": {\"jobs\": %zu, \"warm_seconds\": %.6f, "
+               "\"cold_seconds\": %.6f, \"speedup\": %.2f}\n}\n",
+               kWarmColdJobs, warm_seconds, cold_seconds, speedup);
+  std::fclose(out);
+  std::fprintf(stderr, "wrote %s\n", json_path);
+  return 0;
+}

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <optional>
 #include <ostream>
@@ -16,6 +17,8 @@
 #include "gen/wan.h"
 #include "obs/stats.h"
 #include "net/acl_algebra.h"
+#include "svc/client.h"
+#include "svc/server.h"
 #include "topo/fec.h"
 #include "topo/paths.h"
 
@@ -35,6 +38,12 @@ constexpr const char* kUsage = R"(usage:
   jinjing trace --network FILE --packet SPEC [--from IFACE]
   jinjing diff  --acl-a FILE --acl-b FILE
   jinjing gen   --size small|medium|large [--seed N]
+  jinjing serve  --network FILE --socket PATH [--queue-depth N] [--workers N]
+                 [--keep-versions N] [--set-backend hypercube|bdd]
+                 [--timeout-ms N] [--no-incremental-smt]
+  jinjing client --socket PATH METHOD [--program FILE] [--acl NAME=FILE]...
+                 [--priority interactive|batch] [--deadline-ms N]
+                 [--snapshot N] [--job N] [--wait] [--wait-ms N]
 
 run      execute an LAI program (check / fix / generate) and print the plan
          --diff      also print the per-slot rule diff of the plan
@@ -67,6 +76,14 @@ diff     compare two ACLs semantically: equivalence verdict, the rules the
          update adds/removes (Definition 4.1), and a witness packet whose
          decision differs
 gen      write a synthetic layered WAN (the benchmark workloads) to stdout
+serve    run the long-lived verification service on a Unix domain socket:
+         versioned network snapshots, a prioritized job queue (interactive
+         check ahead of batch fix/generate) and warm per-worker engines
+client   drive a running service; METHOD is one of submit, status, result,
+         cancel, apply, info, metrics, shutdown
+         --wait      after submit, block until the job finishes; exit 0
+                     only when it produced a deployable plan
+         --wait-ms N bound a result wait instead of blocking forever
 )";
 
 struct Options {
@@ -92,7 +109,40 @@ struct Options {
   std::string report_json_path;
   std::string metrics_path;
   std::string trace_path;
+  // serve / client
+  std::string socket_path;
+  unsigned queue_depth = 64;
+  unsigned workers = 2;
+  unsigned keep_versions = 8;
+  std::string client_method;
+  std::string priority;
+  std::optional<std::uint64_t> job_id;
+  std::optional<std::uint64_t> deadline_ms;
+  std::optional<std::uint64_t> snapshot;
+  std::optional<std::uint64_t> wait_ms;
+  bool wait = false;
 };
+
+/// Strict flag-value parsing: the whole token must be a decimal number in
+/// [min, max]. Negative values, empty strings, trailing garbage and
+/// overflow are all usage errors naming the flag — never a partial run.
+unsigned long parse_unsigned(const char* flag, const std::string& text, unsigned long min,
+                             unsigned long max) {
+  unsigned long parsed = 0;
+  try {
+    if (text.empty() || text[0] == '-' || text[0] == '+') throw std::invalid_argument(text);
+    std::size_t consumed = 0;
+    parsed = std::stoul(text, &consumed);
+    if (consumed != text.size()) throw std::invalid_argument(text);
+  } catch (const std::exception&) {
+    throw std::runtime_error(std::string(flag) + " expects a number, got '" + text + "'");
+  }
+  if (parsed < min || parsed > max) {
+    throw std::runtime_error(std::string(flag) + " expects " + std::to_string(min) +
+                             " <= N <= " + std::to_string(max) + ", got '" + text + "'");
+  }
+  return parsed;
+}
 
 std::string read_file(const std::string& path) {
   std::ifstream in{path};
@@ -106,6 +156,13 @@ Options parse_args(const std::vector<std::string>& args) {
   if (args.empty()) throw std::runtime_error("missing command");
   Options options;
   options.command = args[0];
+  const bool known_command =
+      options.command == "run" || options.command == "show" || options.command == "audit" ||
+      options.command == "reach" || options.command == "trace" || options.command == "diff" ||
+      options.command == "gen" || options.command == "serve" || options.command == "client";
+  if (!known_command) {
+    throw std::runtime_error("unknown command '" + options.command + "'");
+  }
   for (std::size_t i = 1; i < args.size(); ++i) {
     const auto& arg = args[i];
     const auto value = [&]() -> const std::string& {
@@ -156,36 +213,10 @@ Options parse_args(const std::vector<std::string>& args) {
         throw std::runtime_error("--set-backend expects 'hypercube' or 'bdd'");
       }
     } else if (arg == "--threads") {
-      const auto& count = value();
-      unsigned long parsed = 0;
-      try {
-        // stoul accepts a leading '-' by wrapping; reject it explicitly.
-        if (count.empty() || count[0] == '-') throw std::invalid_argument(count);
-        parsed = std::stoul(count);
-      } catch (const std::exception&) {
-        throw std::runtime_error("--threads expects N >= 1, got '" + count + "'");
-      }
-      if (parsed == 0 || parsed > 1024) {
-        throw std::runtime_error("--threads expects 1 <= N <= 1024");
-      }
-      options.threads = static_cast<unsigned>(parsed);
+      options.threads = static_cast<unsigned>(parse_unsigned("--threads", value(), 1, 1024));
     } else if (arg == "--timeout-ms") {
-      const auto& count = value();
-      unsigned long parsed = 0;
-      try {
-        // stoul accepts a leading '-' (by wrapping) and trailing garbage;
-        // reject both explicitly.
-        if (count.empty() || count[0] == '-') throw std::invalid_argument(count);
-        std::size_t consumed = 0;
-        parsed = std::stoul(count, &consumed);
-        if (consumed != count.size()) throw std::invalid_argument(count);
-      } catch (const std::exception&) {
-        throw std::runtime_error("--timeout-ms expects N >= 0, got '" + count + "'");
-      }
-      if (parsed > 3600000) {
-        throw std::runtime_error("--timeout-ms expects 0 <= N <= 3600000");
-      }
-      options.timeout_ms = static_cast<unsigned>(parsed);
+      options.timeout_ms =
+          static_cast<unsigned>(parse_unsigned("--timeout-ms", value(), 0, 3600000));
     } else if (arg == "--report-json") {
       options.report_json_path = value();
     } else if (arg == "--metrics") {
@@ -197,37 +228,55 @@ Options parse_args(const std::vector<std::string>& args) {
     } else if (arg == "--size") {
       options.gen_size = value();
     } else if (arg == "--seed") {
-      options.gen_seed = static_cast<unsigned>(std::stoul(value()));
+      options.gen_seed = static_cast<unsigned>(
+          parse_unsigned("--seed", value(), 0, std::numeric_limits<unsigned>::max()));
+    } else if (arg == "--socket") {
+      options.socket_path = value();
+    } else if (arg == "--queue-depth") {
+      options.queue_depth = static_cast<unsigned>(parse_unsigned("--queue-depth", value(), 1,
+                                                                 1u << 20));
+    } else if (arg == "--workers") {
+      options.workers = static_cast<unsigned>(parse_unsigned("--workers", value(), 1, 1024));
+    } else if (arg == "--keep-versions") {
+      options.keep_versions =
+          static_cast<unsigned>(parse_unsigned("--keep-versions", value(), 1, 1u << 20));
+    } else if (arg == "--priority") {
+      const auto& priority = value();
+      if (priority != "interactive" && priority != "batch") {
+        throw std::runtime_error("--priority expects 'interactive' or 'batch', got '" +
+                                 priority + "'");
+      }
+      options.priority = priority;
+    } else if (arg == "--job") {
+      options.job_id = parse_unsigned("--job", value(), 1,
+                                      std::numeric_limits<unsigned long>::max());
+    } else if (arg == "--deadline-ms") {
+      options.deadline_ms = parse_unsigned("--deadline-ms", value(), 1, 86400000);
+    } else if (arg == "--snapshot") {
+      options.snapshot = parse_unsigned("--snapshot", value(), 1,
+                                        std::numeric_limits<unsigned long>::max());
+    } else if (arg == "--wait") {
+      options.wait = true;
+    } else if (arg == "--wait-ms") {
+      options.wait_ms = parse_unsigned("--wait-ms", value(), 1, 86400000);
+    } else if (options.command == "client" && options.client_method.empty() &&
+               arg.rfind("--", 0) != 0) {
+      options.client_method = arg;
     } else {
       throw std::runtime_error("unknown option: " + arg);
     }
   }
-  if (options.command != "gen" && options.command != "diff" && options.network_path.empty()) {
+  if (options.command != "gen" && options.command != "diff" && options.command != "client" &&
+      options.network_path.empty()) {
     throw std::runtime_error("--network is required");
   }
   return options;
 }
 
 void print_plan(std::ostream& out, const topo::Topology& topo, const topo::AclUpdate& plan) {
-  if (plan.empty()) {
-    out << "(no changes)\n";
-    return;
-  }
-  // Deterministic order.
-  std::map<std::string, const net::Acl*> ordered;
-  for (const auto& [slot, acl] : plan) {
-    ordered.emplace(topo.qualified_name(slot.iface) +
-                        (slot.dir == topo::Dir::In ? "-in" : "-out"),
-                    &acl);
-  }
-  for (const auto& [name, acl] : ordered) {
-    out << "acl " << name << "\n";
-    if (acl->empty()) {
-      out << "  # no rules - " << net::to_string(acl->default_action()) << " all\n";
-    }
-    for (const auto& rule : acl->rules()) out << "  " << net::to_string(rule) << "\n";
-    out << "end\n";
-  }
+  // One formatter for every consumer: the CLI, --out files, and the
+  // service's job outcomes all go through core::format_plan.
+  out << core::format_plan(topo, plan);
 }
 
 /// JSON string-literal escaping for values that originate outside the tool
@@ -634,6 +683,101 @@ int gen_command(const Options& options, std::ostream& out) {
   return 0;
 }
 
+int serve_command(const Options& options, std::ostream& out) {
+  if (options.socket_path.empty()) throw std::runtime_error("serve requires --socket");
+  auto network = config::load_network(options.network_path);
+
+  svc::ServerOptions server_options;
+  server_options.socket_path = options.socket_path;
+  server_options.queue_depth = options.queue_depth;
+  server_options.workers = options.workers;
+  server_options.keep_versions = options.keep_versions;
+  for (core::CheckOptions* check :
+       {&server_options.engine.check, &server_options.engine.fix.check}) {
+    check->set_backend = options.set_backend;
+    check->incremental_smt = options.incremental_smt;
+    check->timeout_ms = options.timeout_ms;
+  }
+
+  svc::Server server{std::move(network), std::move(server_options)};
+  server.start();
+  out << "serving on " << server.socket_path() << " (" << options.workers
+      << " workers, queue depth " << options.queue_depth << ")\n";
+  out.flush();
+  server.wait();
+  out << "server drained, exiting\n";
+  return 0;
+}
+
+int client_command(const Options& options, std::ostream& out) {
+  if (options.socket_path.empty()) throw std::runtime_error("client requires --socket");
+  const std::string& method = options.client_method;
+  if (method.empty()) {
+    throw std::runtime_error(
+        "client requires a METHOD "
+        "(submit, status, result, cancel, apply, info, metrics, shutdown)");
+  }
+  const bool job_method =
+      method == "status" || method == "result" || method == "cancel" || method == "apply";
+  if (!job_method && method != "submit" && method != "info" && method != "metrics" &&
+      method != "shutdown") {
+    throw std::runtime_error("unknown client method '" + method + "'");
+  }
+  if (job_method && !options.job_id) {
+    throw std::runtime_error("client " + method + " requires --job N");
+  }
+  if (method == "submit" && options.program_path.empty()) {
+    throw std::runtime_error("client submit requires --program FILE");
+  }
+
+  svc::Json::Object params;
+  if (method == "submit") {
+    params.emplace("program", read_file(options.program_path));
+    svc::Json::Object acls;
+    for (const auto& [name, path] : options.acl_files) acls.emplace(name, read_file(path));
+    if (!acls.empty()) params.emplace("acls", svc::Json{std::move(acls)});
+    if (!options.priority.empty()) params.emplace("priority", options.priority);
+    if (options.deadline_ms) params.emplace("deadline_ms", *options.deadline_ms);
+    if (options.snapshot) params.emplace("snapshot", *options.snapshot);
+  } else if (job_method) {
+    params.emplace("job", *options.job_id);
+    if (method == "result" && options.wait_ms) params.emplace("timeout_ms", *options.wait_ms);
+  }
+
+  svc::Client client{options.socket_path};
+  try {
+    svc::Json result = client.call(method, svc::Json{std::move(params)});
+    if (method == "metrics") {
+      out << result.at("prometheus").as_string();
+      return 0;
+    }
+    out << result.dump() << "\n";
+    if (method == "submit" && options.wait) {
+      svc::Json::Object wait_params;
+      wait_params.emplace("job", result.at("job").as_u64());
+      if (options.wait_ms) wait_params.emplace("timeout_ms", *options.wait_ms);
+      const svc::Json final = client.call("result", svc::Json{std::move(wait_params)});
+      out << final.dump() << "\n";
+      const svc::Json& status = final.at("status");
+      const svc::Json* outcome = status.get("outcome");
+      const bool success = final.at("done").as_bool() &&
+                           status.at("state").as_string() == "done" && outcome != nullptr &&
+                           outcome->at("success").as_bool();
+      if (success) {
+        if (const svc::Json* plan = outcome->get("plan")) {
+          out << "\nupdate plan:\n" << plan->as_string();
+        }
+      }
+      return success ? 0 : 1;
+    }
+    return 0;
+  } catch (const svc::RpcError& e) {
+    // A server-side rejection is a job outcome, not a usage error.
+    out << "rpc error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
 }  // namespace
 
 int run(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
@@ -646,6 +790,8 @@ int run(const std::vector<std::string>& args, std::ostream& out, std::ostream& e
     if (options.command == "trace") return trace_command(options, out);
     if (options.command == "gen") return gen_command(options, out);
     if (options.command == "diff") return diff_command(options, out);
+    if (options.command == "serve") return serve_command(options, out);
+    if (options.command == "client") return client_command(options, out);
     err << "unknown command '" << options.command << "'\n" << kUsage;
     return 2;
   } catch (const std::exception& e) {

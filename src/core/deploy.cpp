@@ -86,4 +86,24 @@ std::string describe_update(const topo::Topology& topo, const topo::AclUpdate& u
   return out;
 }
 
+std::string format_plan(const topo::Topology& topo, const topo::AclUpdate& update) {
+  if (update.empty()) return "(no changes)\n";
+  std::map<std::string, const net::Acl*> ordered;
+  for (const auto& [slot, acl] : update) {
+    ordered.emplace(topo.qualified_name(slot.iface) +
+                        (slot.dir == topo::Dir::In ? "-in" : "-out"),
+                    &acl);
+  }
+  std::string out;
+  for (const auto& [name, acl] : ordered) {
+    out += "acl " + name + "\n";
+    if (acl->empty()) {
+      out += "  # no rules - " + std::string(net::to_string(acl->default_action())) + " all\n";
+    }
+    for (const auto& rule : acl->rules()) out += "  " + net::to_string(rule) + "\n";
+    out += "end\n";
+  }
+  return out;
+}
+
 }  // namespace jinjing::core

@@ -60,4 +60,10 @@ struct DeployStep {
 [[nodiscard]] std::string describe_update(const topo::Topology& topo,
                                           const topo::AclUpdate& update);
 
+/// The plan as reusable `acl <Device:iface>-<dir> ... end` blocks in
+/// deterministic slot order ("(no changes)" for an empty update). The CLI
+/// prints this and the verification service returns it to clients, so both
+/// render a deployable plan identically.
+[[nodiscard]] std::string format_plan(const topo::Topology& topo, const topo::AclUpdate& update);
+
 }  // namespace jinjing::core

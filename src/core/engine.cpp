@@ -67,54 +67,58 @@ Fixer& Engine::fixer_for(const topo::Scope& scope) {
   return *fixer_;
 }
 
+CommandOutcome Engine::run_command(const lai::UpdateTask& task, lai::Command command,
+                                   topo::AclUpdate& current, const net::PacketSet& entering) {
+  CommandOutcome outcome;
+  outcome.command = command;
+  switch (command) {
+    case lai::Command::Check: {
+      const obs::TraceSpan span{obs::Span::EngineCheck};
+      outcome.check = checker_for(task.scope).check(current, entering, task.controls);
+      break;
+    }
+    case lai::Command::Fix: {
+      const obs::TraceSpan span{obs::Span::EngineFix};
+      outcome.fix = fixer_for(task.scope).fix(current, entering, task.allowed, task.controls);
+      current = outcome.fix->fixed_update;
+      break;
+    }
+    case lai::Command::Generate: {
+      const obs::TraceSpan span{obs::Span::EngineGenerate};
+      // Modify slots are generate sources: their post-update ACL is fixed
+      // (permit-all for a plain migration, or the named replacement). The
+      // spec reads task.modify, not `current`: sources are the operator's
+      // original migration statement, regardless of intervening repairs.
+      MigrationSpec spec;
+      for (const auto& [slot, acl] : task.modify) {
+        spec.sources.push_back(slot);
+        if (!net::permitted_set(acl).equals(net::PacketSet::all())) {
+          spec.replacements.emplace(slot, acl);
+        }
+      }
+      for (const auto slot : task.allowed) {
+        if (std::find(spec.sources.begin(), spec.sources.end(), slot) == spec.sources.end()) {
+          spec.targets.push_back(slot);
+        }
+      }
+      GenerateOptions gen_options = options_.generate;
+      gen_options.universe = gen_options.universe & entering;
+      Generator generator{smt_, topo_, task.scope, gen_options};
+      outcome.generate = generator.generate(spec, task.controls);
+      current = outcome.generate->update;
+      break;
+    }
+  }
+  return outcome;
+}
+
 EngineReport Engine::run(const lai::UpdateTask& task, const net::PacketSet& entering) {
   EngineReport report;
   // Commands operate on the *current* plan: check after fix re-validates
   // the repaired update, not the original proposal.
   report.final_update = task.modify;
-
   for (const auto command : task.commands) {
-    CommandOutcome outcome;
-    outcome.command = command;
-    switch (command) {
-      case lai::Command::Check: {
-        const obs::TraceSpan span{obs::Span::EngineCheck};
-        outcome.check =
-            checker_for(task.scope).check(report.final_update, entering, task.controls);
-        break;
-      }
-      case lai::Command::Fix: {
-        const obs::TraceSpan span{obs::Span::EngineFix};
-        outcome.fix =
-            fixer_for(task.scope).fix(report.final_update, entering, task.allowed, task.controls);
-        report.final_update = outcome.fix->fixed_update;
-        break;
-      }
-      case lai::Command::Generate: {
-        const obs::TraceSpan span{obs::Span::EngineGenerate};
-        // Modify slots are generate sources: their post-update ACL is fixed
-        // (permit-all for a plain migration, or the named replacement).
-        MigrationSpec spec;
-        for (const auto& [slot, acl] : task.modify) {
-          spec.sources.push_back(slot);
-          if (!net::permitted_set(acl).equals(net::PacketSet::all())) {
-            spec.replacements.emplace(slot, acl);
-          }
-        }
-        for (const auto slot : task.allowed) {
-          if (std::find(spec.sources.begin(), spec.sources.end(), slot) == spec.sources.end()) {
-            spec.targets.push_back(slot);
-          }
-        }
-        GenerateOptions gen_options = options_.generate;
-        gen_options.universe = gen_options.universe & entering;
-        Generator generator{smt_, topo_, task.scope, gen_options};
-        outcome.generate = generator.generate(spec, task.controls);
-        report.final_update = outcome.generate->update;
-        break;
-      }
-    }
-    report.outcomes.push_back(std::move(outcome));
+    report.outcomes.push_back(run_command(task, command, report.final_update, entering));
   }
   return report;
 }

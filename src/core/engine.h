@@ -67,6 +67,16 @@ class Engine {
   /// Executes a resolved task against the traffic entering its scope.
   [[nodiscard]] EngineReport run(const lai::UpdateTask& task, const net::PacketSet& entering);
 
+  /// Executes one command of `task` against the current plan `current`
+  /// (initialized by the caller to task.modify), advancing it in place —
+  /// fix replaces it with the repaired update, generate with the
+  /// synthesized one. run() is a loop over this; it is exposed separately
+  /// so a serving layer can interleave cooperative cancellation and
+  /// deadline checks between the commands of a long program.
+  [[nodiscard]] CommandOutcome run_command(const lai::UpdateTask& task, lai::Command command,
+                                           topo::AclUpdate& current,
+                                           const net::PacketSet& entering);
+
   /// Parses, resolves and executes an LAI program in one call.
   [[nodiscard]] EngineReport run_program(std::string_view source, const lai::AclLibrary& acls,
                                          const net::PacketSet& entering);

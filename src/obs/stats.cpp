@@ -31,7 +31,9 @@ constexpr std::array<std::string_view, kCounterCount> kCounterNames = {
     "fec_cache_misses",     "bdd_memo_hits",         "bdd_memo_misses",
     "obligations_planned",  "obligations_executed",  "obligations_cancelled",
     "obligations_skipped",  "executor_runs",         "executor_tasks",
-    "executor_steals",
+    "executor_steals",      "svc_jobs_submitted",    "svc_jobs_rejected",
+    "svc_jobs_cancelled",   "svc_jobs_done",         "svc_jobs_failed",
+    "svc_applies",
 };
 
 constexpr std::array<std::string_view, kGaugeCount> kGaugeNames = {
@@ -42,6 +44,8 @@ constexpr std::array<std::string_view, kHistogramCount> kHistogramNames = {
     "smt_solve_micros",
     "executor_queue_depth",
     "executor_tasks_per_run",
+    "svc_queue_wait_micros",
+    "svc_job_run_micros",
 };
 
 constexpr std::array<std::string_view, kSpanCount> kSpanNames = {
@@ -51,6 +55,7 @@ constexpr std::array<std::string_view, kSpanCount> kSpanNames = {
     "smt.optimize",    "fix.search",       "fix.enlarge",
     "fix.place",       "fix.assemble",     "generate.derive",
     "generate.solve",  "generate.synthesize",
+    "svc.job",
 };
 
 std::size_t bucket_index(std::uint64_t value) {

@@ -34,8 +34,14 @@ enum class Counter : std::size_t {
   ExecutorRuns,         // Executor::run invocations
   ExecutorTasks,        // tasks submitted across all runs
   ExecutorSteals,       // successful steal operations
+  SvcJobsSubmitted,     // jobs admitted by the service scheduler
+  SvcJobsRejected,      // submissions refused by admission control / drain
+  SvcJobsCancelled,     // jobs that terminated as cancelled
+  SvcJobsDone,          // jobs that ran to completion (success or not)
+  SvcJobsFailed,        // jobs that terminated with an error (incl. deadline)
+  SvcApplies,           // state-store head advances via the apply method
 };
-inline constexpr std::size_t kCounterCount = 19;
+inline constexpr std::size_t kCounterCount = 25;
 
 // Gauges track a high-water mark (set_max semantics).
 enum class Gauge : std::size_t {
@@ -49,8 +55,10 @@ enum class Histogram : std::size_t {
   SmtSolveMicros,       // wall time of individual solver.check() calls
   ExecutorQueueDepth,   // remaining victim queue depth observed at each steal
   ExecutorTasksPerRun,  // tasks handed to the executor per run
+  SvcQueueWaitMicros,   // job wait time from submission to execution start
+  SvcJobRunMicros,      // job execution wall time
 };
-inline constexpr std::size_t kHistogramCount = 3;
+inline constexpr std::size_t kHistogramCount = 5;
 inline constexpr std::size_t kHistogramBuckets = 40;
 
 // Trace span names; every value maps to a "name" in the Chrome trace export.
@@ -72,8 +80,9 @@ enum class Span : std::size_t {
   GenDerive,
   GenSolve,
   GenSynth,
+  SvcJob,
 };
-inline constexpr std::size_t kSpanCount = 17;
+inline constexpr std::size_t kSpanCount = 18;
 
 std::string_view to_string(Counter counter);
 std::string_view to_string(Gauge gauge);

@@ -1,0 +1,85 @@
+#include "svc/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace jinjing::svc {
+
+Client::Client(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+    throw ClientError("socket path must be 1.." + std::to_string(sizeof(addr.sun_path) - 1) +
+                      " characters: \"" + socket_path + "\"");
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) throw ClientError("socket(): " + std::string(std::strerror(errno)));
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string what = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw ClientError("connect(" + socket_path + "): " + what);
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      next_id_(other.next_id_),
+      buffer_(std::move(other.buffer_)) {}
+
+Json Client::call(const std::string& method, Json params) {
+  Json::Object request;
+  const std::uint64_t id = next_id_++;
+  request.emplace("id", id);
+  request.emplace("method", method);
+  request.emplace("params", std::move(params));
+  std::string line = Json{std::move(request)}.dump() + "\n";
+
+  std::string_view out = line;
+  while (!out.empty()) {
+    const ssize_t n = ::send(fd_, out.data(), out.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw ClientError("send(): " + std::string(std::strerror(errno)));
+    }
+    out.remove_prefix(static_cast<std::size_t>(n));
+  }
+
+  // Read until the response line is complete. Calls are sequential, so the
+  // first full line is the answer to this request.
+  std::size_t nl;
+  while ((nl = buffer_.find('\n')) == std::string::npos) {
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) throw ClientError("server closed the connection mid-call");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw ClientError("recv(): " + std::string(std::strerror(errno)));
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+  const std::string response_line = buffer_.substr(0, nl);
+  buffer_.erase(0, nl + 1);
+
+  const Json response = Json::parse(response_line);
+  if (const Json* error = response.get("error")) {
+    const Json* code = error->get("code");
+    const Json* message = error->get("message");
+    throw RpcError(code != nullptr ? static_cast<int>(code->as_number()) : -1,
+                   message != nullptr ? message->as_string() : "unknown error");
+  }
+  return response.at("result");
+}
+
+}  // namespace jinjing::svc

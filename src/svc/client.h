@@ -1,0 +1,58 @@
+// A blocking JSON-RPC client for the verification service.
+//
+// One connection, sequential calls: call() writes one request line and
+// reads exactly one response line. Error responses surface as RpcError
+// (carrying the server's code + message); transport failures surface as
+// ClientError. The CLI `jinjing client` verb and the tests both sit on
+// this class.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "svc/json.h"
+
+namespace jinjing::svc {
+
+class ClientError : public std::runtime_error {
+ public:
+  explicit ClientError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A JSON-RPC error object returned by the server.
+class RpcError : public std::runtime_error {
+ public:
+  RpcError(int code, const std::string& message)
+      : std::runtime_error("[" + std::to_string(code) + "] " + message), code_(code) {}
+
+  [[nodiscard]] int code() const { return code_; }
+
+ private:
+  int code_;
+};
+
+class Client {
+ public:
+  /// Connects to the server's Unix domain socket. Throws ClientError when
+  /// the socket is absent or refuses the connection.
+  explicit Client(const std::string& socket_path);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&&) = delete;
+
+  /// One round trip: sends {"id","method","params"} and returns the
+  /// response's "result". Throws RpcError on an error response and
+  /// ClientError on transport failure (server gone mid-call).
+  Json call(const std::string& method, Json params = Json{Json::Object{}});
+
+ private:
+  int fd_ = -1;
+  std::uint64_t next_id_ = 1;
+  std::string buffer_;  // bytes received past the previous response line
+};
+
+}  // namespace jinjing::svc

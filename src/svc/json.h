@@ -1,0 +1,77 @@
+// A minimal JSON value type for the service wire protocol.
+//
+// The service speaks newline-delimited JSON-RPC over a Unix domain socket;
+// requests arrive from untrusted clients, so parsing must reject malformed
+// input with a clear error instead of guessing. Numbers are stored as
+// doubles (job ids and versions stay well below 2^53, where doubles are
+// exact); dump() emits one compact line with no embedded newlines, which is
+// what makes the framing trivial.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace jinjing::svc {
+
+class JsonError : public std::runtime_error {
+ public:
+  explicit JsonError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  using Object = std::map<std::string, Json, std::less<>>;
+
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}
+  Json(bool b) : value_(b) {}
+  Json(double d) : value_(d) {}
+  Json(int n) : value_(static_cast<double>(n)) {}
+  Json(unsigned n) : value_(static_cast<double>(n)) {}
+  Json(std::int64_t n) : value_(static_cast<double>(n)) {}
+  Json(std::uint64_t n) : value_(static_cast<double>(n)) {}
+  Json(std::string s) : value_(std::move(s)) {}
+  Json(std::string_view s) : value_(std::string(s)) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(Array a) : value_(std::move(a)) {}
+  Json(Object o) : value_(std::move(o)) {}
+
+  /// Parses exactly one JSON value (trailing garbage is an error). Throws
+  /// JsonError with a byte offset on malformed input.
+  [[nodiscard]] static Json parse(std::string_view text);
+
+  /// Compact single-line serialization (strings escaped, no newlines).
+  [[nodiscard]] std::string dump() const;
+
+  [[nodiscard]] bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  [[nodiscard]] bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  [[nodiscard]] bool is_number() const { return std::holds_alternative<double>(value_); }
+  [[nodiscard]] bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  [[nodiscard]] bool is_array() const { return std::holds_alternative<Array>(value_); }
+  [[nodiscard]] bool is_object() const { return std::holds_alternative<Object>(value_); }
+
+  // Typed accessors; throw JsonError on kind mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] std::uint64_t as_u64() const;  // rejects negatives and fractions
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+  [[nodiscard]] Object& as_object();
+
+  /// Object member lookup; nullptr when absent (or when not an object).
+  [[nodiscard]] const Json* get(std::string_view key) const;
+  /// Object member that must exist; throws JsonError naming the key.
+  [[nodiscard]] const Json& at(std::string_view key) const;
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> value_;
+};
+
+}  // namespace jinjing::svc

@@ -1,0 +1,184 @@
+// The service's prioritized job queue with admission control.
+//
+// Policy (in order):
+//  * Admission control — the queue is bounded; a submission that would
+//    exceed the depth is rejected immediately (the JSON-RPC layer maps
+//    this to a 429-style error) instead of building unbounded backlog.
+//  * Priority — interactive jobs (check) always dispatch ahead of batch
+//    jobs (fix/generate), regardless of arrival order.
+//  * FIFO fairness within a priority — jobs of equal priority run in
+//    submission order; a stream of interactive jobs can delay batch work
+//    but never reorder it.
+//  * Deadlines — a job whose deadline expires while queued fails at
+//    dispatch without running; the remaining budget of a running job is
+//    mapped onto the per-query SmtTimeout by the worker.
+//  * Cancellation is cooperative — a queued job cancels immediately; a
+//    running job observes its cancel flag between program commands.
+//
+// All job state is guarded by one scheduler mutex (the per-job atomic
+// cancel flag is the only cross-thread signal a worker polls mid-job);
+// completion is broadcast on a condition variable that result waiters and
+// the drain path share.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/engine.h"
+#include "lai/sema.h"
+#include "svc/state_store.h"
+
+namespace jinjing::svc {
+
+enum class Priority : std::uint8_t { Interactive = 0, Batch = 1 };
+
+[[nodiscard]] std::string_view to_string(Priority p);
+/// Parses "interactive" / "batch"; nullopt otherwise.
+[[nodiscard]] std::optional<Priority> parse_priority(std::string_view text);
+
+enum class JobState : std::uint8_t { Queued, Running, Done, Failed, Cancelled };
+
+[[nodiscard]] std::string_view to_string(JobState s);
+[[nodiscard]] constexpr bool is_terminal(JobState s) {
+  return s == JobState::Done || s == JobState::Failed || s == JobState::Cancelled;
+}
+
+struct JobSpec {
+  std::string program;           // LAI source
+  lai::AclLibrary acls;          // named ACLs the program references
+  Priority priority = Priority::Interactive;
+  std::uint64_t deadline_ms = 0; // 0 = none; measured from submission
+};
+
+/// Terminal payload of a job.
+struct JobOutcome {
+  bool success = false;               // EngineReport::success() for Done
+  std::string error;                  // Failed: the diagnostic
+  std::optional<core::EngineReport> report;  // Done: the full report
+  std::string plan_text;              // Done: the formatted deployable plan
+};
+
+class Job {
+ public:
+  Job(std::uint64_t id, JobSpec spec, SnapshotPtr snapshot)
+      : id_(id), spec_(std::move(spec)), snapshot_(std::move(snapshot)) {}
+
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+  [[nodiscard]] const JobSpec& spec() const { return spec_; }
+  /// The pinned snapshot — held alive by the job even after the store
+  /// trims its version.
+  [[nodiscard]] const SnapshotPtr& snapshot() const { return snapshot_; }
+  [[nodiscard]] Version snapshot_version() const { return snapshot_->version; }
+
+  void request_cancel() { cancel_requested_.store(true, std::memory_order_relaxed); }
+  [[nodiscard]] bool cancel_requested() const {
+    return cancel_requested_.load(std::memory_order_relaxed);
+  }
+
+  /// Milliseconds of deadline budget left; nullopt when no deadline, 0 when
+  /// expired. Safe from any thread (submitted_at_ is set before publish).
+  [[nodiscard]] std::optional<std::uint64_t> remaining_ms() const;
+
+ private:
+  friend class Scheduler;
+
+  const std::uint64_t id_;
+  const JobSpec spec_;
+  const SnapshotPtr snapshot_;
+  std::atomic<bool> cancel_requested_{false};
+  std::chrono::steady_clock::time_point submitted_at_{};
+
+  // Guarded by the scheduler mutex.
+  JobState state_ = JobState::Queued;
+  JobOutcome outcome_;
+  std::chrono::steady_clock::time_point started_at_{};
+  std::chrono::steady_clock::time_point finished_at_{};
+};
+
+using JobPtr = std::shared_ptr<Job>;
+
+/// A point-in-time copy of a job's externally visible state.
+struct JobStatus {
+  std::uint64_t id = 0;
+  JobState state = JobState::Queued;
+  Priority priority = Priority::Interactive;
+  Version snapshot = 0;
+  double queue_seconds = 0;  // submission -> start (or now while queued)
+  double run_seconds = 0;    // start -> finish (or now while running)
+  JobOutcome outcome;        // meaningful once terminal
+};
+
+class Scheduler {
+ public:
+  /// A submission verdict: the job, or a rejection (nullptr + code/message).
+  struct Admission {
+    JobPtr job;
+    int error_code = 0;         // 429 queue full, 503 draining
+    std::string error_message;
+  };
+
+  explicit Scheduler(std::size_t queue_depth);
+
+  [[nodiscard]] std::size_t queue_depth() const { return queue_depth_; }
+
+  /// Admits or rejects a job. `snapshot` is the resolved state the job
+  /// will run against (the caller pins head at submission time).
+  Admission submit(JobSpec spec, SnapshotPtr snapshot);
+
+  /// Blocks until a job is available; transitions it Queued -> Running.
+  /// Queued jobs that were cancelled or whose deadline expired are finished
+  /// inline (Cancelled / Failed) without being returned. Returns nullptr
+  /// once draining and the queue is empty.
+  JobPtr next();
+
+  /// Terminal transition; wakes result waiters.
+  void finish(const JobPtr& job, JobState state, JobOutcome outcome);
+
+  /// True when the cancellation took hold (job was queued or running).
+  bool cancel(std::uint64_t id);
+
+  [[nodiscard]] JobPtr find(std::uint64_t id) const;
+  [[nodiscard]] std::optional<JobStatus> status(std::uint64_t id) const;
+
+  /// Blocks until the job is terminal (or `timeout` elapses when set);
+  /// returns the final status (nullopt on timeout).
+  std::optional<JobStatus> wait(std::uint64_t id,
+                                std::optional<std::chrono::milliseconds> timeout = {});
+
+  /// Stops admission; next() drains the backlog then returns nullptr.
+  void drain();
+  [[nodiscard]] bool draining() const;
+
+  /// Blocks until every admitted job is terminal (drain() must have been
+  /// called, otherwise new work may keep arriving forever).
+  void wait_idle();
+
+  [[nodiscard]] std::size_t queued_count() const;
+  [[nodiscard]] std::size_t running_count() const;
+
+ private:
+  [[nodiscard]] JobStatus status_locked(const Job& job) const;
+  void finish_locked(Job& job, JobState state, JobOutcome outcome);
+
+  const std::size_t queue_depth_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;   // new work or drain
+  std::condition_variable done_cv_;   // job reached a terminal state
+  std::deque<JobPtr> queues_[2];      // indexed by Priority
+  std::map<std::uint64_t, JobPtr> jobs_;
+  std::uint64_t next_id_ = 1;
+  std::size_t running_ = 0;
+  bool draining_ = false;
+};
+
+}  // namespace jinjing::svc

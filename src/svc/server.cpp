@@ -1,0 +1,554 @@
+#include "svc/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#include "config/acl_format.h"
+#include "core/deploy.h"
+#include "lai/parser.h"
+#include "obs/trace.h"
+#include "smt/context.h"
+
+namespace jinjing::svc {
+
+namespace {
+
+/// A dispatch-level failure that maps onto a JSON-RPC error object.
+struct RpcFailure {
+  int code;
+  std::string message;
+};
+
+[[noreturn]] void fail(int code, std::string message) {
+  throw RpcFailure{code, std::move(message)};
+}
+
+constexpr int kParseError = -32700;
+constexpr int kMethodNotFound = -32601;
+constexpr int kInvalidParams = -32602;
+constexpr int kInternalError = -32603;
+constexpr int kQueueFull = 429;      // admission control rejected the job
+constexpr int kDraining = 503;       // server is shutting down
+constexpr int kNotFound = 404;       // unknown job / snapshot version
+constexpr int kConflict = 409;       // apply on a job without a plan
+
+bool send_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+std::uint64_t u64_param(const Json& params, std::string_view key) {
+  const Json* value = params.get(key);
+  if (value == nullptr || !value->is_number()) {
+    fail(kInvalidParams, "missing or non-numeric \"" + std::string(key) + "\" parameter");
+  }
+  try {
+    return value->as_u64();
+  } catch (const JsonError& e) {
+    fail(kInvalidParams, std::string(key) + ": " + e.what());
+  }
+}
+
+Json outcome_json(const JobOutcome& outcome) {
+  Json::Object obj;
+  obj.emplace("success", outcome.success);
+  if (!outcome.error.empty()) obj.emplace("error", outcome.error);
+  if (!outcome.plan_text.empty()) obj.emplace("plan", outcome.plan_text);
+  if (outcome.report) {
+    Json::Array commands;
+    for (const auto& cmd : outcome.report->outcomes) {
+      Json::Object entry;
+      entry.emplace("command", lai::to_string(cmd.command));
+      entry.emplace("ok", cmd.ok());
+      if (cmd.check) entry.emplace("consistent", cmd.check->consistent);
+      commands.emplace_back(std::move(entry));
+    }
+    obj.emplace("commands", std::move(commands));
+  }
+  return Json{std::move(obj)};
+}
+
+Json status_json(const JobStatus& status) {
+  Json::Object obj;
+  obj.emplace("job", status.id);
+  obj.emplace("state", to_string(status.state));
+  obj.emplace("priority", to_string(status.priority));
+  obj.emplace("snapshot", status.snapshot);
+  obj.emplace("queue_seconds", status.queue_seconds);
+  obj.emplace("run_seconds", status.run_seconds);
+  if (is_terminal(status.state)) obj.emplace("outcome", outcome_json(status.outcome));
+  return Json{std::move(obj)};
+}
+
+}  // namespace
+
+Server::Server(config::NetworkFile network, ServerOptions options)
+    : options_(std::move(options)),
+      store_(std::move(network)),
+      scheduler_(options_.queue_depth) {
+  if (options_.workers == 0) options_.workers = 1;
+  if (options_.keep_versions == 0) options_.keep_versions = 1;
+  fec_cache_ = options_.engine.check.fec_cache;
+  if (!fec_cache_) fec_cache_ = std::make_shared<topo::FecCache>();
+}
+
+Server::~Server() {
+  if (started_ && !torn_down_) {
+    request_shutdown();
+    try {
+      wait();
+    } catch (...) {
+      // Destructor teardown is best-effort.
+    }
+  }
+}
+
+void Server::start() {
+  if (started_) throw ServerError("server already started");
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.empty() ||
+      options_.socket_path.size() >= sizeof(addr.sun_path)) {
+    throw ServerError("socket path must be 1.." +
+                      std::to_string(sizeof(addr.sun_path) - 1) + " characters: \"" +
+                      options_.socket_path + "\"");
+  }
+  std::memcpy(addr.sun_path, options_.socket_path.c_str(), options_.socket_path.size() + 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw ServerError("socket(): " + std::string(std::strerror(errno)));
+  ::unlink(options_.socket_path.c_str());  // stale socket from a previous run
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string what = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw ServerError("bind(" + options_.socket_path + "): " + what);
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    const std::string what = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw ServerError("listen(): " + what);
+  }
+
+  installed_.emplace(registry_);
+  accepting_.store(true, std::memory_order_release);
+  for (unsigned i = 0; i < options_.workers; ++i) {
+    worker_threads_.emplace_back([this] { worker_loop(); });
+  }
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  started_ = true;
+}
+
+void Server::request_shutdown() {
+  shutdown_requested_.store(true, std::memory_order_release);
+  scheduler_.drain();
+  shutdown_cv_.notify_all();
+}
+
+void Server::wait() {
+  if (!started_) throw ServerError("server not started");
+  {
+    std::unique_lock<std::mutex> lock{shutdown_mutex_};
+    shutdown_cv_.wait(lock, [&] { return shutdown_requested_.load(std::memory_order_acquire); });
+  }
+  // Drain: the scheduler stops admitting (503) but every admitted job still
+  // runs; workers exit once the backlog is empty.
+  for (auto& worker : worker_threads_) worker.join();
+  worker_threads_.clear();
+
+  // Now that every job is terminal, pending `result` waits have been
+  // answered; close the door and let connection threads notice the flag.
+  accepting_.store(false, std::memory_order_release);
+  stop_connections_.store(true, std::memory_order_release);
+  accept_thread_.join();
+  // The accept loop has exited, so conn_threads_ is stable from here on.
+  for (auto& conn : conn_threads_) conn.join();
+  conn_threads_.clear();
+
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  ::unlink(options_.socket_path.c_str());
+  installed_.reset();
+  torn_down_ = true;
+}
+
+void Server::accept_loop() {
+  while (accepting_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 200);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    const std::lock_guard<std::mutex> lock{conn_mutex_};
+    if (!accepting_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      break;
+    }
+    conn_threads_.emplace_back([this, fd] { connection_loop(fd); });
+  }
+}
+
+void Server::connection_loop(int fd) {
+  // A bounded receive timeout lets the thread notice stop_connections_
+  // even when the client goes quiet without closing.
+  timeval timeout{};
+  timeout.tv_usec = 200 * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+
+  constexpr std::size_t kMaxLine = 64u << 20;  // defensive bound per request
+  std::string buffer;
+  char chunk[4096];
+  while (!stop_connections_.load(std::memory_order_acquire)) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n == 0) break;  // client closed
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) continue;
+      break;
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (std::size_t nl = buffer.find('\n', start); nl != std::string::npos;
+         nl = buffer.find('\n', start)) {
+      const std::string line = buffer.substr(start, nl - start);
+      start = nl + 1;
+      if (line.empty()) continue;
+      if (!send_all(fd, handle_line(line))) {
+        ::close(fd);
+        return;
+      }
+    }
+    buffer.erase(0, start);
+    if (buffer.size() > kMaxLine) break;  // unframed garbage; drop the client
+  }
+  ::close(fd);
+}
+
+std::string Server::handle_line(const std::string& line) {
+  Json id;  // null until the request parses far enough to have one
+  Json::Object response;
+  try {
+    const Json request = Json::parse(line);
+    if (const Json* req_id = request.get("id")) id = *req_id;
+    const Json& method = request.at("method");
+    const Json* params = request.get("params");
+    const Json empty{Json::Object{}};
+    Json result = dispatch(method.as_string(), params != nullptr ? *params : empty);
+    response.emplace("id", std::move(id));
+    response.emplace("result", std::move(result));
+  } catch (const RpcFailure& e) {
+    Json::Object error;
+    error.emplace("code", e.code);
+    error.emplace("message", e.message);
+    response.emplace("id", std::move(id));
+    response.emplace("error", Json{std::move(error)});
+  } catch (const JsonError& e) {
+    Json::Object error;
+    error.emplace("code", kParseError);
+    error.emplace("message", std::string(e.what()));
+    response.emplace("id", std::move(id));
+    response.emplace("error", Json{std::move(error)});
+  } catch (const std::exception& e) {
+    Json::Object error;
+    error.emplace("code", kInternalError);
+    error.emplace("message", std::string(e.what()));
+    response.emplace("id", std::move(id));
+    response.emplace("error", Json{std::move(error)});
+  }
+  return Json{std::move(response)}.dump() + "\n";
+}
+
+Json Server::dispatch(const std::string& method, const Json& params) {
+  if (method == "submit") return handle_submit(params);
+  if (method == "status") return handle_status(params);
+  if (method == "result") return handle_result(params);
+  if (method == "cancel") return handle_cancel(params);
+  if (method == "apply") return handle_apply(params);
+  if (method == "info") return handle_info();
+  if (method == "metrics") return handle_metrics();
+  if (method == "shutdown") {
+    // Reply-first semantics: the drain starts now, but this connection's
+    // response line is still written (connections outlive the drain).
+    request_shutdown();
+    Json::Object obj;
+    obj.emplace("draining", true);
+    return Json{std::move(obj)};
+  }
+  fail(kMethodNotFound, "unknown method \"" + method + "\"");
+}
+
+Json Server::handle_submit(const Json& params) {
+  JobSpec spec;
+  const Json* program = params.get("program");
+  if (program == nullptr || !program->is_string()) {
+    fail(kInvalidParams, "missing or non-string \"program\" parameter");
+  }
+  spec.program = program->as_string();
+
+  // Parse now so a syntax error is a crisp submission failure instead of a
+  // queued job that dies later — and so the default priority can be read
+  // off the program (interactive check vs. batch fix/generate).
+  lai::Program parsed;
+  try {
+    parsed = lai::parse(spec.program);
+  } catch (const std::exception& e) {
+    fail(kInvalidParams, "program: " + std::string(e.what()));
+  }
+  const bool batch_work =
+      std::any_of(parsed.commands.begin(), parsed.commands.end(),
+                  [](lai::Command c) { return c != lai::Command::Check; });
+  spec.priority = batch_work ? Priority::Batch : Priority::Interactive;
+
+  // The builtin the CLI `run` path also provides: migration statements say
+  // "modify X to permit_all" without shipping an ACL body.
+  spec.acls.emplace("permit_all", net::Acl::permit_all());
+  if (const Json* acls = params.get("acls")) {
+    if (!acls->is_object()) fail(kInvalidParams, "\"acls\" must be an object of name -> body");
+    for (const auto& [name, body] : acls->as_object()) {
+      if (!body.is_string()) {
+        fail(kInvalidParams, "acl \"" + name + "\": body must be a string");
+      }
+      try {
+        spec.acls.insert_or_assign(name, config::parse_acl_auto(body.as_string()));
+      } catch (const std::exception& e) {
+        fail(kInvalidParams, "acl \"" + name + "\": " + e.what());
+      }
+    }
+  }
+  if (const Json* priority = params.get("priority")) {
+    const auto parsed_priority = parse_priority(priority->as_string());
+    if (!parsed_priority) {
+      fail(kInvalidParams, "priority must be \"interactive\" or \"batch\", got \"" +
+                               priority->as_string() + "\"");
+    }
+    spec.priority = *parsed_priority;
+  }
+  if (params.get("deadline_ms") != nullptr) {
+    spec.deadline_ms = u64_param(params, "deadline_ms");
+  }
+
+  SnapshotPtr snapshot;
+  if (params.get("snapshot") != nullptr) {
+    const Version version = u64_param(params, "snapshot");
+    snapshot = store_.snapshot(version);
+    if (!snapshot) {
+      fail(kNotFound, "unknown snapshot version " + std::to_string(version));
+    }
+  } else {
+    snapshot = store_.head();
+  }
+
+  // Resolve against the pinned topology up front: unknown device/interface/
+  // ACL names are submission errors, not queued-job failures.
+  try {
+    (void)lai::resolve(parsed, *snapshot->topo, spec.acls);
+  } catch (const std::exception& e) {
+    fail(kInvalidParams, "program: " + std::string(e.what()));
+  }
+
+  const Priority priority = spec.priority;
+  Scheduler::Admission admission = scheduler_.submit(std::move(spec), std::move(snapshot));
+  if (!admission.job) fail(admission.error_code, std::move(admission.error_message));
+
+  Json::Object obj;
+  obj.emplace("job", admission.job->id());
+  obj.emplace("snapshot", admission.job->snapshot_version());
+  obj.emplace("priority", to_string(priority));
+  return Json{std::move(obj)};
+}
+
+Json Server::handle_status(const Json& params) {
+  const std::uint64_t id = u64_param(params, "job");
+  const auto status = scheduler_.status(id);
+  if (!status) fail(kNotFound, "unknown job " + std::to_string(id));
+  return status_json(*status);
+}
+
+Json Server::handle_result(const Json& params) {
+  const std::uint64_t id = u64_param(params, "job");
+  std::optional<std::chrono::milliseconds> timeout;
+  if (params.get("timeout_ms") != nullptr) {
+    timeout = std::chrono::milliseconds(u64_param(params, "timeout_ms"));
+  }
+  auto status = scheduler_.wait(id, timeout);
+  if (!status) {
+    // Distinguish "no such job" from "still running when the timeout hit".
+    status = scheduler_.status(id);
+    if (!status) fail(kNotFound, "unknown job " + std::to_string(id));
+    Json::Object obj;
+    obj.emplace("done", false);
+    obj.emplace("status", status_json(*status));
+    return Json{std::move(obj)};
+  }
+  Json::Object obj;
+  obj.emplace("done", true);
+  obj.emplace("status", status_json(*status));
+  return Json{std::move(obj)};
+}
+
+Json Server::handle_cancel(const Json& params) {
+  const std::uint64_t id = u64_param(params, "job");
+  if (scheduler_.find(id) == nullptr) fail(kNotFound, "unknown job " + std::to_string(id));
+  Json::Object obj;
+  obj.emplace("cancelled", scheduler_.cancel(id));
+  return Json{std::move(obj)};
+}
+
+Json Server::handle_apply(const Json& params) {
+  const std::uint64_t id = u64_param(params, "job");
+  const JobPtr job = scheduler_.find(id);
+  if (job == nullptr) fail(kNotFound, "unknown job " + std::to_string(id));
+  const auto status = scheduler_.status(id);
+  if (!is_terminal(status->state)) {
+    fail(kConflict, "job " + std::to_string(id) + " is still " +
+                        std::string(to_string(status->state)));
+  }
+  if (status->state != JobState::Done || !status->outcome.success || !status->outcome.report) {
+    fail(kConflict, "job " + std::to_string(id) + " did not produce a deployable plan");
+  }
+  if (job->snapshot_version() != store_.head_version()) {
+    fail(kConflict, "job " + std::to_string(id) + " was verified against snapshot " +
+                        std::to_string(job->snapshot_version()) + " but head is " +
+                        std::to_string(store_.head_version()) +
+                        "; re-verify against the current head");
+  }
+
+  const SnapshotPtr next = store_.apply_update(status->outcome.report->final_update);
+  obs::count(obs::Counter::SvcApplies);
+
+  // Retire old versions; their FEC cache entries must go with them so a
+  // recycled Topology allocation can never alias a stale cache key.
+  const auto dropped = store_.trim(options_.keep_versions);
+  for (const auto& snapshot : dropped) fec_cache_->evict(snapshot->topo.get());
+
+  Json::Object obj;
+  obj.emplace("version", next->version);
+  obj.emplace("dropped_versions", dropped.size());
+  return Json{std::move(obj)};
+}
+
+Json Server::handle_info() {
+  Json::Object obj;
+  obj.emplace("head_version", store_.head_version());
+  obj.emplace("versions", store_.version_count());
+  obj.emplace("queued", scheduler_.queued_count());
+  obj.emplace("running", scheduler_.running_count());
+  obj.emplace("queue_depth", scheduler_.queue_depth());
+  obj.emplace("workers", static_cast<std::uint64_t>(options_.workers));
+  obj.emplace("draining", scheduler_.draining());
+  return Json{std::move(obj)};
+}
+
+Json Server::handle_metrics() {
+  std::ostringstream out;
+  registry_.write_prometheus(out);
+  // Live service gauges that only the server knows.
+  out << "# TYPE jinjing_svc_queued_jobs gauge\n"
+      << "jinjing_svc_queued_jobs " << scheduler_.queued_count() << "\n"
+      << "# TYPE jinjing_svc_running_jobs gauge\n"
+      << "jinjing_svc_running_jobs " << scheduler_.running_count() << "\n"
+      << "# TYPE jinjing_svc_head_version gauge\n"
+      << "jinjing_svc_head_version " << store_.head_version() << "\n";
+  Json::Object obj;
+  obj.emplace("prometheus", out.str());
+  return Json{std::move(obj)};
+}
+
+void Server::worker_loop() {
+  while (JobPtr job = scheduler_.next()) {
+    execute_job(job);
+  }
+}
+
+void Server::execute_job(const JobPtr& job) {
+  const obs::TraceSpan span{obs::Span::SvcJob};
+  const SnapshotPtr& snapshot = job->snapshot();
+
+  // One fresh engine per job, over the server-wide FEC cache. The cache is
+  // what makes the service warm — equivalence classes derived for a snapshot
+  // by any worker are reused by every later job on that snapshot — while a
+  // fresh SMT session per job keeps answers reproducible: the same request
+  // gets the same verdict and the same repair plan regardless of what the
+  // server ran before (a reused incremental session can steer Z3 to a
+  // different, equally valid, model).
+  core::EngineOptions engine_options = options_.engine;
+  // The workers are the parallelism; each engine must stay single-threaded
+  // (Executor::run is serialized, not reentrant).
+  engine_options.check.threads = 1;
+  engine_options.check.executor = nullptr;
+  engine_options.check.fec_cache = fec_cache_;
+  engine_options.fix.check.threads = 1;
+  engine_options.fix.check.executor = nullptr;
+  engine_options.fix.check.fec_cache = fec_cache_;
+  engine_options.generate.executor = nullptr;
+  core::Engine engine{*snapshot->topo, engine_options};
+  const unsigned default_timeout = engine.smt().timeout_ms();
+
+  JobOutcome outcome;
+  JobState state = JobState::Done;
+  try {
+    const lai::Program program = lai::parse(job->spec().program);
+    const lai::UpdateTask task = lai::resolve(program, *snapshot->topo, job->spec().acls);
+
+    core::EngineReport report;
+    report.final_update = task.modify;
+    bool cancelled = false;
+    for (const lai::Command command : task.commands) {
+      // Cooperative cancellation and the deadline budget are both checked
+      // between commands; the remaining budget caps every Z3 query of the
+      // next command via the per-query timeout.
+      if (job->cancel_requested()) {
+        cancelled = true;
+        break;
+      }
+      if (const auto remaining = job->remaining_ms()) {
+        if (*remaining == 0) throw smt::SmtTimeout("job deadline exceeded");
+        const auto budget = static_cast<unsigned>(
+            std::min<std::uint64_t>(*remaining, std::numeric_limits<unsigned>::max()));
+        engine.smt().set_timeout_ms(
+            default_timeout == 0 ? budget : std::min(budget, default_timeout));
+      }
+      report.outcomes.push_back(engine.run_command(task, command, report.final_update,
+                                                   snapshot->traffic));
+    }
+    if (cancelled || job->cancel_requested()) {
+      state = JobState::Cancelled;
+    } else {
+      outcome.success = report.success();
+      outcome.plan_text = core::format_plan(*snapshot->topo, report.final_update);
+      outcome.report = std::move(report);
+    }
+  } catch (const smt::SmtTimeout& e) {
+    state = JobState::Failed;
+    outcome.error = "deadline exceeded: " + std::string(e.what());
+  } catch (const std::exception& e) {
+    state = JobState::Failed;
+    outcome.error = e.what();
+  }
+  engine.smt().set_timeout_ms(default_timeout);
+  scheduler_.finish(job, state, std::move(outcome));
+}
+
+}  // namespace jinjing::svc

@@ -1,0 +1,127 @@
+// The long-running verification service.
+//
+// One process keeps the expensive state warm across requests — a
+// topo::FecCache shared by every worker engine, per-(worker, version)
+// core::Engines whose verification plans / FEC partitions / incremental Z3
+// base frames persist between jobs, and the obs::StatsRegistry that the
+// `metrics` method exports live — and serves a stream of check/fix/generate
+// programs over a Unix domain socket.
+//
+// Wire protocol: newline-delimited JSON-RPC. One request per line,
+//   {"id": 1, "method": "submit", "params": {...}}
+// answered by exactly one line,
+//   {"id": 1, "result": {...}}   or   {"id": 1, "error": {"code": 429, ...}}
+//
+// Methods: submit, status, result, cancel, apply, info, metrics, shutdown
+// (see docs/INTERNALS.md "Service" for the schemas). Several clients may be
+// connected at once; each connection is served by its own thread, so a
+// blocking `result` wait never stalls other clients.
+//
+// Shutdown is a graceful drain: new submissions are rejected (503), every
+// admitted job still runs to a terminal state, then the socket closes and
+// wait() returns.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "obs/stats.h"
+#include "svc/json.h"
+#include "svc/scheduler.h"
+#include "svc/state_store.h"
+#include "topo/fec_cache.h"
+
+namespace jinjing::svc {
+
+class ServerError : public std::runtime_error {
+ public:
+  explicit ServerError(const std::string& what) : std::runtime_error(what) {}
+};
+
+struct ServerOptions {
+  std::string socket_path;
+  std::size_t queue_depth = 64;
+  unsigned workers = 2;
+  /// Snapshot versions kept resolvable after apply advances the head
+  /// (older ones are trimmed and their FEC cache entries evicted; jobs
+  /// already holding a trimmed snapshot still finish against it).
+  std::size_t keep_versions = 8;
+  /// Template for the per-worker engines (threads are forced to 1 — the
+  /// workers themselves are the parallelism; the FEC cache is replaced by
+  /// the server-wide shared one).
+  core::EngineOptions engine;
+};
+
+class Server {
+ public:
+  Server(config::NetworkFile network, ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the socket and starts the accept/worker threads. Throws
+  /// ServerError when the socket cannot be created.
+  void start();
+
+  /// Blocks until a graceful shutdown has completed (shutdown method or
+  /// request_shutdown()), then tears down every thread and the socket.
+  void wait();
+
+  /// Initiates a graceful drain; idempotent, callable from any thread.
+  void request_shutdown();
+
+  [[nodiscard]] const std::string& socket_path() const { return options_.socket_path; }
+  [[nodiscard]] StateStore& store() { return store_; }
+  [[nodiscard]] Scheduler& scheduler() { return scheduler_; }
+  [[nodiscard]] const obs::StatsRegistry& registry() const { return registry_; }
+
+ private:
+  void accept_loop();
+  void connection_loop(int fd);
+  void worker_loop();
+
+  /// One request line -> one response line (never throws).
+  [[nodiscard]] std::string handle_line(const std::string& line);
+  [[nodiscard]] Json dispatch(const std::string& method, const Json& params);
+
+  Json handle_submit(const Json& params);
+  Json handle_status(const Json& params);
+  Json handle_result(const Json& params);
+  Json handle_cancel(const Json& params);
+  Json handle_apply(const Json& params);
+  Json handle_info();
+  Json handle_metrics();
+
+  void execute_job(const JobPtr& job);
+
+  ServerOptions options_;
+  StateStore store_;
+  Scheduler scheduler_;
+  std::shared_ptr<topo::FecCache> fec_cache_;
+  obs::StatsRegistry registry_;
+  std::optional<obs::ScopedRegistry> installed_;
+
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  std::vector<std::thread> worker_threads_;
+  std::mutex conn_mutex_;
+  std::vector<std::thread> conn_threads_;
+
+  std::atomic<bool> accepting_{false};
+  std::atomic<bool> stop_connections_{false};
+  std::atomic<bool> shutdown_requested_{false};
+  std::mutex shutdown_mutex_;
+  std::condition_variable shutdown_cv_;
+  bool started_ = false;
+  bool torn_down_ = false;
+};
+
+}  // namespace jinjing::svc

@@ -1,0 +1,68 @@
+#include "svc/state_store.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace jinjing::svc {
+
+StateStore::StateStore(config::NetworkFile network) {
+  auto snapshot = std::make_shared<Snapshot>();
+  snapshot->version = 1;
+  snapshot->topo = std::make_shared<const topo::Topology>(std::move(network.topo));
+  snapshot->traffic = std::move(network.traffic);
+  head_ = 1;
+  versions_.emplace(head_, std::move(snapshot));
+}
+
+SnapshotPtr StateStore::head() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  return versions_.at(head_);
+}
+
+Version StateStore::head_version() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  return head_;
+}
+
+SnapshotPtr StateStore::snapshot(Version version) const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  const auto it = versions_.find(version);
+  return it == versions_.end() ? nullptr : it->second;
+}
+
+SnapshotPtr StateStore::apply_update(const topo::AclUpdate& update) {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  const SnapshotPtr& current = versions_.at(head_);
+
+  // Copy-on-write: the head topology is copied once per apply; every slot
+  // not in the update keeps its binding.
+  topo::Topology next = *current->topo;
+  for (const auto& [slot, acl] : update) next.bind_acl(slot, acl);
+
+  auto snapshot = std::make_shared<Snapshot>();
+  snapshot->version = head_ + 1;
+  snapshot->topo = std::make_shared<const topo::Topology>(std::move(next));
+  snapshot->traffic = current->traffic;
+  head_ = snapshot->version;
+  versions_.emplace(head_, snapshot);
+  return snapshot;
+}
+
+std::vector<SnapshotPtr> StateStore::trim(std::size_t keep) {
+  if (keep == 0) keep = 1;  // the head is never dropped
+  const std::lock_guard<std::mutex> lock{mutex_};
+  std::vector<SnapshotPtr> dropped;
+  while (versions_.size() > keep) {
+    auto oldest = versions_.begin();
+    dropped.push_back(std::move(oldest->second));
+    versions_.erase(oldest);
+  }
+  return dropped;
+}
+
+std::size_t StateStore::version_count() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  return versions_.size();
+}
+
+}  // namespace jinjing::svc

@@ -1,0 +1,68 @@
+// Versioned, copy-on-write snapshots of the network state (topology + ACL
+// bindings + entering traffic).
+//
+// The serving workflow needs two things at once: in-flight verifications
+// must run against a consistent view of the network, and deployable plans
+// must advance the live state for subsequent requests. The store resolves
+// the tension with immutable snapshots: every job pins the snapshot that
+// was head at submission (or an explicitly requested version), and apply
+// produces a *new* head version by copying the topology and rebinding the
+// updated ACL slots — readers of older versions are never disturbed.
+//
+// Snapshots are handed out as shared_ptr<const Snapshot>, so a trimmed
+// version stays alive for exactly as long as some job still runs against
+// it. trim() returns the dropped snapshots so the caller can evict
+// per-topology caches (topo::FecCache keys on topology identity).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "config/topology_format.h"
+#include "net/packet_set.h"
+#include "topo/topology.h"
+
+namespace jinjing::svc {
+
+using Version = std::uint64_t;
+
+struct Snapshot {
+  Version version = 0;
+  std::shared_ptr<const topo::Topology> topo;
+  net::PacketSet traffic;
+};
+
+using SnapshotPtr = std::shared_ptr<const Snapshot>;
+
+class StateStore {
+ public:
+  /// Loads the initial network as version 1.
+  explicit StateStore(config::NetworkFile network);
+
+  [[nodiscard]] SnapshotPtr head() const;
+  [[nodiscard]] Version head_version() const;
+
+  /// The snapshot for a version; nullptr when unknown or already trimmed.
+  [[nodiscard]] SnapshotPtr snapshot(Version version) const;
+
+  /// Copy-on-write head advance: a new topology with `update`'s slots
+  /// rebound on top of the current head. Returns the new head snapshot.
+  SnapshotPtr apply_update(const topo::AclUpdate& update);
+
+  /// Drops all but the newest `keep` versions from the index (snapshots
+  /// pinned by running jobs stay alive through their shared_ptr). Returns
+  /// the dropped snapshots so per-topology caches can be evicted.
+  std::vector<SnapshotPtr> trim(std::size_t keep);
+
+  [[nodiscard]] std::size_t version_count() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<Version, SnapshotPtr> versions_;
+  Version head_ = 0;
+};
+
+}  // namespace jinjing::svc

@@ -148,4 +148,13 @@ void FecCache::clear() {
   misses_ = 0;
 }
 
+void FecCache::evict(const Topology* topo) {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  for (auto it = slots_.begin(); it != slots_.end();) {
+    auto& bucket = it->second;
+    std::erase_if(bucket, [topo](const Slot& slot) { return slot.topo == topo; });
+    it = bucket.empty() ? slots_.erase(it) : std::next(it);
+  }
+}
+
 }  // namespace jinjing::topo

@@ -44,6 +44,11 @@ class FecCache {
 
   void clear();
 
+  /// Drops every memoized partition derived from `topo` — called when a
+  /// versioned snapshot is retired so a later Topology allocated at the
+  /// same address can never alias a dead entry.
+  void evict(const Topology* topo);
+
  private:
   struct Slot {
     // Exact-match guard behind the fingerprint: same topology object, same

@@ -264,6 +264,63 @@ TEST_F(CliTest, TimeoutMsValidation) {
   EXPECT_EQ(with({"--timeout-ms"}).code, 2);  // missing value
 }
 
+TEST_F(CliTest, FlagValidationSweep) {
+  // Every malformed flag value is a usage error: exit 2, a one-line
+  // "error:" diagnostic naming the flag, and no partial run on stdout.
+  struct Case {
+    std::vector<std::string> args;
+    const char* needle;  // must appear in the first stderr line
+  };
+  const std::vector<Case> cases = {
+      {{"run", "--network", path("figure1.topo"), "--program", path("running_example.lai"),
+        "--threads", "abc"}, "--threads"},
+      {{"run", "--network", path("figure1.topo"), "--program", path("running_example.lai"),
+        "--threads", "0"}, "--threads"},
+      {{"run", "--network", path("figure1.topo"), "--program", path("running_example.lai"),
+        "--threads", "-3"}, "--threads"},
+      {{"run", "--network", path("figure1.topo"), "--program", path("running_example.lai"),
+        "--threads", "2048"}, "--threads"},
+      {{"gen", "--size", "small", "--seed", "abc"}, "--seed"},
+      {{"gen", "--size", "small", "--seed", "-1"}, "--seed"},
+      {{"gen", "--size", "small", "--seed", "12moments"}, "--seed"},
+      {{"serve", "--network", path("figure1.topo"), "--socket", "/tmp/x.sock",
+        "--queue-depth", "0"}, "--queue-depth"},
+      {{"serve", "--network", path("figure1.topo"), "--socket", "/tmp/x.sock",
+        "--workers", "lots"}, "--workers"},
+      {{"serve", "--network", path("figure1.topo"), "--socket", "/tmp/x.sock",
+        "--keep-versions", "-2"}, "--keep-versions"},
+      {{"serve", "--network", path("figure1.topo")}, "--socket"},
+      {{"client", "--socket", "/tmp/x.sock", "submit", "--deadline-ms", "0"}, "--deadline-ms"},
+      {{"client", "--socket", "/tmp/x.sock", "submit", "--priority", "urgent"}, "--priority"},
+      {{"client", "--socket", "/tmp/x.sock", "result", "--job", "1.5"}, "--job"},
+      {{"client", "--socket", "/tmp/x.sock", "result", "--job", "1", "--wait-ms", "abc"},
+       "--wait-ms"},
+      {{"client", "--socket", "/tmp/x.sock", "submit", "--snapshot", "-1"}, "--snapshot"},
+      {{"client", "--socket", "/tmp/x.sock", "frobnicate"}, "unknown client method"},
+      {{"client", "--socket", "/tmp/x.sock", "status"}, "--job"},
+      {{"client", "status", "--job", "1"}, "--socket"},
+      {{"client", "--socket", "/tmp/x.sock", "submit"}, "--program"},
+      {{"client", "--socket", "/tmp/x.sock"}, "METHOD"},
+      {{"run", "--network", path("figure1.topo"), "--program", path("running_example.lai"),
+        "--bogus-flag"}, "unknown option"},
+      {{"frobnicate"}, "unknown command"},
+  };
+  for (const auto& test_case : cases) {
+    const auto r = invoke(test_case.args);
+    EXPECT_EQ(r.code, 2) << test_case.needle << ": " << r.err;
+    EXPECT_TRUE(r.out.empty()) << test_case.needle << " produced output:\n" << r.out;
+    const auto first_line = r.err.substr(0, r.err.find('\n'));
+    EXPECT_NE(first_line.find(test_case.needle), std::string::npos)
+        << "stderr first line '" << first_line << "' lacks '" << test_case.needle << "'";
+  }
+}
+
+TEST_F(CliTest, ClientConnectFailureIsAnError) {
+  const auto r = invoke({"client", "--socket", "/tmp/jinjing_no_such_socket.sock", "info"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("connect"), std::string::npos) << r.err;
+}
+
 TEST_F(CliTest, ReportJsonEmitsPipelineBreakdown) {
   const auto report_path = (dir_ / "report.json").string();
   const auto r = invoke({"run", "--network", path("figure1.topo"), "--program",

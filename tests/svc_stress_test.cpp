@@ -1,0 +1,227 @@
+// Soak test (ctest label "slow"): N concurrent clients drive randomized
+// check / check+fix jobs at a live server, sprinkle cancellations, and one
+// client applies a plan mid-run so later jobs pin a newer snapshot. Every
+// job must reach a definite terminal state, and every completed job's
+// result must match a sequential oracle engine run against the same
+// snapshot.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "config/acl_format.h"
+#include "core/deploy.h"
+#include "core/engine.h"
+#include "gen/scenario.h"
+#include "gen/wan.h"
+#include "svc/client.h"
+#include "svc/server.h"
+
+namespace jinjing::svc {
+namespace {
+
+struct JobRecord {
+  std::uint64_t id = 0;
+  std::string program;
+  std::map<std::string, std::string> acl_bodies;
+  bool cancel_attempted = false;
+};
+
+/// A check+fix program for a rule perturbation, together with the ACL
+/// bodies a client would ship over the wire.
+struct Workload {
+  std::string program;
+  std::map<std::string, std::string> acl_bodies;
+};
+
+Workload perturb_workload(const gen::Wan& wan, double fraction, unsigned seed) {
+  const topo::AclUpdate update = gen::perturb_rules(wan, fraction, seed);
+  Workload workload;
+  std::string modifies;
+  std::size_t i = 0;
+  for (const auto& [slot, acl] : update) {
+    const std::string name = "acl_" + std::to_string(i++);
+    modifies += "modify " + wan.topo.qualified_name(slot.iface) +
+                (slot.dir == topo::Dir::In ? "-in" : "-out") + " to " + name + "\n";
+    workload.acl_bodies.emplace(name, config::print_acl(acl));
+  }
+  std::string scope = "scope ";
+  for (topo::DeviceId d = 0; d < wan.topo.device_count(); ++d) {
+    if (d > 0) scope += ", ";
+    scope += wan.topo.device_name(d);
+  }
+  std::string allow = "allow ";
+  for (std::size_t g = 0; g < wan.gateways.size(); ++g) {
+    if (g > 0) allow += ", ";
+    allow += wan.topo.device_name(wan.gateways[g]);
+  }
+  workload.program = scope + "\n" + allow + "\n" + modifies + "check\nfix\n";
+  return workload;
+}
+
+std::string check_only_program(const gen::Wan& wan) {
+  std::string scope = "scope ";
+  for (topo::DeviceId d = 0; d < wan.topo.device_count(); ++d) {
+    if (d > 0) scope += ", ";
+    scope += wan.topo.device_name(d);
+  }
+  return scope + "\ncheck\n";
+}
+
+Json submit_job(Client& client, const std::string& program,
+                const std::map<std::string, std::string>& acl_bodies) {
+  Json::Object params;
+  params.emplace("program", program);
+  if (!acl_bodies.empty()) {
+    Json::Object acls;
+    for (const auto& [name, body] : acl_bodies) acls.emplace(name, body);
+    params.emplace("acls", Json{std::move(acls)});
+  }
+  return client.call("submit", Json{std::move(params)});
+}
+
+TEST(SvcStressTest, ConcurrentClientsMatchSequentialOracle) {
+  const gen::Wan wan = gen::make_wan(gen::small_wan());
+  config::NetworkFile network;
+  network.topo = wan.topo;  // the oracle keeps its own copy via the store
+  network.traffic = wan.traffic;
+
+  const std::string socket_path =
+      (std::filesystem::temp_directory_path() /
+       ("jinjing_svc_stress_" + std::to_string(::getpid()) + ".sock"))
+          .string();
+  ServerOptions options;
+  options.socket_path = socket_path;
+  options.queue_depth = 128;
+  options.workers = 3;
+  options.keep_versions = 64;  // every snapshot stays resolvable for the oracle
+  Server server{std::move(network), options};
+  server.start();
+
+  constexpr int kClients = 3;
+  constexpr int kJobsPerClient = 5;
+  std::mutex records_mutex;
+  std::vector<JobRecord> records;
+
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Client client{socket_path};
+      for (int j = 0; j < kJobsPerClient; ++j) {
+        JobRecord record;
+        const unsigned seed = static_cast<unsigned>(c * 100 + j + 1);
+        if (j < 3) {
+          record.program = check_only_program(wan);
+        } else {
+          const Workload workload = perturb_workload(wan, 0.08, seed);
+          record.program = workload.program;
+          record.acl_bodies = workload.acl_bodies;
+        }
+        const Json submitted = submit_job(client, record.program, record.acl_bodies);
+        record.id = submitted.at("job").as_u64();
+        if (j == kJobsPerClient - 1) {
+          // Cancellation racing execution: must yield *some* terminal state.
+          Json::Object cancel;
+          cancel.emplace("job", record.id);
+          (void)client.call("cancel", Json{std::move(cancel)});
+          record.cancel_attempted = true;
+        }
+        const std::lock_guard<std::mutex> lock{records_mutex};
+        records.push_back(std::move(record));
+      }
+    });
+  }
+
+  // Mid-run apply from a separate session: verify a perturbation against
+  // head, deploy the repaired plan, advancing every later job's snapshot.
+  {
+    Client applier{socket_path};
+    const Workload workload = perturb_workload(wan, 0.05, 999);
+    const Json submitted = submit_job(applier, workload.program, workload.acl_bodies);
+    JobRecord record;
+    record.id = submitted.at("job").as_u64();
+    record.program = workload.program;
+    record.acl_bodies = workload.acl_bodies;
+    Json::Object wait;
+    wait.emplace("job", record.id);
+    const Json result = applier.call("result", Json{std::move(wait)});
+    ASSERT_EQ(result.at("status").at("state").as_string(), "done") << result.dump();
+    if (result.at("status").at("outcome").at("success").as_bool()) {
+      Json::Object apply;
+      apply.emplace("job", record.id);
+      const Json applied = applier.call("apply", Json{std::move(apply)});
+      EXPECT_GE(applied.at("version").as_u64(), 2u);
+    }
+    const std::lock_guard<std::mutex> lock{records_mutex};
+    records.push_back(std::move(record));
+  }
+
+  for (auto& thread : clients) thread.join();
+
+  // Every job terminates with a definite status.
+  Client checker{socket_path};
+  struct Completed {
+    JobRecord record;
+    Version snapshot = 0;
+    bool success = false;
+    std::string plan;
+  };
+  std::vector<Completed> completed;
+  for (const auto& record : records) {
+    Json::Object wait;
+    wait.emplace("job", record.id);
+    wait.emplace("timeout_ms", std::uint64_t{300000});
+    const Json result = checker.call("result", Json{std::move(wait)});
+    ASSERT_TRUE(result.at("done").as_bool()) << "job " << record.id << " never terminated";
+    const Json& status = result.at("status");
+    const std::string state = status.at("state").as_string();
+    EXPECT_TRUE(state == "done" || state == "failed" || state == "cancelled") << state;
+    if (state == "failed") {
+      ADD_FAILURE() << "job " << record.id << " failed: "
+                    << status.at("outcome").at("error").as_string();
+    }
+    if (state == "done") {
+      Completed entry;
+      entry.record = record;
+      entry.snapshot = status.at("snapshot").as_u64();
+      entry.success = status.at("outcome").at("success").as_bool();
+      entry.plan = status.at("outcome").at("plan").as_string();
+      completed.push_back(std::move(entry));
+    }
+  }
+  EXPECT_GE(completed.size(), static_cast<std::size_t>(kClients * 3));  // checks at least
+
+  // Oracle: a fresh single-threaded engine per job must reproduce every
+  // completed job's verdict and plan exactly — the service guarantees
+  // reproducible answers by giving every job a fresh SMT session (a reused
+  // incremental session can steer Z3 to a different, equally valid, model),
+  // so the oracle must be equally fresh.
+  for (const auto& entry : completed) {
+    const SnapshotPtr snapshot = server.store().snapshot(entry.snapshot);
+    ASSERT_NE(snapshot, nullptr) << "snapshot " << entry.snapshot << " trimmed too early";
+    core::Engine oracle{*snapshot->topo};
+
+    lai::AclLibrary library;
+    library.emplace("permit_all", net::Acl::permit_all());
+    for (const auto& [name, body] : entry.record.acl_bodies) {
+      library.insert_or_assign(name, config::parse_acl_auto(body));
+    }
+    const core::EngineReport report =
+        oracle.run_program(entry.record.program, library, snapshot->traffic);
+    EXPECT_EQ(report.success(), entry.success) << "job " << entry.record.id;
+    EXPECT_EQ(core::format_plan(*snapshot->topo, report.final_update), entry.plan)
+        << "job " << entry.record.id << " plan diverged from the oracle";
+  }
+
+  server.request_shutdown();
+  server.wait();
+  std::filesystem::remove(socket_path);
+}
+
+}  // namespace
+}  // namespace jinjing::svc

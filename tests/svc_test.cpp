@@ -1,0 +1,460 @@
+// The verification service: JSON wire format, versioned state store,
+// scheduler policy, and a live server+client round trip on Figure 1.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <thread>
+
+#include "gen/fixtures.h"
+#include "svc/client.h"
+#include "svc/json.h"
+#include "svc/scheduler.h"
+#include "svc/server.h"
+#include "svc/state_store.h"
+
+namespace jinjing::svc {
+namespace {
+
+// ---------------------------------------------------------------- Json
+
+TEST(JsonTest, RoundTripsScalarsAndContainers) {
+  const char* cases[] = {
+      "null", "true", "false", "0", "42", "-17", "3.5",
+      "\"hello\"", "\"esc \\\" \\\\ \\n\"", "[]", "[1,2,3]",
+      "{\"a\":1,\"b\":[true,null],\"c\":{\"d\":\"e\"}}",
+  };
+  for (const char* text : cases) {
+    const Json parsed = Json::parse(text);
+    EXPECT_EQ(Json::parse(parsed.dump()).dump(), parsed.dump()) << text;
+  }
+}
+
+TEST(JsonTest, DumpIsSingleLineWithIntegralNumbers) {
+  Json::Object obj;
+  obj.emplace("id", std::uint64_t{12345678901});
+  obj.emplace("text", "line1\nline2");
+  const std::string dumped = Json{std::move(obj)}.dump();
+  EXPECT_EQ(dumped.find('\n'), std::string::npos);
+  EXPECT_NE(dumped.find("12345678901"), std::string::npos);
+  EXPECT_NE(dumped.find("\\n"), std::string::npos);
+}
+
+TEST(JsonTest, ParseRejectsMalformedInput) {
+  for (const char* bad : {"", "{", "[1,", "tru", "\"unterminated", "{\"a\" 1}", "1 2",
+                          "{\"a\":1} trailing", "\"bad \\x escape\"", "01"}) {
+    EXPECT_THROW((void)Json::parse(bad), JsonError) << bad;
+  }
+}
+
+TEST(JsonTest, UnicodeEscapesDecodeToUtf8) {
+  EXPECT_EQ(Json::parse("\"\\u00e9\"").as_string(), "\xc3\xa9");          // é
+  EXPECT_EQ(Json::parse("\"\\ud83d\\ude00\"").as_string(), "\xf0\x9f\x98\x80");  // 😀
+}
+
+TEST(JsonTest, TypedAccessorsEnforceKinds) {
+  EXPECT_THROW((void)Json::parse("\"x\"").as_number(), JsonError);
+  EXPECT_THROW((void)Json::parse("-1").as_u64(), JsonError);
+  EXPECT_THROW((void)Json::parse("1.5").as_u64(), JsonError);
+  EXPECT_EQ(Json::parse("7").as_u64(), 7u);
+  const Json obj = Json::parse("{\"a\":1}");
+  EXPECT_EQ(obj.get("missing"), nullptr);
+  EXPECT_THROW((void)obj.at("missing"), JsonError);
+}
+
+// ---------------------------------------------------------- StateStore
+
+config::NetworkFile figure1_network() {
+  auto fig = gen::make_figure1();
+  config::NetworkFile network;
+  network.topo = std::move(fig.topo);
+  network.traffic = std::move(fig.traffic);
+  return network;
+}
+
+TEST(StateStoreTest, AppliesProduceNewVersionsWithoutDisturbingOldOnes) {
+  StateStore store{figure1_network()};
+  EXPECT_EQ(store.head_version(), 1u);
+
+  const SnapshotPtr v1 = store.head();
+  const auto a1 = *v1->topo->find_interface("A:1");
+  const topo::AclSlot slot{a1, topo::Dir::In};
+  const std::size_t original_rules = v1->topo->acl(slot).size();
+
+  topo::AclUpdate update;
+  update.emplace(slot, net::Acl::permit_all());
+  const SnapshotPtr v2 = store.apply_update(update);
+  EXPECT_EQ(v2->version, 2u);
+  EXPECT_EQ(store.head_version(), 2u);
+
+  // COW: the old snapshot still sees the original ACL.
+  EXPECT_EQ(v1->topo->acl(slot).size(), original_rules);
+  EXPECT_NE(v2->topo->acl(slot).size(), original_rules);
+  EXPECT_EQ(store.snapshot(1), v1);
+}
+
+TEST(StateStoreTest, TrimDropsOldestButPinnedSnapshotsSurvive) {
+  StateStore store{figure1_network()};
+  const SnapshotPtr v1 = store.head();
+  for (int i = 0; i < 4; ++i) store.apply_update({});
+  EXPECT_EQ(store.version_count(), 5u);
+
+  const auto dropped = store.trim(2);
+  EXPECT_EQ(dropped.size(), 3u);
+  EXPECT_EQ(store.version_count(), 2u);
+  EXPECT_EQ(store.snapshot(1), nullptr);
+  EXPECT_NE(store.snapshot(5), nullptr);
+  // The pin keeps the trimmed snapshot usable.
+  EXPECT_EQ(v1->version, 1u);
+  EXPECT_NE(v1->topo, nullptr);
+}
+
+// ----------------------------------------------------------- Scheduler
+
+SnapshotPtr dummy_snapshot() {
+  auto snapshot = std::make_shared<Snapshot>();
+  snapshot->version = 1;
+  return snapshot;
+}
+
+JobSpec spec_with(Priority priority, std::uint64_t deadline_ms = 0) {
+  JobSpec spec;
+  spec.program = "scope A:* check";
+  spec.priority = priority;
+  spec.deadline_ms = deadline_ms;
+  return spec;
+}
+
+TEST(SchedulerTest, InteractiveDispatchesAheadOfBatchFifoWithin) {
+  Scheduler scheduler{16};
+  const auto snapshot = dummy_snapshot();
+  const auto b1 = scheduler.submit(spec_with(Priority::Batch), snapshot).job;
+  const auto b2 = scheduler.submit(spec_with(Priority::Batch), snapshot).job;
+  const auto i1 = scheduler.submit(spec_with(Priority::Interactive), snapshot).job;
+  const auto i2 = scheduler.submit(spec_with(Priority::Interactive), snapshot).job;
+  ASSERT_TRUE(b1 && b2 && i1 && i2);
+
+  EXPECT_EQ(scheduler.next()->id(), i1->id());
+  EXPECT_EQ(scheduler.next()->id(), i2->id());
+  EXPECT_EQ(scheduler.next()->id(), b1->id());
+  EXPECT_EQ(scheduler.next()->id(), b2->id());
+}
+
+TEST(SchedulerTest, AdmissionControlRejectsWhenFull) {
+  Scheduler scheduler{2};
+  const auto snapshot = dummy_snapshot();
+  EXPECT_TRUE(scheduler.submit(spec_with(Priority::Interactive), snapshot).job);
+  EXPECT_TRUE(scheduler.submit(spec_with(Priority::Batch), snapshot).job);
+
+  const auto rejected = scheduler.submit(spec_with(Priority::Interactive), snapshot);
+  EXPECT_EQ(rejected.job, nullptr);
+  EXPECT_EQ(rejected.error_code, 429);
+  EXPECT_NE(rejected.error_message.find("queue full"), std::string::npos);
+
+  // Dispatching one frees a slot.
+  (void)scheduler.next();
+  EXPECT_TRUE(scheduler.submit(spec_with(Priority::Interactive), snapshot).job);
+}
+
+TEST(SchedulerTest, DrainRejectsNewWorkAndUnblocksWorkers) {
+  Scheduler scheduler{4};
+  scheduler.drain();
+  const auto rejected = scheduler.submit(spec_with(Priority::Interactive), dummy_snapshot());
+  EXPECT_EQ(rejected.job, nullptr);
+  EXPECT_EQ(rejected.error_code, 503);
+  EXPECT_EQ(scheduler.next(), nullptr);  // would block forever without drain
+}
+
+TEST(SchedulerTest, CancelQueuedJobFinishesImmediately) {
+  Scheduler scheduler{4};
+  const auto snapshot = dummy_snapshot();
+  const auto job = scheduler.submit(spec_with(Priority::Batch), snapshot).job;
+  ASSERT_TRUE(job);
+  EXPECT_TRUE(scheduler.cancel(job->id()));
+  EXPECT_EQ(scheduler.status(job->id())->state, JobState::Cancelled);
+  EXPECT_FALSE(scheduler.cancel(job->id()));  // already terminal
+  EXPECT_EQ(scheduler.queued_count(), 0u);
+  EXPECT_FALSE(scheduler.cancel(999));  // unknown id
+}
+
+TEST(SchedulerTest, RunningJobCancelIsCooperative) {
+  Scheduler scheduler{4};
+  const auto job = scheduler.submit(spec_with(Priority::Interactive), dummy_snapshot()).job;
+  const auto running = scheduler.next();
+  ASSERT_EQ(running->id(), job->id());
+  EXPECT_TRUE(scheduler.cancel(job->id()));
+  EXPECT_EQ(scheduler.status(job->id())->state, JobState::Running);  // flag only
+  EXPECT_TRUE(running->cancel_requested());
+  scheduler.finish(running, JobState::Cancelled, {});
+  EXPECT_EQ(scheduler.status(job->id())->state, JobState::Cancelled);
+}
+
+TEST(SchedulerTest, ExpiredDeadlineFailsAtDispatch) {
+  Scheduler scheduler{4};
+  const auto job = scheduler.submit(spec_with(Priority::Interactive, 1), dummy_snapshot()).job;
+  ASSERT_TRUE(job);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  scheduler.drain();  // so next() returns nullptr instead of blocking
+  EXPECT_EQ(scheduler.next(), nullptr);
+  const auto status = scheduler.status(job->id());
+  EXPECT_EQ(status->state, JobState::Failed);
+  EXPECT_NE(status->outcome.error.find("deadline"), std::string::npos);
+}
+
+TEST(SchedulerTest, WaitTimesOutOnRunningJobAndReturnsOnFinish) {
+  Scheduler scheduler{4};
+  const auto job = scheduler.submit(spec_with(Priority::Interactive), dummy_snapshot()).job;
+  (void)scheduler.next();
+  EXPECT_FALSE(scheduler.wait(job->id(), std::chrono::milliseconds(20)));
+
+  std::thread finisher{[&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    JobOutcome outcome;
+    outcome.success = true;
+    scheduler.finish(job, JobState::Done, std::move(outcome));
+  }};
+  const auto status = scheduler.wait(job->id());
+  finisher.join();
+  ASSERT_TRUE(status);
+  EXPECT_EQ(status->state, JobState::Done);
+  EXPECT_TRUE(status->outcome.success);
+  EXPECT_FALSE(scheduler.wait(999));  // unknown id
+}
+
+// -------------------------------------------------------- Server + Client
+
+constexpr const char* kCheckOnly = "scope A:*, B:*, C:*, D:*\ncheck\n";
+constexpr const char* kBreakingModify =
+    "scope A:*, B:*, C:*, D:*\nallow A:*\nmodify A:1-in to permit_all\ncheck\n";
+constexpr const char* kCheckFix =
+    "scope A:*, B:*, C:*, D:*\n"
+    "allow A:*, B:*\n"
+    "modify A:1-in to A1_new, A:3-out to A3_new, C:1-in to permit_all, "
+    "D:2-in to permit_all\ncheck\nfix\n";
+constexpr const char* kA1New =
+    "deny dst 1.0.0.0/8\ndeny dst 2.0.0.0/8\ndeny dst 6.0.0.0/8\npermit all\n";
+constexpr const char* kA3New = "deny dst 7.0.0.0/8\npermit all\n";
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    socket_path_ = (std::filesystem::temp_directory_path() /
+                    ("jinjing_svc_test_" + std::to_string(::getpid()) + ".sock"))
+                       .string();
+    ServerOptions options;
+    options.socket_path = socket_path_;
+    options.queue_depth = 16;
+    options.workers = 2;
+    options.keep_versions = 4;
+    server_ = std::make_unique<Server>(figure1_network(), options);
+    server_->start();
+  }
+
+  void TearDown() override {
+    if (server_) {
+      server_->request_shutdown();
+      server_->wait();
+      server_.reset();
+    }
+    std::filesystem::remove(socket_path_);
+  }
+
+  Json submit_and_wait(Client& client, Json::Object params) {
+    const Json submitted = client.call("submit", Json{std::move(params)});
+    Json::Object wait;
+    wait.emplace("job", submitted.at("job").as_u64());
+    return client.call("result", Json{std::move(wait)});
+  }
+
+  std::string socket_path_;
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(ServerTest, ConsistentCheckSucceeds) {
+  Client client{socket_path_};
+  Json::Object params;
+  params.emplace("program", kCheckOnly);
+  const Json result = submit_and_wait(client, std::move(params));
+  EXPECT_TRUE(result.at("done").as_bool());
+  const Json& status = result.at("status");
+  EXPECT_EQ(status.at("state").as_string(), "done");
+  EXPECT_TRUE(status.at("outcome").at("success").as_bool());
+  EXPECT_EQ(status.at("snapshot").as_u64(), 1u);
+}
+
+TEST_F(ServerTest, BreakingModifyIsInconsistentAndNotApplicable) {
+  Client client{socket_path_};
+  Json::Object params;
+  params.emplace("program", kBreakingModify);
+  const Json result = submit_and_wait(client, std::move(params));
+  const Json& status = result.at("status");
+  EXPECT_EQ(status.at("state").as_string(), "done");
+  EXPECT_FALSE(status.at("outcome").at("success").as_bool());
+
+  // A failed verification is not a deployable plan.
+  Json::Object apply;
+  apply.emplace("job", status.at("job").as_u64());
+  try {
+    (void)client.call("apply", Json{std::move(apply)});
+    FAIL() << "apply of a failed job must be rejected";
+  } catch (const RpcError& e) {
+    EXPECT_EQ(e.code(), 409);
+  }
+}
+
+TEST_F(ServerTest, CheckFixProducesPlanAndApplyAdvancesHead) {
+  Client client{socket_path_};
+  Json::Object params;
+  params.emplace("program", kCheckFix);
+  Json::Object acls;
+  acls.emplace("A1_new", kA1New);
+  acls.emplace("A3_new", kA3New);
+  params.emplace("acls", Json{std::move(acls)});
+  const Json result = submit_and_wait(client, std::move(params));
+  const Json& status = result.at("status");
+  ASSERT_EQ(status.at("state").as_string(), "done") << status.dump();
+  EXPECT_EQ(status.at("priority").as_string(), "batch");  // fix => batch
+  const Json& outcome = status.at("outcome");
+  ASSERT_TRUE(outcome.at("success").as_bool());
+  EXPECT_NE(outcome.at("plan").as_string().find("deny dst 6.0.0.0/8"), std::string::npos);
+
+  Json::Object apply;
+  apply.emplace("job", status.at("job").as_u64());
+  const Json applied = client.call("apply", Json{std::move(apply)});
+  EXPECT_EQ(applied.at("version").as_u64(), 2u);
+  EXPECT_EQ(server_->store().head_version(), 2u);
+
+  // The repaired network is consistent under a fresh check on the new head.
+  Json::Object recheck;
+  recheck.emplace("program", kCheckOnly);
+  const Json rechecked = submit_and_wait(client, std::move(recheck));
+  EXPECT_EQ(rechecked.at("status").at("snapshot").as_u64(), 2u);
+  EXPECT_TRUE(rechecked.at("status").at("outcome").at("success").as_bool());
+}
+
+TEST_F(ServerTest, StaleSnapshotApplyIsRejected) {
+  Client client{socket_path_};
+  Json::Object first;
+  first.emplace("program", kCheckOnly);
+  const Json job1 = submit_and_wait(client, std::move(first));
+  Json::Object second;
+  second.emplace("program", kCheckOnly);
+  const Json job2 = submit_and_wait(client, std::move(second));
+
+  Json::Object apply1;
+  apply1.emplace("job", job1.at("status").at("job").as_u64());
+  (void)client.call("apply", Json{std::move(apply1)});  // head -> 2
+
+  // job2 verified version 1; head moved on.
+  Json::Object apply2;
+  apply2.emplace("job", job2.at("status").at("job").as_u64());
+  try {
+    (void)client.call("apply", Json{std::move(apply2)});
+    FAIL() << "stale apply must conflict";
+  } catch (const RpcError& e) {
+    EXPECT_EQ(e.code(), 409);
+  }
+}
+
+TEST_F(ServerTest, ErrorsCarryRpcCodes) {
+  Client client{socket_path_};
+  try {
+    (void)client.call("frobnicate");
+    FAIL();
+  } catch (const RpcError& e) {
+    EXPECT_EQ(e.code(), -32601);
+  }
+  try {
+    Json::Object params;
+    params.emplace("job", 12345);
+    (void)client.call("status", Json{std::move(params)});
+    FAIL();
+  } catch (const RpcError& e) {
+    EXPECT_EQ(e.code(), 404);
+  }
+  try {
+    Json::Object params;
+    params.emplace("program", "scope A:* syntax error here");
+    (void)client.call("submit", Json{std::move(params)});
+    FAIL();
+  } catch (const RpcError& e) {
+    EXPECT_EQ(e.code(), -32602);
+  }
+  try {
+    Json::Object params;
+    params.emplace("program", kCheckOnly);
+    params.emplace("snapshot", 77);
+    (void)client.call("submit", Json{std::move(params)});
+    FAIL();
+  } catch (const RpcError& e) {
+    EXPECT_EQ(e.code(), 404);  // unknown snapshot version
+  }
+}
+
+TEST_F(ServerTest, MetricsExportIsLive) {
+  Client client{socket_path_};
+  Json::Object params;
+  params.emplace("program", kCheckOnly);
+  (void)submit_and_wait(client, std::move(params));
+
+  const Json metrics = client.call("metrics");
+  const std::string& text = metrics.at("prometheus").as_string();
+  EXPECT_NE(text.find("# TYPE jinjing_svc_jobs_submitted_total counter"), std::string::npos);
+  EXPECT_EQ(text.find("jinjing_svc_jobs_submitted_total 0\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("jinjing_svc_head_version 1"), std::string::npos);
+  EXPECT_NE(text.find("jinjing_svc_queue_wait_micros_bucket"), std::string::npos);
+}
+
+TEST_F(ServerTest, ShutdownDrainsGracefully) {
+  Client client{socket_path_};
+  Json::Object params;
+  params.emplace("program", kCheckOnly);
+  const Json submitted = client.call("submit", Json{std::move(params)});
+  const std::uint64_t job = submitted.at("job").as_u64();
+
+  const Json reply = client.call("shutdown");
+  EXPECT_TRUE(reply.at("draining").as_bool());
+
+  // Admission is closed but the admitted job still finishes.
+  try {
+    Json::Object again;
+    again.emplace("program", kCheckOnly);
+    (void)client.call("submit", Json{std::move(again)});
+    FAIL();
+  } catch (const RpcError& e) {
+    EXPECT_EQ(e.code(), 503);
+  }
+
+  Json::Object wait;
+  wait.emplace("job", job);
+  const Json result = client.call("result", Json{std::move(wait)});
+  EXPECT_EQ(result.at("status").at("state").as_string(), "done");
+
+  server_->wait();
+  server_.reset();
+  EXPECT_THROW(Client{socket_path_}, ClientError);
+}
+
+TEST_F(ServerTest, ConcurrentClientsGetIndependentAnswers) {
+  constexpr int kClients = 4;
+  std::vector<std::thread> threads;
+  std::vector<std::string> states(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      Client client{socket_path_};
+      Json::Object params;
+      params.emplace("program", i % 2 == 0 ? kCheckOnly : kBreakingModify);
+      const Json result = submit_and_wait(client, std::move(params));
+      states[static_cast<std::size_t>(i)] =
+          result.at("status").at("outcome").at("success").as_bool() ? "ok" : "fail";
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (int i = 0; i < kClients; ++i) {
+    EXPECT_EQ(states[static_cast<std::size_t>(i)], i % 2 == 0 ? "ok" : "fail") << i;
+  }
+}
+
+}  // namespace
+}  // namespace jinjing::svc
