@@ -39,7 +39,7 @@ constexpr const char* kUsage = R"(usage:
   jinjing diff  --acl-a FILE --acl-b FILE
   jinjing gen   --size small|medium|large [--seed N]
   jinjing serve  --network FILE --socket PATH [--queue-depth N] [--workers N]
-                 [--keep-versions N] [--set-backend hypercube|bdd]
+                 [--keep-versions N] [--retain-jobs N] [--set-backend hypercube|bdd]
                  [--timeout-ms N] [--no-incremental-smt]
   jinjing client --socket PATH METHOD [--program FILE] [--acl NAME=FILE]...
                  [--priority interactive|batch] [--deadline-ms N]
@@ -114,6 +114,7 @@ struct Options {
   unsigned queue_depth = 64;
   unsigned workers = 2;
   unsigned keep_versions = 8;
+  unsigned retain_jobs = 1024;
   std::string client_method;
   std::string priority;
   std::optional<std::uint64_t> job_id;
@@ -240,6 +241,9 @@ Options parse_args(const std::vector<std::string>& args) {
     } else if (arg == "--keep-versions") {
       options.keep_versions =
           static_cast<unsigned>(parse_unsigned("--keep-versions", value(), 1, 1u << 20));
+    } else if (arg == "--retain-jobs") {
+      options.retain_jobs =
+          static_cast<unsigned>(parse_unsigned("--retain-jobs", value(), 1, 1u << 20));
     } else if (arg == "--priority") {
       const auto& priority = value();
       if (priority != "interactive" && priority != "batch") {
@@ -692,6 +696,7 @@ int serve_command(const Options& options, std::ostream& out) {
   server_options.queue_depth = options.queue_depth;
   server_options.workers = options.workers;
   server_options.keep_versions = options.keep_versions;
+  server_options.retain_jobs = options.retain_jobs;
   for (core::CheckOptions* check :
        {&server_options.engine.check, &server_options.engine.fix.check}) {
     check->set_backend = options.set_backend;

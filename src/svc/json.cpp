@@ -48,6 +48,23 @@ class Parser {
     return true;
   }
 
+  // Containers recurse through parse_value; input arrives from untrusted
+  // clients, so the nesting depth is bounded to keep a line of '[['...
+  // from overflowing the connection thread's stack.
+  static constexpr int kMaxDepth = 128;
+
+  struct DepthGuard {
+    explicit DepthGuard(Parser& parser) : parser_(parser) {
+      if (++parser_.depth_ > kMaxDepth) {
+        parser_.fail("nesting deeper than " + std::to_string(kMaxDepth) + " levels");
+      }
+    }
+    ~DepthGuard() { --parser_.depth_; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+    Parser& parser_;
+  };
+
   Json parse_value() {
     skip_ws();
     const char c = peek();
@@ -69,6 +86,7 @@ class Parser {
   }
 
   Json parse_object() {
+    const DepthGuard guard{*this};
     expect('{');
     Json::Object object;
     skip_ws();
@@ -97,6 +115,7 @@ class Parser {
   }
 
   Json parse_array() {
+    const DepthGuard guard{*this};
     expect('[');
     Json::Array array;
     skip_ws();
@@ -224,6 +243,7 @@ class Parser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 void dump_string(const std::string& s, std::string& out) {

@@ -44,7 +44,9 @@ std::optional<std::uint64_t> Job::remaining_ms() const {
   return used >= spec_.deadline_ms ? 0 : spec_.deadline_ms - used;
 }
 
-Scheduler::Scheduler(std::size_t queue_depth) : queue_depth_(queue_depth == 0 ? 1 : queue_depth) {}
+Scheduler::Scheduler(std::size_t queue_depth, std::size_t retain_terminal)
+    : queue_depth_(queue_depth == 0 ? 1 : queue_depth),
+      retain_terminal_(retain_terminal == 0 ? 1 : retain_terminal) {}
 
 Scheduler::Admission Scheduler::submit(JobSpec spec, SnapshotPtr snapshot) {
   const std::lock_guard<std::mutex> lock{mutex_};
@@ -126,6 +128,15 @@ void Scheduler::finish_locked(Job& job, JobState state, JobOutcome outcome) {
     obs::observe(obs::Histogram::SvcJobRunMicros,
                  static_cast<std::uint64_t>(
                      seconds_between(job.started_at_, job.finished_at_) * 1e6));
+  }
+  // Bounded retention: forget the oldest-finished jobs past the cap so a
+  // long-running server does not accumulate every snapshot pin and report
+  // ever produced. Waiters blocked in wait() hold their own JobPtr, so
+  // eviction never invalidates an in-flight result read.
+  terminal_order_.push_back(job.id_);
+  while (terminal_order_.size() > retain_terminal_) {
+    jobs_.erase(terminal_order_.front());
+    terminal_order_.pop_front();
   }
   done_cv_.notify_all();
 }

@@ -14,6 +14,11 @@
 //    mapped onto the per-query SmtTimeout by the worker.
 //  * Cancellation is cooperative — a queued job cancels immediately; a
 //    running job observes its cancel flag between program commands.
+//  * Retention — terminal jobs are kept (for status/result queries) only
+//    up to a bound; beyond it the oldest-finished are evicted, releasing
+//    their pinned snapshot and report. A long-running server therefore
+//    does not grow without bound with every submission, at the cost of
+//    `status`/`result` answering 404 for jobs that finished long ago.
 //
 // All job state is guarded by one scheduler mutex (the per-job atomic
 // cancel flag is the only cross-thread signal a worker polls mid-job);
@@ -126,9 +131,12 @@ class Scheduler {
     std::string error_message;
   };
 
-  explicit Scheduler(std::size_t queue_depth);
+  /// `retain_terminal` bounds how many finished jobs stay queryable; the
+  /// oldest-finished beyond it are forgotten entirely (404 thereafter).
+  explicit Scheduler(std::size_t queue_depth, std::size_t retain_terminal = 1024);
 
   [[nodiscard]] std::size_t queue_depth() const { return queue_depth_; }
+  [[nodiscard]] std::size_t retain_terminal() const { return retain_terminal_; }
 
   /// Admits or rejects a job. `snapshot` is the resolved state the job
   /// will run against (the caller pins head at submission time).
@@ -170,12 +178,14 @@ class Scheduler {
   void finish_locked(Job& job, JobState state, JobOutcome outcome);
 
   const std::size_t queue_depth_;
+  const std::size_t retain_terminal_;
 
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;   // new work or drain
   std::condition_variable done_cv_;   // job reached a terminal state
   std::deque<JobPtr> queues_[2];      // indexed by Priority
   std::map<std::uint64_t, JobPtr> jobs_;
+  std::deque<std::uint64_t> terminal_order_;  // finish order, oldest first
   std::uint64_t next_id_ = 1;
   std::size_t running_ = 0;
   bool draining_ = false;

@@ -102,11 +102,20 @@ Json status_json(const JobStatus& status) {
 Server::Server(config::NetworkFile network, ServerOptions options)
     : options_(std::move(options)),
       store_(std::move(network)),
-      scheduler_(options_.queue_depth) {
+      scheduler_(options_.queue_depth, options_.retain_jobs) {
   if (options_.workers == 0) options_.workers = 1;
   if (options_.keep_versions == 0) options_.keep_versions = 1;
   fec_cache_ = options_.engine.check.fec_cache;
   if (!fec_cache_) fec_cache_ = std::make_shared<topo::FecCache>();
+  // FEC cache entries for a retired version are evicted when its *last*
+  // pin is released — a job still running against a trimmed snapshot keeps
+  // inserting entries keyed by that topology, so trim-time eviction alone
+  // would leave dead keys behind (and alias a recycled allocation if the
+  // topology were ever freed). The hook captures the cache shared_ptr, so
+  // eviction stays safe whenever the release happens.
+  store_.set_release_hook([cache = fec_cache_](const Snapshot& snapshot) {
+    cache->evict(snapshot.topo.get());
+  });
 }
 
 Server::~Server() {
@@ -428,20 +437,25 @@ Json Server::handle_apply(const Json& params) {
   if (status->state != JobState::Done || !status->outcome.success || !status->outcome.report) {
     fail(kConflict, "job " + std::to_string(id) + " did not produce a deployable plan");
   }
-  if (job->snapshot_version() != store_.head_version()) {
+
+  // The stale-plan check and the head advance are one atomic store
+  // operation: of two concurrent applies verified against the same head,
+  // exactly one wins — the loser sees the advanced version and conflicts
+  // (the same gate also rejects a double-apply of one job).
+  const SnapshotPtr next =
+      store_.apply_if_head(job->snapshot_version(), status->outcome.report->final_update);
+  if (!next) {
     fail(kConflict, "job " + std::to_string(id) + " was verified against snapshot " +
                         std::to_string(job->snapshot_version()) + " but head is " +
                         std::to_string(store_.head_version()) +
                         "; re-verify against the current head");
   }
-
-  const SnapshotPtr next = store_.apply_update(status->outcome.report->final_update);
   obs::count(obs::Counter::SvcApplies);
 
-  // Retire old versions; their FEC cache entries must go with them so a
+  // Retire old versions. Their FEC cache entries are evicted by the
+  // store's release hook once the last job pinning them finishes, so a
   // recycled Topology allocation can never alias a stale cache key.
   const auto dropped = store_.trim(options_.keep_versions);
-  for (const auto& snapshot : dropped) fec_cache_->evict(snapshot->topo.get());
 
   Json::Object obj;
   obj.emplace("version", next->version);
@@ -542,7 +556,15 @@ void Server::execute_job(const JobPtr& job) {
     }
   } catch (const smt::SmtTimeout& e) {
     state = JobState::Failed;
-    outcome.error = "deadline exceeded: " + std::string(e.what());
+    // SmtTimeout is thrown both by the per-query --timeout-ms budget and
+    // by an exhausted job deadline; only blame the deadline when the job
+    // actually has one and it has expired.
+    const auto remaining = job->remaining_ms();
+    if (remaining && *remaining == 0) {
+      outcome.error = "deadline exceeded: " + std::string(e.what());
+    } else {
+      outcome.error = "solver timeout: " + std::string(e.what());
+    }
   } catch (const std::exception& e) {
     state = JobState::Failed;
     outcome.error = e.what();

@@ -50,9 +50,13 @@ struct ServerOptions {
   std::size_t queue_depth = 64;
   unsigned workers = 2;
   /// Snapshot versions kept resolvable after apply advances the head
-  /// (older ones are trimmed and their FEC cache entries evicted; jobs
-  /// already holding a trimmed snapshot still finish against it).
+  /// (older ones are trimmed; jobs already holding a trimmed snapshot
+  /// still finish against it, and its FEC cache entries are evicted once
+  /// the last pin is released).
   std::size_t keep_versions = 8;
+  /// Finished jobs kept queryable via status/result; the oldest-finished
+  /// beyond this are evicted (404), releasing their snapshot and report.
+  std::size_t retain_jobs = 1024;
   /// Template for the per-worker engines (threads are forced to 1 — the
   /// workers themselves are the parallelism; the FEC cache is replaced by
   /// the server-wide shared one).

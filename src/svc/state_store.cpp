@@ -6,12 +6,25 @@
 namespace jinjing::svc {
 
 StateStore::StateStore(config::NetworkFile network) {
-  auto snapshot = std::make_shared<Snapshot>();
+  auto snapshot = std::make_unique<Snapshot>();
   snapshot->version = 1;
   snapshot->topo = std::make_shared<const topo::Topology>(std::move(network.topo));
   snapshot->traffic = std::move(network.traffic);
   head_ = 1;
-  versions_.emplace(head_, std::move(snapshot));
+  versions_.emplace(head_, wrap(std::move(snapshot)));
+}
+
+void StateStore::set_release_hook(SnapshotReleaseHook hook) {
+  *release_hook_ = std::move(hook);
+}
+
+SnapshotPtr StateStore::wrap(std::unique_ptr<Snapshot> snapshot) const {
+  // The deleter reads the hook cell at release time (not capture time), so
+  // a hook installed after construction still covers the initial snapshot.
+  return SnapshotPtr(snapshot.release(), [hook = release_hook_](const Snapshot* s) {
+    if (*hook) (*hook)(*s);
+    delete s;
+  });
 }
 
 SnapshotPtr StateStore::head() const {
@@ -32,6 +45,16 @@ SnapshotPtr StateStore::snapshot(Version version) const {
 
 SnapshotPtr StateStore::apply_update(const topo::AclUpdate& update) {
   const std::lock_guard<std::mutex> lock{mutex_};
+  return apply_locked(update);
+}
+
+SnapshotPtr StateStore::apply_if_head(Version expected, const topo::AclUpdate& update) {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  if (head_ != expected) return nullptr;
+  return apply_locked(update);
+}
+
+SnapshotPtr StateStore::apply_locked(const topo::AclUpdate& update) {
   const SnapshotPtr& current = versions_.at(head_);
 
   // Copy-on-write: the head topology is copied once per apply; every slot
@@ -39,13 +62,14 @@ SnapshotPtr StateStore::apply_update(const topo::AclUpdate& update) {
   topo::Topology next = *current->topo;
   for (const auto& [slot, acl] : update) next.bind_acl(slot, acl);
 
-  auto snapshot = std::make_shared<Snapshot>();
+  auto snapshot = std::make_unique<Snapshot>();
   snapshot->version = head_ + 1;
   snapshot->topo = std::make_shared<const topo::Topology>(std::move(next));
   snapshot->traffic = current->traffic;
-  head_ = snapshot->version;
-  versions_.emplace(head_, snapshot);
-  return snapshot;
+  SnapshotPtr wrapped = wrap(std::move(snapshot));
+  head_ = wrapped->version;
+  versions_.emplace(head_, wrapped);
+  return wrapped;
 }
 
 std::vector<SnapshotPtr> StateStore::trim(std::size_t keep) {

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -37,10 +38,22 @@ struct Snapshot {
 
 using SnapshotPtr = std::shared_ptr<const Snapshot>;
 
+/// Called as the last reference to a snapshot is released — i.e. once no
+/// version index entry and no job pins it — while its topology is still
+/// alive. The hook is where per-topology caches evict their entries: at
+/// that point nothing can re-insert under the retired topology, and the
+/// allocation has not yet been recycled, so eviction is race-free.
+using SnapshotReleaseHook = std::function<void(const Snapshot&)>;
+
 class StateStore {
  public:
   /// Loads the initial network as version 1.
   explicit StateStore(config::NetworkFile network);
+
+  /// Installs the release hook. Must be called before snapshots start
+  /// circulating to other threads (the hook cell is written unguarded);
+  /// it applies to every snapshot, including ones created earlier.
+  void set_release_hook(SnapshotReleaseHook hook);
 
   [[nodiscard]] SnapshotPtr head() const;
   [[nodiscard]] Version head_version() const;
@@ -52,14 +65,29 @@ class StateStore {
   /// rebound on top of the current head. Returns the new head snapshot.
   SnapshotPtr apply_update(const topo::AclUpdate& update);
 
+  /// apply_update gated on `expected` still being the head, with the
+  /// compare and the advance under one lock acquisition — the conflict
+  /// check callers need before deploying a plan verified against
+  /// `expected`. Returns nullptr when the head has moved on.
+  SnapshotPtr apply_if_head(Version expected, const topo::AclUpdate& update);
+
   /// Drops all but the newest `keep` versions from the index (snapshots
   /// pinned by running jobs stay alive through their shared_ptr). Returns
-  /// the dropped snapshots so per-topology caches can be evicted.
+  /// the dropped snapshots; each one's release hook fires when its last
+  /// pin goes away.
   std::vector<SnapshotPtr> trim(std::size_t keep);
 
   [[nodiscard]] std::size_t version_count() const;
 
  private:
+  [[nodiscard]] SnapshotPtr wrap(std::unique_ptr<Snapshot> snapshot) const;
+  SnapshotPtr apply_locked(const topo::AclUpdate& update);
+
+  // Shared with every snapshot's deleter so the hook outlives the store
+  // (a pinned snapshot can be released after the store is gone).
+  std::shared_ptr<SnapshotReleaseHook> release_hook_ =
+      std::make_shared<SnapshotReleaseHook>();
+
   mutable std::mutex mutex_;
   std::map<Version, SnapshotPtr> versions_;
   Version head_ = 0;

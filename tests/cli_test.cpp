@@ -289,6 +289,10 @@ TEST_F(CliTest, FlagValidationSweep) {
         "--workers", "lots"}, "--workers"},
       {{"serve", "--network", path("figure1.topo"), "--socket", "/tmp/x.sock",
         "--keep-versions", "-2"}, "--keep-versions"},
+      {{"serve", "--network", path("figure1.topo"), "--socket", "/tmp/x.sock",
+        "--retain-jobs", "abc"}, "--retain-jobs"},
+      {{"serve", "--network", path("figure1.topo"), "--socket", "/tmp/x.sock",
+        "--retain-jobs", "0"}, "--retain-jobs"},
       {{"serve", "--network", path("figure1.topo")}, "--socket"},
       {{"client", "--socket", "/tmp/x.sock", "submit", "--deadline-ms", "0"}, "--deadline-ms"},
       {{"client", "--socket", "/tmp/x.sock", "submit", "--priority", "urgent"}, "--priority"},

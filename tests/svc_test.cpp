@@ -2,10 +2,12 @@
 // scheduler policy, and a live server+client round trip on Figure 1.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <thread>
+#include <vector>
 
 #include "gen/fixtures.h"
 #include "svc/client.h"
@@ -46,6 +48,20 @@ TEST(JsonTest, ParseRejectsMalformedInput) {
                           "{\"a\":1} trailing", "\"bad \\x escape\"", "01"}) {
     EXPECT_THROW((void)Json::parse(bad), JsonError) << bad;
   }
+}
+
+TEST(JsonTest, NestingDepthIsBounded) {
+  // Untrusted input: a line of nested containers must fail cleanly rather
+  // than overflow the stack via unbounded recursion.
+  const std::string deep_array(100000, '[');
+  EXPECT_THROW((void)Json::parse(deep_array), JsonError);
+  std::string deep_object;
+  for (int i = 0; i < 1000; ++i) deep_object += "{\"a\":";
+  EXPECT_THROW((void)Json::parse(deep_object), JsonError);
+
+  // Reasonable nesting still parses.
+  const std::string ok = std::string(100, '[') + "1" + std::string(100, ']');
+  EXPECT_EQ(Json::parse(ok).dump(), ok);
 }
 
 TEST(JsonTest, UnicodeEscapesDecodeToUtf8) {
@@ -108,6 +124,37 @@ TEST(StateStoreTest, TrimDropsOldestButPinnedSnapshotsSurvive) {
   // The pin keeps the trimmed snapshot usable.
   EXPECT_EQ(v1->version, 1u);
   EXPECT_NE(v1->topo, nullptr);
+}
+
+TEST(StateStoreTest, ApplyIfHeadIsAnAtomicConflictCheck) {
+  StateStore store{figure1_network()};
+  EXPECT_EQ(store.apply_if_head(1, {})->version, 2u);
+  // A plan verified against version 1 can no longer land.
+  EXPECT_EQ(store.apply_if_head(1, {}), nullptr);
+  EXPECT_EQ(store.head_version(), 2u);
+  EXPECT_EQ(store.apply_if_head(2, {})->version, 3u);
+}
+
+TEST(StateStoreTest, ReleaseHookFiresOnlyWhenLastPinGoesAway) {
+  // Declared before the store: the hook also fires for the snapshots the
+  // store still indexes when it is destroyed at end of scope.
+  std::vector<Version> released;
+  StateStore store{figure1_network()};
+  store.set_release_hook([&](const Snapshot& snapshot) {
+    EXPECT_NE(snapshot.topo, nullptr);  // topology is still alive here
+    released.push_back(snapshot.version);
+  });
+
+  SnapshotPtr v1 = store.head();
+  for (int i = 0; i < 3; ++i) store.apply_update({});
+
+  // v1 and v2 leave the index; v2 is unpinned and releases immediately,
+  // v1 stays alive through the pin.
+  (void)store.trim(2);
+  EXPECT_EQ(released, std::vector<Version>{2});
+
+  v1.reset();
+  EXPECT_EQ(released, (std::vector<Version>{2, 1}));
 }
 
 // ----------------------------------------------------------- Scheduler
@@ -200,6 +247,28 @@ TEST(SchedulerTest, ExpiredDeadlineFailsAtDispatch) {
   const auto status = scheduler.status(job->id());
   EXPECT_EQ(status->state, JobState::Failed);
   EXPECT_NE(status->outcome.error.find("deadline"), std::string::npos);
+}
+
+TEST(SchedulerTest, TerminalJobsAreEvictedBeyondRetention) {
+  Scheduler scheduler{8, /*retain_terminal=*/2};
+  const auto snapshot = dummy_snapshot();
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 3; ++i) {
+    const auto job = scheduler.submit(spec_with(Priority::Interactive), snapshot).job;
+    ASSERT_TRUE(job);
+    ids.push_back(job->id());
+    const auto running = scheduler.next();
+    ASSERT_EQ(running->id(), job->id());
+    scheduler.finish(running, JobState::Done, {});
+  }
+  // The oldest-finished job is forgotten; the two newest stay queryable.
+  EXPECT_FALSE(scheduler.status(ids[0]));
+  EXPECT_EQ(scheduler.find(ids[0]), nullptr);
+  EXPECT_TRUE(scheduler.status(ids[1]));
+  EXPECT_TRUE(scheduler.status(ids[2]));
+  // Live (non-terminal) jobs are never evicted by retention.
+  const auto live = scheduler.submit(spec_with(Priority::Interactive), snapshot).job;
+  EXPECT_TRUE(scheduler.status(live->id()));
 }
 
 TEST(SchedulerTest, WaitTimesOutOnRunningJobAndReturnsOnFinish) {
@@ -355,6 +424,49 @@ TEST_F(ServerTest, StaleSnapshotApplyIsRejected) {
   } catch (const RpcError& e) {
     EXPECT_EQ(e.code(), 409);
   }
+}
+
+TEST_F(ServerTest, ConcurrentAppliesAdmitExactlyOneWinner) {
+  // Two successful jobs verified against the same head race their applies;
+  // the check-and-advance is atomic, so exactly one lands and the other
+  // conflicts (head never silently absorbs a plan verified elsewhere).
+  std::vector<std::uint64_t> jobs;
+  {
+    Client client{socket_path_};
+    for (int i = 0; i < 2; ++i) {
+      Json::Object params;
+      params.emplace("program", kCheckFix);
+      Json::Object acls;
+      acls.emplace("A1_new", kA1New);
+      acls.emplace("A3_new", kA3New);
+      params.emplace("acls", Json{std::move(acls)});
+      const Json result = submit_and_wait(client, std::move(params));
+      ASSERT_TRUE(result.at("status").at("outcome").at("success").as_bool());
+      jobs.push_back(result.at("status").at("job").as_u64());
+    }
+  }
+
+  std::atomic<int> applied{0};
+  std::atomic<int> conflicted{0};
+  std::vector<std::thread> threads;
+  for (const std::uint64_t job : jobs) {
+    threads.emplace_back([&, job] {
+      Client client{socket_path_};
+      Json::Object params;
+      params.emplace("job", job);
+      try {
+        (void)client.call("apply", Json{std::move(params)});
+        ++applied;
+      } catch (const RpcError& e) {
+        EXPECT_EQ(e.code(), 409);
+        ++conflicted;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(applied.load(), 1);
+  EXPECT_EQ(conflicted.load(), 1);
+  EXPECT_EQ(server_->store().head_version(), 2u);
 }
 
 TEST_F(ServerTest, ErrorsCarryRpcCodes) {
