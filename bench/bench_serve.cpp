@@ -1,7 +1,7 @@
 // Service throughput and latency: drives a live svc::Server over its Unix
 // socket with the medium WAN and writes BENCH_serve.json.
 //
-// Two experiments:
+// Four experiments:
 //
 //  * Queue-depth sweep: D concurrent client sessions (D = 1, 8, 64), each
 //    submitting perturbed check jobs back-to-back so ~D jobs stay
@@ -14,6 +14,18 @@
 //    cache per job, which is what a cold CLI invocation pays. Expected
 //    shape: warm is measurably faster because every job after the first
 //    reuses the cached equivalence classes.
+//
+//  * Churn, warm over versions: R rounds of (apply a delta, re-check a
+//    fixed pending batch), run once on an incremental server and once with
+//    --max-delta-chain 0. Only check wall time counts. The speedup is the
+//    headline number for the delta cache: verdict reuse plus rebase versus
+//    a full plan rebuild on every new version.
+//
+//  * Churn depth sweep: the same interleaved apply+check loop at client
+//    depths 1/8/64 on the incremental server — added concurrency must not
+//    cost throughput, since sessions share the rebased plan.
+//
+// --smoke shrinks everything (small WAN, fewer rounds) for CI.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -61,6 +73,48 @@ Workload make_workload(const gen::Wan& wan, unsigned seed) {
   }
   workload.program = scope + "\n" + modifies + "check\n";
   return workload;
+}
+
+std::string scope_line(const gen::Wan& wan) {
+  std::string scope = "scope ";
+  for (topo::DeviceId d = 0; d < wan.topo.device_count(); ++d) {
+    if (d > 0) scope += ", ";
+    scope += wan.topo.device_name(d);
+  }
+  return scope;
+}
+
+/// The slot's ACL with its first rule duplicated: a semantically no-op
+/// rebind under first-match semantics. As a pending check it always
+/// verifies consistent; as an applied delta it is a real version bump whose
+/// Definition 4.1 differential is the duplicated rule.
+net::Acl duplicate_first_rule(const topo::Topology& topo, topo::AclSlot slot) {
+  const net::Acl& acl = topo.acl(slot);
+  std::vector<net::AclRule> rules{acl.rules().begin(), acl.rules().end()};
+  rules.insert(rules.begin(), rules.front());
+  return net::Acl{std::move(rules), acl.default_action()};
+}
+
+/// A pending check against a gateway slot the churn applies never touch —
+/// its canonical text is stable across versions, so the delta cache can
+/// carry its proven verdicts from version to version.
+Workload dup_check_workload(const gen::Wan& wan, topo::AclSlot slot) {
+  Workload workload;
+  workload.acl_bodies.emplace("dup", config::print_acl(duplicate_first_rule(wan.topo, slot)));
+  workload.program = scope_line(wan) + "\nmodify " + wan.topo.qualified_name(slot.iface) +
+                     (slot.dir == topo::Dir::In ? "-in" : "-out") + " to dup\ncheck\n";
+  return workload;
+}
+
+/// The churn delta for one round: duplicate the first rule of a rotating
+/// aggregation slot on the current head. Deterministic, so the incremental
+/// and the disabled server walk identical version chains.
+topo::AclUpdate churn_update(const gen::Wan& wan, const topo::Topology& head,
+                             std::size_t round) {
+  const topo::AclSlot slot = wan.agg_slots[round % wan.agg_slots.size()];
+  topo::AclUpdate update;
+  update.emplace(slot, duplicate_first_rule(head, slot));
+  return update;
 }
 
 svc::Json submit_params(const Workload& workload) {
@@ -138,6 +192,30 @@ DepthResult run_depth(const std::string& socket_path, std::size_t depth,
   return result;
 }
 
+/// One churn run: `rounds` iterations of (apply a delta, drain the pending
+/// check batch at `depth` concurrent sessions). Only the check batches are
+/// timed; the applies advance the version chain between them.
+struct ChurnTiming {
+  std::size_t rounds = 0;
+  std::size_t jobs = 0;
+  double check_seconds = 0;
+};
+
+ChurnTiming run_churn(svc::Server& server, const std::string& socket_path,
+                      const gen::Wan& wan, std::size_t depth, std::size_t rounds,
+                      const std::vector<Workload>& pending) {
+  ChurnTiming timing;
+  timing.rounds = rounds;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    (void)server.store().apply_update(
+        churn_update(wan, *server.store().head()->topo, round));
+    const DepthResult batch = run_depth(socket_path, depth, pending);
+    timing.check_seconds += batch.wall_seconds;
+    timing.jobs += batch.jobs;
+  }
+  return timing;
+}
+
 /// The cold path: what a one-shot CLI run pays per job — fresh engine,
 /// fresh FEC cache, nothing resident.
 double run_cold(const gen::Wan& wan, const std::vector<Workload>& workloads) {
@@ -164,39 +242,64 @@ double run_cold(const gen::Wan& wan, const std::vector<Workload>& workloads) {
 int main(int argc, char** argv) {
   using namespace jinjing;
   const char* json_path = "BENCH_serve.json";
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::string(argv[i]) == "--json") json_path = argv[i + 1];
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json" && i + 1 < argc) json_path = argv[i + 1];
+    if (std::string(argv[i]) == "--smoke") smoke = true;
   }
 
-  const gen::Wan wan = gen::make_wan(gen::medium_wan());
-  std::fprintf(stderr, "serve workload: medium WAN, %zu total rules\n", gen::total_rules(wan));
+  // --smoke (CI): the small WAN and reduced rounds/depths — same shape,
+  // seconds instead of minutes.
+  const gen::Wan wan = gen::make_wan(smoke ? gen::small_wan() : gen::medium_wan());
+  std::fprintf(stderr, "serve workload: %s WAN, %zu total rules\n",
+               smoke ? "small" : "medium", gen::total_rules(wan));
+  std::vector<std::size_t> depths{1, 8, 64};
+  std::size_t min_jobs = 24;
+  std::size_t warm_rounds = 6, warm_jobs = 16, warm_depth = 8;
+  std::size_t churn_rounds = 3;
+  std::size_t warm_cold_jobs = 8;
+  if (smoke) {
+    depths = {1, 8};
+    min_jobs = 8;
+    warm_rounds = 4;
+    warm_jobs = 8;
+    warm_depth = 4;
+    churn_rounds = 2;
+    warm_cold_jobs = 4;
+  }
 
-  config::NetworkFile network;
-  network.topo = wan.topo;
-  network.traffic = wan.traffic;
+  const auto make_server = [&](const std::string& socket_path, std::size_t max_delta_chain) {
+    config::NetworkFile network;
+    network.topo = wan.topo;
+    network.traffic = wan.traffic;
+    svc::ServerOptions options;
+    options.socket_path = socket_path;
+    options.queue_depth = 256;
+    options.workers = std::min(4u, std::max(1u, std::thread::hardware_concurrency()));
+    options.keep_versions = 4;
+    options.max_delta_chain = max_delta_chain;
+    return std::make_unique<svc::Server>(std::move(network), options);
+  };
   const std::string socket_path =
       (std::filesystem::temp_directory_path() /
        ("jinjing_bench_serve_" + std::to_string(::getpid()) + ".sock"))
           .string();
-  svc::ServerOptions options;
-  options.socket_path = socket_path;
-  options.queue_depth = 256;
-  options.workers = std::min(4u, std::max(1u, std::thread::hardware_concurrency()));
-  svc::Server server{std::move(network), options};
-  server.start();
+  auto server = make_server(socket_path, 16);
+  const unsigned workers = std::min(4u, std::max(1u, std::thread::hardware_concurrency()));
+  server->start();
 
-  // One warmup job populates the shared FEC cache so the sweep measures the
-  // steady state a long-running service actually serves from.
+  // One warmup job populates the shared FEC cache so every experiment
+  // measures the steady state a long-running service actually serves from.
   {
     svc::Client warmup{socket_path};
     (void)run_job(warmup, make_workload(wan, 9999));
   }
 
-  const std::size_t depths[] = {1, 8, 64};
+  // ---- Queue-depth sweep (perturbed pending checks, head version fixed).
   std::vector<DepthResult> sweep;
   for (const std::size_t depth : depths) {
     // Enough jobs that every session stays busy past startup effects.
-    const std::size_t job_count = std::max<std::size_t>(24, depth * 2);
+    const std::size_t job_count = std::max<std::size_t>(min_jobs, depth * 2);
     std::vector<Workload> workloads;
     for (std::size_t j = 0; j < job_count; ++j) {
       workloads.push_back(make_workload(wan, static_cast<unsigned>(depth * 1000 + j + 1)));
@@ -207,10 +310,10 @@ int main(int argc, char** argv) {
                  r.depth, r.jobs_per_sec, r.p50_ms, r.p99_ms, r.jobs);
   }
 
-  // Warm vs cold on one identical stream.
-  constexpr std::size_t kWarmColdJobs = 8;
+  // ---- Warm vs cold on one identical stream (still at the head version
+  // the sweep warmed).
   std::vector<Workload> stream;
-  for (std::size_t j = 0; j < kWarmColdJobs; ++j) {
+  for (std::size_t j = 0; j < warm_cold_jobs; ++j) {
     stream.push_back(make_workload(wan, static_cast<unsigned>(7000 + j)));
   }
   double warm_seconds = 0;
@@ -223,19 +326,88 @@ int main(int argc, char** argv) {
   const double cold_seconds = run_cold(wan, stream);
   const double speedup = warm_seconds > 0 ? cold_seconds / warm_seconds : 0;
   std::fprintf(stderr, "  warm %.3fs vs cold %.3fs over %zu jobs: %.2fx\n", warm_seconds,
-               cold_seconds, kWarmColdJobs, speedup);
+               cold_seconds, warm_cold_jobs, speedup);
 
-  server.request_shutdown();
-  server.wait();
+  // ---- Churn, warm over versions: R rounds of (apply delta, re-check a
+  // fixed pending batch). The pending updates target gateway slots the
+  // churn never rewrites, so the delta cache can rebase its plan and carry
+  // their verdicts across every version; the disabled server below pays a
+  // full rebuild per job instead.
+  std::vector<Workload> pending;
+  for (std::size_t j = 0; j < warm_jobs; ++j) {
+    pending.push_back(dup_check_workload(wan, wan.gateway_slots[j % wan.gateway_slots.size()]));
+  }
+  const ChurnTiming incremental_churn =
+      run_churn(*server, socket_path, wan, warm_depth, warm_rounds, pending);
+  std::fprintf(stderr, "  churn warm (incremental): %zu checks over %zu versions in %.3fs\n",
+               incremental_churn.jobs, incremental_churn.rounds, incremental_churn.check_seconds);
+
+  // ---- Churn depth sweep: interleaved apply+check at each depth, on the
+  // incremental server. The shared rebased plan means added concurrency
+  // must not cost throughput.
+  struct ChurnDepth {
+    std::size_t depth = 0;
+    ChurnTiming timing;
+    double jobs_per_sec = 0;
+  };
+  std::vector<ChurnDepth> churn_sweep;
+  for (const std::size_t depth : depths) {
+    std::vector<Workload> batch;
+    const std::size_t job_count = std::max<std::size_t>(smoke ? 8 : 12, depth);
+    for (std::size_t j = 0; j < job_count; ++j) {
+      batch.push_back(dup_check_workload(wan, wan.gateway_slots[j % wan.gateway_slots.size()]));
+    }
+    ChurnDepth entry;
+    entry.depth = depth;
+    entry.timing = run_churn(*server, socket_path, wan, depth, churn_rounds, batch);
+    entry.jobs_per_sec = entry.timing.check_seconds > 0
+                             ? static_cast<double>(entry.timing.jobs) / entry.timing.check_seconds
+                             : 0;
+    std::fprintf(stderr, "  churn depth %-3zu %5.2f jobs/s (%zu jobs, %zu applies)\n",
+                 entry.depth, entry.jobs_per_sec, entry.timing.jobs, entry.timing.rounds);
+    churn_sweep.push_back(std::move(entry));
+  }
+
+  const core::IncrementalStats delta_stats =
+      server->incremental() ? server->incremental()->stats() : core::IncrementalStats{};
+  server->request_shutdown();
+  server->wait();
+  server.reset();
   std::filesystem::remove(socket_path);
+
+  // ---- The same churn stream with the delta cache disabled
+  // (--max-delta-chain 0, the seed behaviour): every check pays path
+  // enumeration, plan build and the full obligation batch again.
+  double full_churn_seconds = 0;
+  {
+    auto baseline = make_server(socket_path, 0);
+    baseline->start();
+    {
+      svc::Client warmup{socket_path};
+      (void)run_job(warmup, make_workload(wan, 9999));
+    }
+    const ChurnTiming full_churn =
+        run_churn(*baseline, socket_path, wan, warm_depth, warm_rounds, pending);
+    full_churn_seconds = full_churn.check_seconds;
+    std::fprintf(stderr, "  churn warm (disabled):    %zu checks over %zu versions in %.3fs\n",
+                 full_churn.jobs, full_churn.rounds, full_churn.check_seconds);
+    baseline->request_shutdown();
+    baseline->wait();
+    std::filesystem::remove(socket_path);
+  }
+  const double warm_over_versions =
+      incremental_churn.check_seconds > 0 ? full_churn_seconds / incremental_churn.check_seconds
+                                          : 0;
+  std::fprintf(stderr, "  warm-over-versions speedup: %.2fx\n", warm_over_versions);
 
   std::FILE* out = std::fopen(json_path, "w");
   if (!out) {
     std::fprintf(stderr, "cannot open %s\n", json_path);
     return 1;
   }
-  std::fprintf(out, "{\n  \"workload\": \"serve\",\n  \"network\": \"medium\",\n");
-  std::fprintf(out, "  \"workers\": %u,\n  \"queue_depths\": [\n", options.workers);
+  std::fprintf(out, "{\n  \"workload\": \"serve\",\n  \"network\": \"%s\",\n",
+               smoke ? "small" : "medium");
+  std::fprintf(out, "  \"workers\": %u,\n  \"queue_depths\": [\n", workers);
   for (std::size_t i = 0; i < sweep.size(); ++i) {
     const auto& r = sweep[i];
     std::fprintf(out,
@@ -247,8 +419,32 @@ int main(int argc, char** argv) {
   std::fprintf(out, "  ],\n");
   std::fprintf(out,
                "  \"warm_vs_cold\": {\"jobs\": %zu, \"warm_seconds\": %.6f, "
-               "\"cold_seconds\": %.6f, \"speedup\": %.2f}\n}\n",
-               kWarmColdJobs, warm_seconds, cold_seconds, speedup);
+               "\"cold_seconds\": %.6f, \"speedup\": %.2f},\n",
+               warm_cold_jobs, warm_seconds, cold_seconds, speedup);
+  std::fprintf(out, "  \"churn\": {\n    \"depths\": [\n");
+  for (std::size_t i = 0; i < churn_sweep.size(); ++i) {
+    const auto& entry = churn_sweep[i];
+    std::fprintf(out,
+                 "      {\"depth\": %zu, \"applies\": %zu, \"jobs\": %zu, "
+                 "\"check_seconds\": %.6f, \"jobs_per_sec\": %.3f}%s\n",
+                 entry.depth, entry.timing.rounds, entry.timing.jobs,
+                 entry.timing.check_seconds, entry.jobs_per_sec,
+                 i + 1 < churn_sweep.size() ? "," : "");
+  }
+  std::fprintf(out, "    ],\n");
+  std::fprintf(out,
+               "    \"warm_over_versions\": {\"rounds\": %zu, \"jobs\": %zu, "
+               "\"incremental_seconds\": %.6f, \"full_seconds\": %.6f, \"speedup\": %.2f},\n",
+               incremental_churn.rounds, incremental_churn.jobs,
+               incremental_churn.check_seconds, full_churn_seconds, warm_over_versions);
+  std::fprintf(out,
+               "    \"delta_cache\": {\"hits\": %llu, \"misses\": %llu, "
+               "\"invalidations\": %llu, \"rebases\": %llu, \"fallbacks\": %llu}\n  }\n}\n",
+               static_cast<unsigned long long>(delta_stats.hits),
+               static_cast<unsigned long long>(delta_stats.misses),
+               static_cast<unsigned long long>(delta_stats.invalidations),
+               static_cast<unsigned long long>(delta_stats.rebases),
+               static_cast<unsigned long long>(delta_stats.fallbacks));
   std::fclose(out);
   std::fprintf(stderr, "wrote %s\n", json_path);
   return 0;

@@ -39,8 +39,9 @@ constexpr const char* kUsage = R"(usage:
   jinjing diff  --acl-a FILE --acl-b FILE
   jinjing gen   --size small|medium|large [--seed N]
   jinjing serve  --network FILE --socket PATH [--queue-depth N] [--workers N]
-                 [--keep-versions N] [--retain-jobs N] [--set-backend hypercube|bdd]
-                 [--timeout-ms N] [--no-incremental-smt]
+                 [--keep-versions N] [--retain-jobs N] [--max-delta-chain N]
+                 [--set-backend hypercube|bdd] [--timeout-ms N]
+                 [--no-incremental-smt]
   jinjing client --socket PATH METHOD [--program FILE] [--acl NAME=FILE]...
                  [--priority interactive|batch] [--deadline-ms N]
                  [--snapshot N] [--job N] [--wait] [--wait-ms N]
@@ -79,6 +80,10 @@ gen      write a synthetic layered WAN (the benchmark workloads) to stdout
 serve    run the long-lived verification service on a Unix domain socket:
          versioned network snapshots, a prioritized job queue (interactive
          check ahead of batch fix/generate) and warm per-worker engines
+         --max-delta-chain N  how many applies a cached verification plan
+                              may be carried across before a full rebuild
+                              (default 16; 0 disables incremental
+                              cross-version verification)
 client   drive a running service; METHOD is one of submit, status, result,
          cancel, apply, info, metrics, shutdown
          --wait      after submit, block until the job finishes; exit 0
@@ -115,6 +120,7 @@ struct Options {
   unsigned workers = 2;
   unsigned keep_versions = 8;
   unsigned retain_jobs = 1024;
+  unsigned max_delta_chain = 16;
   std::string client_method;
   std::string priority;
   std::optional<std::uint64_t> job_id;
@@ -244,6 +250,9 @@ Options parse_args(const std::vector<std::string>& args) {
     } else if (arg == "--retain-jobs") {
       options.retain_jobs =
           static_cast<unsigned>(parse_unsigned("--retain-jobs", value(), 1, 1u << 20));
+    } else if (arg == "--max-delta-chain") {
+      options.max_delta_chain =
+          static_cast<unsigned>(parse_unsigned("--max-delta-chain", value(), 0, 1u << 20));
     } else if (arg == "--priority") {
       const auto& priority = value();
       if (priority != "interactive" && priority != "batch") {
@@ -697,6 +706,7 @@ int serve_command(const Options& options, std::ostream& out) {
   server_options.workers = options.workers;
   server_options.keep_versions = options.keep_versions;
   server_options.retain_jobs = options.retain_jobs;
+  server_options.max_delta_chain = options.max_delta_chain;
   for (core::CheckOptions* check :
        {&server_options.engine.check, &server_options.engine.fix.check}) {
     check->set_backend = options.set_backend;

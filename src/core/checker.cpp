@@ -95,6 +95,13 @@ Checker::Checker(smt::SmtContext& smt, const topo::Topology& topo, const topo::S
       options_(options),
       fec_cache_(options.fec_cache ? options.fec_cache : std::make_shared<topo::FecCache>()) {
   if (options_.timeout_ms > 0) smt_.set_timeout_ms(options_.timeout_ms);
+  if (options_.adopted_plan) {
+    // The bundle carries paths, forwarding sets and the plan verbatim; the
+    // caller guarantees it was built over the same structure (see
+    // CheckOptions::adopted_plan).
+    adopted_ = options_.adopted_plan;
+    return;
+  }
   paths_ = topo::enumerate_paths(topo_, scope_, options_.path_options);
   path_forwarding_.reserve(paths_.size());
   for (const auto& p : paths_) path_forwarding_.push_back(topo::forwarding_set(topo_, p));
@@ -111,14 +118,20 @@ std::shared_ptr<const std::vector<net::PacketSet>> Checker::global_classes(
 }
 
 std::vector<std::size_t> Checker::feasible_paths(const net::PacketSet& traffic) const {
+  const auto& forwarding = path_forwarding();
   std::vector<std::size_t> out;
-  for (std::size_t i = 0; i < paths_.size(); ++i) {
-    if (path_forwarding_[i].intersects(traffic)) out.push_back(i);
+  for (std::size_t i = 0; i < forwarding.size(); ++i) {
+    if (forwarding[i].intersects(traffic)) out.push_back(i);
   }
   return out;
 }
 
 const VerifyPlan& Checker::plan(const net::PacketSet& entering) {
+  if (adopted_ && adopted_->entering.equals(entering)) {
+    last_plan_seconds_ = 0;  // served from the adopted bundle
+    obs::count(obs::Counter::PlanCacheHits);
+    return adopted_->plan;
+  }
   if (plan_entering_ && plan_entering_->equals(entering)) {
     last_plan_seconds_ = 0;  // served from cache
     obs::count(obs::Counter::PlanCacheHits);
@@ -127,15 +140,25 @@ const VerifyPlan& Checker::plan(const net::PacketSet& entering) {
   const obs::TraceSpan span{obs::Span::CheckerPlan};
   const Lowering mode = options_.use_differential ? Lowering::Differential : Lowering::Basic;
   if (options_.per_entry_fec) {
-    plan_ = build_verify_plan(paths_, path_forwarding_, entry_classes(entering), mode);
+    plan_ = build_verify_plan(paths(), path_forwarding(), entry_classes(entering), mode);
   } else {
-    plan_ = build_verify_plan(paths_, path_forwarding_, global_classes(entering), mode);
+    plan_ = build_verify_plan(paths(), path_forwarding(), global_classes(entering), mode);
   }
   plan_entering_ = entering;
   last_plan_seconds_ = plan_.stats().plan_seconds;
   obs::count(obs::Counter::PlanBuilds);
   obs::count(obs::Counter::ObligationsPlanned, plan_.obligations().size());
   return plan_;
+}
+
+std::shared_ptr<const PlanBundle> Checker::share_plan(const net::PacketSet& entering) {
+  if (adopted_ && adopted_->entering.equals(entering)) return adopted_;
+  auto bundle = std::make_shared<PlanBundle>();
+  bundle->plan = plan(entering);  // builds (or reuses) first; copies share class storage
+  bundle->paths = paths();
+  bundle->path_forwarding = path_forwarding();
+  bundle->entering = entering;
+  return bundle;
 }
 
 CheckSession& Checker::session(const topo::AclUpdate& update,
@@ -226,7 +249,7 @@ const z3::expr& CheckSession::acl_expr(topo::AclSlot slot, bool after_side) {
 z3::expr CheckSession::path_inconsistency_expr(std::size_t path_index) {
   auto& smt = smt_;
   const auto& h = vars_;
-  const auto& path = checker_.paths_[path_index];
+  const auto& path = checker_.paths()[path_index];
 
   const auto path_decision = [&](bool after_side) {
     z3::expr expr = smt.bool_val(true);
@@ -271,7 +294,7 @@ std::optional<Violation> CheckSession::find_violation(const net::PacketSet& fec,
   auto feasible = checker_.feasible_paths(fec);
   if (entry) {
     std::erase_if(feasible, [&](std::size_t pi) {
-      return checker_.paths_[pi].entry() != *entry;
+      return checker_.paths()[pi].entry() != *entry;
     });
   }
   return find_violation(fec, excluded, feasible);
@@ -320,7 +343,7 @@ std::optional<Violation> CheckSession::find_violation(const net::PacketSet& fec,
   // Locate the violated path by concrete evaluation on the *full* views
   // (sound per Theorem 4.1: reduced and full verdicts agree pointwise).
   for (const std::size_t pi : feasible) {
-    const auto& path = checker_.paths_[pi];
+    const auto& path = checker_.paths()[pi];
     const bool original = topo::path_permits(before_, path, *witness);
     const bool desired = desired_decision(controls_, path, *witness, original);
     const bool updated = topo::path_permits(after_, path, *witness);
@@ -338,8 +361,10 @@ std::optional<Violation> CheckSession::find_violation(const net::PacketSet& fec,
 CheckResult Checker::check_monolithic(const topo::AclUpdate& update,
                                       const net::PacketSet& entering) {
   const std::uint64_t queries_before = smt_.query_count();
+  const auto& all_paths = paths();
+  const auto& forwarding = path_forwarding();
   CheckResult result;
-  result.path_count = paths_.size();
+  result.path_count = all_paths.size();
   result.fec_count = 1;  // the whole entering traffic, unclassified
 
   const topo::ConfigView before{topo_};
@@ -361,15 +386,15 @@ CheckResult Checker::check_monolithic(const topo::AclUpdate& update,
   };
 
   z3::expr any = smt_.bool_val(false);
-  for (std::size_t pi = 0; pi < paths_.size(); ++pi) {
-    const auto& path = paths_[pi];
+  for (std::size_t pi = 0; pi < all_paths.size(); ++pi) {
+    const auto& path = all_paths[pi];
     z3::expr before_decision = smt_.bool_val(true);
     z3::expr after_decision = smt_.bool_val(true);
     for (const auto& hop : path.hops()) {
       before_decision = before_decision && acl_expr(hop.slot(), false);
       after_decision = after_decision && acl_expr(hop.slot(), true);
     }
-    const z3::expr routable = smt::set_expr(h, path_forwarding_[pi]);
+    const z3::expr routable = smt::set_expr(h, forwarding[pi]);
     any = any || (routable && (before_decision != after_decision));
   }
   solver.add(smt::set_expr(h, entering));
@@ -378,13 +403,13 @@ CheckResult Checker::check_monolithic(const topo::AclUpdate& update,
   const auto witness = smt_.solve_for_packet(solver, h);
   if (witness) {
     result.consistent = false;
-    for (std::size_t pi = 0; pi < paths_.size(); ++pi) {
-      if (!path_forwarding_[pi].contains(*witness)) continue;
-      const bool b = topo::path_permits(before, paths_[pi], *witness);
-      const bool a = topo::path_permits(after, paths_[pi], *witness);
+    for (std::size_t pi = 0; pi < all_paths.size(); ++pi) {
+      if (!forwarding[pi].contains(*witness)) continue;
+      const bool b = topo::path_permits(before, all_paths[pi], *witness);
+      const bool a = topo::path_permits(after, all_paths[pi], *witness);
       if (b != a) {
         Violation violation{*witness, pi, b, a, std::nullopt, {}, {}};
-        explain_violation(topo_, before, after, paths_[pi], violation);
+        explain_violation(topo_, before, after, all_paths[pi], violation);
         result.violations.push_back(std::move(violation));
         break;
       }
@@ -397,7 +422,7 @@ CheckResult Checker::check_monolithic(const topo::AclUpdate& update,
 CheckResult Checker::check(const topo::AclUpdate& update, const net::PacketSet& entering,
                            const std::vector<lai::ControlIntent>& controls) {
   CheckResult result;
-  result.path_count = paths_.size();
+  result.path_count = paths().size();
 
   // Plan: the obligation DAG (update-independent, cached).
   const VerifyPlan& verify_plan = plan(entering);

@@ -77,6 +77,12 @@ struct CheckOptions {
   /// private pool of `threads` workers. The Engine installs one executor
   /// across its whole check/fix/generate pipeline.
   std::shared_ptr<Executor> executor;
+  /// A complete planning bundle exported by an earlier checker over the
+  /// same (topology structure, scope) — path enumeration is skipped and
+  /// plan() for the bundle's entering set is a lookup. The caller owns the
+  /// structural-compatibility guarantee (core::IncrementalPlanner keys
+  /// bundles so only structurally identical problems match).
+  std::shared_ptr<const PlanBundle> adopted_plan;
   topo::PathEnumOptions path_options;
 };
 
@@ -236,7 +242,15 @@ class Checker {
   /// private pool of options().threads workers.
   [[nodiscard]] Executor& executor();
 
-  [[nodiscard]] const std::vector<topo::Path>& paths() const { return paths_; }
+  /// Exports this checker's planning state for `entering` as a shareable
+  /// bundle (building the plan first if needed). The bundle is immutable
+  /// and self-contained: another checker adopting it never touches this
+  /// checker again.
+  [[nodiscard]] std::shared_ptr<const PlanBundle> share_plan(const net::PacketSet& entering);
+
+  [[nodiscard]] const std::vector<topo::Path>& paths() const {
+    return adopted_ ? adopted_->paths : paths_;
+  }
   [[nodiscard]] const CheckOptions& options() const { return options_; }
   [[nodiscard]] const topo::Topology& topology() const { return topo_; }
   [[nodiscard]] const topo::Scope& scope() const { return scope_; }
@@ -264,11 +278,16 @@ class Checker {
     return topo::FecOptions{options_.set_backend, options_.threads};
   }
 
+  [[nodiscard]] const std::vector<net::PacketSet>& path_forwarding() const {
+    return adopted_ ? adopted_->path_forwarding : path_forwarding_;
+  }
+
   smt::SmtContext& smt_;
   const topo::Topology& topo_;
   const topo::Scope scope_;
   CheckOptions options_;
   std::shared_ptr<topo::FecCache> fec_cache_;
+  std::shared_ptr<const PlanBundle> adopted_;    // set: paths_/path_forwarding_ stay empty
   std::vector<topo::Path> paths_;
   std::vector<net::PacketSet> path_forwarding_;  // forwarding set per path
 

@@ -91,6 +91,21 @@ class VerifyPlan {
   Stats stats_;
 };
 
+/// The complete update-independent planning state of one (topology
+/// structure, scope, entering traffic) verification problem: the enumerated
+/// paths, their forwarding sets, and the obligation plan for one entering
+/// set. A Checker exports its state as a bundle (Checker::share_plan) and
+/// can adopt one instead of re-enumerating (CheckOptions::adopted_plan);
+/// core::IncrementalPlanner carries bundles across svc::StateStore versions
+/// — an ACL-only apply copies the topology but never changes edges or
+/// forwarding predicates, so paths and FEC refinements stay valid verbatim.
+struct PlanBundle {
+  std::vector<topo::Path> paths;
+  std::vector<net::PacketSet> path_forwarding;  // forwarding set per path
+  net::PacketSet entering;                      // the traffic `plan` was built for
+  VerifyPlan plan;
+};
+
 /// Builds the per-entry plan: one obligation per (entry, class), in the
 /// classifier's deterministic order, with feasible paths restricted to the
 /// entry (the per-entry fast path of Algorithm 1).

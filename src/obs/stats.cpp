@@ -33,11 +33,13 @@ constexpr std::array<std::string_view, kCounterCount> kCounterNames = {
     "obligations_skipped",  "executor_runs",         "executor_tasks",
     "executor_steals",      "svc_jobs_submitted",    "svc_jobs_rejected",
     "svc_jobs_cancelled",   "svc_jobs_done",         "svc_jobs_failed",
-    "svc_applies",
+    "svc_applies",          "delta_cache_hits",      "delta_cache_misses",
+    "delta_cache_invalidations",                     "delta_cache_rebases",
 };
 
 constexpr std::array<std::string_view, kGaugeCount> kGaugeNames = {
     "bdd_nodes",
+    "svc_cached_obligations",
 };
 
 constexpr std::array<std::string_view, kHistogramCount> kHistogramNames = {

@@ -40,14 +40,19 @@ enum class Counter : std::size_t {
   SvcJobsDone,          // jobs that ran to completion (success or not)
   SvcJobsFailed,        // jobs that terminated with an error (incl. deadline)
   SvcApplies,           // state-store head advances via the apply method
+  DeltaCacheHits,       // incremental-planner lookups served from a cached entry
+  DeltaCacheMisses,     // incremental-planner lookups that required a full rebuild
+  DeltaCacheInvalidations, // cached obligation verdicts cleared by an apply delta
+  DeltaCacheRebases,    // cached plan entries carried across a version bump
 };
-inline constexpr std::size_t kCounterCount = 25;
+inline constexpr std::size_t kCounterCount = 29;
 
 // Gauges track a high-water mark (set_max semantics).
 enum class Gauge : std::size_t {
-  BddNodes,  // peak node count across live BddManagers
+  BddNodes,              // peak node count across live BddManagers
+  SvcCachedObligations,  // peak obligations held by the incremental planner
 };
-inline constexpr std::size_t kGaugeCount = 1;
+inline constexpr std::size_t kGaugeCount = 2;
 
 // Histograms use power-of-two buckets: bucket i counts values whose bit
 // width is i, i.e. cumulative(le = 2^i - 1) is exact.

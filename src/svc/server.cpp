@@ -107,15 +107,34 @@ Server::Server(config::NetworkFile network, ServerOptions options)
   if (options_.keep_versions == 0) options_.keep_versions = 1;
   fec_cache_ = options_.engine.check.fec_cache;
   if (!fec_cache_) fec_cache_ = std::make_shared<topo::FecCache>();
+  if (options_.max_delta_chain > 0) {
+    core::IncrementalOptions inc;
+    inc.max_delta_chain = options_.max_delta_chain;
+    incremental_ = std::make_shared<core::IncrementalPlanner>(inc);
+  }
   // FEC cache entries for a retired version are evicted when its *last*
   // pin is released — a job still running against a trimmed snapshot keeps
   // inserting entries keyed by that topology, so trim-time eviction alone
   // would leave dead keys behind (and alias a recycled allocation if the
   // topology were ever freed). The hook captures the cache shared_ptr, so
-  // eviction stays safe whenever the release happens.
-  store_.set_release_hook([cache = fec_cache_](const Snapshot& snapshot) {
+  // eviction stays safe whenever the release happens. The incremental
+  // planner's delta-cache entries for the version die at the same point.
+  store_.set_release_hook([cache = fec_cache_, planner = incremental_](const Snapshot& snapshot) {
     cache->evict(snapshot.topo.get());
+    if (planner) planner->retire_version(snapshot.version);
   });
+  if (incremental_) {
+    // Every apply feeds the delta straight to the planner (no re-diffing)
+    // and re-keys the old version's FEC partitions under the new topology —
+    // an ACL-only apply preserves every forwarding predicate, so the
+    // partitions are valid verbatim and the new version starts warm.
+    store_.set_apply_hook([cache = fec_cache_, planner = incremental_](
+                              const Snapshot& previous, const Snapshot& next,
+                              const topo::AclUpdate& update) {
+      cache->share(*previous.topo, *next.topo);
+      planner->record_apply(previous.version, next.version, *previous.topo, update);
+    });
+  }
 }
 
 Server::~Server() {
@@ -472,6 +491,20 @@ Json Server::handle_info() {
   obj.emplace("queue_depth", scheduler_.queue_depth());
   obj.emplace("workers", static_cast<std::uint64_t>(options_.workers));
   obj.emplace("draining", scheduler_.draining());
+  obj.emplace("incremental", incremental_ != nullptr);
+  if (incremental_) {
+    const core::IncrementalStats stats = incremental_->stats();
+    Json::Object inc;
+    inc.emplace("max_delta_chain", static_cast<std::uint64_t>(options_.max_delta_chain));
+    inc.emplace("hits", stats.hits);
+    inc.emplace("misses", stats.misses);
+    inc.emplace("invalidations", stats.invalidations);
+    inc.emplace("rebases", stats.rebases);
+    inc.emplace("fallbacks", stats.fallbacks);
+    inc.emplace("cached_plans", static_cast<std::uint64_t>(stats.cached_plans));
+    inc.emplace("cached_obligations", static_cast<std::uint64_t>(stats.cached_obligations));
+    obj.emplace("delta_cache", Json{std::move(inc)});
+  }
   return Json{std::move(obj)};
 }
 
@@ -485,6 +518,13 @@ Json Server::handle_metrics() {
       << "jinjing_svc_running_jobs " << scheduler_.running_count() << "\n"
       << "# TYPE jinjing_svc_head_version gauge\n"
       << "jinjing_svc_head_version " << store_.head_version() << "\n";
+  if (incremental_) {
+    const core::IncrementalStats stats = incremental_->stats();
+    out << "# TYPE jinjing_svc_cached_plans gauge\n"
+        << "jinjing_svc_cached_plans " << stats.cached_plans << "\n"
+        << "# TYPE jinjing_svc_cached_obligations_live gauge\n"
+        << "jinjing_svc_cached_obligations_live " << stats.cached_obligations << "\n";
+  }
   Json::Object obj;
   obj.emplace("prometheus", out.str());
   return Json{std::move(obj)};
@@ -496,29 +536,71 @@ void Server::worker_loop() {
   }
 }
 
+bool Server::run_check_only(const JobPtr& job, const lai::UpdateTask& task,
+                            core::EngineReport& report, bool& cancelled) {
+  if (!incremental_) return false;
+  if (task.commands.empty() || !task.controls.empty()) return false;
+  const bool all_checks =
+      std::all_of(task.commands.begin(), task.commands.end(),
+                  [](lai::Command c) { return c == lai::Command::Check; });
+  if (!all_checks) return false;
+
+  const SnapshotPtr& snapshot = job->snapshot();
+  core::CheckOptions check = options_.engine.check;
+  check.threads = 1;
+  check.executor = nullptr;
+  check.fec_cache = fec_cache_;
+
+  // The cached plan for (snapshot version, scope, entering traffic), plus
+  // any obligation verdicts already proven for this exact pending update —
+  // the apply_if_head conflict / re-verify loop hits those directly.
+  core::IncrementalLease lease =
+      incremental_->acquire(snapshot->version, task.scope, snapshot->traffic, task.modify);
+  check.adopted_plan = lease.bundle;
+
+  smt::SmtContext smt;
+  const unsigned default_timeout = check.timeout_ms;
+  core::Checker checker{smt, *snapshot->topo, task.scope, check};
+
+  for (std::size_t c = 0; c < task.commands.size(); ++c) {
+    if (job->cancel_requested()) {
+      cancelled = true;
+      return true;
+    }
+    if (const auto remaining = job->remaining_ms()) {
+      if (*remaining == 0) throw smt::SmtTimeout("job deadline exceeded");
+      const auto budget = static_cast<unsigned>(
+          std::min<std::uint64_t>(*remaining, std::numeric_limits<unsigned>::max()));
+      smt.set_timeout_ms(default_timeout == 0 ? budget : std::min(budget, default_timeout));
+    }
+    core::CommandOutcome outcome;
+    outcome.command = lai::Command::Check;
+    if (lease.valid()) {
+      auto incremental = core::run_incremental_check(checker, lease, task.modify);
+      incremental_->commit(snapshot->version, task.scope, snapshot->traffic, task.modify,
+                           incremental.clean);
+      outcome.check = std::move(incremental.result);
+    } else {
+      outcome.check = checker.check(task.modify, snapshot->traffic, {});
+      incremental_->install(snapshot->version, task.scope,
+                            checker.share_plan(snapshot->traffic));
+      if (outcome.check->consistent) {
+        // A consistent full run proved every obligation — seed the verdict
+        // cache so a re-check of the same pending update is query-free.
+        incremental_->commit(snapshot->version, task.scope, snapshot->traffic, task.modify,
+                             std::vector<bool>(outcome.check->obligation_count, true));
+      }
+      lease = incremental_->acquire(snapshot->version, task.scope, snapshot->traffic,
+                                    task.modify);
+    }
+    report.outcomes.push_back(std::move(outcome));
+  }
+  return true;
+}
+
 void Server::execute_job(const JobPtr& job) {
   const obs::TraceSpan span{obs::Span::SvcJob};
   const SnapshotPtr& snapshot = job->snapshot();
-
-  // One fresh engine per job, over the server-wide FEC cache. The cache is
-  // what makes the service warm — equivalence classes derived for a snapshot
-  // by any worker are reused by every later job on that snapshot — while a
-  // fresh SMT session per job keeps answers reproducible: the same request
-  // gets the same verdict and the same repair plan regardless of what the
-  // server ran before (a reused incremental session can steer Z3 to a
-  // different, equally valid, model).
-  core::EngineOptions engine_options = options_.engine;
-  // The workers are the parallelism; each engine must stay single-threaded
-  // (Executor::run is serialized, not reentrant).
-  engine_options.check.threads = 1;
-  engine_options.check.executor = nullptr;
-  engine_options.check.fec_cache = fec_cache_;
-  engine_options.fix.check.threads = 1;
-  engine_options.fix.check.executor = nullptr;
-  engine_options.fix.check.fec_cache = fec_cache_;
-  engine_options.generate.executor = nullptr;
-  core::Engine engine{*snapshot->topo, engine_options};
-  const unsigned default_timeout = engine.smt().timeout_ms();
 
   JobOutcome outcome;
   JobState state = JobState::Done;
@@ -529,23 +611,50 @@ void Server::execute_job(const JobPtr& job) {
     core::EngineReport report;
     report.final_update = task.modify;
     bool cancelled = false;
-    for (const lai::Command command : task.commands) {
-      // Cooperative cancellation and the deadline budget are both checked
-      // between commands; the remaining budget caps every Z3 query of the
-      // next command via the per-query timeout.
-      if (job->cancel_requested()) {
-        cancelled = true;
-        break;
+    // Check-only jobs without control intents take the delta-scoped path:
+    // the verification plan is adopted from the incremental planner (or
+    // built once and installed), and only obligations the update can touch
+    // are proven. Everything else runs the full engine pipeline.
+    if (!run_check_only(job, task, report, cancelled)) {
+      // One fresh engine per job, over the server-wide FEC cache. The cache
+      // is what makes the service warm — equivalence classes derived for a
+      // snapshot by any worker are reused by every later job on that
+      // snapshot — while a fresh SMT session per job keeps answers
+      // reproducible: the same request gets the same verdict and the same
+      // repair plan regardless of what the server ran before (a reused
+      // incremental session can steer Z3 to a different, equally valid,
+      // model).
+      core::EngineOptions engine_options = options_.engine;
+      // The workers are the parallelism; each engine must stay
+      // single-threaded (Executor::run is serialized, not reentrant).
+      engine_options.check.threads = 1;
+      engine_options.check.executor = nullptr;
+      engine_options.check.fec_cache = fec_cache_;
+      engine_options.fix.check.threads = 1;
+      engine_options.fix.check.executor = nullptr;
+      engine_options.fix.check.fec_cache = fec_cache_;
+      engine_options.generate.executor = nullptr;
+      core::Engine engine{*snapshot->topo, engine_options};
+      const unsigned default_timeout = engine.smt().timeout_ms();
+
+      for (const lai::Command command : task.commands) {
+        // Cooperative cancellation and the deadline budget are both checked
+        // between commands; the remaining budget caps every Z3 query of the
+        // next command via the per-query timeout.
+        if (job->cancel_requested()) {
+          cancelled = true;
+          break;
+        }
+        if (const auto remaining = job->remaining_ms()) {
+          if (*remaining == 0) throw smt::SmtTimeout("job deadline exceeded");
+          const auto budget = static_cast<unsigned>(
+              std::min<std::uint64_t>(*remaining, std::numeric_limits<unsigned>::max()));
+          engine.smt().set_timeout_ms(
+              default_timeout == 0 ? budget : std::min(budget, default_timeout));
+        }
+        report.outcomes.push_back(engine.run_command(task, command, report.final_update,
+                                                     snapshot->traffic));
       }
-      if (const auto remaining = job->remaining_ms()) {
-        if (*remaining == 0) throw smt::SmtTimeout("job deadline exceeded");
-        const auto budget = static_cast<unsigned>(
-            std::min<std::uint64_t>(*remaining, std::numeric_limits<unsigned>::max()));
-        engine.smt().set_timeout_ms(
-            default_timeout == 0 ? budget : std::min(budget, default_timeout));
-      }
-      report.outcomes.push_back(engine.run_command(task, command, report.final_update,
-                                                   snapshot->traffic));
     }
     if (cancelled || job->cancel_requested()) {
       state = JobState::Cancelled;
@@ -569,7 +678,6 @@ void Server::execute_job(const JobPtr& job) {
     state = JobState::Failed;
     outcome.error = e.what();
   }
-  engine.smt().set_timeout_ms(default_timeout);
   scheduler_.finish(job, state, std::move(outcome));
 }
 

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "core/incremental.h"
 #include "obs/stats.h"
 #include "svc/json.h"
 #include "svc/scheduler.h"
@@ -57,6 +58,11 @@ struct ServerOptions {
   /// Finished jobs kept queryable via status/result; the oldest-finished
   /// beyond this are evicted (404), releasing their snapshot and report.
   std::size_t retain_jobs = 1024;
+  /// Rebase budget for the incremental planner: how many applies a cached
+  /// verification plan may be carried across before the next job rebuilds
+  /// it from scratch. 0 disables incremental cross-version verification
+  /// (every check-only job builds a fresh engine, the seed behaviour).
+  std::size_t max_delta_chain = 16;
   /// Template for the per-worker engines (threads are forced to 1 — the
   /// workers themselves are the parallelism; the FEC cache is replaced by
   /// the server-wide shared one).
@@ -86,6 +92,10 @@ class Server {
   [[nodiscard]] StateStore& store() { return store_; }
   [[nodiscard]] Scheduler& scheduler() { return scheduler_; }
   [[nodiscard]] const obs::StatsRegistry& registry() const { return registry_; }
+  /// The incremental planner, or nullptr when max_delta_chain is 0.
+  [[nodiscard]] const core::IncrementalPlanner* incremental() const {
+    return incremental_.get();
+  }
 
  private:
   void accept_loop();
@@ -106,10 +116,19 @@ class Server {
 
   void execute_job(const JobPtr& job);
 
+  /// The delta-scoped fast path for check-only jobs without control
+  /// intents: adopt the cached plan for the job's snapshot (or build and
+  /// install one), execute only the obligations the update can touch, and
+  /// commit the proven verdicts. Returns false when the job is not
+  /// eligible (the caller runs the full engine path).
+  [[nodiscard]] bool run_check_only(const JobPtr& job, const lai::UpdateTask& task,
+                                    core::EngineReport& report, bool& cancelled);
+
   ServerOptions options_;
   StateStore store_;
   Scheduler scheduler_;
   std::shared_ptr<topo::FecCache> fec_cache_;
+  std::shared_ptr<core::IncrementalPlanner> incremental_;
   obs::StatsRegistry registry_;
   std::optional<obs::ScopedRegistry> installed_;
 

@@ -15,7 +15,21 @@ StateStore::StateStore(config::NetworkFile network) {
 }
 
 void StateStore::set_release_hook(SnapshotReleaseHook hook) {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  if (applied_) {
+    throw std::logic_error(
+        "StateStore::set_release_hook: hooks must be installed before the first apply");
+  }
   *release_hook_ = std::move(hook);
+}
+
+void StateStore::set_apply_hook(SnapshotApplyHook hook) {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  if (applied_) {
+    throw std::logic_error(
+        "StateStore::set_apply_hook: hooks must be installed before the first apply");
+  }
+  apply_hook_ = std::move(hook);
 }
 
 SnapshotPtr StateStore::wrap(std::unique_ptr<Snapshot> snapshot) const {
@@ -55,20 +69,24 @@ SnapshotPtr StateStore::apply_if_head(Version expected, const topo::AclUpdate& u
 }
 
 SnapshotPtr StateStore::apply_locked(const topo::AclUpdate& update) {
-  const SnapshotPtr& current = versions_.at(head_);
+  const SnapshotPtr previous = versions_.at(head_);
 
   // Copy-on-write: the head topology is copied once per apply; every slot
   // not in the update keeps its binding.
-  topo::Topology next = *current->topo;
+  topo::Topology next = *previous->topo;
   for (const auto& [slot, acl] : update) next.bind_acl(slot, acl);
 
   auto snapshot = std::make_unique<Snapshot>();
   snapshot->version = head_ + 1;
   snapshot->topo = std::make_shared<const topo::Topology>(std::move(next));
-  snapshot->traffic = current->traffic;
+  snapshot->traffic = previous->traffic;
   SnapshotPtr wrapped = wrap(std::move(snapshot));
   head_ = wrapped->version;
   versions_.emplace(head_, wrapped);
+  applied_ = true;
+  // Under the lock: consumers see every delta exactly once, in version
+  // order, before any job can run against the new head.
+  if (apply_hook_) apply_hook_(*previous, *wrapped, update);
   return wrapped;
 }
 

@@ -45,15 +45,29 @@ using SnapshotPtr = std::shared_ptr<const Snapshot>;
 /// allocation has not yet been recycled, so eviction is race-free.
 using SnapshotReleaseHook = std::function<void(const Snapshot&)>;
 
+/// Called under the store lock after every successful apply, with the
+/// previous head, the new head, and the exact update that produced it —
+/// the delta consumers (the incremental planner, FEC-cache sharing) get
+/// the diff for free instead of re-deriving it from two topologies. The
+/// hook must not call back into the store.
+using SnapshotApplyHook = std::function<void(const Snapshot& previous, const Snapshot& next,
+                                             const topo::AclUpdate& update)>;
+
 class StateStore {
  public:
   /// Loads the initial network as version 1.
   explicit StateStore(config::NetworkFile network);
 
-  /// Installs the release hook. Must be called before snapshots start
-  /// circulating to other threads (the hook cell is written unguarded);
-  /// it applies to every snapshot, including ones created earlier.
+  /// Installs the release hook. Must be called before the first apply:
+  /// once versions beyond the initial snapshot exist, snapshots are
+  /// circulating to other threads and swapping the hook under them would
+  /// race with releases — a late install throws std::logic_error. The hook
+  /// applies to every snapshot, including the initial one.
   void set_release_hook(SnapshotReleaseHook hook);
+
+  /// Installs the apply hook, under the same install-before-first-apply
+  /// rule as set_release_hook.
+  void set_apply_hook(SnapshotApplyHook hook);
 
   [[nodiscard]] SnapshotPtr head() const;
   [[nodiscard]] Version head_version() const;
@@ -87,10 +101,12 @@ class StateStore {
   // (a pinned snapshot can be released after the store is gone).
   std::shared_ptr<SnapshotReleaseHook> release_hook_ =
       std::make_shared<SnapshotReleaseHook>();
+  SnapshotApplyHook apply_hook_;
 
   mutable std::mutex mutex_;
   std::map<Version, SnapshotPtr> versions_;
   Version head_ = 0;
+  bool applied_ = false;  // an apply happened: hook installation is frozen
 };
 
 }  // namespace jinjing::svc

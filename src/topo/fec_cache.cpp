@@ -148,6 +148,23 @@ void FecCache::clear() {
   misses_ = 0;
 }
 
+void FecCache::share(const Topology& from, const Topology& to) {
+  if (&from == &to) return;
+  const std::lock_guard<std::mutex> lock{mutex_};
+  for (auto& [key, bucket] : slots_) {
+    // Collect first: pushing into the bucket invalidates its iterators.
+    std::vector<Slot> copies;
+    for (const auto& slot : bucket) {
+      if (slot.topo != &from) continue;
+      const bool present = std::any_of(bucket.begin(), bucket.end(), [&](const Slot& s) {
+        return s.topo == &to && s.entering_cubes == slot.entering_cubes;
+      });
+      if (!present) copies.push_back(Slot{&to, slot.entering_cubes, slot.entry, slot.global});
+    }
+    for (auto& copy : copies) bucket.push_back(std::move(copy));
+  }
+}
+
 void FecCache::evict(const Topology* topo) {
   const std::lock_guard<std::mutex> lock{mutex_};
   for (auto it = slots_.begin(); it != slots_.end();) {

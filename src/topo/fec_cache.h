@@ -49,6 +49,14 @@ class FecCache {
   /// same address can never alias a dead entry.
   void evict(const Topology* topo);
 
+  /// Re-keys every partition memoized for `from` under `to` as well. Only
+  /// sound when the two topologies share all edges and forwarding
+  /// predicates (an ACL-only StateStore apply): the fingerprint and the
+  /// derived classes are then identical, so the payload shared_ptrs are
+  /// shared, not recomputed. `to`'s entries are evicted independently when
+  /// its own snapshot retires.
+  void share(const Topology& from, const Topology& to);
+
  private:
   struct Slot {
     // Exact-match guard behind the fingerprint: same topology object, same

@@ -132,5 +132,78 @@ TEST_P(Theorem41, ReducedEquivalenceMatchesOriginal) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, Theorem41, ::testing::Range(1u, 41u));
 
+// The group form the checker actually relies on: a two-hop "path" whose
+// slots each carry an ACL, reduced by the pooled Diff_Ω of
+// reduce_by_differential. The path decision is the conjunction of the hop
+// decisions, so group consistency is equality of the intersected permitted
+// sets — and it must agree between the full ACLs and the reduced groups.
+class Theorem41Group : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(Theorem41Group, ReducedGroupConsistencyMatchesFullAcls) {
+  std::mt19937 rng(GetParam() + 1000);
+  std::uniform_int_distribution<int> octet(0, 5);
+  std::uniform_int_distribution<int> action(0, 1);
+  std::uniform_int_distribution<int> n_rules(1, 5);
+  std::uniform_int_distribution<int> mutate(0, 3);
+
+  const auto random_rule = [&]() {
+    net::Match m;
+    m.dst = net::Prefix{net::Ipv4{static_cast<std::uint8_t>(octet(rng)), 0, 0, 0}, 8};
+    return AclRule{action(rng) ? net::Action::Permit : net::Action::Deny, m};
+  };
+  const auto random_acl = [&]() {
+    std::vector<AclRule> rules;
+    const int n = n_rules(rng);
+    for (int i = 0; i < n; ++i) rules.push_back(random_rule());
+    return Acl{std::move(rules)};
+  };
+  // Mutate: keep / drop / insert / replace a random rule.
+  const auto mutated = [&](const Acl& acl) {
+    std::vector<AclRule> rules{acl.rules().begin(), acl.rules().end()};
+    const auto pos = static_cast<std::size_t>(std::uniform_int_distribution<int>(
+        0, static_cast<int>(rules.size()) - 1)(rng));
+    switch (mutate(rng)) {
+      case 0: break;
+      case 1: rules.erase(rules.begin() + static_cast<std::ptrdiff_t>(pos)); break;
+      case 2:
+        rules.insert(rules.begin() + static_cast<std::ptrdiff_t>(pos), random_rule());
+        break;
+      default: rules[pos] = random_rule(); break;
+    }
+    return Acl{std::move(rules)};
+  };
+
+  topo::Topology topo;
+  const auto dev = topo.add_device("R");
+  const topo::AclSlot s1{topo.add_interface(dev, "i1"), topo::Dir::In};
+  const topo::AclSlot s2{topo.add_interface(dev, "i2"), topo::Dir::In};
+  const Acl l1 = random_acl();
+  const Acl l2 = random_acl();
+  topo.bind_acl(s1, l1);
+  topo.bind_acl(s2, l2);
+  const Acl l1p = mutated(l1);
+  const Acl l2p = mutated(l2);
+  topo::AclUpdate update;
+  update.emplace(s1, l1p);
+  update.emplace(s2, l2p);
+
+  const topo::ConfigView before{topo};
+  const topo::ConfigView after{topo, &update};
+  const ReducedGroups groups = reduce_by_differential(before, after, {s1, s2});
+
+  const auto group_set = [](const Acl& a, const Acl& b) {
+    return net::permitted_set(a) & net::permitted_set(b);
+  };
+  const bool full_consistent = group_set(l1, l2).equals(group_set(l1p, l2p));
+  const bool reduced_consistent =
+      group_set(groups.before.at(s1), groups.before.at(s2))
+          .equals(group_set(groups.after.at(s1), groups.after.at(s2)));
+  EXPECT_EQ(full_consistent, reduced_consistent)
+      << to_string(l1) << "--\n" << to_string(l1p) << "--\n"
+      << to_string(l2) << "--\n" << to_string(l2p);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Theorem41Group, ::testing::Range(1u, 41u));
+
 }  // namespace
 }  // namespace jinjing::core

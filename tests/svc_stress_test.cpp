@@ -39,28 +39,53 @@ struct Workload {
   std::map<std::string, std::string> acl_bodies;
 };
 
-Workload perturb_workload(const gen::Wan& wan, double fraction, unsigned seed) {
+std::string scope_line(const gen::Wan& wan) {
+  std::string scope = "scope ";
+  for (topo::DeviceId d = 0; d < wan.topo.device_count(); ++d) {
+    if (d > 0) scope += ", ";
+    scope += wan.topo.device_name(d);
+  }
+  return scope;
+}
+
+std::string slot_ref(const gen::Wan& wan, topo::AclSlot slot) {
+  return wan.topo.qualified_name(slot.iface) + (slot.dir == topo::Dir::In ? "-in" : "-out");
+}
+
+Workload perturb_workload(const gen::Wan& wan, double fraction, unsigned seed,
+                          const std::string& commands = "check\nfix\n") {
   const topo::AclUpdate update = gen::perturb_rules(wan, fraction, seed);
   Workload workload;
   std::string modifies;
   std::size_t i = 0;
   for (const auto& [slot, acl] : update) {
     const std::string name = "acl_" + std::to_string(i++);
-    modifies += "modify " + wan.topo.qualified_name(slot.iface) +
-                (slot.dir == topo::Dir::In ? "-in" : "-out") + " to " + name + "\n";
+    modifies += "modify " + slot_ref(wan, slot) + " to " + name + "\n";
     workload.acl_bodies.emplace(name, config::print_acl(acl));
-  }
-  std::string scope = "scope ";
-  for (topo::DeviceId d = 0; d < wan.topo.device_count(); ++d) {
-    if (d > 0) scope += ", ";
-    scope += wan.topo.device_name(d);
   }
   std::string allow = "allow ";
   for (std::size_t g = 0; g < wan.gateways.size(); ++g) {
     if (g > 0) allow += ", ";
     allow += wan.topo.device_name(wan.gateways[g]);
   }
-  workload.program = scope + "\n" + allow + "\n" + modifies + "check\nfix\n";
+  workload.program = scope_line(wan) + "\n" + allow + "\n" + modifies + commands;
+  return workload;
+}
+
+/// A consistency-preserving rebind: the slot's current ACL with its first
+/// rule duplicated. First-match semantics make the check pass, so the plan
+/// is deployable — but the rule lists differ, so the apply is a real
+/// version bump with a non-trivial differential for the delta cache.
+Workload duplicate_rule_workload(const gen::Wan& wan, const topo::Topology& head,
+                                 topo::AclSlot slot) {
+  const net::Acl& acl = head.acl(slot);
+  std::vector<net::AclRule> rules{acl.rules().begin(), acl.rules().end()};
+  rules.insert(rules.begin(), rules.front());
+  Workload workload;
+  workload.acl_bodies.emplace("dup", config::print_acl(net::Acl{std::move(rules),
+                                                                acl.default_action()}));
+  workload.program =
+      scope_line(wan) + "\nmodify " + slot_ref(wan, slot) + " to dup\ncheck\n";
   return workload;
 }
 
@@ -217,6 +242,140 @@ TEST(SvcStressTest, ConcurrentClientsMatchSequentialOracle) {
     EXPECT_EQ(core::format_plan(*snapshot->topo, report.final_update), entry.plan)
         << "job " << entry.record.id << " plan diverged from the oracle";
   }
+
+  server.request_shutdown();
+  server.wait();
+  std::filesystem::remove(socket_path);
+}
+
+/// The incremental-serving soak: check-only clients (the delta-scoped fast
+/// path) race a dedicated applier that keeps advancing the head with
+/// consistency-preserving deploys. Every completed job is re-run on a fresh
+/// single-threaded engine against its pinned snapshot — cached plans,
+/// rebased entries and reused verdicts must never change an answer.
+TEST(SvcStressTest, IncrementalServingMatchesOracleUnderConcurrentApplies) {
+  const gen::Wan wan = gen::make_wan(gen::small_wan());
+  config::NetworkFile network;
+  network.topo = wan.topo;
+  network.traffic = wan.traffic;
+
+  const std::string socket_path =
+      (std::filesystem::temp_directory_path() /
+       ("jinjing_svc_stress_inc_" + std::to_string(::getpid()) + ".sock"))
+          .string();
+  ServerOptions options;
+  options.socket_path = socket_path;
+  options.queue_depth = 128;
+  options.workers = 3;
+  options.keep_versions = 64;  // every snapshot stays resolvable for the oracle
+  Server server{std::move(network), options};
+  server.start();
+  ASSERT_NE(server.incremental(), nullptr);
+
+  constexpr int kClients = 3;
+  constexpr int kJobsPerClient = 6;
+  std::mutex records_mutex;
+  std::vector<JobRecord> records;
+
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Client client{socket_path};
+      for (int j = 0; j < kJobsPerClient; ++j) {
+        JobRecord record;
+        if (j % 2 == 0) {
+          record.program = check_only_program(wan);
+        } else {
+          // Pending-update checks (modify + check, no fix): the jobs the
+          // delta cache answers with leased verdicts.
+          const unsigned seed = static_cast<unsigned>(c * 100 + j + 7);
+          const Workload workload = perturb_workload(wan, 0.06, seed, "check\n");
+          record.program = workload.program;
+          record.acl_bodies = workload.acl_bodies;
+        }
+        const Json submitted = submit_job(client, record.program, record.acl_bodies);
+        record.id = submitted.at("job").as_u64();
+        {
+          const std::lock_guard<std::mutex> lock{records_mutex};
+          records.push_back(record);
+        }
+        // Wait for this job before submitting the next, so the client's
+        // stream interleaves with the applier's version bumps.
+        Json::Object wait;
+        wait.emplace("job", record.id);
+        wait.emplace("timeout_ms", std::uint64_t{300000});
+        (void)client.call("result", Json{std::move(wait)});
+      }
+    });
+  }
+
+  // The applier: verify a semantically no-op rebind of a rotating slot and
+  // deploy it, advancing the head mid-load. Only this thread applies, so
+  // every apply lands without a version conflict.
+  std::thread applier_thread{[&] {
+    Client applier{socket_path};
+    for (int round = 0; round < 4; ++round) {
+      const topo::AclSlot slot =
+          wan.agg_slots[static_cast<std::size_t>(round) % wan.agg_slots.size()];
+      const SnapshotPtr head = server.store().head();
+      const Workload workload = duplicate_rule_workload(wan, *head->topo, slot);
+      const Json submitted = submit_job(applier, workload.program, workload.acl_bodies);
+      JobRecord record;
+      record.id = submitted.at("job").as_u64();
+      record.program = workload.program;
+      record.acl_bodies = workload.acl_bodies;
+      Json::Object wait;
+      wait.emplace("job", record.id);
+      wait.emplace("timeout_ms", std::uint64_t{300000});
+      const Json result = applier.call("result", Json{std::move(wait)});
+      ASSERT_EQ(result.at("status").at("state").as_string(), "done") << result.dump();
+      ASSERT_TRUE(result.at("status").at("outcome").at("success").as_bool())
+          << "duplicate-rule rebind must verify as consistent";
+      Json::Object apply;
+      apply.emplace("job", record.id);
+      (void)applier.call("apply", Json{std::move(apply)});
+      const std::lock_guard<std::mutex> lock{records_mutex};
+      records.push_back(std::move(record));
+    }
+  }};
+
+  for (auto& thread : clients) thread.join();
+  applier_thread.join();
+  EXPECT_EQ(server.store().head_version(), 5u);  // 4 applies landed
+
+  // Oracle pass: identical verdict and plan from a from-scratch engine.
+  Client checker{socket_path};
+  for (const auto& record : records) {
+    Json::Object wait;
+    wait.emplace("job", record.id);
+    wait.emplace("timeout_ms", std::uint64_t{300000});
+    const Json result = checker.call("result", Json{std::move(wait)});
+    ASSERT_TRUE(result.at("done").as_bool()) << "job " << record.id << " never terminated";
+    const Json& status = result.at("status");
+    ASSERT_EQ(status.at("state").as_string(), "done") << status.dump();
+
+    const SnapshotPtr snapshot = server.store().snapshot(status.at("snapshot").as_u64());
+    ASSERT_NE(snapshot, nullptr);
+    core::Engine oracle{*snapshot->topo};
+    lai::AclLibrary library;
+    library.emplace("permit_all", net::Acl::permit_all());
+    for (const auto& [name, body] : record.acl_bodies) {
+      library.insert_or_assign(name, config::parse_acl_auto(body));
+    }
+    const core::EngineReport report =
+        oracle.run_program(record.program, library, snapshot->traffic);
+    EXPECT_EQ(report.success(), status.at("outcome").at("success").as_bool())
+        << "job " << record.id;
+    EXPECT_EQ(core::format_plan(*snapshot->topo, report.final_update),
+              status.at("outcome").at("plan").as_string())
+        << "job " << record.id << " plan diverged from the oracle";
+  }
+
+  // The load was incremental-serving-shaped: entries were installed, hit,
+  // and rebased across the four applies.
+  const core::IncrementalStats stats = server.incremental()->stats();
+  EXPECT_GE(stats.hits, 1u);
+  EXPECT_GE(stats.rebases, 4u);
 
   server.request_shutdown();
   server.wait();

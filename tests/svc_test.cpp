@@ -135,6 +135,39 @@ TEST(StateStoreTest, ApplyIfHeadIsAnAtomicConflictCheck) {
   EXPECT_EQ(store.apply_if_head(2, {})->version, 3u);
 }
 
+TEST(StateStoreTest, HooksCannotBeInstalledAfterTheFirstApply) {
+  StateStore store{figure1_network()};
+  store.set_apply_hook([](const Snapshot&, const Snapshot&, const topo::AclUpdate&) {});
+  (void)store.apply_update({});
+  // Snapshots (and their deleters) are circulating now: swapping a hook
+  // under them would race, so a late install is a hard error.
+  EXPECT_THROW(store.set_release_hook([](const Snapshot&) {}), std::logic_error);
+  EXPECT_THROW(store.set_apply_hook([](const Snapshot&, const Snapshot&,
+                                       const topo::AclUpdate&) {}),
+               std::logic_error);
+}
+
+TEST(StateStoreTest, ApplyHookSeesEveryDeltaInVersionOrder) {
+  StateStore store{figure1_network()};
+  std::vector<std::pair<Version, Version>> transitions;
+  std::vector<std::size_t> delta_sizes;
+  store.set_apply_hook(
+      [&](const Snapshot& previous, const Snapshot& next, const topo::AclUpdate& update) {
+        transitions.emplace_back(previous.version, next.version);
+        delta_sizes.push_back(update.size());
+      });
+
+  const auto a1 = *store.head()->topo->find_interface("A:1");
+  topo::AclUpdate update;
+  update.emplace(topo::AclSlot{a1, topo::Dir::In}, net::Acl::permit_all());
+  (void)store.apply_update(update);
+  (void)store.apply_update({});
+  ASSERT_EQ(transitions.size(), 2u);
+  EXPECT_EQ(transitions[0], (std::pair<Version, Version>{1, 2}));
+  EXPECT_EQ(transitions[1], (std::pair<Version, Version>{2, 3}));
+  EXPECT_EQ(delta_sizes, (std::vector<std::size_t>{1, 0}));
+}
+
 TEST(StateStoreTest, ReleaseHookFiresOnlyWhenLastPinGoesAway) {
   // Declared before the store: the hook also fires for the snapshots the
   // store still indexes when it is destroyed at end of scope.
@@ -566,6 +599,152 @@ TEST_F(ServerTest, ConcurrentClientsGetIndependentAnswers) {
   for (int i = 0; i < kClients; ++i) {
     EXPECT_EQ(states[static_cast<std::size_t>(i)], i % 2 == 0 ? "ok" : "fail") << i;
   }
+}
+
+// ------------------------------------- Incremental cross-version serving
+
+/// A server with custom options on its own socket, torn down on scope exit.
+struct ScopedServer {
+  std::string socket;
+  std::unique_ptr<Server> server;
+
+  explicit ScopedServer(ServerOptions options, const std::string& tag) {
+    socket = (std::filesystem::temp_directory_path() /
+              ("jinjing_svc_inc_" + tag + "_" + std::to_string(::getpid()) + ".sock"))
+                 .string();
+    options.socket_path = socket;
+    server = std::make_unique<Server>(figure1_network(), options);
+    server->start();
+  }
+
+  ~ScopedServer() {
+    server->request_shutdown();
+    server->wait();
+    server.reset();
+    std::filesystem::remove(socket);
+  }
+};
+
+Json run_program(Client& client, const char* program) {
+  Json::Object params;
+  params.emplace("program", program);
+  const Json submitted = client.call("submit", Json{std::move(params)});
+  Json::Object wait;
+  wait.emplace("job", submitted.at("job").as_u64());
+  return client.call("result", Json{std::move(wait)});
+}
+
+std::uint64_t delta_cache_stat(Client& client, const std::string& field) {
+  const Json info = client.call("info");
+  return info.at("delta_cache").at(field).as_u64();
+}
+
+TEST_F(ServerTest, CheckOnlyJobsReuseTheCachedPlanAcrossApplies) {
+  Client client{socket_path_};
+  ASSERT_NE(server_->incremental(), nullptr);
+
+  // First check-only job: delta-cache miss, plan built and installed.
+  Json first = run_program(client, kCheckOnly);
+  EXPECT_TRUE(first.at("status").at("outcome").at("success").as_bool());
+  EXPECT_GE(delta_cache_stat(client, "misses"), 1u);
+  EXPECT_GE(delta_cache_stat(client, "cached_plans"), 1u);
+
+  // Second identical job: served from the cached entry.
+  Json second = run_program(client, kCheckOnly);
+  EXPECT_TRUE(second.at("status").at("outcome").at("success").as_bool());
+  EXPECT_GE(delta_cache_stat(client, "hits"), 1u);
+
+  // An apply rebases the entry to the new version; the next check hits
+  // without rebuilding, and verdicts stay correct on the new head.
+  const auto c1 = *server_->store().head()->topo->find_interface("C:1");
+  topo::AclUpdate update;
+  update.emplace(topo::AclSlot{c1, topo::Dir::In}, net::Acl::permit_all());
+  (void)server_->store().apply_update(update);
+
+  const std::uint64_t hits_before = delta_cache_stat(client, "hits");
+  Json third = run_program(client, kCheckOnly);
+  EXPECT_EQ(third.at("status").at("snapshot").as_u64(), 2u);
+  EXPECT_TRUE(third.at("status").at("outcome").at("success").as_bool());
+  EXPECT_GE(delta_cache_stat(client, "rebases"), 1u);
+  EXPECT_GT(delta_cache_stat(client, "hits"), hits_before);
+
+  // A breaking modify through the incremental path still finds violations.
+  Json breaking = run_program(client, kBreakingModify);
+  EXPECT_FALSE(breaking.at("status").at("outcome").at("success").as_bool());
+
+  const Json metrics = client.call("metrics");
+  const std::string& text = metrics.at("prometheus").as_string();
+  EXPECT_NE(text.find("jinjing_delta_cache_hits_total"), std::string::npos);
+  EXPECT_NE(text.find("jinjing_svc_cached_plans"), std::string::npos);
+  EXPECT_NE(text.find("jinjing_svc_cached_obligations_live"), std::string::npos);
+}
+
+TEST(ServerIncrementalTest, ChainBudgetExhaustionFallsBackToFullRebuild) {
+  ServerOptions options;
+  options.workers = 1;
+  options.max_delta_chain = 1;
+  ScopedServer scoped{options, "chain"};
+  Client client{scoped.socket};
+
+  EXPECT_TRUE(run_program(client, kCheckOnly).at("status").at("outcome")
+                  .at("success").as_bool());  // miss + install at v1
+  (void)scoped.server->store().apply_update({});  // rebase to v2 (chain 1)
+  (void)scoped.server->store().apply_update({});  // over budget: entry dropped
+
+  // The next job pays a full rebuild (a miss, not a hit) — and still
+  // answers correctly.
+  const std::uint64_t misses_before = delta_cache_stat(client, "misses");
+  const Json result = run_program(client, kCheckOnly);
+  EXPECT_EQ(result.at("status").at("snapshot").as_u64(), 3u);
+  EXPECT_TRUE(result.at("status").at("outcome").at("success").as_bool());
+  EXPECT_GE(delta_cache_stat(client, "fallbacks"), 1u);
+  EXPECT_GT(delta_cache_stat(client, "misses"), misses_before);
+}
+
+TEST(ServerIncrementalTest, RetiredBaseVersionDropsItsCacheEntries) {
+  ServerOptions options;
+  options.workers = 1;
+  options.keep_versions = 1;
+  options.retain_jobs = 1;
+  ScopedServer scoped{options, "retire"};
+  Client client{scoped.socket};
+
+  EXPECT_TRUE(run_program(client, kCheckOnly).at("status").at("outcome")
+                  .at("success").as_bool());  // install at v1
+  (void)scoped.server->store().apply_update({});  // entries now at v1 and v2
+  EXPECT_GE(delta_cache_stat(client, "cached_plans"), 2u);
+  (void)scoped.server->store().trim(1);  // v1 leaves the index, job 1 pins it
+
+  // Finishing another job evicts job 1 from retention, releasing the last
+  // pin on v1 — the release hook must retire v1's delta-cache entries.
+  EXPECT_TRUE(run_program(client, kCheckOnly).at("status").at("outcome")
+                  .at("success").as_bool());
+  for (int i = 0; i < 50 && delta_cache_stat(client, "cached_plans") > 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(delta_cache_stat(client, "cached_plans"), 1u);
+}
+
+TEST(ServerIncrementalTest, ZeroChainDisablesIncrementalServing) {
+  ServerOptions options;
+  options.workers = 1;
+  options.max_delta_chain = 0;
+  ScopedServer scoped{options, "off"};
+  Client client{scoped.socket};
+
+  EXPECT_EQ(scoped.server->incremental(), nullptr);
+  const Json info = client.call("info");
+  EXPECT_FALSE(info.at("incremental").as_bool());
+  EXPECT_EQ(info.as_object().count("delta_cache"), 0u);
+
+  // The seed behaviour: every job runs the full engine path, verdicts
+  // unchanged in both directions.
+  EXPECT_TRUE(run_program(client, kCheckOnly).at("status").at("outcome")
+                  .at("success").as_bool());
+  EXPECT_FALSE(run_program(client, kBreakingModify).at("status").at("outcome")
+                   .at("success").as_bool());
+  const std::string& text = client.call("metrics").at("prometheus").as_string();
+  EXPECT_EQ(text.find("jinjing_svc_cached_plans"), std::string::npos);
 }
 
 }  // namespace
