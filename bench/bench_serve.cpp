@@ -1,13 +1,19 @@
 // Service throughput and latency: drives a live svc::Server over its Unix
 // socket with the medium WAN and writes BENCH_serve.json.
 //
-// Four experiments:
+// Five experiments:
 //
-//  * Queue-depth sweep: D concurrent client sessions (D = 1, 8, 64), each
+//  * Workers x depth matrix: for each worker count W (1, 2, 4) a fresh
+//    server serves D concurrent client sessions (D = 1, 8, 64), each
 //    submitting perturbed check jobs back-to-back so ~D jobs stay
 //    outstanding. Reports jobs/sec plus client-observed p50/p99 latency
-//    (submit to result) per depth — the knee shows where the worker pool
-//    saturates and queue wait starts to dominate.
+//    (submit to result) per cell. With batch coalescing, throughput must
+//    grow with depth: everything queued behind the job in flight shares
+//    one plan scan, so deeper queues amortize better.
+//
+//  * Coalesce sweep: the same deep-queue workload at fixed workers with
+//    --coalesce 1 (batching off) up to 64 — isolates how much of the
+//    depth scaling is the batch path itself.
 //
 //  * Warm vs cold: the same job stream run through the resident server
 //    (shared FecCache, network already loaded) versus a fresh engine and
@@ -254,12 +260,21 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "serve workload: %s WAN, %zu total rules\n",
                smoke ? "small" : "medium", gen::total_rules(wan));
   std::vector<std::size_t> depths{1, 8, 64};
+  std::vector<unsigned> worker_counts{1, 2, 4};
+  std::vector<std::size_t> coalesce_values{1, 8, 32, 64};
+  unsigned sweep_workers = 4;
+  std::size_t sweep_depth = 64;
   std::size_t min_jobs = 24;
   std::size_t warm_rounds = 6, warm_jobs = 16, warm_depth = 8;
   std::size_t churn_rounds = 3;
   std::size_t warm_cold_jobs = 8;
   if (smoke) {
-    depths = {1, 8};
+    // Depth 64 stays: the CI gate asserts that throughput does not fall
+    // off as the queue deepens, which is exactly what coalescing buys.
+    worker_counts = {1, 2};
+    coalesce_values = {1, 8, 32};
+    sweep_workers = 2;
+    sweep_depth = 32;
     min_jobs = 8;
     warm_rounds = 4;
     warm_jobs = 8;
@@ -268,14 +283,16 @@ int main(int argc, char** argv) {
     warm_cold_jobs = 4;
   }
 
-  const auto make_server = [&](const std::string& socket_path, std::size_t max_delta_chain) {
+  const auto make_server = [&](const std::string& socket_path, unsigned workers,
+                               std::size_t coalesce, std::size_t max_delta_chain) {
     config::NetworkFile network;
     network.topo = wan.topo;
     network.traffic = wan.traffic;
     svc::ServerOptions options;
     options.socket_path = socket_path;
     options.queue_depth = 256;
-    options.workers = std::min(4u, std::max(1u, std::thread::hardware_concurrency()));
+    options.workers = workers;
+    options.coalesce = coalesce;
     options.keep_versions = 4;
     options.max_delta_chain = max_delta_chain;
     return std::make_unique<svc::Server>(std::move(network), options);
@@ -284,30 +301,78 @@ int main(int argc, char** argv) {
       (std::filesystem::temp_directory_path() /
        ("jinjing_bench_serve_" + std::to_string(::getpid()) + ".sock"))
           .string();
-  auto server = make_server(socket_path, 16);
-  const unsigned workers = std::min(4u, std::max(1u, std::thread::hardware_concurrency()));
-  server->start();
 
-  // One warmup job populates the shared FEC cache so every experiment
-  // measures the steady state a long-running service actually serves from.
-  {
-    svc::Client warmup{socket_path};
-    (void)run_job(warmup, make_workload(wan, 9999));
-  }
-
-  // ---- Queue-depth sweep (perturbed pending checks, head version fixed).
-  std::vector<DepthResult> sweep;
-  for (const std::size_t depth : depths) {
-    // Enough jobs that every session stays busy past startup effects.
+  /// One measured cell against a short-lived server: warmup job, then the
+  /// depth run. A fresh server per cell keeps the FEC/delta caches from
+  /// leaking one configuration's state into the next.
+  struct MatrixCell {
+    unsigned workers = 0;
+    std::size_t coalesce = 0;
+    DepthResult result;
+  };
+  const auto run_cell = [&](unsigned workers, std::size_t coalesce, std::size_t depth,
+                            unsigned seed_base) {
+    auto cell_server = make_server(socket_path, workers, coalesce, 16);
+    cell_server->start();
+    {
+      svc::Client warmup{socket_path};
+      (void)run_job(warmup, make_workload(wan, 9999));
+    }
     const std::size_t job_count = std::max<std::size_t>(min_jobs, depth * 2);
     std::vector<Workload> workloads;
     for (std::size_t j = 0; j < job_count; ++j) {
-      workloads.push_back(make_workload(wan, static_cast<unsigned>(depth * 1000 + j + 1)));
+      workloads.push_back(make_workload(wan, seed_base + static_cast<unsigned>(j) + 1));
     }
-    sweep.push_back(run_depth(socket_path, depth, workloads));
-    const auto& r = sweep.back();
-    std::fprintf(stderr, "  depth %-3zu %5.2f jobs/s  p50 %7.1fms  p99 %7.1fms  (%zu jobs)\n",
-                 r.depth, r.jobs_per_sec, r.p50_ms, r.p99_ms, r.jobs);
+    MatrixCell cell;
+    cell.workers = workers;
+    cell.coalesce = coalesce;
+    cell.result = run_depth(socket_path, depth, workloads);
+    cell_server->request_shutdown();
+    cell_server->wait();
+    cell_server.reset();
+    std::filesystem::remove(socket_path);
+    return cell;
+  };
+
+  // ---- Workers x depth matrix (perturbed pending checks, default
+  // coalescing). The acceptance shape: at workers >= 2, jobs/sec must not
+  // decrease as the queue deepens — deep queues coalesce into larger
+  // batches that amortize the per-version plan scan.
+  std::vector<MatrixCell> matrix;
+  for (const unsigned workers : worker_counts) {
+    for (const std::size_t depth : depths) {
+      matrix.push_back(run_cell(workers, 32, depth,
+                                workers * 100000 + static_cast<unsigned>(depth) * 1000));
+      const auto& r = matrix.back().result;
+      std::fprintf(stderr,
+                   "  workers %u depth %-3zu %6.2f jobs/s  p50 %7.1fms  p99 %7.1fms  (%zu jobs)\n",
+                   workers, r.depth, r.jobs_per_sec, r.p50_ms, r.p99_ms, r.jobs);
+    }
+  }
+
+  // ---- Coalesce sweep at a fixed deep queue: batching off (1) up to 64.
+  std::vector<MatrixCell> coalesce_sweep;
+  for (const std::size_t coalesce : coalesce_values) {
+    coalesce_sweep.push_back(run_cell(sweep_workers, coalesce, sweep_depth,
+                                      900000 + static_cast<unsigned>(coalesce) * 1000));
+    const auto& r = coalesce_sweep.back().result;
+    std::fprintf(stderr, "  coalesce %-3zu (workers %u, depth %zu) %6.2f jobs/s\n",
+                 coalesce, sweep_workers, sweep_depth, r.jobs_per_sec);
+  }
+
+  // The warm/churn experiments run with coalescing off (--coalesce 1):
+  // they isolate the resident caches and the delta cache, and a coalesced
+  // batch on the "disabled" baseline would amortize the very rebuild cost
+  // the comparison is measuring. The matrix above owns the batching story.
+  const unsigned churn_workers = std::min(4u, std::max(1u, std::thread::hardware_concurrency()));
+  auto server = make_server(socket_path, churn_workers, 1, 16);
+  server->start();
+
+  // One warmup job populates the shared FEC cache so the warm/churn
+  // experiments measure the steady state a long-running service serves from.
+  {
+    svc::Client warmup{socket_path};
+    (void)run_job(warmup, make_workload(wan, 9999));
   }
 
   // ---- Warm vs cold on one identical stream (still at the head version
@@ -380,7 +445,7 @@ int main(int argc, char** argv) {
   // enumeration, plan build and the full obligation batch again.
   double full_churn_seconds = 0;
   {
-    auto baseline = make_server(socket_path, 0);
+    auto baseline = make_server(socket_path, churn_workers, 1, 0);
     baseline->start();
     {
       svc::Client warmup{socket_path};
@@ -407,16 +472,30 @@ int main(int argc, char** argv) {
   }
   std::fprintf(out, "{\n  \"workload\": \"serve\",\n  \"network\": \"%s\",\n",
                smoke ? "small" : "medium");
-  std::fprintf(out, "  \"workers\": %u,\n  \"queue_depths\": [\n", workers);
-  for (std::size_t i = 0; i < sweep.size(); ++i) {
-    const auto& r = sweep[i];
+  std::fprintf(out, "  \"matrix\": [\n");
+  for (std::size_t i = 0; i < matrix.size(); ++i) {
+    const auto& cell = matrix[i];
+    const auto& r = cell.result;
     std::fprintf(out,
-                 "    {\"depth\": %zu, \"jobs\": %zu, \"wall_seconds\": %.6f, "
-                 "\"jobs_per_sec\": %.3f, \"p50_ms\": %.3f, \"p99_ms\": %.3f}%s\n",
-                 r.depth, r.jobs, r.wall_seconds, r.jobs_per_sec, r.p50_ms, r.p99_ms,
-                 i + 1 < sweep.size() ? "," : "");
+                 "    {\"workers\": %u, \"depth\": %zu, \"jobs\": %zu, "
+                 "\"wall_seconds\": %.6f, \"jobs_per_sec\": %.3f, \"p50_ms\": %.3f, "
+                 "\"p99_ms\": %.3f}%s\n",
+                 cell.workers, r.depth, r.jobs, r.wall_seconds, r.jobs_per_sec, r.p50_ms,
+                 r.p99_ms, i + 1 < matrix.size() ? "," : "");
   }
   std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"coalesce_sweep\": {\"workers\": %u, \"depth\": %zu, \"entries\": [\n",
+               sweep_workers, sweep_depth);
+  for (std::size_t i = 0; i < coalesce_sweep.size(); ++i) {
+    const auto& cell = coalesce_sweep[i];
+    std::fprintf(out,
+                 "    {\"coalesce\": %zu, \"jobs\": %zu, \"jobs_per_sec\": %.3f, "
+                 "\"p50_ms\": %.3f, \"p99_ms\": %.3f}%s\n",
+                 cell.coalesce, cell.result.jobs, cell.result.jobs_per_sec,
+                 cell.result.p50_ms, cell.result.p99_ms,
+                 i + 1 < coalesce_sweep.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]},\n");
   std::fprintf(out,
                "  \"warm_vs_cold\": {\"jobs\": %zu, \"warm_seconds\": %.6f, "
                "\"cold_seconds\": %.6f, \"speedup\": %.2f},\n",

@@ -39,7 +39,8 @@ constexpr const char* kUsage = R"(usage:
   jinjing diff  --acl-a FILE --acl-b FILE
   jinjing gen   --size small|medium|large [--seed N]
   jinjing serve  --network FILE --socket PATH [--queue-depth N] [--workers N]
-                 [--keep-versions N] [--retain-jobs N] [--max-delta-chain N]
+                 [--coalesce N] [--keep-versions N] [--retain-jobs N]
+                 [--max-delta-chain N]
                  [--set-backend hypercube|bdd] [--timeout-ms N]
                  [--no-incremental-smt]
   jinjing client --socket PATH METHOD [--program FILE] [--acl NAME=FILE]...
@@ -118,6 +119,7 @@ struct Options {
   std::string socket_path;
   unsigned queue_depth = 64;
   unsigned workers = 2;
+  unsigned coalesce = 32;
   unsigned keep_versions = 8;
   unsigned retain_jobs = 1024;
   unsigned max_delta_chain = 16;
@@ -244,6 +246,8 @@ Options parse_args(const std::vector<std::string>& args) {
                                                                  1u << 20));
     } else if (arg == "--workers") {
       options.workers = static_cast<unsigned>(parse_unsigned("--workers", value(), 1, 1024));
+    } else if (arg == "--coalesce") {
+      options.coalesce = static_cast<unsigned>(parse_unsigned("--coalesce", value(), 1, 4096));
     } else if (arg == "--keep-versions") {
       options.keep_versions =
           static_cast<unsigned>(parse_unsigned("--keep-versions", value(), 1, 1u << 20));
@@ -704,6 +708,7 @@ int serve_command(const Options& options, std::ostream& out) {
   server_options.socket_path = options.socket_path;
   server_options.queue_depth = options.queue_depth;
   server_options.workers = options.workers;
+  server_options.coalesce = options.coalesce;
   server_options.keep_versions = options.keep_versions;
   server_options.retain_jobs = options.retain_jobs;
   server_options.max_delta_chain = options.max_delta_chain;

@@ -46,6 +46,20 @@ PacketSet permitted_set(const Acl& acl) {
   return permitted.compact();
 }
 
+PacketSet permitted_within(const Acl& acl, const PacketSet& clip) {
+  PacketSet permitted;
+  PacketSet remaining = clip;
+  for (const auto& rule : acl.rules()) {
+    if (remaining.is_empty()) break;
+    const PacketSet matched = remaining & PacketSet{rule.match.cube()};
+    if (matched.is_empty()) continue;
+    if (rule.action == Action::Permit) permitted = permitted | matched;
+    remaining = remaining - matched;
+  }
+  if (acl.default_action() == Action::Permit) permitted = permitted | remaining;
+  return permitted.compact();
+}
+
 PacketSet effective_match_set(const Acl& acl, std::size_t index) {
   PacketSet remaining = PacketSet::all();
   for (std::size_t i = 0; i < index && i < acl.rules().size(); ++i) {

@@ -15,6 +15,13 @@ namespace jinjing::net {
 /// The exact set of packets the ACL permits (first-match semantics).
 [[nodiscard]] PacketSet permitted_set(const Acl& acl);
 
+/// The exact subset of `clip` the ACL permits. Equivalent to
+/// `permitted_set(acl) & clip`, but the first-match walk keeps every
+/// intermediate set inside the clip region, so the cube counts stay
+/// proportional to `clip` (a narrow FEC) rather than to the whole ACL —
+/// the primitive behind the service's set-algebra batch checker.
+[[nodiscard]] PacketSet permitted_within(const Acl& acl, const PacketSet& clip);
+
 /// The set of packets matched by rule `index` *after* first-match shadowing
 /// by earlier rules — i.e. the packets whose decision this rule determines.
 [[nodiscard]] PacketSet effective_match_set(const Acl& acl, std::size_t index);

@@ -35,6 +35,8 @@ constexpr std::array<std::string_view, kCounterCount> kCounterNames = {
     "svc_jobs_cancelled",   "svc_jobs_done",         "svc_jobs_failed",
     "svc_applies",          "delta_cache_hits",      "delta_cache_misses",
     "delta_cache_invalidations",                     "delta_cache_rebases",
+    "svc_batch_dispatches", "svc_batch_jobs_coalesced",
+    "svc_batch_algebra_builds",
 };
 
 constexpr std::array<std::string_view, kGaugeCount> kGaugeNames = {
@@ -48,6 +50,8 @@ constexpr std::array<std::string_view, kHistogramCount> kHistogramNames = {
     "executor_tasks_per_run",
     "svc_queue_wait_micros",
     "svc_job_run_micros",
+    "svc_batch_size",
+    "svc_batch_shard_occupancy",
 };
 
 constexpr std::array<std::string_view, kSpanCount> kSpanNames = {
@@ -57,7 +61,7 @@ constexpr std::array<std::string_view, kSpanCount> kSpanNames = {
     "smt.optimize",    "fix.search",       "fix.enlarge",
     "fix.place",       "fix.assemble",     "generate.derive",
     "generate.solve",  "generate.synthesize",
-    "svc.job",
+    "svc.job",         "svc.batch",
 };
 
 std::size_t bucket_index(std::uint64_t value) {

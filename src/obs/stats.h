@@ -44,8 +44,11 @@ enum class Counter : std::size_t {
   DeltaCacheMisses,     // incremental-planner lookups that required a full rebuild
   DeltaCacheInvalidations, // cached obligation verdicts cleared by an apply delta
   DeltaCacheRebases,    // cached plan entries carried across a version bump
+  SvcBatchDispatches,   // coalesced dispatch units executed by the service
+  SvcBatchJobsCoalesced, // jobs that ran inside a coalesced dispatch unit
+  SvcBatchAlgebraBuilds, // per-version batch-algebra precomputations
 };
-inline constexpr std::size_t kCounterCount = 29;
+inline constexpr std::size_t kCounterCount = 32;
 
 // Gauges track a high-water mark (set_max semantics).
 enum class Gauge : std::size_t {
@@ -62,8 +65,10 @@ enum class Histogram : std::size_t {
   ExecutorTasksPerRun,  // tasks handed to the executor per run
   SvcQueueWaitMicros,   // job wait time from submission to execution start
   SvcJobRunMicros,      // job execution wall time
+  SvcBatchSize,         // jobs per coalesced dispatch unit
+  SvcBatchShardOccupancy, // obligations per shard of a batch fan-out
 };
-inline constexpr std::size_t kHistogramCount = 5;
+inline constexpr std::size_t kHistogramCount = 7;
 inline constexpr std::size_t kHistogramBuckets = 40;
 
 // Trace span names; every value maps to a "name" in the Chrome trace export.
@@ -86,8 +91,9 @@ enum class Span : std::size_t {
   GenSolve,
   GenSynth,
   SvcJob,
+  SvcBatch,
 };
-inline constexpr std::size_t kSpanCount = 18;
+inline constexpr std::size_t kSpanCount = 19;
 
 std::string_view to_string(Counter counter);
 std::string_view to_string(Gauge gauge);

@@ -71,50 +71,96 @@ Scheduler::Admission Scheduler::submit(JobSpec spec, SnapshotPtr snapshot) {
 }
 
 JobPtr Scheduler::next() {
+  auto batch = next_batch(1);
+  return batch.empty() ? nullptr : std::move(batch.front());
+}
+
+std::vector<JobPtr> Scheduler::next_batch(std::size_t max) {
+  if (max == 0) max = 1;
+  // Declared before the lock so the evicted JobPtrs (and any snapshot
+  // release hooks their destruction triggers) run after unlocking.
+  std::vector<JobPtr> evicted;
+  std::vector<JobPtr> batch;
   std::unique_lock<std::mutex> lock{mutex_};
   while (true) {
     work_cv_.wait(lock, [&] {
       return draining_ || !queues_[0].empty() || !queues_[1].empty();
     });
     JobPtr job;
-    for (auto& queue : queues_) {
-      if (!queue.empty()) {
-        job = std::move(queue.front());
-        queue.pop_front();
+    std::size_t priority = 0;
+    for (std::size_t p = 0; p < 2; ++p) {
+      if (!queues_[p].empty()) {
+        job = std::move(queues_[p].front());
+        queues_[p].pop_front();
+        priority = p;
         break;
       }
     }
     if (!job) {
-      if (draining_) return nullptr;
+      if (draining_) return {};
       continue;
     }
     if (job->cancel_requested()) {
-      finish_locked(*job, JobState::Cancelled, {});
+      finish_locked(*job, JobState::Cancelled, {}, evicted);
       continue;
     }
     if (const auto remaining = job->remaining_ms(); remaining && *remaining == 0) {
       JobOutcome outcome;
       outcome.error = "deadline exceeded while queued";
-      finish_locked(*job, JobState::Failed, std::move(outcome));
+      finish_locked(*job, JobState::Failed, std::move(outcome), evicted);
       continue;
     }
-    job->state_ = JobState::Running;
-    job->started_at_ = std::chrono::steady_clock::now();
-    ++running_;
-    obs::observe(obs::Histogram::SvcQueueWaitMicros,
-                 static_cast<std::uint64_t>(
-                     seconds_between(job->submitted_at_, job->started_at_) * 1e6));
-    return job;
+    start_locked(*job);
+    const std::uint64_t key = job->spec_.coalesce_key;
+    batch.push_back(std::move(job));
+    if (key != 0 && max > 1) {
+      // Pull every same-key job of the lead's priority class (cancelled and
+      // expired candidates are finished inline, exactly as the lead path
+      // does); the jobs left behind keep their relative order.
+      auto& queue = queues_[priority];
+      for (auto it = queue.begin(); it != queue.end() && batch.size() < max;) {
+        if ((*it)->spec_.coalesce_key != key) {
+          ++it;
+          continue;
+        }
+        JobPtr taken = std::move(*it);
+        it = queue.erase(it);
+        if (taken->cancel_requested()) {
+          finish_locked(*taken, JobState::Cancelled, {}, evicted);
+          continue;
+        }
+        if (const auto remaining = taken->remaining_ms(); remaining && *remaining == 0) {
+          JobOutcome outcome;
+          outcome.error = "deadline exceeded while queued";
+          finish_locked(*taken, JobState::Failed, std::move(outcome), evicted);
+          continue;
+        }
+        start_locked(*taken);
+        batch.push_back(std::move(taken));
+      }
+    }
+    return batch;
   }
 }
 
-void Scheduler::finish(const JobPtr& job, JobState state, JobOutcome outcome) {
-  const std::lock_guard<std::mutex> lock{mutex_};
-  if (job->state_ == JobState::Running) --running_;
-  finish_locked(*job, state, std::move(outcome));
+void Scheduler::start_locked(Job& job) {
+  job.state_ = JobState::Running;
+  job.started_at_ = std::chrono::steady_clock::now();
+  ++running_;
+  obs::observe(obs::Histogram::SvcQueueWaitMicros,
+               static_cast<std::uint64_t>(
+                   seconds_between(job.submitted_at_, job.started_at_) * 1e6));
 }
 
-void Scheduler::finish_locked(Job& job, JobState state, JobOutcome outcome) {
+void Scheduler::finish(const JobPtr& job, JobState state, JobOutcome outcome) {
+  std::vector<JobPtr> evicted;  // destroyed after the lock; see finish_locked
+  const std::lock_guard<std::mutex> lock{mutex_};
+  if (job->state_ == JobState::Running) --running_;
+  finish_locked(*job, state, std::move(outcome), evicted);
+}
+
+void Scheduler::finish_locked(Job& job, JobState state, JobOutcome outcome,
+                              std::vector<JobPtr>& evicted) {
   job.state_ = state;
   job.outcome_ = std::move(outcome);
   job.finished_at_ = std::chrono::steady_clock::now();
@@ -132,16 +178,25 @@ void Scheduler::finish_locked(Job& job, JobState state, JobOutcome outcome) {
   // Bounded retention: forget the oldest-finished jobs past the cap so a
   // long-running server does not accumulate every snapshot pin and report
   // ever produced. Waiters blocked in wait() hold their own JobPtr, so
-  // eviction never invalidates an in-flight result read.
+  // eviction never invalidates an in-flight result read. The evicted
+  // pointers are handed to the caller, not destroyed here: dropping the
+  // last reference releases the job's snapshot pin, and the store's
+  // release hooks (cache eviction, planner retirement) must not run under
+  // the scheduler mutex.
   terminal_order_.push_back(job.id_);
   while (terminal_order_.size() > retain_terminal_) {
-    jobs_.erase(terminal_order_.front());
+    const auto it = jobs_.find(terminal_order_.front());
+    if (it != jobs_.end()) {
+      evicted.push_back(std::move(it->second));
+      jobs_.erase(it);
+    }
     terminal_order_.pop_front();
   }
   done_cv_.notify_all();
 }
 
 bool Scheduler::cancel(std::uint64_t id) {
+  std::vector<JobPtr> evicted;  // destroyed after the lock; see finish_locked
   const std::lock_guard<std::mutex> lock{mutex_};
   const auto it = jobs_.find(id);
   if (it == jobs_.end()) return false;
@@ -157,7 +212,7 @@ bool Scheduler::cancel(std::uint64_t id) {
         break;
       }
     }
-    finish_locked(job, JobState::Cancelled, {});
+    finish_locked(job, JobState::Cancelled, {}, evicted);
   }
   // A running job finishes as Cancelled when the worker observes the flag.
   return true;

@@ -8,7 +8,9 @@
 //    jobs (fix/generate), regardless of arrival order.
 //  * FIFO fairness within a priority — jobs of equal priority run in
 //    submission order; a stream of interactive jobs can delay batch work
-//    but never reorder it.
+//    but never reorder it. Batch coalescing (next_batch) may run a later
+//    compatible job *together with* an earlier one, but never reorders the
+//    jobs it leaves queued.
 //  * Deadlines — a job whose deadline expires while queued fails at
 //    dispatch without running; the remaining budget of a running job is
 //    mapped onto the per-query SmtTimeout by the worker.
@@ -37,6 +39,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "core/engine.h"
 #include "lai/sema.h"
@@ -62,6 +65,14 @@ struct JobSpec {
   lai::AclLibrary acls;          // named ACLs the program references
   Priority priority = Priority::Interactive;
   std::uint64_t deadline_ms = 0; // 0 = none; measured from submission
+  /// Resolved form of `program` against the pinned snapshot, set by the
+  /// server at submission so dispatch does not parse/resolve again. May be
+  /// null (a direct scheduler user); the executor then re-resolves.
+  std::shared_ptr<const lai::UpdateTask> task;
+  /// Batch-coalescing family: jobs sharing a nonzero key — same snapshot
+  /// version, same scope/entering fingerprint, pure check program — may be
+  /// dispatched as one unit by next_batch(). 0 = never coalesced.
+  std::uint64_t coalesce_key = 0;
 };
 
 /// Terminal payload of a job.
@@ -148,6 +159,14 @@ class Scheduler {
   /// once draining and the queue is empty.
   JobPtr next();
 
+  /// Like next(), but when the lead job carries a nonzero coalesce key,
+  /// pulls up to `max - 1` further queued jobs with the same key from the
+  /// lead's priority class into one dispatch unit (all Running on return,
+  /// in submission order). Coalescing runs a later compatible job together
+  /// with an earlier one; it never reorders the jobs left behind, and never
+  /// mixes priorities. Empty once draining and the queue is empty.
+  std::vector<JobPtr> next_batch(std::size_t max);
+
   /// Terminal transition; wakes result waiters.
   void finish(const JobPtr& job, JobState state, JobOutcome outcome);
 
@@ -175,7 +194,14 @@ class Scheduler {
 
  private:
   [[nodiscard]] JobStatus status_locked(const Job& job) const;
-  void finish_locked(Job& job, JobState state, JobOutcome outcome);
+  /// Retention eviction appends the dropped JobPtrs to `evicted` instead of
+  /// destroying them: releasing a job may drop the last pin on its snapshot
+  /// and fire the store's release hooks (FEC-cache / delta-cache eviction),
+  /// which must not run under the scheduler mutex. Callers destroy
+  /// `evicted` after unlocking.
+  void finish_locked(Job& job, JobState state, JobOutcome outcome,
+                     std::vector<JobPtr>& evicted);
+  void start_locked(Job& job);
 
   const std::size_t queue_depth_;
   const std::size_t retain_terminal_;

@@ -85,6 +85,42 @@ Json outcome_json(const JobOutcome& outcome) {
   return Json{std::move(obj)};
 }
 
+/// A program is batch-coalescable (and run_check_only-eligible) when it is
+/// pure verification: at least one command, all of them `check`, and no
+/// control intents (§6 rewrites need the SMT path).
+bool pure_check(const lai::UpdateTask& task) {
+  return !task.commands.empty() && task.controls.empty() &&
+         std::all_of(task.commands.begin(), task.commands.end(),
+                     [](lai::Command c) { return c == lai::Command::Check; });
+}
+
+/// The coalesce family fingerprint: snapshot version + sorted scope devices
+/// + entering cubes. Jobs sharing it verify against the same immutable
+/// planning problem, so one batch algebra serves them all. Guarded by the
+/// version/scope/entering equality checks the planner and algebra cache
+/// already perform; never 0 (0 means "not coalescable").
+std::uint64_t coalesce_key_for(Version version, const topo::Scope& scope,
+                               const net::PacketSet& entering) {
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  mix(version);
+  std::vector<topo::DeviceId> devices(scope.devices().begin(), scope.devices().end());
+  std::sort(devices.begin(), devices.end());
+  mix(devices.size());
+  for (const auto d : devices) mix(d);
+  mix(entering.cube_count());
+  for (const auto& cube : entering.cubes()) {
+    for (const net::Field f : net::kAllFields) {
+      mix(cube.interval(f).lo);
+      mix(cube.interval(f).hi);
+    }
+  }
+  return h == 0 ? 1 : h;
+}
+
 Json status_json(const JobStatus& status) {
   Json::Object obj;
   obj.emplace("job", status.id);
@@ -104,6 +140,7 @@ Server::Server(config::NetworkFile network, ServerOptions options)
       store_(std::move(network)),
       scheduler_(options_.queue_depth, options_.retain_jobs) {
   if (options_.workers == 0) options_.workers = 1;
+  if (options_.coalesce == 0) options_.coalesce = 1;
   if (options_.keep_versions == 0) options_.keep_versions = 1;
   fec_cache_ = options_.engine.check.fec_cache;
   if (!fec_cache_) fec_cache_ = std::make_shared<topo::FecCache>();
@@ -119,9 +156,17 @@ Server::Server(config::NetworkFile network, ServerOptions options)
   // topology were ever freed). The hook captures the cache shared_ptr, so
   // eviction stays safe whenever the release happens. The incremental
   // planner's delta-cache entries for the version die at the same point.
-  store_.set_release_hook([cache = fec_cache_, planner = incremental_](const Snapshot& snapshot) {
+  // `this` is safe to capture: the hooks live and die with store_, a member
+  // of this server (and batch_algebra_/batch_mutex_ are declared before
+  // store_, so they outlive its teardown).
+  store_.set_release_hook([this, cache = fec_cache_,
+                           planner = incremental_](const Snapshot& snapshot) {
     cache->evict(snapshot.topo.get());
     if (planner) planner->retire_version(snapshot.version);
+    const std::lock_guard<std::mutex> lock{batch_mutex_};
+    std::erase_if(batch_algebra_, [&](const auto& kv) {
+      return kv.second.version == snapshot.version;
+    });
   });
   if (incremental_) {
     // Every apply feeds the delta straight to the planner (no re-diffing)
@@ -179,9 +224,11 @@ void Server::start() {
 
   installed_.emplace(registry_);
   accepting_.store(true, std::memory_order_release);
-  for (unsigned i = 0; i < options_.workers; ++i) {
-    worker_threads_.emplace_back([this] { worker_loop(); });
-  }
+  // --workers is the executor pool width; the dispatcher thread pulls
+  // dispatch units off the scheduler and participates as pool worker 0, so
+  // total execution threads == workers.
+  executor_ = std::make_shared<core::Executor>(options_.workers);
+  dispatch_thread_ = std::thread([this] { dispatch_loop(); });
   accept_thread_ = std::thread([this] { accept_loop(); });
   started_ = true;
 }
@@ -199,9 +246,8 @@ void Server::wait() {
     shutdown_cv_.wait(lock, [&] { return shutdown_requested_.load(std::memory_order_acquire); });
   }
   // Drain: the scheduler stops admitting (503) but every admitted job still
-  // runs; workers exit once the backlog is empty.
-  for (auto& worker : worker_threads_) worker.join();
-  worker_threads_.clear();
+  // runs; the dispatcher exits once the backlog is empty.
+  if (dispatch_thread_.joinable()) dispatch_thread_.join();
 
   // Now that every job is terminal, pending `result` waits have been
   // answered; close the door and let connection threads notice the flag.
@@ -389,9 +435,18 @@ Json Server::handle_submit(const Json& params) {
   }
 
   // Resolve against the pinned topology up front: unknown device/interface/
-  // ACL names are submission errors, not queued-job failures.
+  // ACL names are submission errors, not queued-job failures. The resolved
+  // task rides along on the job so dispatch never re-parses, and pure-check
+  // programs get a coalesce key — next_batch() may run same-key jobs (same
+  // snapshot version, same scope family) as one dispatch unit.
   try {
-    (void)lai::resolve(parsed, *snapshot->topo, spec.acls);
+    auto task = std::make_shared<const lai::UpdateTask>(
+        lai::resolve(parsed, *snapshot->topo, spec.acls));
+    if (pure_check(*task)) {
+      spec.coalesce_key =
+          coalesce_key_for(snapshot->version, task->scope, snapshot->traffic);
+    }
+    spec.task = std::move(task);
   } catch (const std::exception& e) {
     fail(kInvalidParams, "program: " + std::string(e.what()));
   }
@@ -490,6 +545,7 @@ Json Server::handle_info() {
   obj.emplace("running", scheduler_.running_count());
   obj.emplace("queue_depth", scheduler_.queue_depth());
   obj.emplace("workers", static_cast<std::uint64_t>(options_.workers));
+  obj.emplace("coalesce", static_cast<std::uint64_t>(options_.coalesce));
   obj.emplace("draining", scheduler_.draining());
   obj.emplace("incremental", incremental_ != nullptr);
   if (incremental_) {
@@ -530,26 +586,191 @@ Json Server::handle_metrics() {
   return Json{std::move(obj)};
 }
 
-void Server::worker_loop() {
-  while (JobPtr job = scheduler_.next()) {
-    execute_job(job);
+void Server::dispatch_loop() {
+  const std::size_t max = std::max<std::size_t>(options_.coalesce, 1);
+  while (true) {
+    std::vector<JobPtr> unit = scheduler_.next_batch(max);
+    if (unit.empty()) return;
+    if (unit.size() > 1 && incremental_ != nullptr) {
+      // Fully-clean delta-cache hits bypass the batch: every obligation
+      // their update touches is already a proven verdict, so run_check_only
+      // answers them without a single query — pulling them into the batch
+      // would only re-scan state for answers the cache already holds.
+      std::vector<JobPtr> rest;
+      rest.reserve(unit.size());
+      for (JobPtr& job : unit) {
+        const auto& task = job->spec().task;
+        if (task != nullptr &&
+            incremental_->peek_fully_clean(job->snapshot_version(), task->scope,
+                                           job->snapshot()->traffic, task->modify)) {
+          execute_job(job);
+        } else {
+          rest.push_back(std::move(job));
+        }
+      }
+      unit = std::move(rest);
+    }
+    if (unit.empty()) continue;
+    if (unit.size() == 1) {
+      execute_job(unit.front());
+    } else {
+      execute_batch(unit);
+    }
+  }
+}
+
+core::CheckOptions Server::job_check_options() const {
+  core::CheckOptions check = options_.engine.check;
+  // The pool is the parallelism; each per-job engine must stay
+  // single-threaded (Executor::run is serialized, not reentrant — a nested
+  // run from inside a pool task would deadlock).
+  check.threads = 1;
+  check.executor = nullptr;
+  check.fec_cache = fec_cache_;
+  return check;
+}
+
+core::EngineOptions Server::job_engine_options() const {
+  core::EngineOptions engine = options_.engine;
+  engine.check = job_check_options();
+  engine.fix.check.threads = 1;
+  engine.fix.check.executor = nullptr;
+  engine.fix.check.fec_cache = fec_cache_;
+  engine.generate.executor = nullptr;
+  return engine;
+}
+
+std::shared_ptr<const core::BatchAlgebra> Server::batch_algebra_for(const JobPtr& job) {
+  const std::uint64_t key = job->spec().coalesce_key;
+  if (key == 0 || job->spec().task == nullptr) return nullptr;
+  const SnapshotPtr& snapshot = job->snapshot();
+  {
+    const std::lock_guard<std::mutex> lock{batch_mutex_};
+    const auto it = batch_algebra_.find(key);
+    if (it != batch_algebra_.end() && it->second.version == snapshot->version) {
+      return it->second.algebra;
+    }
+  }
+  const lai::UpdateTask& task = *job->spec().task;
+  std::shared_ptr<const core::PlanBundle> bundle;
+  if (incremental_) {
+    bundle = incremental_
+                 ->acquire(snapshot->version, task.scope, snapshot->traffic, task.modify)
+                 .bundle;
+  }
+  if (!bundle) {
+    smt::SmtContext smt;
+    core::Checker checker{smt, *snapshot->topo, task.scope, job_check_options()};
+    bundle = checker.share_plan(snapshot->traffic);
+    if (incremental_) incremental_->install(snapshot->version, task.scope, bundle);
+  }
+  auto algebra = std::make_shared<const core::BatchAlgebra>(
+      core::build_batch_algebra(*snapshot->topo, std::move(bundle)));
+  obs::count(obs::Counter::SvcBatchAlgebraBuilds);
+  const std::lock_guard<std::mutex> lock{batch_mutex_};
+  VersionedAlgebra& slot = batch_algebra_[key];
+  slot.version = snapshot->version;
+  slot.algebra = algebra;
+  // Entries for released versions are swept by the store's release hook;
+  // this bound only guards a pathological many-scope workload on one
+  // version.
+  if (batch_algebra_.size() > 16) {
+    Version oldest = std::numeric_limits<Version>::max();
+    for (const auto& [k, v] : batch_algebra_) oldest = std::min(oldest, v.version);
+    if (oldest != snapshot->version) {
+      std::erase_if(batch_algebra_, [oldest](const auto& kv) {
+        return kv.second.version == oldest;
+      });
+    }
+  }
+  return algebra;
+}
+
+void Server::execute_batch(const std::vector<JobPtr>& batch) {
+  const obs::TraceSpan span{obs::Span::SvcBatch};
+  std::shared_ptr<const core::BatchAlgebra> algebra;
+  try {
+    algebra = batch_algebra_for(batch.front());
+  } catch (const std::exception&) {
+    algebra = nullptr;
+  }
+  if (!algebra) {
+    // No shared algebra (planning failed, or a direct scheduler user
+    // without a resolved task): the unit degrades to per-job execution.
+    for (const JobPtr& job : batch) execute_job(job);
+    return;
+  }
+  obs::count(obs::Counter::SvcBatchDispatches);
+  obs::count(obs::Counter::SvcBatchJobsCoalesced, batch.size());
+  obs::observe(obs::Histogram::SvcBatchSize, batch.size());
+
+  const SnapshotPtr& snapshot = batch.front()->snapshot();
+  std::vector<core::BatchItem> items;
+  items.reserve(batch.size());
+  for (const JobPtr& job : batch) {
+    core::BatchItem item;
+    item.update = &job->spec().task->modify;
+    item.cancelled = [raw = job.get()] { return raw->cancel_requested(); };
+    item.expired = [raw = job.get()] {
+      const auto remaining = raw->remaining_ms();
+      return remaining && *remaining == 0;
+    };
+    items.push_back(std::move(item));
+  }
+  core::BatchRunOptions run;
+  run.stop_at_first = options_.engine.check.stop_at_first;
+  run.executor = executor_.get();
+  run.max_shards = std::max<std::size_t>(std::size_t{2} * options_.workers, 2);
+  const std::vector<core::BatchOutcome> outcomes =
+      core::run_check_batch(*snapshot->topo, *algebra, items, run);
+
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const JobPtr& job = batch[i];
+    const core::BatchOutcome& bo = outcomes[i];
+    if (bo.cancelled || job->cancel_requested()) {
+      scheduler_.finish(job, JobState::Cancelled, {});
+      continue;
+    }
+    if (bo.deadline_expired) {
+      // Same diagnostic family as a deadline caught at dispatch: the job
+      // died waiting its turn inside shared execution, not on a solver
+      // budget — never report this as a solver timeout.
+      JobOutcome outcome;
+      outcome.error = "deadline exceeded while queued in a coalesced batch";
+      scheduler_.finish(job, JobState::Failed, std::move(outcome));
+      continue;
+    }
+    const lai::UpdateTask& task = *job->spec().task;
+    core::EngineReport report;
+    report.final_update = task.modify;
+    for (std::size_t c = 0; c < task.commands.size(); ++c) {
+      core::CommandOutcome cmd;
+      cmd.command = lai::Command::Check;
+      cmd.check = bo.result;
+      report.outcomes.push_back(std::move(cmd));
+    }
+    if (incremental_) {
+      // Seed the verdict cache with the obligations this run proved clean,
+      // so a re-check of the same pending update takes the query-free path.
+      incremental_->install(snapshot->version, task.scope, algebra->bundle);
+      incremental_->commit(snapshot->version, task.scope, snapshot->traffic, task.modify,
+                           bo.clean);
+    }
+    JobOutcome outcome;
+    outcome.success = report.success();
+    outcome.plan_text = core::format_plan(*snapshot->topo, report.final_update);
+    outcome.report = std::move(report);
+    scheduler_.finish(job, JobState::Done, std::move(outcome));
   }
 }
 
 bool Server::run_check_only(const JobPtr& job, const lai::UpdateTask& task,
                             core::EngineReport& report, bool& cancelled) {
   if (!incremental_) return false;
-  if (task.commands.empty() || !task.controls.empty()) return false;
-  const bool all_checks =
-      std::all_of(task.commands.begin(), task.commands.end(),
-                  [](lai::Command c) { return c == lai::Command::Check; });
-  if (!all_checks) return false;
+  if (!pure_check(task)) return false;
 
   const SnapshotPtr& snapshot = job->snapshot();
-  core::CheckOptions check = options_.engine.check;
-  check.threads = 1;
-  check.executor = nullptr;
-  check.fec_cache = fec_cache_;
+  core::CheckOptions check = job_check_options();
 
   // The cached plan for (snapshot version, scope, entering traffic), plus
   // any obligation verdicts already proven for this exact pending update —
@@ -605,8 +826,15 @@ void Server::execute_job(const JobPtr& job) {
   JobOutcome outcome;
   JobState state = JobState::Done;
   try {
-    const lai::Program program = lai::parse(job->spec().program);
-    const lai::UpdateTask task = lai::resolve(program, *snapshot->topo, job->spec().acls);
+    // The server resolved the program at submission; a direct scheduler
+    // user may hand us a bare spec, so fall back to resolving here.
+    std::shared_ptr<const lai::UpdateTask> resolved = job->spec().task;
+    if (resolved == nullptr) {
+      const lai::Program program = lai::parse(job->spec().program);
+      resolved = std::make_shared<const lai::UpdateTask>(
+          lai::resolve(program, *snapshot->topo, job->spec().acls));
+    }
+    const lai::UpdateTask& task = *resolved;
 
     core::EngineReport report;
     report.final_update = task.modify;
@@ -624,17 +852,7 @@ void Server::execute_job(const JobPtr& job) {
       // repair plan regardless of what the server ran before (a reused
       // incremental session can steer Z3 to a different, equally valid,
       // model).
-      core::EngineOptions engine_options = options_.engine;
-      // The workers are the parallelism; each engine must stay
-      // single-threaded (Executor::run is serialized, not reentrant).
-      engine_options.check.threads = 1;
-      engine_options.check.executor = nullptr;
-      engine_options.check.fec_cache = fec_cache_;
-      engine_options.fix.check.threads = 1;
-      engine_options.fix.check.executor = nullptr;
-      engine_options.fix.check.fec_cache = fec_cache_;
-      engine_options.generate.executor = nullptr;
-      core::Engine engine{*snapshot->topo, engine_options};
+      core::Engine engine{*snapshot->topo, job_engine_options()};
       const unsigned default_timeout = engine.smt().timeout_ms();
 
       for (const lai::Command command : task.commands) {

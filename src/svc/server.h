@@ -1,11 +1,14 @@
 // The long-running verification service.
 //
 // One process keeps the expensive state warm across requests — a
-// topo::FecCache shared by every worker engine, per-(worker, version)
-// core::Engines whose verification plans / FEC partitions / incremental Z3
-// base frames persist between jobs, and the obs::StatsRegistry that the
-// `metrics` method exports live — and serves a stream of check/fix/generate
-// programs over a Unix domain socket.
+// topo::FecCache shared by every engine, the incremental planner's
+// cross-version plan/verdict cache, and per-version batch algebras for
+// coalesced check execution — and serves a stream of check/fix/generate
+// programs over a Unix domain socket. Execution is a dispatcher thread
+// pulling dispatch units (one full-engine job, or a coalesced unit of
+// compatible pure-check jobs) off the scheduler and running them on the
+// server-wide work-stealing core::Executor; see docs/INTERNALS.md
+// "Batched + sharded execution".
 //
 // Wire protocol: newline-delimited JSON-RPC. One request per line,
 //   {"id": 1, "method": "submit", "params": {...}}
@@ -29,8 +32,10 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
+#include "core/batch.h"
 #include "core/engine.h"
 #include "core/incremental.h"
 #include "obs/stats.h"
@@ -49,7 +54,15 @@ class ServerError : public std::runtime_error {
 struct ServerOptions {
   std::string socket_path;
   std::size_t queue_depth = 64;
+  /// Executor threads of the server-wide pool. A small dispatcher thread
+  /// pulls dispatch units (single jobs or coalesced batches) off the
+  /// scheduler and fans their obligations out over the pool; the
+  /// dispatcher itself participates as pool worker 0, so `workers` is the
+  /// total execution thread count.
   unsigned workers = 2;
+  /// Most jobs one dispatch unit may coalesce (same snapshot version,
+  /// scope family, pure check program). 1 disables coalescing.
+  std::size_t coalesce = 32;
   /// Snapshot versions kept resolvable after apply advances the head
   /// (older ones are trimmed; jobs already holding a trimmed snapshot
   /// still finish against it, and its FEC cache entries are evicted once
@@ -100,7 +113,7 @@ class Server {
  private:
   void accept_loop();
   void connection_loop(int fd);
-  void worker_loop();
+  void dispatch_loop();
 
   /// One request line -> one response line (never throws).
   [[nodiscard]] std::string handle_line(const std::string& line);
@@ -116,6 +129,15 @@ class Server {
 
   void execute_job(const JobPtr& job);
 
+  /// Runs a coalesced unit of pure-check jobs through the set-algebra
+  /// batch checker, sharded over the shared executor. Falls back to
+  /// per-job execute_job when the shared algebra cannot be built.
+  void execute_batch(const std::vector<JobPtr>& batch);
+
+  /// The per-version batch algebra for the lead job's coalesce family,
+  /// built on first use and cached until the version is released.
+  [[nodiscard]] std::shared_ptr<const core::BatchAlgebra> batch_algebra_for(const JobPtr& job);
+
   /// The delta-scoped fast path for check-only jobs without control
   /// intents: adopt the cached plan for the job's snapshot (or build and
   /// install one), execute only the obligations the update can touch, and
@@ -124,7 +146,23 @@ class Server {
   [[nodiscard]] bool run_check_only(const JobPtr& job, const lai::UpdateTask& task,
                                     core::EngineReport& report, bool& cancelled);
 
+  /// The one place per-job engine configuration lives: the template
+  /// options with the engine forced single-threaded (Executor::run is
+  /// serialized, not reentrant) over the server-wide FEC cache. Shared by
+  /// the full-engine dispatch path, run_check_only, and the batch path's
+  /// plan builds.
+  [[nodiscard]] core::CheckOptions job_check_options() const;
+  [[nodiscard]] core::EngineOptions job_engine_options() const;
+
   ServerOptions options_;
+  // Declared before store_: the store's release hook sweeps this cache, so
+  // it must outlive the store's teardown.
+  std::mutex batch_mutex_;
+  struct VersionedAlgebra {
+    Version version = 0;
+    std::shared_ptr<const core::BatchAlgebra> algebra;
+  };
+  std::unordered_map<std::uint64_t, VersionedAlgebra> batch_algebra_;  // by coalesce key
   StateStore store_;
   Scheduler scheduler_;
   std::shared_ptr<topo::FecCache> fec_cache_;
@@ -132,9 +170,11 @@ class Server {
   obs::StatsRegistry registry_;
   std::optional<obs::ScopedRegistry> installed_;
 
+  std::shared_ptr<core::Executor> executor_;
+
   int listen_fd_ = -1;
   std::thread accept_thread_;
-  std::vector<std::thread> worker_threads_;
+  std::thread dispatch_thread_;
   std::mutex conn_mutex_;
   std::vector<std::thread> conn_threads_;
 

@@ -40,6 +40,38 @@ TEST(AclAlgebra, EffectiveMatchSetExcludesShadowed) {
   EXPECT_TRUE(rest.is_empty());  // "permit all" at index 2 swallows everything
 }
 
+TEST(AclAlgebra, PermittedWithinEqualsClippedPermittedSet) {
+  // The clip-as-you-go walk must agree with the naive compose-then-clip
+  // form on every shape: shadowing, default deny, and a clip that excludes
+  // whole rules.
+  const Acl acls[] = {
+      Acl::permit_all(),
+      Acl::parse({"deny dst 1.0.0.0/8", "permit dst 1.2.0.0/16", "permit all"}),
+      Acl{{parse_rule("permit dst 1.0.0.0/8")}, Action::Deny},
+      Acl::parse({"deny dst 2.0.0.0/8", "deny dst 3.0.0.0/8", "permit all"}),
+  };
+  const PacketSet clips[] = {
+      PacketSet::all(),
+      dst_prefix_set("1.0.0.0/8"),
+      dst_prefix_set("2.0.0.0/7") | dst_prefix_set("4.0.0.0/8"),
+      PacketSet{},
+  };
+  for (const Acl& acl : acls) {
+    for (const PacketSet& clip : clips) {
+      EXPECT_TRUE(permitted_within(acl, clip).equals(permitted_set(acl) & clip))
+          << to_string(acl);
+    }
+  }
+}
+
+TEST(AclAlgebra, PermittedWithinNeverEscapesTheClip) {
+  const auto acl = Acl::parse({"permit dst 1.0.0.0/8", "deny all"});
+  const auto clip = dst_prefix_set("1.128.0.0/9");
+  const auto result = permitted_within(acl, clip);
+  EXPECT_TRUE((result - clip).is_empty());
+  EXPECT_TRUE(result.equals(clip));  // the whole clip is inside the permit
+}
+
 TEST(AclAlgebra, EquivalenceDetectsReorderSafety) {
   // Disjoint rules may be reordered.
   const auto a = Acl::parse({"deny dst 1.0.0.0/8", "deny dst 2.0.0.0/8", "permit all"});

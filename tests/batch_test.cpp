@@ -1,0 +1,223 @@
+// Set-algebra batch execution: every coalesced outcome must be identical
+// to a fresh single-job Checker::check of the same update — verdict,
+// minimal violated obligation, canonical witness — regardless of executor
+// width, and cancellation/expiry of one job must never perturb batchmates.
+#include "core/batch.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "gen/fixtures.h"
+#include "topo/paths.h"
+
+namespace jinjing::core {
+namespace {
+
+struct Fixture {
+  gen::Figure1 f = gen::make_figure1();
+  smt::SmtContext smt;
+  CheckOptions options;
+  Checker checker{smt, f.topo, f.scope, options};
+  BatchAlgebra algebra = build_batch_algebra(f.topo, checker.share_plan(f.traffic));
+};
+
+topo::AclUpdate subprefix_perturbation(const gen::Figure1& f) {
+  topo::AclUpdate update;
+  update.emplace(topo::AclSlot{f.D2, topo::Dir::In},
+                 net::Acl::parse({"deny dst 1.0.0.0/8", "deny dst 2.0.0.0/9", "permit all"}));
+  return update;
+}
+
+topo::AclUpdate equivalent_rewrite(const gen::Figure1& f) {
+  topo::AclUpdate update;
+  update.emplace(topo::AclSlot{f.D2, topo::Dir::In},
+                 net::Acl::parse({"deny dst 1.0.0.0/9", "deny dst 1.128.0.0/9",
+                                  "deny dst 2.0.0.0/8", "permit all"}));
+  return update;
+}
+
+std::vector<BatchItem> items_for(const std::vector<topo::AclUpdate>& updates) {
+  std::vector<BatchItem> items;
+  for (const auto& update : updates) items.push_back(BatchItem{&update, {}, {}});
+  return items;
+}
+
+/// The solo oracle: a fresh checker over the same planning problem.
+CheckResult solo_check(Fixture& fx, const topo::AclUpdate& update,
+                       bool stop_at_first = true) {
+  CheckOptions options;
+  options.stop_at_first = stop_at_first;
+  smt::SmtContext smt;
+  Checker checker{smt, fx.f.topo, fx.f.scope, options};
+  return checker.check(update, fx.f.traffic);
+}
+
+void expect_same_verdict(const CheckResult& batch, const CheckResult& solo,
+                         const std::string& tag) {
+  EXPECT_EQ(batch.consistent, solo.consistent) << tag;
+  ASSERT_EQ(batch.violations.size(), solo.violations.size()) << tag;
+  for (std::size_t i = 0; i < batch.violations.size(); ++i) {
+    const Violation& b = batch.violations[i];
+    const Violation& s = solo.violations[i];
+    // The SMT path may pick any witness packet of the changed region, so
+    // packets are not compared bit-for-bit; the *location* of the minimal
+    // violation (path, decision flip, blamed slot) must agree exactly.
+    EXPECT_EQ(b.path_index, s.path_index) << tag;
+    EXPECT_EQ(b.decision_before, s.decision_before) << tag;
+    EXPECT_EQ(b.decision_after, s.decision_after) << tag;
+    EXPECT_EQ(b.changed_slot.has_value(), s.changed_slot.has_value()) << tag;
+  }
+}
+
+TEST(BatchAlgebraTest, BeforeSetsMatchUnclippedPathSemantics) {
+  Fixture fx;
+  const topo::ConfigView base{fx.f.topo};
+  const auto& obligations = fx.algebra.bundle->plan.obligations();
+  ASSERT_FALSE(obligations.empty());
+  for (const Obligation& o : obligations) {
+    ASSERT_EQ(fx.algebra.before[o.index].size(), o.paths.size());
+    for (std::size_t k = 0; k < o.paths.size(); ++k) {
+      const net::PacketSet full =
+          topo::path_permitted_set(base, fx.algebra.bundle->paths[o.paths[k]]) & *o.fec;
+      EXPECT_TRUE(fx.algebra.before[o.index][k].equals(full))
+          << "obligation " << o.index << " path " << k;
+    }
+  }
+}
+
+TEST(BatchRunTest, MatchesFreshCheckerAcrossUpdateShapes) {
+  Fixture fx;
+  const std::vector<topo::AclUpdate> updates = {
+      {},                                   // no-op: consistent
+      fx.f.running_example_update(),        // the paper's inconsistency
+      equivalent_rewrite(fx.f),             // rule split, same model
+      subprefix_perturbation(fx.f),         // violation inside one class
+  };
+  const auto items = items_for(updates);
+  const auto outcomes = run_check_batch(fx.f.topo, fx.algebra, items);
+  ASSERT_EQ(outcomes.size(), updates.size());
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    EXPECT_FALSE(outcomes[i].cancelled);
+    EXPECT_FALSE(outcomes[i].deadline_expired);
+    expect_same_verdict(outcomes[i].result, solo_check(fx, updates[i]),
+                        "update " + std::to_string(i));
+  }
+}
+
+TEST(BatchRunTest, AllViolationsModeMatchesCheckerWithoutEarlyStop) {
+  Fixture fx;
+  const std::vector<topo::AclUpdate> updates = {fx.f.running_example_update()};
+  const auto items = items_for(updates);
+  BatchRunOptions options;
+  options.stop_at_first = false;
+  const auto outcomes = run_check_batch(fx.f.topo, fx.algebra, items, options);
+  const CheckResult solo = solo_check(fx, updates[0], /*stop_at_first=*/false);
+  EXPECT_FALSE(outcomes[0].result.consistent);
+  EXPECT_EQ(outcomes[0].result.violations.size(), solo.violations.size());
+}
+
+TEST(BatchRunTest, DeterministicAcrossExecutorWidths) {
+  Fixture fx;
+  const std::vector<topo::AclUpdate> updates = {
+      fx.f.running_example_update(),
+      {},
+      subprefix_perturbation(fx.f),
+  };
+  const auto items = items_for(updates);
+
+  const auto reference = run_check_batch(fx.f.topo, fx.algebra, items);
+  for (const unsigned threads : {2u, 4u}) {
+    for (const std::size_t max_shards : {std::size_t{1}, std::size_t{3}, std::size_t{16}}) {
+      Executor executor{threads};
+      BatchRunOptions options;
+      options.executor = &executor;
+      options.max_shards = max_shards;
+      const auto outcomes = run_check_batch(fx.f.topo, fx.algebra, items, options);
+      ASSERT_EQ(outcomes.size(), reference.size());
+      for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        const std::string tag = "threads=" + std::to_string(threads) +
+                                " shards=" + std::to_string(max_shards) +
+                                " job=" + std::to_string(i);
+        EXPECT_EQ(outcomes[i].result.consistent, reference[i].result.consistent) << tag;
+        ASSERT_EQ(outcomes[i].result.violations.size(),
+                  reference[i].result.violations.size())
+            << tag;
+        for (std::size_t v = 0; v < outcomes[i].result.violations.size(); ++v) {
+          // Witnesses are re-derived sequentially after the fan-out, so
+          // they must agree bit-for-bit, not just in location.
+          EXPECT_EQ(to_string(outcomes[i].result.violations[v].witness),
+                    to_string(reference[i].result.violations[v].witness))
+              << tag;
+          EXPECT_EQ(outcomes[i].result.violations[v].path_index,
+                    reference[i].result.violations[v].path_index)
+              << tag;
+        }
+        EXPECT_EQ(outcomes[i].clean, reference[i].clean) << tag;
+      }
+    }
+  }
+}
+
+TEST(BatchRunTest, CancellationDropsOneJobWithoutPoisoningBatchmates) {
+  Fixture fx;
+  const std::vector<topo::AclUpdate> updates = {
+      {},
+      fx.f.running_example_update(),  // cancelled mid-batch
+      subprefix_perturbation(fx.f),
+  };
+  std::vector<BatchItem> items = items_for(updates);
+  items[1].cancelled = [] { return true; };
+  const auto outcomes = run_check_batch(fx.f.topo, fx.algebra, items);
+
+  EXPECT_TRUE(outcomes[1].cancelled);
+  EXPECT_TRUE(outcomes[1].result.violations.empty());
+
+  EXPECT_FALSE(outcomes[0].cancelled);
+  expect_same_verdict(outcomes[0].result, solo_check(fx, updates[0]), "noop");
+  EXPECT_FALSE(outcomes[2].cancelled);
+  expect_same_verdict(outcomes[2].result, solo_check(fx, updates[2]), "subprefix");
+}
+
+TEST(BatchRunTest, DeadlineExpiryIsPerJobAndFlagged) {
+  Fixture fx;
+  const std::vector<topo::AclUpdate> updates = {fx.f.running_example_update(), {}};
+  std::vector<BatchItem> items = items_for(updates);
+  items[0].expired = [] { return true; };
+  Executor executor{2};
+  BatchRunOptions options;
+  options.executor = &executor;
+  const auto outcomes = run_check_batch(fx.f.topo, fx.algebra, items, options);
+
+  EXPECT_TRUE(outcomes[0].deadline_expired);
+  EXPECT_FALSE(outcomes[0].cancelled);
+  EXPECT_TRUE(outcomes[0].result.violations.empty());
+
+  EXPECT_FALSE(outcomes[1].deadline_expired);
+  expect_same_verdict(outcomes[1].result, solo_check(fx, updates[1]), "noop");
+}
+
+TEST(BatchRunTest, CleanVectorSeparatesProvenFromViolatedObligations) {
+  Fixture fx;
+  const std::vector<topo::AclUpdate> updates = {{}, fx.f.running_example_update()};
+  const auto items = items_for(updates);
+  BatchRunOptions options;
+  options.stop_at_first = false;  // scan everything so clean[] is complete
+  const auto outcomes = run_check_batch(fx.f.topo, fx.algebra, items, options);
+
+  // A no-op touches nothing: every obligation is trivially proven.
+  const std::size_t count = fx.algebra.bundle->plan.obligations().size();
+  ASSERT_EQ(outcomes[0].clean.size(), count);
+  for (std::size_t i = 0; i < count; ++i) EXPECT_TRUE(outcomes[0].clean[i]) << i;
+
+  // The breaking update leaves its violated obligations dirty — exactly as
+  // many as it reports violations.
+  std::size_t dirty = 0;
+  for (std::size_t i = 0; i < count; ++i) dirty += outcomes[1].clean[i] ? 0 : 1;
+  EXPECT_EQ(dirty, outcomes[1].result.violations.size());
+  EXPECT_GE(dirty, 1u);
+}
+
+}  // namespace
+}  // namespace jinjing::core

@@ -248,6 +248,139 @@ TEST(SvcStressTest, ConcurrentClientsMatchSequentialOracle) {
   std::filesystem::remove(socket_path);
 }
 
+std::uint64_t prometheus_counter(const std::string& text, const std::string& name) {
+  // Anchor at a line start so the "# TYPE <name> counter" comment never matches.
+  const std::string needle = "\n" + name + " ";
+  const std::size_t pos = text.find(needle);
+  if (pos == std::string::npos) return 0;
+  return std::stoull(text.substr(pos + needle.size()));
+}
+
+/// The coalescing soak at workers=4: clients burst-submit pure-check jobs
+/// (no per-job wait) so the queue backs up behind the first plan build and
+/// the dispatcher forms real batches, a mid-burst apply advances the head
+/// between coalesce and dispatch, and cancellations race execution. Every
+/// completed job must match a fresh single-engine oracle on its pinned
+/// snapshot — coalesced set-algebra execution is not allowed to change any
+/// client-visible answer.
+TEST(SvcStressTest, CoalescedBatchesMatchOracleAtFourWorkers) {
+  const gen::Wan wan = gen::make_wan(gen::small_wan());
+  config::NetworkFile network;
+  network.topo = wan.topo;
+  network.traffic = wan.traffic;
+
+  const std::string socket_path =
+      (std::filesystem::temp_directory_path() /
+       ("jinjing_svc_stress_batch_" + std::to_string(::getpid()) + ".sock"))
+          .string();
+  ServerOptions options;
+  options.socket_path = socket_path;
+  options.queue_depth = 128;
+  options.workers = 4;
+  options.coalesce = 16;
+  options.keep_versions = 64;  // every snapshot stays resolvable for the oracle
+  Server server{std::move(network), options};
+  server.start();
+
+  constexpr int kClients = 3;
+  constexpr int kJobsPerClient = 6;
+  std::mutex records_mutex;
+  std::vector<JobRecord> records;
+
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Client client{socket_path};
+      for (int j = 0; j < kJobsPerClient; ++j) {
+        JobRecord record;
+        if (j % 2 == 0) {
+          record.program = check_only_program(wan);
+        } else {
+          // Pure check of a pending perturbation: coalescable (no fix), and
+          // roughly half of the seeds verify inconsistent, so batches mix
+          // clean and violated verdicts.
+          const unsigned seed = static_cast<unsigned>(c * 100 + j + 11);
+          const Workload workload = perturb_workload(wan, 0.06, seed, "check\n");
+          record.program = workload.program;
+          record.acl_bodies = workload.acl_bodies;
+        }
+        const Json submitted = submit_job(client, record.program, record.acl_bodies);
+        record.id = submitted.at("job").as_u64();
+        if (j == kJobsPerClient - 1) {
+          Json::Object cancel;
+          cancel.emplace("job", record.id);
+          (void)client.call("cancel", Json{std::move(cancel)});
+          record.cancel_attempted = true;
+        }
+        const std::lock_guard<std::mutex> lock{records_mutex};
+        records.push_back(std::move(record));
+      }
+    });
+  }
+
+  // Advance the head while the burst is in flight: jobs already queued keep
+  // their pinned snapshot (and coalesce key) and must verify against it;
+  // jobs submitted afterwards pin the new head and form their own batches.
+  (void)server.store().apply_update({});
+
+  for (auto& thread : clients) thread.join();
+
+  Client checker{socket_path};
+  struct Completed {
+    JobRecord record;
+    Version snapshot = 0;
+    bool success = false;
+    std::string plan;
+  };
+  std::vector<Completed> completed;
+  for (const auto& record : records) {
+    Json::Object wait;
+    wait.emplace("job", record.id);
+    wait.emplace("timeout_ms", std::uint64_t{300000});
+    const Json result = checker.call("result", Json{std::move(wait)});
+    ASSERT_TRUE(result.at("done").as_bool()) << "job " << record.id << " never terminated";
+    const Json& status = result.at("status");
+    const std::string state = status.at("state").as_string();
+    EXPECT_TRUE(state == "done" || state == "cancelled") << status.dump();
+    if (state == "done") {
+      Completed entry;
+      entry.record = record;
+      entry.snapshot = status.at("snapshot").as_u64();
+      entry.success = status.at("outcome").at("success").as_bool();
+      entry.plan = status.at("outcome").at("plan").as_string();
+      completed.push_back(std::move(entry));
+    }
+  }
+  EXPECT_GE(completed.size(), static_cast<std::size_t>(kClients * (kJobsPerClient - 1)));
+
+  // The burst actually coalesced: the queue backed up behind the first plan
+  // build, so at least one multi-job dispatch unit formed.
+  const std::string metrics = checker.call("metrics").at("prometheus").as_string();
+  EXPECT_GE(prometheus_counter(metrics, "jinjing_svc_batch_jobs_coalesced_total"), 2u)
+      << metrics;
+  EXPECT_GE(prometheus_counter(metrics, "jinjing_svc_batch_dispatches_total"), 1u);
+
+  for (const auto& entry : completed) {
+    const SnapshotPtr snapshot = server.store().snapshot(entry.snapshot);
+    ASSERT_NE(snapshot, nullptr) << "snapshot " << entry.snapshot << " trimmed too early";
+    core::Engine oracle{*snapshot->topo};
+    lai::AclLibrary library;
+    library.emplace("permit_all", net::Acl::permit_all());
+    for (const auto& [name, body] : entry.record.acl_bodies) {
+      library.insert_or_assign(name, config::parse_acl_auto(body));
+    }
+    const core::EngineReport report =
+        oracle.run_program(entry.record.program, library, snapshot->traffic);
+    EXPECT_EQ(report.success(), entry.success) << "job " << entry.record.id;
+    EXPECT_EQ(core::format_plan(*snapshot->topo, report.final_update), entry.plan)
+        << "job " << entry.record.id << " plan diverged from the oracle";
+  }
+
+  server.request_shutdown();
+  server.wait();
+  std::filesystem::remove(socket_path);
+}
+
 /// The incremental-serving soak: check-only clients (the delta-scoped fast
 /// path) race a dedicated applier that keeps advancing the head with
 /// consistency-preserving deploys. Every completed job is re-run on a fresh

@@ -6,6 +6,7 @@
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -302,6 +303,105 @@ TEST(SchedulerTest, TerminalJobsAreEvictedBeyondRetention) {
   // Live (non-terminal) jobs are never evicted by retention.
   const auto live = scheduler.submit(spec_with(Priority::Interactive), snapshot).job;
   EXPECT_TRUE(scheduler.status(live->id()));
+}
+
+TEST(SchedulerTest, NextBatchCoalescesSameKeyJobsInSubmissionOrder) {
+  Scheduler scheduler{16};
+  const auto snapshot = dummy_snapshot();
+  const auto make = [&](std::uint64_t key, Priority priority = Priority::Interactive) {
+    JobSpec spec = spec_with(priority);
+    spec.coalesce_key = key;
+    return scheduler.submit(std::move(spec), snapshot).job;
+  };
+  const auto a = make(7);
+  const auto b = make(0);                   // never coalesced
+  const auto c = make(7);
+  const auto d = make(7, Priority::Batch);  // same key, other priority class
+  const auto e = make(7);
+
+  const auto batch = scheduler.next_batch(8);
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch[0]->id(), a->id());
+  EXPECT_EQ(batch[1]->id(), c->id());
+  EXPECT_EQ(batch[2]->id(), e->id());
+  for (const auto& job : batch) {
+    EXPECT_EQ(scheduler.status(job->id())->state, JobState::Running);
+  }
+  // The jobs left behind keep their relative order and their priorities.
+  EXPECT_EQ(scheduler.next()->id(), b->id());
+  EXPECT_EQ(scheduler.next()->id(), d->id());
+}
+
+TEST(SchedulerTest, NextBatchHonorsMaxAndZeroKeyDispatchesAlone) {
+  Scheduler scheduler{16};
+  const auto snapshot = dummy_snapshot();
+  const auto make = [&](std::uint64_t key) {
+    JobSpec spec = spec_with(Priority::Interactive);
+    spec.coalesce_key = key;
+    return scheduler.submit(std::move(spec), snapshot).job;
+  };
+  (void)make(5);
+  (void)make(5);
+  const auto third = make(5);
+  EXPECT_EQ(scheduler.next_batch(2).size(), 2u);  // max caps the unit
+  EXPECT_EQ(scheduler.next_batch(2).front()->id(), third->id());
+
+  (void)make(0);
+  (void)make(0);
+  EXPECT_EQ(scheduler.next_batch(8).size(), 1u);  // key 0 never coalesces
+  EXPECT_EQ(scheduler.next_batch(8).size(), 1u);
+}
+
+TEST(SchedulerTest, NextBatchFinishesCancelledAndExpiredCandidatesInline) {
+  Scheduler scheduler{16};
+  const auto snapshot = dummy_snapshot();
+  const auto make = [&](std::uint64_t deadline_ms = 0) {
+    JobSpec spec = spec_with(Priority::Interactive, deadline_ms);
+    spec.coalesce_key = 3;
+    return scheduler.submit(std::move(spec), snapshot).job;
+  };
+  const auto lead = make();
+  const auto cancelled = make();
+  const auto expired = make(1);
+  const auto good = make();
+  cancelled->request_cancel();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+
+  const auto batch = scheduler.next_batch(8);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0]->id(), lead->id());
+  EXPECT_EQ(batch[1]->id(), good->id());
+  EXPECT_EQ(scheduler.status(cancelled->id())->state, JobState::Cancelled);
+  const auto expired_status = scheduler.status(expired->id());
+  EXPECT_EQ(expired_status->state, JobState::Failed);
+  EXPECT_NE(expired_status->outcome.error.find("deadline exceeded while queued"),
+            std::string::npos);
+}
+
+TEST(SchedulerTest, RetentionEvictionReleasesJobsOutsideTheLock) {
+  std::atomic<bool> probe_live{true};
+  std::atomic<int> releases{0};
+  Scheduler scheduler{8, /*retain_terminal=*/1};
+  const auto make_snapshot = [&] {
+    auto* raw = new Snapshot;
+    raw->version = 1;
+    return SnapshotPtr(raw, [&](Snapshot* s) {
+      // Simulates the store's release hook firing on the last snapshot pin:
+      // it re-enters the scheduler, so eviction must hand the dropped
+      // JobPtrs out of the mutex before destroying them (a regression
+      // deadlocks right here).
+      if (probe_live.load()) (void)scheduler.queued_count();
+      ++releases;
+      delete s;
+    });
+  };
+  for (int i = 0; i < 3; ++i) {
+    const auto job = scheduler.submit(spec_with(Priority::Interactive), make_snapshot()).job;
+    ASSERT_TRUE(job);
+    scheduler.finish(scheduler.next(), JobState::Done, {});
+  }
+  EXPECT_EQ(releases.load(), 2);  // jobs 1 and 2 evicted beyond retention
+  probe_live.store(false);        // the last job dies with the scheduler
 }
 
 TEST(SchedulerTest, WaitTimesOutOnRunningJobAndReturnsOnFinish) {
@@ -725,6 +825,205 @@ TEST(ServerIncrementalTest, RetiredBaseVersionDropsItsCacheEntries) {
   EXPECT_EQ(delta_cache_stat(client, "cached_plans"), 1u);
 }
 
+// --------------------------------------- Batched + sharded execution
+
+/// A pure-check workload: the program plus the ACL bodies it references.
+struct CheckProgram {
+  std::string program;
+  std::vector<std::pair<std::string, std::string>> acls;
+};
+
+std::uint64_t submit_program(Client& client, const CheckProgram& p,
+                             std::optional<std::uint64_t> deadline_ms = {}) {
+  Json::Object params;
+  params.emplace("program", p.program);
+  if (!p.acls.empty()) {
+    Json::Object acls;
+    for (const auto& [name, body] : p.acls) acls.emplace(name, body);
+    params.emplace("acls", Json{std::move(acls)});
+  }
+  if (deadline_ms) params.emplace("deadline_ms", *deadline_ms);
+  return client.call("submit", Json{std::move(params)}).at("job").as_u64();
+}
+
+Json wait_result(Client& client, std::uint64_t job) {
+  Json::Object wait;
+  wait.emplace("job", job);
+  wait.emplace("timeout_ms", std::uint64_t{300000});
+  return client.call("result", Json{std::move(wait)});
+}
+
+/// Blocks until the server's dispatcher has picked up a job and the queue
+/// is empty — the window where everything submitted next piles up behind
+/// the running job and coalesces into one dispatch unit.
+void wait_until_dispatcher_busy(Server& server) {
+  for (int i = 0; i < 2000; ++i) {
+    if (server.scheduler().running_count() >= 1 && server.scheduler().queued_count() == 0) {
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  FAIL() << "dispatcher never picked up the blocker job";
+}
+
+std::uint64_t prometheus_counter(const std::string& text, const std::string& name) {
+  // Anchor at a line start so the "# TYPE <name> counter" comment never matches.
+  const std::string needle = "\n" + name + " ";
+  const std::size_t pos = text.find(needle);
+  if (pos == std::string::npos) return 0;
+  return std::stoull(text.substr(pos + needle.size()));
+}
+
+/// The four verdict shapes every coalesced batch must reproduce exactly:
+/// consistent no-op, the paper's violation, an equivalent rule split, and a
+/// violation strictly inside one traffic class.
+std::vector<CheckProgram> equivalence_matrix() {
+  return {
+      {kCheckOnly, {}},
+      {kBreakingModify, {}},
+      {"scope A:*, B:*, C:*, D:*\nallow D:*\nmodify D:2-in to D2_split\ncheck\n",
+       {{"D2_split",
+         "deny dst 1.0.0.0/9\ndeny dst 1.128.0.0/9\ndeny dst 2.0.0.0/8\npermit all\n"}}},
+      {"scope A:*, B:*, C:*, D:*\nallow D:*\nmodify D:2-in to D2_narrow\ncheck\n",
+       {{"D2_narrow", "deny dst 1.0.0.0/8\ndeny dst 2.0.0.0/9\npermit all\n"}}},
+  };
+}
+
+class BatchedServerEquivalence : public ::testing::TestWithParam<topo::SetBackend> {
+ protected:
+  static ServerOptions with_backend(unsigned workers, std::size_t coalesce) {
+    ServerOptions options;
+    options.workers = workers;
+    options.coalesce = coalesce;
+    options.engine.check.set_backend = GetParam();
+    options.engine.fix.check.set_backend = GetParam();
+    return options;
+  }
+  static std::string tag(const char* prefix) {
+    return std::string(prefix) +
+           (GetParam() == topo::SetBackend::Bdd ? "_bdd" : "_hypercube");
+  }
+};
+
+TEST_P(BatchedServerEquivalence, CoalescedBatchMatchesSequentialOracle) {
+  // The batched server coalesces everything queued behind a slow fix job;
+  // the oracle server (workers=1, coalesce=1) runs the same programs one
+  // engine at a time. A cancellation lands mid-batch, and an apply advances
+  // the head between coalesce and dispatch — client-visible outcomes must
+  // still match the oracle job for job.
+  // The last-constructed server's StatsRegistry is the process-global sink,
+  // so the batched server comes second: its metrics endpoint then reflects
+  // everything both servers record, and the oracle (coalesce=1) never
+  // touches the batch counters.
+  ScopedServer oracle{with_backend(1, 1), tag("oracle")};
+  ScopedServer batched{with_backend(2, 16), tag("batched")};
+  Client batched_client{batched.socket};
+  Client oracle_client{oracle.socket};
+
+  CheckProgram blocker{kCheckFix, {{"A1_new", kA1New}, {"A3_new", kA3New}}};
+  const std::uint64_t blocker_id = submit_program(batched_client, blocker);
+  wait_until_dispatcher_busy(*batched.server);
+
+  const auto matrix = equivalence_matrix();
+  std::vector<std::uint64_t> batched_ids;
+  for (const auto& p : matrix) batched_ids.push_back(submit_program(batched_client, p));
+  // A batchmate cancelled while the unit is queued must come back
+  // cancelled without disturbing the others.
+  const std::uint64_t doomed = submit_program(batched_client, {kCheckOnly, {}});
+  {
+    Json::Object cancel;
+    cancel.emplace("job", doomed);
+    EXPECT_TRUE(batched_client.call("cancel", Json{std::move(cancel)}).at("cancelled").as_bool());
+  }
+  // An apply landing between coalesce and dispatch: the queued jobs keep
+  // their pinned snapshot and must verify against it, not the new head.
+  (void)batched.server->store().apply_update({});
+
+  EXPECT_TRUE(wait_result(batched_client, blocker_id)
+                  .at("status").at("outcome").at("success").as_bool());
+  for (std::size_t i = 0; i < matrix.size(); ++i) {
+    const Json batched_result = wait_result(batched_client, batched_ids[i]);
+    const Json oracle_result =
+        wait_result(oracle_client, submit_program(oracle_client, matrix[i]));
+    const Json& bs = batched_result.at("status");
+    const Json& os = oracle_result.at("status");
+    EXPECT_EQ(bs.at("state").as_string(), "done") << bs.dump();
+    EXPECT_EQ(bs.at("snapshot").as_u64(), 1u) << "must verify the pinned snapshot";
+    // The entire client-visible outcome object — success, plan text, and
+    // the per-command consistent bits — must be byte-identical.
+    EXPECT_EQ(bs.at("outcome").dump(), os.at("outcome").dump()) << "program " << i;
+  }
+  EXPECT_EQ(wait_result(batched_client, doomed).at("status").at("state").as_string(),
+            "cancelled");
+
+  // A job submitted after the apply verifies the new head.
+  const Json fresh =
+      wait_result(batched_client, submit_program(batched_client, {kCheckOnly, {}}));
+  EXPECT_EQ(fresh.at("status").at("snapshot").as_u64(), 2u);
+  EXPECT_TRUE(fresh.at("status").at("outcome").at("success").as_bool());
+
+  // The unit really was coalesced (the five checks queued behind the fix).
+  const std::string metrics =
+      batched_client.call("metrics").at("prometheus").as_string();
+  EXPECT_GE(prometheus_counter(metrics, "jinjing_svc_batch_jobs_coalesced_total"), 2u)
+      << metrics;
+  EXPECT_GE(prometheus_counter(metrics, "jinjing_svc_batch_dispatches_total"), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, BatchedServerEquivalence,
+                         ::testing::Values(topo::SetBackend::Hypercube,
+                                           topo::SetBackend::Bdd));
+
+TEST(BatchedServerTest, DeadlineInsideCoalescedBatchGetsQueuedDiagnostic) {
+  // A job whose deadline expires while it waits behind a slow blocker —
+  // whether caught at dispatch or inside the coalesced unit — must fail
+  // with the queued-deadline diagnostic, never a solver-timeout one.
+  ServerOptions options;
+  options.workers = 1;
+  options.coalesce = 16;
+  ScopedServer scoped{options, "deadline_batch"};
+  Client client{scoped.socket};
+
+  CheckProgram blocker{kCheckFix, {{"A1_new", kA1New}, {"A3_new", kA3New}}};
+  (void)submit_program(client, blocker);
+  wait_until_dispatcher_busy(*scoped.server);
+
+  const std::uint64_t doomed =
+      submit_program(client, {kCheckOnly, {}}, /*deadline_ms=*/std::uint64_t{1});
+  const std::uint64_t healthy = submit_program(client, {kCheckOnly, {}});
+
+  const Json doomed_status = wait_result(client, doomed).at("status");
+  EXPECT_EQ(doomed_status.at("state").as_string(), "failed") << doomed_status.dump();
+  const std::string error = doomed_status.at("outcome").at("error").as_string();
+  EXPECT_NE(error.find("deadline exceeded while queued"), std::string::npos) << error;
+  EXPECT_EQ(error.find("solver timeout"), std::string::npos) << error;
+
+  // The expired batchmate never poisons the rest of the unit.
+  const Json healthy_status = wait_result(client, healthy).at("status");
+  EXPECT_EQ(healthy_status.at("state").as_string(), "done");
+  EXPECT_TRUE(healthy_status.at("outcome").at("success").as_bool());
+}
+
+TEST(BatchedServerTest, CoalesceOneDisablesBatchingEntirely) {
+  ServerOptions options;
+  options.workers = 2;
+  options.coalesce = 1;
+  ScopedServer scoped{options, "no_batch"};
+  Client client{scoped.socket};
+
+  CheckProgram blocker{kCheckFix, {{"A1_new", kA1New}, {"A3_new", kA3New}}};
+  (void)submit_program(client, blocker);
+  wait_until_dispatcher_busy(*scoped.server);
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 4; ++i) ids.push_back(submit_program(client, {kCheckOnly, {}}));
+  for (const std::uint64_t id : ids) {
+    EXPECT_TRUE(wait_result(client, id).at("status").at("outcome").at("success").as_bool());
+  }
+  const std::string metrics = client.call("metrics").at("prometheus").as_string();
+  EXPECT_EQ(prometheus_counter(metrics, "jinjing_svc_batch_jobs_coalesced_total"), 0u);
+  EXPECT_EQ(prometheus_counter(metrics, "jinjing_svc_batch_dispatches_total"), 0u);
+}
+
 TEST(ServerIncrementalTest, ZeroChainDisablesIncrementalServing) {
   ServerOptions options;
   options.workers = 1;
@@ -743,7 +1042,8 @@ TEST(ServerIncrementalTest, ZeroChainDisablesIncrementalServing) {
                   .at("success").as_bool());
   EXPECT_FALSE(run_program(client, kBreakingModify).at("status").at("outcome")
                    .at("success").as_bool());
-  const std::string& text = client.call("metrics").at("prometheus").as_string();
+  // Copy, not reference: the temporary Json dies at the end of the statement.
+  const std::string text = client.call("metrics").at("prometheus").as_string();
   EXPECT_EQ(text.find("jinjing_svc_cached_plans"), std::string::npos);
 }
 
