@@ -132,17 +132,28 @@ svc::Json submit_params(const Workload& workload) {
   return svc::Json{std::move(params)};
 }
 
-/// Submit one job and block until its result; returns the latency.
+/// Submit one job and block until its result; returns the latency. The
+/// result wait is an event wait re-armed until the job is terminal — a job
+/// outliving one 10-minute window must not silently contaminate the sample
+/// with a truncated latency (the old behaviour: warn and move on, leaving
+/// the job still running under the next measurement).
 double run_job(svc::Client& client, const Workload& workload) {
   const auto start = std::chrono::steady_clock::now();
   const svc::Json submitted = client.call("submit", submit_params(workload));
-  svc::Json::Object wait;
-  wait.emplace("job", submitted.at("job").as_u64());
-  wait.emplace("timeout_ms", std::uint64_t{600000});
-  const svc::Json result = client.call("result", svc::Json{std::move(wait)});
-  if (!result.at("done").as_bool() ||
-      result.at("status").at("state").as_string() != "done") {
-    std::fprintf(stderr, "WARNING: job did not complete: %s\n", result.dump().c_str());
+  const std::uint64_t id = submitted.at("job").as_u64();
+  while (true) {
+    svc::Json::Object wait;
+    wait.emplace("job", id);
+    wait.emplace("timeout_ms", std::uint64_t{600000});
+    const svc::Json result = client.call("result", svc::Json{std::move(wait)});
+    if (result.at("done").as_bool()) {
+      if (result.at("status").at("state").as_string() != "done") {
+        std::fprintf(stderr, "WARNING: job did not complete: %s\n", result.dump().c_str());
+      }
+      break;
+    }
+    std::fprintf(stderr, "note: job %llu still running after 600s, continuing to wait\n",
+                 static_cast<unsigned long long>(id));
   }
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
 }

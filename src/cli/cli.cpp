@@ -14,9 +14,11 @@
 #include "core/deploy.h"
 #include "core/diff.h"
 #include "core/engine.h"
+#include "gen/scenario.h"
 #include "gen/wan.h"
 #include "obs/stats.h"
 #include "net/acl_algebra.h"
+#include "soak/soak.h"
 #include "svc/client.h"
 #include "svc/server.h"
 #include "topo/fec.h"
@@ -46,6 +48,11 @@ constexpr const char* kUsage = R"(usage:
   jinjing client --socket PATH METHOD [--program FILE] [--acl NAME=FILE]...
                  [--priority interactive|batch] [--deadline-ms N]
                  [--snapshot N] [--job N] [--wait] [--wait-ms N]
+  jinjing soak   [--size small|medium|large] [--seed N] [--events N]
+                 [--sessions N] [--qps X] [--duration-s X] [--workers N]
+                 [--coalesce N] [--queue-depth N] [--keep-versions N]
+                 [--retain-jobs N] [--max-delta-chain N] [--no-oracle]
+                 [--report-json FILE] [--socket PATH] [--dump-stream]
 
 run      execute an LAI program (check / fix / generate) and print the plan
          --diff      also print the per-slot rule diff of the plan
@@ -90,6 +97,19 @@ client   drive a running service; METHOD is one of submit, status, result,
          --wait      after submit, block until the job finishes; exit 0
                      only when it produced a deployable plan
          --wait-ms N bound a result wait instead of blocking forever
+soak     boot an in-process service and replay a seeded churn stream of
+         checks, applies, control intents, cancels and malformed intents
+         through concurrent client sessions; every completed job is re-run
+         on a fresh sequential oracle and `metrics` snapshots are diffed
+         for retention / cache leak invariants; exit 0 only when every
+         answer matched and every invariant held
+         --events N      stream events per pass (default 500)
+         --sessions N    concurrent client sessions (default 4)
+         --qps X         aggregate submission pacing (default unpaced)
+         --duration-s X  replay derived-seed passes until X seconds elapsed
+         --no-oracle     skip the differential oracle (watchdogs only)
+         --dump-stream   print the resolved event stream and exit (two runs
+                         of one seed must print identical lines)
 )";
 
 struct Options {
@@ -130,6 +150,14 @@ struct Options {
   std::optional<std::uint64_t> snapshot;
   std::optional<std::uint64_t> wait_ms;
   bool wait = false;
+  // soak
+  unsigned soak_events = 500;
+  unsigned soak_sessions = 4;
+  double soak_qps = 0;
+  double soak_duration_s = 0;
+  bool soak_no_oracle = false;
+  bool soak_dump_stream = false;
+  bool retain_jobs_set = false;  // soak defaults lower than serve's 1024
 };
 
 /// Strict flag-value parsing: the whole token must be a decimal number in
@@ -153,6 +181,24 @@ unsigned long parse_unsigned(const char* flag, const std::string& text, unsigned
   return parsed;
 }
 
+/// Same strictness for non-negative decimal flags (--qps 2.5).
+double parse_nonnegative_double(const char* flag, const std::string& text, double max) {
+  double parsed = 0;
+  try {
+    if (text.empty() || text[0] == '-' || text[0] == '+') throw std::invalid_argument(text);
+    std::size_t consumed = 0;
+    parsed = std::stod(text, &consumed);
+    if (consumed != text.size()) throw std::invalid_argument(text);
+  } catch (const std::exception&) {
+    throw std::runtime_error(std::string(flag) + " expects a number, got '" + text + "'");
+  }
+  if (!(parsed >= 0) || parsed > max) {
+    throw std::runtime_error(std::string(flag) + " expects 0 <= X <= " + std::to_string(max) +
+                             ", got '" + text + "'");
+  }
+  return parsed;
+}
+
 std::string read_file(const std::string& path) {
   std::ifstream in{path};
   if (!in) throw std::runtime_error("cannot open file: " + path);
@@ -168,7 +214,8 @@ Options parse_args(const std::vector<std::string>& args) {
   const bool known_command =
       options.command == "run" || options.command == "show" || options.command == "audit" ||
       options.command == "reach" || options.command == "trace" || options.command == "diff" ||
-      options.command == "gen" || options.command == "serve" || options.command == "client";
+      options.command == "gen" || options.command == "serve" ||
+      options.command == "client" || options.command == "soak";
   if (!known_command) {
     throw std::runtime_error("unknown command '" + options.command + "'");
   }
@@ -254,6 +301,21 @@ Options parse_args(const std::vector<std::string>& args) {
     } else if (arg == "--retain-jobs") {
       options.retain_jobs =
           static_cast<unsigned>(parse_unsigned("--retain-jobs", value(), 1, 1u << 20));
+      options.retain_jobs_set = true;
+    } else if (arg == "--events") {
+      options.soak_events =
+          static_cast<unsigned>(parse_unsigned("--events", value(), 1, 1u << 20));
+    } else if (arg == "--sessions") {
+      options.soak_sessions =
+          static_cast<unsigned>(parse_unsigned("--sessions", value(), 1, 256));
+    } else if (arg == "--qps") {
+      options.soak_qps = parse_nonnegative_double("--qps", value(), 1e6);
+    } else if (arg == "--duration-s") {
+      options.soak_duration_s = parse_nonnegative_double("--duration-s", value(), 86400);
+    } else if (arg == "--no-oracle") {
+      options.soak_no_oracle = true;
+    } else if (arg == "--dump-stream") {
+      options.soak_dump_stream = true;
     } else if (arg == "--max-delta-chain") {
       options.max_delta_chain =
           static_cast<unsigned>(parse_unsigned("--max-delta-chain", value(), 0, 1u << 20));
@@ -284,7 +346,7 @@ Options parse_args(const std::vector<std::string>& args) {
     }
   }
   if (options.command != "gen" && options.command != "diff" && options.command != "client" &&
-      options.network_path.empty()) {
+      options.command != "soak" && options.network_path.empty()) {
     throw std::runtime_error("--network is required");
   }
   return options;
@@ -680,7 +742,7 @@ int diff_command(const Options& options, std::ostream& out) {
   return 1;
 }
 
-int gen_command(const Options& options, std::ostream& out) {
+gen::WanParams wan_params_for(const Options& options) {
   gen::WanParams params;
   if (options.gen_size == "small" || options.gen_size.empty()) {
     params = gen::small_wan();
@@ -692,12 +754,72 @@ int gen_command(const Options& options, std::ostream& out) {
     throw std::runtime_error("--size expects small, medium or large");
   }
   if (options.gen_seed != 0) params.seed = options.gen_seed;
-  const auto wan = gen::make_wan(params);
+  return params;
+}
+
+int gen_command(const Options& options, std::ostream& out) {
+  const auto wan = gen::make_wan(wan_params_for(options));
   config::NetworkFile file;
   file.topo = wan.topo;
   file.traffic = wan.traffic;
   out << config::print_network(file);
   return 0;
+}
+
+int soak_command(const Options& options, std::ostream& out) {
+  soak::SoakOptions soak_options;
+  soak_options.wan = wan_params_for(options);
+  soak_options.stream.events = options.soak_events;
+  if (options.gen_seed != 0) soak_options.stream.seed = options.gen_seed;
+  soak_options.sessions = options.soak_sessions;
+  soak_options.target_qps = options.soak_qps;
+  soak_options.min_duration_seconds = options.soak_duration_s;
+  soak_options.oracle = !options.soak_no_oracle;
+  soak_options.log = &out;
+  soak_options.server.socket_path = options.socket_path;  // empty = temp path
+  soak_options.server.queue_depth = options.queue_depth;
+  soak_options.server.workers = options.workers;
+  soak_options.server.coalesce = options.coalesce;
+  soak_options.server.keep_versions = options.keep_versions;
+  // The retention flush submits exactly retain_jobs trivial checks, so the
+  // soak default stays far below serve's 1024.
+  soak_options.server.retain_jobs = options.retain_jobs_set ? options.retain_jobs : 64;
+  soak_options.server.max_delta_chain = options.max_delta_chain;
+  // The engine knobs (--set-backend etc.) are deliberately not wired: the
+  // soak's oracle runs default options, and the service must agree with it.
+
+  if (options.soak_dump_stream) {
+    const gen::Wan wan = gen::make_wan(soak_options.wan);
+    for (const auto& event : gen::churn_stream(wan, soak_options.stream)) {
+      out << gen::describe(event) << "\n";
+    }
+    return 0;
+  }
+
+  const soak::SoakReport report = soak::run_soak(soak_options);
+  char fingerprint[32];
+  std::snprintf(fingerprint, sizeof(fingerprint), "%016llx",
+                static_cast<unsigned long long>(report.stream_fingerprint));
+  out << "soak: " << report.passes << " passes, " << report.events << " events, "
+      << report.submitted << " submitted, " << report.completed << " completed, "
+      << report.cancelled << " cancelled, " << report.applies << " applies ("
+      << report.apply_conflicts << " conflicts), " << report.rejected
+      << " backpressure rejections, " << report.evicted_before_read
+      << " evicted before read, " << report.expected_submit_errors
+      << " malformed bounced, " << report.flushed << " flushed\n"
+      << "oracle: " << report.oracle_checked << " checked, " << report.oracle_mismatches
+      << " mismatches\n"
+      << "stream fingerprint: " << fingerprint << "\n"
+      << "wall: " << report.wall_seconds << "s (" << report.achieved_qps << " jobs/s)\n";
+  for (const auto& failure : report.failures) out << "FAIL: " << failure << "\n";
+  if (!options.report_json_path.empty()) {
+    write_output_file(options.report_json_path, [&](std::ostream& file) {
+      soak::write_report_json(file, soak_options, report);
+    });
+    out << "report written to " << options.report_json_path << "\n";
+  }
+  out << (report.ok() ? "soak PASSED\n" : "soak FAILED\n");
+  return report.ok() ? 0 : 1;
 }
 
 int serve_command(const Options& options, std::ostream& out) {
@@ -812,6 +934,7 @@ int run(const std::vector<std::string>& args, std::ostream& out, std::ostream& e
     if (options.command == "diff") return diff_command(options, out);
     if (options.command == "serve") return serve_command(options, out);
     if (options.command == "client") return client_command(options, out);
+    if (options.command == "soak") return soak_command(options, out);
     err << "unknown command '" << options.command << "'\n" << kUsage;
     return 2;
   } catch (const std::exception& e) {

@@ -1,6 +1,8 @@
 #include "gen/scenario.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <cstdio>
 #include <random>
 
 #include "net/acl_algebra.h"
@@ -131,6 +133,235 @@ std::vector<topo::AclSlot> gateway_layer_allow(const Wan& wan) {
   allowed.insert(allowed.end(), wan.gateway_egress_slots.begin(),
                  wan.gateway_egress_slots.end());
   return allowed;
+}
+
+namespace {
+
+std::string scope_all_line(const Wan& wan) {
+  std::string out = "scope ";
+  for (topo::DeviceId d = 0; d < wan.topo.device_count(); ++d) {
+    if (d > 0) out += ", ";
+    out += wan.topo.device_name(d);
+  }
+  return out;
+}
+
+std::string allow_gateways_line(const Wan& wan) {
+  std::string out = "allow ";
+  for (std::size_t g = 0; g < wan.gateways.size(); ++g) {
+    if (g > 0) out += ", ";
+    out += wan.topo.device_name(wan.gateways[g]);
+  }
+  return out;
+}
+
+/// The perturbation events: modify lines shipping named bodies, then the
+/// requested commands ("check\n" or "check\nfix\n").
+ChurnEvent perturb_event(const Wan& wan, double fraction, unsigned seed,
+                         const std::string& commands) {
+  const topo::AclUpdate update = perturb_rules(wan, fraction, seed);
+  ChurnEvent event;
+  std::string modifies;
+  std::size_t i = 0;
+  for (const auto& [slot, acl] : update) {
+    const std::string name = "acl_" + std::to_string(i++);
+    modifies += "modify " + slot_ref(wan, slot) + " to " + name + "\n";
+    event.acls.emplace_back(name, acl);
+  }
+  event.program =
+      scope_all_line(wan) + "\n" + allow_gateways_line(wan) + "\n" + modifies + commands;
+  return event;
+}
+
+/// The apply events: rebind a rotating aggregation slot to its *base* ACL
+/// with the first rule duplicated. Under first-match semantics that is a
+/// semantic no-op — the check always passes, so the plan deploys — but the
+/// rule lists differ, so every apply is a real version bump with a
+/// non-trivial differential. Deriving the body from the base topology
+/// (never from the run-time head) keeps the stream precomputable: replays
+/// of one seed ship byte-identical bodies no matter how many applies have
+/// already landed.
+ChurnEvent apply_event(const Wan& wan, std::size_t rotation) {
+  const topo::AclSlot slot = wan.agg_slots[rotation % wan.agg_slots.size()];
+  const net::Acl& acl = wan.topo.acl(slot);
+  std::vector<AclRule> rules{acl.rules().begin(), acl.rules().end()};
+  rules.insert(rules.begin(), rules.front());
+  ChurnEvent event;
+  event.acls.emplace_back("dup", net::Acl{std::move(rules), acl.default_action()});
+  event.program = scope_all_line(wan) + "\nmodify " + slot_ref(wan, slot) + " to dup\ncheck\n";
+  event.apply_plan = true;
+  return event;
+}
+
+/// Deliberately broken programs, one per failure family the submission
+/// path must reject (parse error, unknown device, unknown interface,
+/// unknown ACL name). All surface as invalid-params submission errors.
+ChurnEvent malformed_event(const Wan& wan, unsigned variant) {
+  ChurnEvent event;
+  event.expect_submit_error = true;
+  switch (variant % 4) {
+    case 0:  // not LAI at all
+      event.program = "this is not an intent language program\n";
+      break;
+    case 1:  // unknown device in scope
+      event.program = "scope no_such_device\ncheck\n";
+      break;
+    case 2:  // unknown interface in a modify
+      event.program =
+          scope_all_line(wan) + "\nmodify no_such_device:0-in to permit_all\ncheck\n";
+      break;
+    default:  // unresolved ACL name
+      event.program = scope_all_line(wan) + "\nmodify " +
+                      slot_ref(wan, wan.agg_slots.front()) + " to acl_never_shipped\ncheck\n";
+      break;
+  }
+  return event;
+}
+
+/// Mutually conflicting control lines over one protected /24: an `open`
+/// and an `isolate` spanning the same traffic. Both orders are legal LAI —
+/// the checker resolves the conflict by specification order (first
+/// matching intent wins) — so the job must reach a definite verdict that
+/// the oracle reproduces, never an error.
+ChurnEvent conflicting_event(const Wan& wan, unsigned seed) {
+  std::mt19937 rng(seed);
+  const std::size_t g = rng() % wan.gateways.size();
+  const auto octet = static_cast<std::uint8_t>(g * wan.params.prefixes_per_gateway +
+                                               rng() % wan.params.prefixes_per_gateway);
+  const net::Prefix prefix{net::Ipv4{10, octet, static_cast<std::uint8_t>(rng() % 4), 0}, 24};
+
+  std::string froms;
+  for (std::size_t i = 0; i < wan.core_entry_ifaces.size(); ++i) {
+    if (i > 0) froms += ", ";
+    froms += wan.topo.qualified_name(wan.core_entry_ifaces[i]);
+  }
+  const std::string to = wan.topo.qualified_name(wan.gateway_egress_slots[g].iface) + "-out";
+  const std::string header = "dst " + net::to_string(prefix);
+
+  const bool open_first = (rng() % 2) == 0;
+  ChurnEvent event;
+  event.program = scope_all_line(wan) + "\n";
+  event.program += "control " + froms + " -> " + to + " " +
+                   (open_first ? "open" : "isolate") + " " + header + "\n";
+  event.program += "control " + froms + " -> " + to + " " +
+                   (open_first ? "isolate" : "open") + " " + header + "\n";
+  event.program += "check\n";
+  return event;
+}
+
+/// A deterministic weighted pick that does not depend on the standard
+/// library's unspecified distribution algorithms: the raw mt19937 draw is
+/// scaled into [0, total) by hand, so every platform walks the same
+/// cumulative-weight table the same way.
+ChurnEventKind pick_kind(const ChurnMix& mix, std::mt19937& rng) {
+  const std::pair<ChurnEventKind, double> table[] = {
+      {ChurnEventKind::PureCheck, mix.pure_check},
+      {ChurnEventKind::PendingCheck, mix.pending_check},
+      {ChurnEventKind::CheckFix, mix.check_fix},
+      {ChurnEventKind::Apply, mix.apply},
+      {ChurnEventKind::ControlOpen, mix.control_open},
+      {ChurnEventKind::Migration, mix.migration},
+      {ChurnEventKind::Cancel, mix.cancel},
+      {ChurnEventKind::Malformed, mix.malformed},
+      {ChurnEventKind::Conflicting, mix.conflicting},
+  };
+  double total = 0;
+  for (const auto& [kind, weight] : table) total += std::max(0.0, weight);
+  if (total <= 0) return ChurnEventKind::PureCheck;
+  const double u = (static_cast<double>(rng()) / 4294967296.0) * total;
+  double cumulative = 0;
+  for (const auto& [kind, weight] : table) {
+    cumulative += std::max(0.0, weight);
+    if (u < cumulative) return kind;
+  }
+  return ChurnEventKind::PureCheck;
+}
+
+std::uint64_t fnv64(std::uint64_t hash, std::string_view text) {
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+}  // namespace
+
+std::string_view to_string(ChurnEventKind kind) {
+  switch (kind) {
+    case ChurnEventKind::PureCheck: return "pure_check";
+    case ChurnEventKind::PendingCheck: return "pending_check";
+    case ChurnEventKind::CheckFix: return "check_fix";
+    case ChurnEventKind::Apply: return "apply";
+    case ChurnEventKind::ControlOpen: return "control_open";
+    case ChurnEventKind::Migration: return "migration";
+    case ChurnEventKind::Cancel: return "cancel";
+    case ChurnEventKind::Malformed: return "malformed";
+    case ChurnEventKind::Conflicting: return "conflicting";
+  }
+  return "unknown";
+}
+
+std::vector<ChurnEvent> churn_stream(const Wan& wan, const ChurnStreamParams& params) {
+  std::mt19937 rng(params.seed);
+  std::vector<ChurnEvent> events;
+  events.reserve(params.events);
+  std::size_t apply_rotation = 0;
+  for (std::size_t i = 0; i < params.events; ++i) {
+    // One kind draw plus one per-event seed per iteration, whatever the
+    // kind consumes — the stream prefix is stable under mix changes that
+    // keep earlier draws in the same bucket.
+    const ChurnEventKind kind = pick_kind(params.mix, rng);
+    const unsigned event_seed = static_cast<unsigned>(rng());
+    ChurnEvent event;
+    switch (kind) {
+      case ChurnEventKind::PureCheck:
+        event.program = scope_all_line(wan) + "\ncheck\n";
+        break;
+      case ChurnEventKind::PendingCheck:
+        event = perturb_event(wan, params.perturb_fraction, event_seed, "check\n");
+        break;
+      case ChurnEventKind::CheckFix:
+        event = perturb_event(wan, params.perturb_fraction, event_seed, "check\nfix\n");
+        break;
+      case ChurnEventKind::Apply:
+        event = apply_event(wan, apply_rotation++);
+        break;
+      case ChurnEventKind::ControlOpen: {
+        const ControlOpenScenario sc = control_open(wan, params.control_open_k, event_seed);
+        event.program = control_open_program(wan, sc);
+        break;
+      }
+      case ChurnEventKind::Migration:
+        event.program = migration_program(wan);
+        break;
+      case ChurnEventKind::Cancel:
+        break;  // no program: the harness targets a recent job
+      case ChurnEventKind::Malformed:
+        event = malformed_event(wan, event_seed);
+        break;
+      case ChurnEventKind::Conflicting:
+        event = conflicting_event(wan, event_seed);
+        break;
+    }
+    event.index = i;
+    event.kind = kind;
+    events.push_back(std::move(event));
+  }
+  return events;
+}
+
+std::string describe(const ChurnEvent& event) {
+  std::uint64_t hash = fnv64(14695981039346656037ull, event.program);
+  for (const auto& [name, acl] : event.acls) {
+    hash = fnv64(hash, name);
+    for (const auto& rule : acl.rules()) {
+      hash = fnv64(hash, net::to_string(rule));
+    }
+  }
+  char digest[32];
+  std::snprintf(digest, sizeof(digest), "%016llx", static_cast<unsigned long long>(hash));
+  return std::to_string(event.index) + " " + std::string(to_string(event.kind)) + " " + digest;
 }
 
 std::string check_fix_program(const Wan& wan, const topo::AclUpdate& update) {

@@ -150,6 +150,9 @@ void Scheduler::start_locked(Job& job) {
   obs::observe(obs::Histogram::SvcQueueWaitMicros,
                static_cast<std::uint64_t>(
                    seconds_between(job.submitted_at_, job.started_at_) * 1e6));
+  // Queued -> Running is observable through wait_started; terminal
+  // transitions notify via finish_locked.
+  done_cv_.notify_all();
 }
 
 void Scheduler::finish(const JobPtr& job, JobState state, JobOutcome outcome) {
@@ -263,6 +266,21 @@ std::optional<JobStatus> Scheduler::wait(std::uint64_t id,
   return status_locked(*job);
 }
 
+std::optional<JobStatus> Scheduler::wait_started(
+    std::uint64_t id, std::optional<std::chrono::milliseconds> timeout) {
+  std::unique_lock<std::mutex> lock{mutex_};
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return std::nullopt;
+  const JobPtr job = it->second;
+  const auto started = [&] { return job->state_ != JobState::Queued; };
+  if (timeout) {
+    if (!done_cv_.wait_for(lock, *timeout, started)) return std::nullopt;
+  } else {
+    done_cv_.wait(lock, started);
+  }
+  return status_locked(*job);
+}
+
 void Scheduler::drain() {
   const std::lock_guard<std::mutex> lock{mutex_};
   draining_ = true;
@@ -289,6 +307,11 @@ std::size_t Scheduler::queued_count() const {
 std::size_t Scheduler::running_count() const {
   const std::lock_guard<std::mutex> lock{mutex_};
   return running_;
+}
+
+std::size_t Scheduler::tracked_count() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  return jobs_.size();
 }
 
 }  // namespace jinjing::svc

@@ -181,6 +181,13 @@ class Scheduler {
   std::optional<JobStatus> wait(std::uint64_t id,
                                 std::optional<std::chrono::milliseconds> timeout = {});
 
+  /// Blocks until the job has left the queue (Running or terminal) — the
+  /// condition-wait tests use to know a blocker occupies the dispatcher
+  /// before they burst-submit, instead of sleeping and hoping. Returns the
+  /// status at that moment (nullopt on timeout or unknown id).
+  std::optional<JobStatus> wait_started(std::uint64_t id,
+                                        std::optional<std::chrono::milliseconds> timeout = {});
+
   /// Stops admission; next() drains the backlog then returns nullptr.
   void drain();
   [[nodiscard]] bool draining() const;
@@ -191,6 +198,10 @@ class Scheduler {
 
   [[nodiscard]] std::size_t queued_count() const;
   [[nodiscard]] std::size_t running_count() const;
+  /// Every job the scheduler still remembers — queued + running + the
+  /// retained terminal window. Bounded by queue_depth + running +
+  /// retain_terminal; the soak harness asserts it never drifts past that.
+  [[nodiscard]] std::size_t tracked_count() const;
 
  private:
   [[nodiscard]] JobStatus status_locked(const Job& job) const;

@@ -573,7 +573,19 @@ Json Server::handle_metrics() {
       << "# TYPE jinjing_svc_running_jobs gauge\n"
       << "jinjing_svc_running_jobs " << scheduler_.running_count() << "\n"
       << "# TYPE jinjing_svc_head_version gauge\n"
-      << "jinjing_svc_head_version " << store_.head_version() << "\n";
+      << "jinjing_svc_head_version " << store_.head_version() << "\n"
+      // The leak watchdogs: tracked jobs are bounded by retention +
+      // queue, live snapshots by the version index + job pins, and FEC
+      // entries by the live snapshots — a soak diffing two metrics
+      // snapshots can catch retention/eviction leaks from these alone.
+      << "# TYPE jinjing_svc_versions gauge\n"
+      << "jinjing_svc_versions " << store_.version_count() << "\n"
+      << "# TYPE jinjing_svc_live_snapshots gauge\n"
+      << "jinjing_svc_live_snapshots " << store_.live_snapshots() << "\n"
+      << "# TYPE jinjing_svc_tracked_jobs gauge\n"
+      << "jinjing_svc_tracked_jobs " << scheduler_.tracked_count() << "\n"
+      << "# TYPE jinjing_svc_fec_entries gauge\n"
+      << "jinjing_svc_fec_entries " << fec_cache_->live_entries() << "\n";
   if (incremental_) {
     const core::IncrementalStats stats = incremental_->stats();
     out << "# TYPE jinjing_svc_cached_plans gauge\n"

@@ -33,12 +33,15 @@ void StateStore::set_apply_hook(SnapshotApplyHook hook) {
 }
 
 SnapshotPtr StateStore::wrap(std::unique_ptr<Snapshot> snapshot) const {
+  live_count_->fetch_add(1, std::memory_order_relaxed);
   // The deleter reads the hook cell at release time (not capture time), so
   // a hook installed after construction still covers the initial snapshot.
-  return SnapshotPtr(snapshot.release(), [hook = release_hook_](const Snapshot* s) {
-    if (*hook) (*hook)(*s);
-    delete s;
-  });
+  return SnapshotPtr(snapshot.release(),
+                     [hook = release_hook_, live = live_count_](const Snapshot* s) {
+                       if (*hook) (*hook)(*s);
+                       live->fetch_sub(1, std::memory_order_relaxed);
+                       delete s;
+                     });
 }
 
 SnapshotPtr StateStore::head() const {
@@ -105,6 +108,10 @@ std::vector<SnapshotPtr> StateStore::trim(std::size_t keep) {
 std::size_t StateStore::version_count() const {
   const std::lock_guard<std::mutex> lock{mutex_};
   return versions_.size();
+}
+
+std::size_t StateStore::live_snapshots() const {
+  return live_count_->load(std::memory_order_relaxed);
 }
 
 }  // namespace jinjing::svc

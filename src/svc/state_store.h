@@ -15,6 +15,7 @@
 // per-topology caches (topo::FecCache keys on topology identity).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -93,6 +94,12 @@ class StateStore {
 
   [[nodiscard]] std::size_t version_count() const;
 
+  /// Snapshots currently alive anywhere — the version index plus every
+  /// job/client pin. The soak harness's leak watchdog: after a drain this
+  /// must fall back to the index size, or something is holding snapshots
+  /// (and their topologies) beyond their lifetime.
+  [[nodiscard]] std::size_t live_snapshots() const;
+
  private:
   [[nodiscard]] SnapshotPtr wrap(std::unique_ptr<Snapshot> snapshot) const;
   SnapshotPtr apply_locked(const topo::AclUpdate& update);
@@ -101,6 +108,9 @@ class StateStore {
   // (a pinned snapshot can be released after the store is gone).
   std::shared_ptr<SnapshotReleaseHook> release_hook_ =
       std::make_shared<SnapshotReleaseHook>();
+  // Shared with the deleters for the same lifetime reason.
+  std::shared_ptr<std::atomic<std::size_t>> live_count_ =
+      std::make_shared<std::atomic<std::size_t>>(0);
   SnapshotApplyHook apply_hook_;
 
   mutable std::mutex mutex_;

@@ -141,6 +141,13 @@ double FecCache::hit_rate() const {
   return total == 0 ? 0.0 : static_cast<double>(hits_) / static_cast<double>(total);
 }
 
+std::size_t FecCache::live_entries() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  std::size_t total = 0;
+  for (const auto& [key, slots] : slots_) total += slots.size();
+  return total;
+}
+
 void FecCache::clear() {
   const std::lock_guard<std::mutex> lock{mutex_};
   slots_.clear();

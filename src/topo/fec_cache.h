@@ -42,6 +42,11 @@ class FecCache {
   /// hits / (hits + misses), or 0 when never queried.
   [[nodiscard]] double hit_rate() const;
 
+  /// Memoized partitions currently held. Entries are keyed per live
+  /// topology, so in a versioned server this must stay proportional to the
+  /// number of live snapshots — the soak harness's eviction watchdog.
+  [[nodiscard]] std::size_t live_entries() const;
+
   void clear();
 
   /// Drops every memoized partition derived from `topo` — called when a

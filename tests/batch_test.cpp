@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "gen/fixtures.h"
+#include "gen/scenario.h"
+#include "gen/wan.h"
 #include "topo/paths.h"
 
 namespace jinjing::core {
@@ -155,6 +157,72 @@ TEST(BatchRunTest, DeterministicAcrossExecutorWidths) {
               << tag;
         }
         EXPECT_EQ(outcomes[i].clean, reference[i].clean) << tag;
+      }
+    }
+  }
+}
+
+/// The multi-core scaling sweep the soak harness leans on: one coalesced
+/// unit over the layered WAN (whose obligations span many entry points, so
+/// sharding actually splits work across cores), swept over executor widths
+/// {2, 4, 8} crossed with shard counts. Every (width, shards) cell must
+/// reproduce the single-threaded reference bit for bit — verdicts, the
+/// full violation list, witness packets, and the per-obligation clean
+/// vector. Any divergence here would surface in the soak as an oracle
+/// mismatch that depends on the machine's core count.
+TEST(BatchRunTest, WanSweepStableAcrossWidthsAndShardCounts) {
+  const gen::Wan wan = gen::make_wan(gen::small_wan());
+  smt::SmtContext smt;
+  CheckOptions check_options;
+  Checker checker{smt, wan.topo, wan.scope, check_options};
+  const BatchAlgebra algebra = build_batch_algebra(wan.topo, checker.share_plan(wan.traffic));
+
+  // A mixed unit: no-op, two distinct seeded perturbations, and one
+  // perturbation repeated (coalesced duplicates must not share outcomes by
+  // accident).
+  const std::vector<topo::AclUpdate> updates = {
+      {},
+      gen::perturb_rules(wan, 0.10, 71),
+      gen::perturb_rules(wan, 0.25, 72),
+      gen::perturb_rules(wan, 0.10, 71),
+  };
+  const auto items = items_for(updates);
+
+  BatchRunOptions reference_options;
+  reference_options.stop_at_first = false;  // full violation lists, not prefixes
+  const auto reference = run_check_batch(wan.topo, algebra, items, reference_options);
+  ASSERT_EQ(reference.size(), updates.size());
+  // Identical updates produce identical outcomes even in the reference.
+  ASSERT_EQ(reference[1].result.violations.size(), reference[3].result.violations.size());
+
+  for (const unsigned threads : {2u, 4u, 8u}) {
+    for (const std::size_t max_shards :
+         {std::size_t{1}, std::size_t{2}, std::size_t{8}, std::size_t{64}}) {
+      Executor executor{threads};
+      BatchRunOptions options;
+      options.executor = &executor;
+      options.max_shards = max_shards;
+      options.stop_at_first = false;
+      const auto outcomes = run_check_batch(wan.topo, algebra, items, options);
+      ASSERT_EQ(outcomes.size(), reference.size());
+      for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        const std::string tag = "threads=" + std::to_string(threads) +
+                                " shards=" + std::to_string(max_shards) +
+                                " job=" + std::to_string(i);
+        EXPECT_EQ(outcomes[i].result.consistent, reference[i].result.consistent) << tag;
+        EXPECT_EQ(outcomes[i].clean, reference[i].clean) << tag;
+        ASSERT_EQ(outcomes[i].result.violations.size(),
+                  reference[i].result.violations.size())
+            << tag;
+        for (std::size_t v = 0; v < outcomes[i].result.violations.size(); ++v) {
+          const Violation& got = outcomes[i].result.violations[v];
+          const Violation& want = reference[i].result.violations[v];
+          EXPECT_EQ(got.path_index, want.path_index) << tag;
+          EXPECT_EQ(got.decision_before, want.decision_before) << tag;
+          EXPECT_EQ(got.decision_after, want.decision_after) << tag;
+          // Bit-for-bit witness stability across every width × shard cell.
+          EXPECT_EQ(to_string(got.witness), to_string(want.witness)) << tag;
+        }
       }
     }
   }

@@ -1,0 +1,254 @@
+// Adversarial framing for the service's JSON layer.
+//
+// The server reads newline-delimited requests from untrusted clients, so
+// the parser and the request path must survive anything a broken or hostile
+// client can put on the wire: truncated documents, flipped bytes, absurd
+// nesting, invalid UTF-8, megabyte tokens, NULs. The contract under test is
+// narrow and absolute — Json::parse either returns a value or throws
+// JsonError, and the server answers every line with exactly one reply line
+// (or drops the connection) and keeps serving well-formed clients after.
+// The sanitizer CI jobs run this binary, so any out-of-bounds read or leak
+// on these paths fails loudly.
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <random>
+#include <string>
+
+#include "config/topology_format.h"
+#include "gen/wan.h"
+#include "svc/client.h"
+#include "svc/json.h"
+#include "svc/server.h"
+
+namespace jinjing {
+namespace {
+
+using svc::Json;
+using svc::JsonError;
+
+/// parse() must return a value or throw JsonError — nothing else. Returns
+/// whether it parsed (for distribution sanity checks).
+bool parse_survives(const std::string& text) {
+  try {
+    const Json value = Json::parse(text);
+    // A successful parse must round-trip through its own dump.
+    (void)Json::parse(value.dump());
+    return true;
+  } catch (const JsonError&) {
+    return false;
+  }
+}
+
+TEST(JsonFuzzTest, MutatedDocumentsNeverCrashTheParser) {
+  const std::string seeds[] = {
+      R"({"id":1,"method":"submit","params":{"program":"check\n","acls":{"a":"permit any"}}})",
+      R"({"id":2,"method":"result","params":{"job":7,"timeout_ms":100}})",
+      R"([1,2.5,-3e10,true,false,null,"é\n\"x\"",[],{}])",
+      R"({"nested":{"a":[{"b":"c"}]},"n":18446744073709551615})",
+  };
+  std::mt19937 rng{20260808};
+  std::size_t parsed = 0, rejected = 0;
+  for (int round = 0; round < 2000; ++round) {
+    std::string text = seeds[rng() % std::size(seeds)];
+    switch (rng() % 4) {
+      case 0:  // truncate anywhere, including mid-escape and mid-UTF-8
+        text = text.substr(0, rng() % (text.size() + 1));
+        break;
+      case 1: {  // flip a few bytes to arbitrary values (NUL included)
+        for (int i = 0; i < 3; ++i) {
+          text[rng() % text.size()] = static_cast<char>(rng() % 256);
+        }
+        break;
+      }
+      case 2: {  // splice in an invalid UTF-8 / control-character run
+        const char junk[] = "\xc3\x28\xa0\xff\xfe\x01\x1f";
+        text.insert(rng() % (text.size() + 1), junk, sizeof(junk) - 1);
+        break;
+      }
+      case 3:  // duplicate a chunk, making overlong / unbalanced documents
+        text += text.substr(rng() % text.size());
+        break;
+    }
+    (parse_survives(text) ? parsed : rejected) += 1;
+  }
+  // The mutators must actually produce both outcomes, or they test nothing.
+  EXPECT_GT(parsed + rejected, 0u);
+  EXPECT_GT(rejected, 0u);
+}
+
+TEST(JsonFuzzTest, DeepNestingIsRejectedNotOverflowed) {
+  // 100k opening brackets: a recursive-descent parser without a depth cap
+  // would exhaust the stack here, which ASan reports as a crash.
+  const std::string deep_array(100000, '[');
+  EXPECT_THROW((void)Json::parse(deep_array), JsonError);
+  std::string deep_object;
+  for (int i = 0; i < 50000; ++i) deep_object += R"({"a":)";
+  EXPECT_THROW((void)Json::parse(deep_object), JsonError);
+  // Balanced but still too deep is rejected the same way.
+  const std::string balanced = std::string(1000, '[') + std::string(1000, ']');
+  EXPECT_THROW((void)Json::parse(balanced), JsonError);
+}
+
+TEST(JsonFuzzTest, HugeTokensParseOrFailCleanly) {
+  const std::string huge_string = "\"" + std::string(2 << 20, 'x') + "\"";
+  EXPECT_TRUE(parse_survives(huge_string));
+  const std::string huge_number = "1" + std::string(4096, '0');
+  (void)parse_survives(huge_number);  // either verdict, no crash
+  const std::string unterminated = "\"" + std::string(2 << 20, 'x');
+  EXPECT_FALSE(parse_survives(unterminated));
+}
+
+/// A raw connection speaking garbage at a live server.
+class RawConnection {
+ public:
+  explicit RawConnection(const std::string& socket_path) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) throw std::runtime_error("socket() failed");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socket_path.size() >= sizeof(addr.sun_path)) {
+      throw std::runtime_error("socket path too long: " + socket_path);
+    }
+    std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      throw std::runtime_error("connect() failed: " + socket_path);
+    }
+  }
+  ~RawConnection() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  void send(const std::string& bytes) {
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      // MSG_NOSIGNAL: a server-side close mid-send must surface as an error
+      // return (acceptable — the peer may hang up on garbage), not SIGPIPE.
+      const ssize_t n =
+          ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+      if (n <= 0) return;
+      off += static_cast<std::size_t>(n);
+    }
+  }
+
+  /// Reads one reply line; empty string when the server closed instead.
+  std::string read_line() {
+    std::string line;
+    char c = 0;
+    while (true) {
+      const ssize_t n = ::read(fd_, &c, 1);
+      if (n <= 0) return {};
+      if (c == '\n') return line;
+      line.push_back(c);
+    }
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+class SvcFuzzFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const gen::Wan wan = gen::make_wan(gen::small_wan());
+    config::NetworkFile network;
+    network.topo = wan.topo;
+    network.traffic = wan.traffic;
+    svc::ServerOptions options;
+    options.socket_path =
+        (std::filesystem::temp_directory_path() /
+         ("jinjing_json_fuzz_" + std::to_string(::getpid()) + ".sock"))
+            .string();
+    options.workers = 2;
+    server_ = std::make_unique<svc::Server>(std::move(network), options);
+    server_->start();
+  }
+
+  void TearDown() override {
+    server_->request_shutdown();
+    server_->wait();
+    std::filesystem::remove(server_->socket_path());
+  }
+
+  /// Every adversarial exchange ends with this: the server still answers a
+  /// fresh well-formed client, so no frame wedged or killed it.
+  void expect_server_healthy() {
+    svc::Client client{server_->socket_path()};
+    const Json info = client.call("info");
+    EXPECT_GE(info.at("head_version").as_u64(), 1u);
+  }
+
+  std::unique_ptr<svc::Server> server_;
+};
+
+TEST_F(SvcFuzzFixture, GarbageLinesGetOneErrorReplyEach) {
+  RawConnection conn{server_->socket_path()};
+  const std::string lines[] = {
+      "not json at all\n",
+      "{\"id\":1,\"method\":\n",          // truncated document, framed
+      "{}\n",                              // valid JSON, invalid request
+      "{\"id\":4}\n",                      // missing method
+      "[1,2,3]\n",                         // wrong top-level type
+      std::string("\x00\x01\xff", 3) + "\n",
+  };
+  for (const std::string& line : lines) {
+    conn.send(line);
+    const std::string reply = conn.read_line();
+    ASSERT_FALSE(reply.empty()) << "server closed instead of replying to: " << line;
+    const Json parsed = Json::parse(reply);
+    EXPECT_NE(parsed.get("error"), nullptr) << reply;
+  }
+  expect_server_healthy();
+}
+
+TEST_F(SvcFuzzFixture, TruncatedFrameThenDisconnectIsHarmless) {
+  {
+    RawConnection conn{server_->socket_path()};
+    conn.send(R"({"id":1,"method":"submit","params":{"program":")");
+    // No newline, no close handshake: the connection just goes away.
+  }
+  expect_server_healthy();
+}
+
+TEST_F(SvcFuzzFixture, MegabyteLineIsAnsweredOrRefusedCleanly) {
+  RawConnection conn{server_->socket_path()};
+  std::string line = R"({"id":1,"method":"submit","params":{"program":")";
+  line += std::string(2 << 20, 'x');
+  line += "\"}}\n";
+  conn.send(line);
+  const std::string reply = conn.read_line();
+  // Either one error reply (bad program) or a clean close (frame cap) is
+  // acceptable; a hang or crash is not, and ASan vets the copies.
+  if (!reply.empty()) {
+    const Json parsed = Json::parse(reply);
+    EXPECT_TRUE(parsed.get("error") != nullptr || parsed.get("result") != nullptr) << reply;
+  }
+  expect_server_healthy();
+}
+
+TEST_F(SvcFuzzFixture, SeededMutationBarrage) {
+  std::mt19937 rng{424242};
+  const std::string valid =
+      R"({"id":9,"method":"status","params":{"job":1}})";
+  for (int round = 0; round < 200; ++round) {
+    RawConnection conn{server_->socket_path()};
+    std::string line = valid;
+    for (int i = 0; i < 4; ++i) line[rng() % line.size()] = static_cast<char>(rng() % 256);
+    // Strip embedded newlines so this stays one frame.
+    for (char& c : line) {
+      if (c == '\n') c = ' ';
+    }
+    conn.send(line + "\n");
+    const std::string reply = conn.read_line();
+    ASSERT_FALSE(reply.empty()) << "no reply to mutated line: " << line;
+    EXPECT_NO_THROW((void)Json::parse(reply)) << reply;
+  }
+  expect_server_healthy();
+}
+
+}  // namespace
+}  // namespace jinjing

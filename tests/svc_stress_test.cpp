@@ -282,6 +282,19 @@ TEST(SvcStressTest, CoalescedBatchesMatchOracleAtFourWorkers) {
   Server server{std::move(network), options};
   server.start();
 
+  // Occupy the dispatcher before bursting: a fix job holds the (serial)
+  // dispatch loop for a full plan-build-and-repair, so every burst job below
+  // is provably queued when the dispatcher next calls next_batch — batches
+  // form by construction, not by racing submission against the first plan
+  // build (the old flake: a fast dispatcher drained the burst one by one).
+  Client blocker_client{socket_path};
+  const Workload blocker = perturb_workload(wan, 0.12, 997);
+  const Json blocker_submitted =
+      submit_job(blocker_client, blocker.program, blocker.acl_bodies);
+  const auto blocker_status = server.scheduler().wait_started(
+      blocker_submitted.at("job").as_u64(), std::chrono::minutes(5));
+  ASSERT_TRUE(blocker_status.has_value()) << "blocker never left the queue";
+
   constexpr int kClients = 3;
   constexpr int kJobsPerClient = 6;
   std::mutex records_mutex;

@@ -819,7 +819,9 @@ TEST(ServerIncrementalTest, RetiredBaseVersionDropsItsCacheEntries) {
   // pin on v1 — the release hook must retire v1's delta-cache entries.
   EXPECT_TRUE(run_program(client, kCheckOnly).at("status").at("outcome")
                   .at("success").as_bool());
-  for (int i = 0; i < 50 && delta_cache_stat(client, "cached_plans") > 1; ++i) {
+  // Bounded poll for the asynchronous release hook; generous cap so a
+  // loaded CI machine never turns scheduling jitter into a failure.
+  for (int i = 0; i < 500 && delta_cache_stat(client, "cached_plans") > 1; ++i) {
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
   EXPECT_EQ(delta_cache_stat(client, "cached_plans"), 1u);
@@ -853,17 +855,14 @@ Json wait_result(Client& client, std::uint64_t job) {
   return client.call("result", Json{std::move(wait)});
 }
 
-/// Blocks until the server's dispatcher has picked up a job and the queue
-/// is empty — the window where everything submitted next piles up behind
-/// the running job and coalesces into one dispatch unit.
-void wait_until_dispatcher_busy(Server& server) {
-  for (int i = 0; i < 2000; ++i) {
-    if (server.scheduler().running_count() >= 1 && server.scheduler().queued_count() == 0) {
-      return;
-    }
-    std::this_thread::sleep_for(std::chrono::milliseconds(1));
-  }
-  FAIL() << "dispatcher never picked up the blocker job";
+/// Blocks until the dispatcher has picked up the blocker job — the window
+/// where everything submitted next piles up behind it and coalesces into
+/// one dispatch unit. A condition wait on the scheduler (Queued -> Running
+/// is broadcast), not a sleep poll.
+void wait_until_dispatcher_busy(Server& server, std::uint64_t blocker_id) {
+  const auto status =
+      server.scheduler().wait_started(blocker_id, std::chrono::minutes(5));
+  ASSERT_TRUE(status.has_value()) << "dispatcher never picked up the blocker job";
 }
 
 std::uint64_t prometheus_counter(const std::string& text, const std::string& name) {
@@ -922,7 +921,7 @@ TEST_P(BatchedServerEquivalence, CoalescedBatchMatchesSequentialOracle) {
 
   CheckProgram blocker{kCheckFix, {{"A1_new", kA1New}, {"A3_new", kA3New}}};
   const std::uint64_t blocker_id = submit_program(batched_client, blocker);
-  wait_until_dispatcher_busy(*batched.server);
+  wait_until_dispatcher_busy(*batched.server, blocker_id);
 
   const auto matrix = equivalence_matrix();
   std::vector<std::uint64_t> batched_ids;
@@ -985,8 +984,8 @@ TEST(BatchedServerTest, DeadlineInsideCoalescedBatchGetsQueuedDiagnostic) {
   Client client{scoped.socket};
 
   CheckProgram blocker{kCheckFix, {{"A1_new", kA1New}, {"A3_new", kA3New}}};
-  (void)submit_program(client, blocker);
-  wait_until_dispatcher_busy(*scoped.server);
+  const std::uint64_t blocker_id = submit_program(client, blocker);
+  wait_until_dispatcher_busy(*scoped.server, blocker_id);
 
   const std::uint64_t doomed =
       submit_program(client, {kCheckOnly, {}}, /*deadline_ms=*/std::uint64_t{1});
@@ -1012,8 +1011,8 @@ TEST(BatchedServerTest, CoalesceOneDisablesBatchingEntirely) {
   Client client{scoped.socket};
 
   CheckProgram blocker{kCheckFix, {{"A1_new", kA1New}, {"A3_new", kA3New}}};
-  (void)submit_program(client, blocker);
-  wait_until_dispatcher_busy(*scoped.server);
+  const std::uint64_t blocker_id = submit_program(client, blocker);
+  wait_until_dispatcher_busy(*scoped.server, blocker_id);
   std::vector<std::uint64_t> ids;
   for (int i = 0; i < 4; ++i) ids.push_back(submit_program(client, {kCheckOnly, {}}));
   for (const std::uint64_t id : ids) {
