@@ -31,6 +31,17 @@
 //    depths 1/8/64 on the incremental server — added concurrency must not
 //    cost throughput, since sessions share the rebased plan.
 //
+//  * Transport: the same deep-queue workload through the Unix socket and
+//    through loopback TCP (auth handshake included), fresh server per
+//    transport. The interesting number is how little TCP costs: jobs are
+//    engine-bound, so the deltas show up in p99, not jobs/sec.
+//
+//  * Replication: one writer plus two read-only replicas over loopback
+//    TCP, replicas caught up before the clock starts. The same check
+//    burst is drained once by the writer alone and once spread across
+//    the two replicas — the aggregate row quantifies what the fan-out
+//    buys for pure verification load.
+//
 // --smoke shrinks everything (small WAN, fewer rounds) for CI.
 #include <algorithm>
 #include <chrono>
@@ -48,6 +59,7 @@
 #include "core/engine.h"
 #include "gen/scenario.h"
 #include "gen/wan.h"
+#include "replica/replica.h"
 #include "svc/client.h"
 #include "svc/server.h"
 
@@ -173,9 +185,12 @@ double percentile(std::vector<double> sorted, double p) {
   return sorted[idx];
 }
 
-/// D concurrent sessions, each draining its share of `workloads`.
-DepthResult run_depth(const std::string& socket_path, std::size_t depth,
-                      const std::vector<Workload>& workloads) {
+/// D concurrent sessions spread round-robin over `endpoints` (one entry
+/// for a single server; writer-plus-replicas pass several), each draining
+/// its share of `workloads`.
+DepthResult run_depth(const std::vector<std::string>& endpoints, std::size_t depth,
+                      const std::vector<Workload>& workloads,
+                      const svc::ClientOptions& client_options = {}) {
   DepthResult result;
   result.depth = depth;
   result.jobs = workloads.size();
@@ -186,8 +201,8 @@ DepthResult run_depth(const std::string& socket_path, std::size_t depth,
   const auto start = std::chrono::steady_clock::now();
   std::vector<std::thread> sessions;
   for (std::size_t s = 0; s < depth; ++s) {
-    sessions.emplace_back([&] {
-      svc::Client client{socket_path};
+    sessions.emplace_back([&, s] {
+      svc::Client client{endpoints[s % endpoints.size()], client_options};
       while (true) {
         const std::size_t i = next.fetch_add(1);
         if (i >= workloads.size()) break;
@@ -226,7 +241,7 @@ ChurnTiming run_churn(svc::Server& server, const std::string& socket_path,
   for (std::size_t round = 0; round < rounds; ++round) {
     (void)server.store().apply_update(
         churn_update(wan, *server.store().head()->topo, round));
-    const DepthResult batch = run_depth(socket_path, depth, pending);
+    const DepthResult batch = run_depth({socket_path}, depth, pending);
     timing.check_seconds += batch.wall_seconds;
     timing.jobs += batch.jobs;
   }
@@ -337,7 +352,7 @@ int main(int argc, char** argv) {
     MatrixCell cell;
     cell.workers = workers;
     cell.coalesce = coalesce;
-    cell.result = run_depth(socket_path, depth, workloads);
+    cell.result = run_depth({socket_path}, depth, workloads);
     cell_server->request_shutdown();
     cell_server->wait();
     cell_server.reset();
@@ -369,6 +384,127 @@ int main(int argc, char** argv) {
     const auto& r = coalesce_sweep.back().result;
     std::fprintf(stderr, "  coalesce %-3zu (workers %u, depth %zu) %6.2f jobs/s\n",
                  coalesce, sweep_workers, sweep_depth, r.jobs_per_sec);
+  }
+
+  // ---- Transport: the same deep-queue burst through the Unix socket and
+  // through loopback TCP (auth handshake included). Fresh server per
+  // transport, identical workloads, warmup job first so both measure the
+  // steady state. Jobs are engine-bound, so the transport shows up in the
+  // latency tail rather than in jobs/sec.
+  const std::string bench_token = "bench-serve-token";
+  const auto make_network = [&] {
+    config::NetworkFile network;
+    network.topo = wan.topo;
+    network.traffic = wan.traffic;
+    return network;
+  };
+  std::vector<Workload> transport_workloads;
+  for (std::size_t j = 0; j < std::max<std::size_t>(min_jobs, sweep_depth * 2); ++j) {
+    transport_workloads.push_back(make_workload(wan, 800000 + static_cast<unsigned>(j)));
+  }
+  struct TransportCell {
+    std::string transport;
+    DepthResult result;
+  };
+  std::vector<TransportCell> transports;
+  for (const bool tcp : {false, true}) {
+    svc::ServerOptions options;
+    if (tcp) {
+      options.listen_address = "127.0.0.1:0";
+      options.auth_token = bench_token;
+    } else {
+      options.socket_path = socket_path;
+    }
+    options.queue_depth = 256;
+    options.workers = sweep_workers;
+    options.coalesce = 32;
+    options.keep_versions = 4;
+    options.max_delta_chain = 16;
+    auto transport_server = std::make_unique<svc::Server>(make_network(), options);
+    transport_server->start();
+    const std::string endpoint = tcp ? transport_server->listen_endpoint() : socket_path;
+    svc::ClientOptions client_options;
+    client_options.token = bench_token;
+    {
+      svc::Client warmup{endpoint, client_options};
+      (void)run_job(warmup, make_workload(wan, 9999));
+    }
+    TransportCell cell;
+    cell.transport = tcp ? "tcp" : "unix";
+    cell.result = run_depth({endpoint}, sweep_depth, transport_workloads, client_options);
+    transport_server->request_shutdown();
+    transport_server->wait();
+    transport_server.reset();
+    if (!tcp) std::filesystem::remove(socket_path);
+    std::fprintf(stderr, "  transport %-4s (workers %u, depth %zu) %6.2f jobs/s  p99 %7.1fms\n",
+                 cell.transport.c_str(), sweep_workers, sweep_depth, cell.result.jobs_per_sec,
+                 cell.result.p99_ms);
+    transports.push_back(std::move(cell));
+  }
+
+  // ---- Replication: one writer plus two read-only replicas, all on
+  // loopback TCP, replicas fully caught up before the clock starts. The
+  // same check burst is drained once by the writer alone and once spread
+  // across the two replicas — the ratio is what the fan-out buys for
+  // pure verification load (the modify-check jobs here never leave a
+  // deployable plan behind, so replicas may serve them).
+  DepthResult writer_only_result;
+  DepthResult replica_pair_result;
+  {
+    svc::ServerOptions writer_options;
+    writer_options.listen_address = "127.0.0.1:0";
+    writer_options.auth_token = bench_token;
+    writer_options.queue_depth = 256;
+    writer_options.workers = sweep_workers;
+    writer_options.coalesce = 32;
+    writer_options.keep_versions = 4;
+    writer_options.max_delta_chain = 16;
+    auto writer = std::make_unique<svc::Server>(make_network(), writer_options);
+    writer->start();
+
+    std::vector<std::unique_ptr<replica::Replica>> replicas;
+    for (int i = 0; i < 2; ++i) {
+      replica::ReplicaOptions options;
+      options.writer = writer->listen_endpoint();
+      options.token = bench_token;
+      options.serve = writer_options;
+      options.serve.listen_address = "127.0.0.1:0";
+      replicas.push_back(std::make_unique<replica::Replica>(make_network(), options));
+      replicas.back()->start();
+    }
+    const auto caught_up = [&] {
+      return std::all_of(replicas.begin(), replicas.end(), [](const auto& replica) {
+        return replica->connected() && replica->lag() == 0;
+      });
+    };
+    while (!caught_up()) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+
+    svc::ClientOptions client_options;
+    client_options.token = bench_token;
+    std::vector<std::string> replica_endpoints;
+    for (const auto& replica : replicas) {
+      replica_endpoints.push_back(replica->server().listen_endpoint());
+      svc::Client warmup{replica_endpoints.back(), client_options};
+      (void)run_job(warmup, make_workload(wan, 9999));
+    }
+    {
+      svc::Client warmup{writer->listen_endpoint(), client_options};
+      (void)run_job(warmup, make_workload(wan, 9999));
+    }
+    writer_only_result =
+        run_depth({writer->listen_endpoint()}, sweep_depth, transport_workloads, client_options);
+    replica_pair_result =
+        run_depth(replica_endpoints, sweep_depth, transport_workloads, client_options);
+    std::fprintf(stderr,
+                 "  replication (workers %u, depth %zu): writer %6.2f jobs/s, "
+                 "2 replicas %6.2f jobs/s aggregate\n",
+                 sweep_workers, sweep_depth, writer_only_result.jobs_per_sec,
+                 replica_pair_result.jobs_per_sec);
+    for (auto& replica : replicas) replica->request_shutdown();
+    for (auto& replica : replicas) replica->wait();
+    replicas.clear();
+    writer->request_shutdown();
+    writer->wait();
   }
 
   // The warm/churn experiments run with coalescing off (--coalesce 1):
@@ -507,6 +643,33 @@ int main(int argc, char** argv) {
                  i + 1 < coalesce_sweep.size() ? "," : "");
   }
   std::fprintf(out, "  ]},\n");
+  std::fprintf(out, "  \"transport\": {\"workers\": %u, \"depth\": %zu, \"entries\": [\n",
+               sweep_workers, sweep_depth);
+  for (std::size_t i = 0; i < transports.size(); ++i) {
+    const auto& cell = transports[i];
+    std::fprintf(out,
+                 "    {\"transport\": \"%s\", \"jobs\": %zu, \"jobs_per_sec\": %.3f, "
+                 "\"p50_ms\": %.3f, \"p99_ms\": %.3f}%s\n",
+                 cell.transport.c_str(), cell.result.jobs, cell.result.jobs_per_sec,
+                 cell.result.p50_ms, cell.result.p99_ms,
+                 i + 1 < transports.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]},\n");
+  std::fprintf(out,
+               "  \"replication\": {\"workers\": %u, \"depth\": %zu, \"replicas\": 2,\n"
+               "    \"writer_only\": {\"jobs\": %zu, \"jobs_per_sec\": %.3f, \"p50_ms\": %.3f, "
+               "\"p99_ms\": %.3f},\n"
+               "    \"writer_plus_replicas\": {\"jobs\": %zu, \"jobs_per_sec\": %.3f, "
+               "\"p50_ms\": %.3f, \"p99_ms\": %.3f},\n"
+               "    \"aggregate_speedup\": %.2f},\n",
+               sweep_workers, sweep_depth, writer_only_result.jobs,
+               writer_only_result.jobs_per_sec, writer_only_result.p50_ms,
+               writer_only_result.p99_ms, replica_pair_result.jobs,
+               replica_pair_result.jobs_per_sec, replica_pair_result.p50_ms,
+               replica_pair_result.p99_ms,
+               writer_only_result.jobs_per_sec > 0
+                   ? replica_pair_result.jobs_per_sec / writer_only_result.jobs_per_sec
+                   : 0);
   std::fprintf(out,
                "  \"warm_vs_cold\": {\"jobs\": %zu, \"warm_seconds\": %.6f, "
                "\"cold_seconds\": %.6f, \"speedup\": %.2f},\n",

@@ -18,8 +18,10 @@
 #include "gen/wan.h"
 #include "obs/stats.h"
 #include "net/acl_algebra.h"
+#include "replica/replica.h"
 #include "soak/soak.h"
 #include "svc/client.h"
+#include "svc/routed_client.h"
 #include "svc/server.h"
 #include "topo/fec.h"
 #include "topo/paths.h"
@@ -40,19 +42,27 @@ constexpr const char* kUsage = R"(usage:
   jinjing trace --network FILE --packet SPEC [--from IFACE]
   jinjing diff  --acl-a FILE --acl-b FILE
   jinjing gen   --size small|medium|large [--seed N]
-  jinjing serve  --network FILE --socket PATH [--queue-depth N] [--workers N]
+  jinjing serve  --network FILE [--socket PATH] [--listen HOST:PORT --token SECRET]
+                 [--queue-depth N] [--workers N]
                  [--coalesce N] [--keep-versions N] [--retain-jobs N]
-                 [--max-delta-chain N]
+                 [--max-delta-chain N] [--max-lease-ms N]
                  [--set-backend hypercube|bdd] [--timeout-ms N]
                  [--no-incremental-smt]
-  jinjing client --socket PATH METHOD [--program FILE] [--acl NAME=FILE]...
+  jinjing replica --network FILE --writer ENDPOINT [--token SECRET]
+                 [--socket PATH] [--listen HOST:PORT] [--lease-ms N]
+                 [--queue-depth N] [--workers N] [--coalesce N]
+                 [--keep-versions N] [--retain-jobs N] [--max-delta-chain N]
+  jinjing client (--socket ENDPOINT | --writer ENDPOINT [--replica ENDPOINT]...)
+                 METHOD [--token SECRET] [--program FILE] [--acl NAME=FILE]...
                  [--priority interactive|batch] [--deadline-ms N]
                  [--snapshot N] [--job N] [--wait] [--wait-ms N]
+                 [--lease N] [--lease-ms N] [--version N]
   jinjing soak   [--size small|medium|large] [--seed N] [--events N]
                  [--sessions N] [--qps X] [--duration-s X] [--workers N]
                  [--coalesce N] [--queue-depth N] [--keep-versions N]
                  [--retain-jobs N] [--max-delta-chain N] [--no-oracle]
-                 [--report-json FILE] [--socket PATH] [--dump-stream]
+                 [--transport unix|tcp] [--report-json FILE] [--socket PATH]
+                 [--dump-stream]
 
 run      execute an LAI program (check / fix / generate) and print the plan
          --diff      also print the per-slot rule diff of the plan
@@ -85,18 +95,36 @@ diff     compare two ACLs semantically: equivalence verdict, the rules the
          update adds/removes (Definition 4.1), and a witness packet whose
          decision differs
 gen      write a synthetic layered WAN (the benchmark workloads) to stdout
-serve    run the long-lived verification service on a Unix domain socket:
-         versioned network snapshots, a prioritized job queue (interactive
-         check ahead of batch fix/generate) and warm per-worker engines
+serve    run the long-lived verification service on a Unix domain socket
+         and/or a TCP listener: versioned network snapshots, a prioritized
+         job queue (interactive check ahead of batch fix/generate) and warm
+         per-worker engines
+         --listen HOST:PORT   also accept authenticated TCP connections
+                              (port 0 binds an ephemeral port); requires
+                              --token
          --max-delta-chain N  how many applies a cached verification plan
                               may be carried across before a full rebuild
                               (default 16; 0 disables incremental
                               cross-version verification)
+replica  run a read-only verifier replica: subscribes to the writer's
+         replication stream, re-verifies every record's hash chain, and
+         serves checks locally from its own warm caches; fix/generate and
+         apply are redirected to the writer (421)
+         --writer ENDPOINT    the writer's Unix socket path or host:port
+         --lease-ms N         writer-side lease window pinning the
+                              replica's applied version (default 10000)
 client   drive a running service; METHOD is one of submit, status, result,
-         cancel, apply, info, metrics, shutdown
+         cancel, apply, lease, renew, release, info, metrics, shutdown
+         --socket ENDPOINT    Unix socket path or host:port to dial
+         --writer/--replica   replica-aware routing instead of one socket:
+                              pure checks go to the replicas round-robin
+                              (pinned to the last applied version), all
+                              mutations go to the writer
          --wait      after submit, block until the job finishes; exit 0
                      only when it produced a deployable plan
          --wait-ms N bound a result wait instead of blocking forever
+         --lease N / --lease-ms N / --version N
+                     arguments for the lease, renew and release methods
 soak     boot an in-process service and replay a seeded churn stream of
          checks, applies, control intents, cancels and malformed intents
          through concurrent client sessions; every completed job is re-run
@@ -110,6 +138,8 @@ soak     boot an in-process service and replay a seeded churn stream of
          --no-oracle     skip the differential oracle (watchdogs only)
          --dump-stream   print the resolved event stream and exit (two runs
                          of one seed must print identical lines)
+         --transport tcp drive the sessions over loopback TCP with token
+                         auth instead of the Unix socket
 )";
 
 struct Options {
@@ -135,8 +165,17 @@ struct Options {
   std::string report_json_path;
   std::string metrics_path;
   std::string trace_path;
-  // serve / client
+  // serve / replica / client
   std::string socket_path;
+  std::string listen_address;
+  std::string auth_token;
+  std::string writer_endpoint;
+  std::vector<std::string> replica_endpoints;
+  unsigned max_lease_ms = 60000;
+  unsigned replica_lease_ms = 10000;
+  std::optional<std::uint64_t> lease_id;
+  std::optional<std::uint64_t> lease_ms_arg;
+  std::optional<std::uint64_t> version_arg;
   unsigned queue_depth = 64;
   unsigned workers = 2;
   unsigned coalesce = 32;
@@ -157,6 +196,7 @@ struct Options {
   double soak_duration_s = 0;
   bool soak_no_oracle = false;
   bool soak_dump_stream = false;
+  bool soak_tcp = false;
   bool retain_jobs_set = false;  // soak defaults lower than serve's 1024
 };
 
@@ -215,7 +255,8 @@ Options parse_args(const std::vector<std::string>& args) {
       options.command == "run" || options.command == "show" || options.command == "audit" ||
       options.command == "reach" || options.command == "trace" || options.command == "diff" ||
       options.command == "gen" || options.command == "serve" ||
-      options.command == "client" || options.command == "soak";
+      options.command == "replica" || options.command == "client" ||
+      options.command == "soak";
   if (!known_command) {
     throw std::runtime_error("unknown command '" + options.command + "'");
   }
@@ -288,6 +329,34 @@ Options parse_args(const std::vector<std::string>& args) {
           parse_unsigned("--seed", value(), 0, std::numeric_limits<unsigned>::max()));
     } else if (arg == "--socket") {
       options.socket_path = value();
+    } else if (arg == "--listen") {
+      options.listen_address = value();
+    } else if (arg == "--token") {
+      options.auth_token = value();
+    } else if (arg == "--writer") {
+      options.writer_endpoint = value();
+    } else if (arg == "--replica") {
+      options.replica_endpoints.push_back(value());
+    } else if (arg == "--max-lease-ms") {
+      options.max_lease_ms =
+          static_cast<unsigned>(parse_unsigned("--max-lease-ms", value(), 1, 86400000));
+    } else if (arg == "--lease") {
+      options.lease_id = parse_unsigned("--lease", value(), 1,
+                                        std::numeric_limits<unsigned long>::max());
+    } else if (arg == "--lease-ms") {
+      options.lease_ms_arg = parse_unsigned("--lease-ms", value(), 1, 86400000);
+      options.replica_lease_ms = static_cast<unsigned>(*options.lease_ms_arg);
+    } else if (arg == "--version") {
+      options.version_arg = parse_unsigned("--version", value(), 1,
+                                           std::numeric_limits<unsigned long>::max());
+    } else if (arg == "--transport") {
+      const auto& transport = value();
+      if (transport == "tcp") {
+        options.soak_tcp = true;
+      } else if (transport != "unix") {
+        throw std::runtime_error("--transport expects 'unix' or 'tcp', got '" + transport +
+                                 "'");
+      }
     } else if (arg == "--queue-depth") {
       options.queue_depth = static_cast<unsigned>(parse_unsigned("--queue-depth", value(), 1,
                                                                  1u << 20));
@@ -775,6 +844,7 @@ int soak_command(const Options& options, std::ostream& out) {
   soak_options.target_qps = options.soak_qps;
   soak_options.min_duration_seconds = options.soak_duration_s;
   soak_options.oracle = !options.soak_no_oracle;
+  soak_options.tcp = options.soak_tcp;
   soak_options.log = &out;
   soak_options.server.socket_path = options.socket_path;  // empty = temp path
   soak_options.server.queue_depth = options.queue_depth;
@@ -822,12 +892,12 @@ int soak_command(const Options& options, std::ostream& out) {
   return report.ok() ? 0 : 1;
 }
 
-int serve_command(const Options& options, std::ostream& out) {
-  if (options.socket_path.empty()) throw std::runtime_error("serve requires --socket");
-  auto network = config::load_network(options.network_path);
-
+svc::ServerOptions server_options_for(const Options& options) {
   svc::ServerOptions server_options;
   server_options.socket_path = options.socket_path;
+  server_options.listen_address = options.listen_address;
+  server_options.auth_token = options.auth_token;
+  server_options.max_lease_ms = options.max_lease_ms;
   server_options.queue_depth = options.queue_depth;
   server_options.workers = options.workers;
   server_options.coalesce = options.coalesce;
@@ -840,33 +910,84 @@ int serve_command(const Options& options, std::ostream& out) {
     check->incremental_smt = options.incremental_smt;
     check->timeout_ms = options.timeout_ms;
   }
+  return server_options;
+}
 
-  svc::Server server{std::move(network), std::move(server_options)};
+int serve_command(const Options& options, std::ostream& out) {
+  if (options.socket_path.empty() && options.listen_address.empty()) {
+    throw std::runtime_error("serve requires --socket and/or --listen");
+  }
+  auto network = config::load_network(options.network_path);
+
+  svc::Server server{std::move(network), server_options_for(options)};
   server.start();
-  out << "serving on " << server.socket_path() << " (" << options.workers
-      << " workers, queue depth " << options.queue_depth << ")\n";
+  out << "serving on ";
+  if (!server.socket_path().empty()) out << server.socket_path();
+  if (!server.listen_endpoint().empty()) {
+    if (!server.socket_path().empty()) out << " and ";
+    out << "tcp " << server.listen_endpoint();
+  }
+  out << " (" << options.workers << " workers, queue depth " << options.queue_depth
+      << ")\n";
   out.flush();
   server.wait();
   out << "server drained, exiting\n";
   return 0;
 }
 
+int replica_command(const Options& options, std::ostream& out) {
+  if (options.writer_endpoint.empty()) throw std::runtime_error("replica requires --writer");
+  if (options.socket_path.empty() && options.listen_address.empty()) {
+    throw std::runtime_error("replica requires --socket and/or --listen");
+  }
+  auto network = config::load_network(options.network_path);
+
+  replica::ReplicaOptions replica_options;
+  replica_options.writer = options.writer_endpoint;
+  replica_options.token = options.auth_token;
+  replica_options.lease_ms = options.replica_lease_ms;
+  replica_options.serve = server_options_for(options);
+
+  replica::Replica replica{std::move(network), std::move(replica_options)};
+  replica.start();
+  out << "replica of " << options.writer_endpoint << " serving on ";
+  if (!replica.server().socket_path().empty()) out << replica.server().socket_path();
+  if (!replica.server().listen_endpoint().empty()) {
+    if (!replica.server().socket_path().empty()) out << " and ";
+    out << "tcp " << replica.server().listen_endpoint();
+  }
+  out << "\n";
+  out.flush();
+  replica.wait();
+  out << "replica drained, exiting\n";
+  return 0;
+}
+
 int client_command(const Options& options, std::ostream& out) {
-  if (options.socket_path.empty()) throw std::runtime_error("client requires --socket");
+  if (options.socket_path.empty() && options.writer_endpoint.empty()) {
+    throw std::runtime_error("client requires --socket ENDPOINT or --writer ENDPOINT");
+  }
+  if (!options.replica_endpoints.empty() && options.writer_endpoint.empty()) {
+    throw std::runtime_error("client --replica requires --writer");
+  }
   const std::string& method = options.client_method;
   if (method.empty()) {
     throw std::runtime_error(
-        "client requires a METHOD "
-        "(submit, status, result, cancel, apply, info, metrics, shutdown)");
+        "client requires a METHOD (submit, status, result, cancel, apply, lease, "
+        "renew, release, info, metrics, shutdown)");
   }
   const bool job_method =
       method == "status" || method == "result" || method == "cancel" || method == "apply";
-  if (!job_method && method != "submit" && method != "info" && method != "metrics" &&
-      method != "shutdown") {
+  const bool lease_method = method == "lease" || method == "renew" || method == "release";
+  if (!job_method && !lease_method && method != "submit" && method != "info" &&
+      method != "metrics" && method != "shutdown") {
     throw std::runtime_error("unknown client method '" + method + "'");
   }
   if (job_method && !options.job_id) {
     throw std::runtime_error("client " + method + " requires --job N");
+  }
+  if ((method == "renew" || method == "release") && !options.lease_id) {
+    throw std::runtime_error("client " + method + " requires --lease N");
   }
   if (method == "submit" && options.program_path.empty()) {
     throw std::runtime_error("client submit requires --program FILE");
@@ -884,11 +1005,32 @@ int client_command(const Options& options, std::ostream& out) {
   } else if (job_method) {
     params.emplace("job", *options.job_id);
     if (method == "result" && options.wait_ms) params.emplace("timeout_ms", *options.wait_ms);
+  } else if (lease_method) {
+    if (options.lease_id) params.emplace("lease", *options.lease_id);
+    if (options.lease_ms_arg) params.emplace("lease_ms", *options.lease_ms_arg);
+    if (options.version_arg) params.emplace("version", *options.version_arg);
   }
 
-  svc::Client client{options.socket_path};
+  // One socket = a plain client; --writer (+ --replica ...) = replica-aware
+  // routing. Both expose the same call surface.
+  std::optional<svc::Client> direct;
+  std::optional<svc::RoutedClient> routed;
+  if (!options.writer_endpoint.empty()) {
+    svc::RouteOptions route;
+    route.writer = options.writer_endpoint;
+    route.replicas = options.replica_endpoints;
+    route.client.token = options.auth_token;
+    routed.emplace(std::move(route));
+  } else {
+    svc::ClientOptions client_options;
+    client_options.token = options.auth_token;
+    direct.emplace(options.socket_path, client_options);
+  }
+  const auto call = [&](const std::string& m, svc::Json p) {
+    return routed ? routed->call(m, std::move(p)) : direct->call(m, std::move(p));
+  };
   try {
-    svc::Json result = client.call(method, svc::Json{std::move(params)});
+    svc::Json result = call(method, svc::Json{std::move(params)});
     if (method == "metrics") {
       out << result.at("prometheus").as_string();
       return 0;
@@ -898,7 +1040,7 @@ int client_command(const Options& options, std::ostream& out) {
       svc::Json::Object wait_params;
       wait_params.emplace("job", result.at("job").as_u64());
       if (options.wait_ms) wait_params.emplace("timeout_ms", *options.wait_ms);
-      const svc::Json final = client.call("result", svc::Json{std::move(wait_params)});
+      const svc::Json final = call("result", svc::Json{std::move(wait_params)});
       out << final.dump() << "\n";
       const svc::Json& status = final.at("status");
       const svc::Json* outcome = status.get("outcome");
@@ -933,6 +1075,7 @@ int run(const std::vector<std::string>& args, std::ostream& out, std::ostream& e
     if (options.command == "gen") return gen_command(options, out);
     if (options.command == "diff") return diff_command(options, out);
     if (options.command == "serve") return serve_command(options, out);
+    if (options.command == "replica") return replica_command(options, out);
     if (options.command == "client") return client_command(options, out);
     if (options.command == "soak") return soak_command(options, out);
     err << "unknown command '" << options.command << "'\n" << kUsage;

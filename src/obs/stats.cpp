@@ -36,7 +36,9 @@ constexpr std::array<std::string_view, kCounterCount> kCounterNames = {
     "svc_applies",          "delta_cache_hits",      "delta_cache_misses",
     "delta_cache_invalidations",                     "delta_cache_rebases",
     "svc_batch_dispatches", "svc_batch_jobs_coalesced",
-    "svc_batch_algebra_builds",
+    "svc_batch_algebra_builds",                      "svc_leases_granted",
+    "svc_leases_renewed",   "svc_leases_released",   "svc_leases_expired",
+    "svc_repl_records_streamed",                     "svc_overlap_dispatches",
 };
 
 constexpr std::array<std::string_view, kGaugeCount> kGaugeNames = {

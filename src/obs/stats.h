@@ -47,8 +47,14 @@ enum class Counter : std::size_t {
   SvcBatchDispatches,   // coalesced dispatch units executed by the service
   SvcBatchJobsCoalesced, // jobs that ran inside a coalesced dispatch unit
   SvcBatchAlgebraBuilds, // per-version batch-algebra precomputations
+  SvcLeasesGranted,     // snapshot leases acquired (lease verb)
+  SvcLeasesRenewed,     // lease renewals (incl. re-pins to a newer version)
+  SvcLeasesReleased,    // leases released explicitly by the holder
+  SvcLeasesExpired,     // leases collected by the sweeper after expiry
+  SvcReplRecordsStreamed, // replication records written to subscribers
+  SvcOverlapDispatches, // non-coalescable jobs run on the dispatcher overlap slot
 };
-inline constexpr std::size_t kCounterCount = 32;
+inline constexpr std::size_t kCounterCount = 38;
 
 // Gauges track a high-water mark (set_max semantics).
 enum class Gauge : std::size_t {

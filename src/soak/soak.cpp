@@ -64,6 +64,16 @@ class Totals {
   SoakReport& report_;
 };
 
+/// Dials the server over whichever transport the run exercises.
+svc::Client make_client(svc::Server& server, const SoakOptions& options) {
+  if (options.tcp) {
+    svc::ClientOptions copts;
+    copts.token = options.server.auth_token;
+    return svc::Client{server.listen_endpoint(), copts};
+  }
+  return svc::Client{server.socket_path()};
+}
+
 svc::Json submit_params(const gen::ChurnEvent& event) {
   svc::Json::Object params;
   params.emplace("program", event.program);
@@ -130,7 +140,7 @@ void run_session(svc::Server& server, const SoakOptions& options,
                  const std::vector<gen::ChurnEvent>& stream, std::size_t session,
                  std::size_t pass_base, Clock::time_point start,
                  std::vector<Record>& out, Totals& totals) {
-  svc::Client client{server.socket_path()};
+  svc::Client client = make_client(server, options);
   std::deque<std::size_t> outstanding;  // indices into `out`
   std::uint64_t last_submitted = 0;
 
@@ -319,8 +329,9 @@ void run_oracle(const std::vector<Record>& records, SoakReport& report, Totals& 
 /// exactly retain_jobs trivial head checks. Afterwards nothing but flush
 /// jobs pin snapshots, so the leak invariants can demand a return to
 /// baseline-shaped counts instead of bounds polluted by retention pins.
-void run_flush(svc::Server& server, const std::string& check_program, Totals& totals) {
-  svc::Client client{server.socket_path()};
+void run_flush(svc::Server& server, const SoakOptions& options,
+               const std::string& check_program, Totals& totals) {
+  svc::Client client = make_client(server, options);
   const std::size_t count = server.scheduler().retain_terminal();
   std::deque<std::uint64_t> outstanding;
   for (std::size_t i = 0; i < count; ++i) {
@@ -445,6 +456,12 @@ SoakReport run_soak(const SoakOptions& options_in) {
           std::to_string(options.stream.seed) + ".sock"))
             .string();
   }
+  if (options.tcp) {
+    if (options.server.listen_address.empty()) {
+      options.server.listen_address = "127.0.0.1:0";
+    }
+    if (options.server.auth_token.empty()) options.server.auth_token = "jinjing-soak";
+  }
 
   const gen::Wan wan = gen::make_wan(options.wan);
   config::NetworkFile network;
@@ -458,7 +475,7 @@ SoakReport run_soak(const SoakOptions& options_in) {
   Totals totals{report};
   report.stream_fingerprint = 14695981039346656037ull;
 
-  svc::Client control{server.socket_path()};
+  svc::Client control = make_client(server, options);
   report.samples.push_back(take_sample(control, "baseline"));
 
   const Clock::time_point start = Clock::now();
@@ -518,7 +535,7 @@ SoakReport run_soak(const SoakOptions& options_in) {
     }
   }
 
-  run_flush(server, check_program, totals);
+  run_flush(server, options, check_program, totals);
   report.samples.push_back(take_sample(control, "final"));
 
   report.wall_seconds = elapsed();
@@ -550,6 +567,7 @@ void write_report_json(std::ostream& out, const SoakOptions& options,
     config.emplace("max_delta_chain",
                    static_cast<std::uint64_t>(options.server.max_delta_chain));
     config.emplace("oracle", options.oracle);
+    config.emplace("transport", options.tcp ? "tcp" : "unix");
     doc.emplace("config", svc::Json{std::move(config)});
   }
   {

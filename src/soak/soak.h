@@ -45,6 +45,10 @@ struct SoakOptions {
   /// Per-session cap on submitted-but-unresolved jobs (backpressure).
   std::size_t window = 8;
   bool oracle = true;
+  /// Dial the sessions over loopback TCP (ephemeral port, token auth)
+  /// instead of the Unix socket — same churn, plus the network framing and
+  /// the auth handshake under load.
+  bool tcp = false;
   /// Progress/summary sink; nullptr = silent.
   std::ostream* log = nullptr;
   /// Server configuration. socket_path may be empty (a temp path is

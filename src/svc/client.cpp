@@ -1,51 +1,65 @@
 #include "svc/client.h"
 
+#include <poll.h>
 #include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 namespace jinjing::svc {
 
-Client::Client(const std::string& socket_path) {
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
-    throw ClientError("socket path must be 1.." + std::to_string(sizeof(addr.sun_path) - 1) +
-                      " characters: \"" + socket_path + "\"");
-  }
-  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
-
-  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd_ < 0) throw ClientError("socket(): " + std::string(std::strerror(errno)));
-  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const std::string what = std::strerror(errno);
-    ::close(fd_);
-    fd_ = -1;
-    throw ClientError("connect(" + socket_path + "): " + what);
-  }
+Client::Client(const std::string& endpoint, ClientOptions options)
+    : endpoint_(parse_endpoint(endpoint)), options_(std::move(options)) {
+  connect();
 }
 
-Client::~Client() {
-  if (fd_ >= 0) ::close(fd_);
-}
+Client::~Client() { disconnect(); }
 
 Client::Client(Client&& other) noexcept
-    : fd_(std::exchange(other.fd_, -1)),
+    : endpoint_(std::move(other.endpoint_)),
+      options_(std::move(other.options_)),
+      fd_(std::exchange(other.fd_, -1)),
       next_id_(other.next_id_),
       buffer_(std::move(other.buffer_)) {}
 
-Json Client::call(const std::string& method, Json params) {
-  Json::Object request;
-  const std::uint64_t id = next_id_++;
-  request.emplace("id", id);
-  request.emplace("method", method);
-  request.emplace("params", std::move(params));
-  std::string line = Json{std::move(request)}.dump() + "\n";
+void Client::connect() {
+  try {
+    fd_ = dial(endpoint_);
+  } catch (const EndpointError& error) {
+    throw ClientError(error.what());  // one exception type for the retry loop
+  }
+  if (endpoint_.kind == Endpoint::Kind::Tcp) {
+    Json::Object params;
+    params.emplace("token", options_.token);
+    Json::Object request;
+    request.emplace("id", next_id_++);
+    request.emplace("method", "auth");
+    request.emplace("params", Json{std::move(params)});
+    try {
+      (void)round_trip(Json{std::move(request)}.dump() + "\n");
+    } catch (const RpcError&) {
+      disconnect();
+      throw ClientError("auth rejected by " + endpoint_.to_string() +
+                        " (wrong or missing --token?)");
+    } catch (const ClientError&) {
+      disconnect();
+      throw;
+    }
+  }
+}
 
+void Client::disconnect() noexcept {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  buffer_.clear();  // a partial response line from the dead connection
+}
+
+Json Client::round_trip(const std::string& line) {
   std::string_view out = line;
   while (!out.empty()) {
     const ssize_t n = ::send(fd_, out.data(), out.size(), MSG_NOSIGNAL);
@@ -80,6 +94,58 @@ Json Client::call(const std::string& method, Json params) {
                    message != nullptr ? message->as_string() : "unknown error");
   }
   return response.at("result");
+}
+
+Json Client::call(const std::string& method, Json params) {
+  Json::Object request;
+  request.emplace("id", next_id_++);
+  request.emplace("method", method);
+  request.emplace("params", std::move(params));
+  const std::string line = Json{std::move(request)}.dump() + "\n";
+
+  // A failed round trip or redial consumes one attempt, then backs off;
+  // RpcError (the server answered) is never retried and passes through.
+  std::uint64_t delay = options_.backoff_ms;
+  for (unsigned attempt = 0;; ++attempt) {
+    try {
+      if (fd_ < 0) connect();
+      return round_trip(line);
+    } catch (const ClientError&) {
+      disconnect();
+      if (attempt >= options_.max_retries) throw;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+    delay = std::min(delay * 2, options_.backoff_cap_ms);
+  }
+}
+
+std::optional<std::string> Client::read_line(std::uint64_t timeout_ms) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  std::size_t nl;
+  while ((nl = buffer_.find('\n')) == std::string::npos) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (left.count() <= 0) return std::nullopt;
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, static_cast<int>(left.count()));
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw ClientError("poll(): " + std::string(std::strerror(errno)));
+    }
+    if (ready == 0) return std::nullopt;
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) throw ClientError("stream closed by peer");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw ClientError("recv(): " + std::string(std::strerror(errno)));
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+  std::string line = buffer_.substr(0, nl);
+  buffer_.erase(0, nl + 1);
+  return line;
 }
 
 }  // namespace jinjing::svc

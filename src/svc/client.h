@@ -3,14 +3,27 @@
 // One connection, sequential calls: call() writes one request line and
 // reads exactly one response line. Error responses surface as RpcError
 // (carrying the server's code + message); transport failures surface as
-// ClientError. The CLI `jinjing client` verb and the tests both sit on
-// this class.
+// ClientError — after the reconnect budget below is spent. The CLI
+// `jinjing client` verb, the replica's control channel and the tests all
+// sit on this class.
+//
+// Endpoints: a Unix socket path or TCP "host:port" (see endpoint.h). On
+// TCP the client opens with an `auth` call carrying `options.token`.
+//
+// Transient-error hardening: a send/recv failure (ECONNRESET, EPIPE, the
+// server closing mid-line) does not fail the session — the client redials
+// with capped exponential backoff, re-authenticates, and resends the
+// request. The retry resend is at-least-once: a `submit` whose response
+// line was lost may run twice server-side. Callers that need exactly-once
+// must disable retries (max_retries = 0) and handle ClientError.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <stdexcept>
 #include <string>
 
+#include "svc/endpoint.h"
 #include "svc/json.h"
 
 namespace jinjing::svc {
@@ -32,11 +45,22 @@ class RpcError : public std::runtime_error {
   int code_;
 };
 
+struct ClientOptions {
+  /// Shared secret for the TCP auth handshake; ignored on a Unix socket.
+  std::string token;
+  /// Reconnect attempts per call on transport failure. 0 restores the old
+  /// fail-the-session behaviour.
+  unsigned max_retries = 5;
+  /// First reconnect delay; doubled per attempt up to backoff_cap_ms.
+  std::uint64_t backoff_ms = 10;
+  std::uint64_t backoff_cap_ms = 500;
+};
+
 class Client {
  public:
-  /// Connects to the server's Unix domain socket. Throws ClientError when
-  /// the socket is absent or refuses the connection.
-  explicit Client(const std::string& socket_path);
+  /// Connects (and authenticates, on TCP) immediately. Throws ClientError
+  /// when the endpoint is unreachable or rejects the token.
+  explicit Client(const std::string& endpoint, ClientOptions options = {});
   ~Client();
 
   Client(const Client&) = delete;
@@ -46,10 +70,25 @@ class Client {
 
   /// One round trip: sends {"id","method","params"} and returns the
   /// response's "result". Throws RpcError on an error response and
-  /// ClientError on transport failure (server gone mid-call).
+  /// ClientError on transport failure that outlives the reconnect budget.
   Json call(const std::string& method, Json params = Json{Json::Object{}});
 
+  /// Reads one pushed line off the connection — the replication stream
+  /// after a `subscribe` call. Returns nullopt on timeout; throws
+  /// ClientError when the peer closes. Never reconnects (the subscriber
+  /// must re-handshake with its own `from`).
+  std::optional<std::string> read_line(std::uint64_t timeout_ms);
+
+  [[nodiscard]] const Endpoint& endpoint() const { return endpoint_; }
+
  private:
+  void connect();  // dial + auth; throws ClientError
+  void disconnect() noexcept;
+  /// Single send/receive attempt; throws ClientError on transport failure.
+  Json round_trip(const std::string& line);
+
+  Endpoint endpoint_;
+  ClientOptions options_;
   int fd_ = -1;
   std::uint64_t next_id_ = 1;
   std::string buffer_;  // bytes received past the previous response line

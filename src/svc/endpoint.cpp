@@ -1,0 +1,107 @@
+#include "svc/endpoint.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+
+namespace jinjing::svc {
+
+std::string Endpoint::to_string() const {
+  if (kind == Kind::Unix) return path;
+  return host + ":" + std::to_string(port);
+}
+
+Endpoint parse_endpoint(const std::string& text) {
+  if (text.empty()) throw EndpointError("empty endpoint");
+  const std::size_t colon = text.rfind(':');
+  if (colon != std::string::npos && colon > 0 &&
+      text.find('/') == std::string::npos) {
+    const std::string suffix = text.substr(colon + 1);
+    const bool numeric =
+        !suffix.empty() &&
+        std::all_of(suffix.begin(), suffix.end(),
+                    [](unsigned char c) { return std::isdigit(c) != 0; });
+    if (numeric) {
+      unsigned long port = 0;
+      try {
+        port = std::stoul(suffix);
+      } catch (const std::exception&) {
+        throw EndpointError("bad port in endpoint \"" + text + "\"");
+      }
+      if (port > 65535) {
+        throw EndpointError("port out of range in endpoint \"" + text + "\"");
+      }
+      Endpoint endpoint;
+      endpoint.kind = Endpoint::Kind::Tcp;
+      endpoint.host = text.substr(0, colon);
+      endpoint.port = static_cast<std::uint16_t>(port);
+      return endpoint;
+    }
+  }
+  Endpoint endpoint;
+  endpoint.kind = Endpoint::Kind::Unix;
+  endpoint.path = text;
+  return endpoint;
+}
+
+int dial(const Endpoint& endpoint) {
+  if (endpoint.kind == Endpoint::Kind::Unix) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (endpoint.path.empty() || endpoint.path.size() >= sizeof(addr.sun_path)) {
+      throw EndpointError("socket path must be 1.." +
+                          std::to_string(sizeof(addr.sun_path) - 1) +
+                          " characters: \"" + endpoint.path + "\"");
+    }
+    std::memcpy(addr.sun_path, endpoint.path.c_str(), endpoint.path.size() + 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) throw EndpointError("socket(): " + std::string(std::strerror(errno)));
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+      const std::string what = std::strerror(errno);
+      ::close(fd);
+      throw EndpointError("connect(" + endpoint.path + "): " + what);
+    }
+    return fd;
+  }
+
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* found = nullptr;
+  const std::string port = std::to_string(endpoint.port);
+  const int rc = ::getaddrinfo(endpoint.host.c_str(), port.c_str(), &hints, &found);
+  if (rc != 0) {
+    throw EndpointError("resolve(" + endpoint.host + "): " + ::gai_strerror(rc));
+  }
+  std::string last_error = "no addresses";
+  for (addrinfo* ai = found; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last_error = std::string("socket(): ") + std::strerror(errno);
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      // Request/response lines are small; batching them behind Nagle just
+      // adds latency.
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      ::freeaddrinfo(found);
+      return fd;
+    }
+    last_error = std::string("connect(): ") + std::strerror(errno);
+    ::close(fd);
+  }
+  ::freeaddrinfo(found);
+  throw EndpointError("dial(" + endpoint.to_string() + "): " + last_error);
+}
+
+}  // namespace jinjing::svc

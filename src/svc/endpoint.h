@@ -1,0 +1,41 @@
+// Transport endpoints for the service: a Unix-domain socket path or a
+// TCP host:port, parsed from one string form shared by every CLI flag
+// (`--socket`, `--listen`, `--writer`, `--replica`).
+//
+// Disambiguation rule: a string is TCP when its last ':' is followed by
+// nothing but digits and the prefix contains no '/'. Everything else is a
+// filesystem path ("/tmp/jinjing.sock", "./x.sock"). "127.0.0.1:0" asks
+// the kernel for an ephemeral port; the server reports the bound port via
+// Server::listen_endpoint().
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace jinjing::svc {
+
+class EndpointError : public std::runtime_error {
+ public:
+  explicit EndpointError(const std::string& what) : std::runtime_error(what) {}
+};
+
+struct Endpoint {
+  enum class Kind { Unix, Tcp };
+  Kind kind = Kind::Unix;
+  std::string path;  // Unix: socket path
+  std::string host;  // Tcp: numeric or resolvable host
+  std::uint16_t port = 0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Parses the shared endpoint string form. Throws EndpointError on an
+/// empty string or an out-of-range port.
+[[nodiscard]] Endpoint parse_endpoint(const std::string& text);
+
+/// Connects a blocking SOCK_STREAM socket to the endpoint. Returns the
+/// connected fd; throws EndpointError on failure.
+[[nodiscard]] int dial(const Endpoint& endpoint);
+
+}  // namespace jinjing::svc

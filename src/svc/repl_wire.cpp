@@ -1,0 +1,120 @@
+#include "svc/repl_wire.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "config/acl_format.h"
+
+namespace jinjing::svc {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t fnv1a(std::uint64_t h, std::string_view data) {
+  for (const char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::string slot_name(const topo::Topology& topo, const topo::AclSlot& slot) {
+  return topo.qualified_name(slot.iface) + "-" +
+         std::string(topo::to_string(slot.dir));
+}
+
+}  // namespace
+
+Json encode_update(const topo::Topology& topo, const topo::AclUpdate& update) {
+  std::vector<std::pair<std::string, const net::Acl*>> slots;
+  slots.reserve(update.size());
+  for (const auto& [slot, acl] : update) {
+    slots.emplace_back(slot_name(topo, slot), &acl);
+  }
+  std::sort(slots.begin(), slots.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  Json::Array encoded;
+  encoded.reserve(slots.size());
+  for (const auto& [name, acl] : slots) {
+    Json::Object entry;
+    entry.emplace("slot", name);
+    entry.emplace("acl", config::print_acl(*acl));
+    encoded.emplace_back(std::move(entry));
+  }
+  return Json{std::move(encoded)};
+}
+
+topo::AclUpdate decode_update(const topo::Topology& topo, const Json& encoded) {
+  if (!encoded.is_array()) throw ReplWireError("update must be an array");
+  topo::AclUpdate update;
+  for (const Json& entry : encoded.as_array()) {
+    const Json* slot_json = entry.get("slot");
+    const Json* acl_json = entry.get("acl");
+    if (slot_json == nullptr || !slot_json->is_string() || acl_json == nullptr ||
+        !acl_json->is_string()) {
+      throw ReplWireError("update entry needs string \"slot\" and \"acl\"");
+    }
+    std::string name = slot_json->as_string();
+    topo::Dir dir;
+    if (name.size() > 3 && name.ends_with("-in")) {
+      dir = topo::Dir::In;
+      name.resize(name.size() - 3);
+    } else if (name.size() > 4 && name.ends_with("-out")) {
+      dir = topo::Dir::Out;
+      name.resize(name.size() - 4);
+    } else {
+      throw ReplWireError("slot \"" + name + "\" lacks an -in/-out suffix");
+    }
+    const auto iface = topo.find_interface(name);
+    if (!iface) throw ReplWireError("unknown interface \"" + name + "\"");
+    net::Acl acl;
+    try {
+      acl = config::parse_acl_auto(acl_json->as_string());
+    } catch (const std::exception& e) {
+      throw ReplWireError("acl for slot \"" + name + "\": " + e.what());
+    }
+    update.insert_or_assign(topo::AclSlot{*iface, dir}, std::move(acl));
+  }
+  return update;
+}
+
+std::uint64_t chain_hash(std::uint64_t previous, std::uint64_t version,
+                         const Json& update) {
+  std::uint64_t h = fnv1a(kFnvOffset, hash_hex(previous));
+  h = fnv1a(h, std::to_string(version));
+  h = fnv1a(h, update.dump());
+  return h;
+}
+
+std::uint64_t network_fingerprint(const config::NetworkFile& network) {
+  return fnv1a(kFnvOffset, config::print_network(network));
+}
+
+std::string hash_hex(std::uint64_t hash) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(hash));
+  return std::string(buf);
+}
+
+std::uint64_t parse_hash_hex(const std::string& hex) {
+  if (hex.size() != 16) throw ReplWireError("hash must be 16 hex characters");
+  std::uint64_t value = 0;
+  for (const char c : hex) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') {
+      value |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      value |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      throw ReplWireError("bad hex digit in hash");
+    }
+  }
+  return value;
+}
+
+}  // namespace jinjing::svc

@@ -1,0 +1,52 @@
+// Canonical wire form of the replication stream.
+//
+// The writer streams one record per applied version:
+//   {"version": V, "hash": "<hex>", "update": [{"slot": "dev.if-in",
+//    "acl": "<canonical acl text>"}, ...]}
+// Slots are sorted by qualified name and ACL bodies are printed through the
+// canonical `config::print_acl` form, so the same update always serializes
+// to the same bytes — which makes the hash chain meaningful:
+//   hash(V) = fnv1a(hex(hash(V-1)) || V || canonical update json)
+// seeded from the base-network fingerprint. A replica re-derives every hash
+// before applying; any divergence (bit rot, a writer swap with different
+// state, a protocol bug) breaks the chain immediately instead of silently
+// forking the replica's state.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "config/topology_format.h"
+#include "svc/json.h"
+#include "topo/topology.h"
+
+namespace jinjing::svc {
+
+class ReplWireError : public std::runtime_error {
+ public:
+  explicit ReplWireError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// The update as a canonical JSON array (sorted slots, canonical ACL text).
+[[nodiscard]] Json encode_update(const topo::Topology& topo,
+                                 const topo::AclUpdate& update);
+
+/// Rebinds the encoded slots against `topo`. Throws ReplWireError on an
+/// unknown slot name or unparseable ACL body.
+[[nodiscard]] topo::AclUpdate decode_update(const topo::Topology& topo,
+                                            const Json& encoded);
+
+/// One chain step: mixes the previous hash, the version, and the canonical
+/// update serialization.
+[[nodiscard]] std::uint64_t chain_hash(std::uint64_t previous, std::uint64_t version,
+                                       const Json& update);
+
+/// The chain seed: a fingerprint of the canonical base-network print.
+/// Writer and replica must load the same network file or the very first
+/// record fails verification.
+[[nodiscard]] std::uint64_t network_fingerprint(const config::NetworkFile& network);
+
+[[nodiscard]] std::string hash_hex(std::uint64_t hash);
+[[nodiscard]] std::uint64_t parse_hash_hex(const std::string& hex);
+
+}  // namespace jinjing::svc

@@ -1,0 +1,154 @@
+#include "svc/routed_client.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "lai/parser.h"
+
+namespace jinjing::svc {
+
+namespace {
+
+/// Stricter than the server's read-only gate: route to a replica only the
+/// programs that can never produce a deployable plan — all commands are
+/// `check` and there is no modify clause (a verified modify-check's plan
+/// is applied by job id, so the job must live where apply does: on the
+/// writer). Unparseable programs go to the writer so its -32602 diagnostic
+/// is the one the caller sees.
+bool replica_eligible(const std::string& program) {
+  try {
+    const lai::Program parsed = lai::parse(program);
+    return !parsed.commands.empty() && parsed.modifies.empty() &&
+           std::all_of(parsed.commands.begin(), parsed.commands.end(),
+                       [](lai::Command c) { return c == lai::Command::Check; });
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+std::uint64_t u64_field(const Json& object, const char* key, std::uint64_t fallback) {
+  const Json* value = object.get(key);
+  return value != nullptr && value->is_number() ? value->as_u64() : fallback;
+}
+
+/// Rewrites the server-assigned job id back to the routed one wherever a
+/// reply carries it — the top-level "job" of a submit/status reply and the
+/// "status" object nested in a result reply.
+void rewrite_job_id(Json& value, std::uint64_t routed) {
+  if (!value.is_object()) return;
+  Json::Object& obj = value.as_object();
+  if (const auto it = obj.find("job"); it != obj.end()) it->second = Json{routed};
+  if (const auto it = obj.find("status"); it != obj.end()) rewrite_job_id(it->second, routed);
+}
+
+}  // namespace
+
+RoutedClient::RoutedClient(RouteOptions options) : options_(std::move(options)) {
+  links_.reserve(1 + options_.replicas.size());
+  links_.emplace_back(options_.writer, options_.client);
+  for (const std::string& endpoint : options_.replicas) {
+    links_.emplace_back(endpoint, options_.client);
+  }
+}
+
+Client& RoutedClient::link(std::size_t index) { return links_.at(index); }
+
+bool RoutedClient::await_catchup(Client& replica, std::uint64_t version) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(options_.catchup_wait_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    try {
+      const Json info = replica.call("info");
+      if (u64_field(info, "repl_head", 0) >= version) return true;
+    } catch (const ClientError&) {
+      return false;  // replica unreachable: fall back to the writer now
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+  return false;
+}
+
+Json RoutedClient::submit(Json params) {
+  const Json* program = params.get("program");
+  const bool read = links_.size() > 1 && program != nullptr && program->is_string() &&
+                    replica_eligible(program->as_string());
+  std::size_t target = 0;
+  if (read) {
+    target = 1 + (next_replica_++ % (links_.size() - 1));
+    // Read-your-writes: pin the check to the last version this client
+    // applied, unless the caller pinned one explicitly.
+    if (last_applied_ > 0 && params.get("snapshot") == nullptr) {
+      params.as_object().emplace("snapshot", last_applied_);
+    }
+  }
+
+  for (;;) {
+    try {
+      Json result = link(target).call("submit", params);
+      const std::uint64_t job = u64_field(result, "job", 0);
+      if (job != 0) {
+        const std::uint64_t routed = next_job_++;
+        jobs_.emplace(routed, JobRoute{target, job});
+        rewrite_job_id(result, routed);
+      }
+      return result;
+    } catch (const RpcError& error) {
+      if (target == 0) throw;
+      if (error.code() == 404 && last_applied_ > 0 &&
+          await_catchup(link(target), last_applied_)) {
+        continue;  // replica replayed the pinned version; same target again
+      }
+      // Stale past the budget, misdirected (421), or anything else the
+      // replica refuses: the writer is always authoritative.
+      target = 0;
+    } catch (const ClientError&) {
+      if (target == 0) throw;
+      target = 0;
+    }
+  }
+}
+
+Json RoutedClient::call(const std::string& method, Json params) {
+  if (method == "submit") return submit(std::move(params));
+
+  // Job-scoped methods follow the job to the link that owns it, translated
+  // to that server's own id. Unminted ids pass through to the writer.
+  if (method == "status" || method == "result" || method == "cancel") {
+    std::size_t target = 0;
+    const std::uint64_t routed = u64_field(params, "job", 0);
+    const auto it = jobs_.find(routed);
+    if (it != jobs_.end()) {
+      target = it->second.link;
+      params.as_object().insert_or_assign("job", Json{it->second.server_job});
+    }
+    Json result = link(target).call(method, std::move(params));
+    if (it != jobs_.end()) rewrite_job_id(result, routed);
+    if (method == "cancel") jobs_.erase(routed);
+    return result;
+  }
+
+  // Everything else — apply, leases, info, metrics, shutdown — is
+  // writer-state business.
+  if (method == "apply") {
+    const std::uint64_t routed = u64_field(params, "job", 0);
+    if (const auto it = jobs_.find(routed); it != jobs_.end()) {
+      if (it->second.link != 0) {
+        // Never forward a replica job's id to the writer: the writer may
+        // know a *different* job by that number.
+        throw RpcError(421, "job " + std::to_string(routed) +
+                                " was served by a replica; only writer jobs have "
+                                "deployable plans");
+      }
+      params.as_object().insert_or_assign("job", Json{it->second.server_job});
+    }
+  }
+  Json result = link(0).call(method, std::move(params));
+  if (method == "apply") {
+    last_applied_ = u64_field(result, "version", last_applied_);
+  }
+  return result;
+}
+
+}  // namespace jinjing::svc

@@ -1,0 +1,83 @@
+// Replica-aware routing on top of svc::Client.
+//
+// One writer, any number of read-only replicas: RoutedClient keeps a
+// connection to each and routes per method. Pure-check submissions go to
+// the replicas round-robin; anything that mutates — fix/generate work,
+// apply — goes to the writer. status/result/cancel follow the job to
+// wherever it was submitted.
+//
+// Read-your-writes: after a successful apply the client remembers the new
+// head version and pins subsequent replica checks to it via the explicit
+// `snapshot` param. A replica that has not replayed that far answers 404
+// (unknown snapshot); the router then waits for the replica to catch up —
+// polling its `info` until repl_head reaches the pinned version, bounded
+// by catchup_wait_ms — and resubmits. If the replica stays behind, the
+// check falls back to the writer, so a stale replica degrades latency but
+// never answers against a pre-apply world.
+//
+// Job ids: every server numbers its own jobs from 1, so a writer job and a
+// replica job can share a number. The routed client therefore hands out its
+// own session-local ids and translates at the boundary — submit responses
+// (and the status objects inside later replies) carry the routed id, and
+// job-scoped calls are rewritten to the owning server's id before they are
+// forwarded. An id this session did not mint passes through to the writer
+// untouched, so writer jobs stay addressable across sessions; replica jobs
+// are only addressable within the session that submitted them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "svc/client.h"
+#include "svc/json.h"
+
+namespace jinjing::svc {
+
+struct RouteOptions {
+  std::string writer;                 // endpoint string, required
+  std::vector<std::string> replicas;  // endpoint strings; empty = writer-only
+  ClientOptions client;               // token + backoff shared by every link
+  /// How long a check waits for a stale replica to replay the pinned
+  /// version before falling back to the writer.
+  std::uint64_t catchup_wait_ms = 5000;
+};
+
+class RoutedClient {
+ public:
+  /// Connects to the writer and every replica eagerly; throws ClientError
+  /// when any endpoint is unreachable.
+  explicit RoutedClient(RouteOptions options);
+
+  /// Routes and forwards one call. Same result/RpcError surface as
+  /// Client::call.
+  Json call(const std::string& method, Json params = Json{Json::Object{}});
+
+  /// Head version of the last successful apply through this client, or 0.
+  [[nodiscard]] std::uint64_t last_applied() const { return last_applied_; }
+
+ private:
+  /// Where a routed job id actually lives: the link and the id the owning
+  /// server knows it by.
+  struct JobRoute {
+    std::size_t link = 0;
+    std::uint64_t server_job = 0;
+  };
+
+  /// Link index: 0 is the writer, 1 + i is replicas_[i].
+  Client& link(std::size_t index);
+  Json submit(Json params);
+  /// Polls the replica's info until repl_head >= version or the catch-up
+  /// budget lapses. Returns whether the replica caught up.
+  bool await_catchup(Client& replica, std::uint64_t version);
+
+  RouteOptions options_;
+  std::vector<Client> links_;
+  std::size_t next_replica_ = 0;
+  std::uint64_t last_applied_ = 0;
+  std::uint64_t next_job_ = 1;
+  std::unordered_map<std::uint64_t, JobRoute> jobs_;  // routed id -> owner
+};
+
+}  // namespace jinjing::svc

@@ -1,5 +1,8 @@
 #include "svc/server.h"
 
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -18,6 +21,8 @@
 #include "lai/parser.h"
 #include "obs/trace.h"
 #include "smt/context.h"
+#include "svc/endpoint.h"
+#include "svc/repl_wire.h"
 
 namespace jinjing::svc {
 
@@ -39,8 +44,11 @@ constexpr int kInvalidParams = -32602;
 constexpr int kInternalError = -32603;
 constexpr int kQueueFull = 429;      // admission control rejected the job
 constexpr int kDraining = 503;       // server is shutting down
-constexpr int kNotFound = 404;       // unknown job / snapshot version
+constexpr int kNotFound = 404;       // unknown job / snapshot version / lease
 constexpr int kConflict = 409;       // apply on a job without a plan
+constexpr int kTooOld = 410;         // subscriber fell behind the replication log
+constexpr int kFingerprintMismatch = 412;  // subscriber loaded a different base network
+constexpr int kMisdirected = 421;    // mutating call on a read-only replica
 
 bool send_all(int fd, std::string_view data) {
   while (!data.empty()) {
@@ -137,6 +145,10 @@ Json status_json(const JobStatus& status) {
 
 Server::Server(config::NetworkFile network, ServerOptions options)
     : options_(std::move(options)),
+      // Members are declared (and thus initialized) before store_, so the
+      // fingerprint can be taken before the network moves into the store.
+      repl_hash_(network_fingerprint(network)),
+      base_fingerprint_(repl_hash_),
       store_(std::move(network)),
       scheduler_(options_.queue_depth, options_.retain_jobs) {
   if (options_.workers == 0) options_.workers = 1;
@@ -168,18 +180,35 @@ Server::Server(config::NetworkFile network, ServerOptions options)
       return kv.second.version == snapshot.version;
     });
   });
-  if (incremental_) {
-    // Every apply feeds the delta straight to the planner (no re-diffing)
-    // and re-keys the old version's FEC partitions under the new topology —
-    // an ACL-only apply preserves every forwarding predicate, so the
-    // partitions are valid verbatim and the new version starts warm.
-    store_.set_apply_hook([cache = fec_cache_, planner = incremental_](
-                              const Snapshot& previous, const Snapshot& next,
-                              const topo::AclUpdate& update) {
+  // Every apply feeds the delta straight to the planner (no re-diffing)
+  // and re-keys the old version's FEC partitions under the new topology —
+  // an ACL-only apply preserves every forwarding predicate, so the
+  // partitions are valid verbatim and the new version starts warm. The same
+  // hook appends the canonical replication record: under the store lock the
+  // apply stream is totally ordered, which is exactly the single-writer
+  // guarantee the hash chain encodes. Because the record is produced by the
+  // hook, a replica applying a subscribed stream re-emits identical records
+  // — chained (replica-of-replica) subscriptions work unchanged.
+  store_.set_apply_hook([this, cache = fec_cache_, planner = incremental_](
+                            const Snapshot& previous, const Snapshot& next,
+                            const topo::AclUpdate& update) {
+    if (planner) {
       cache->share(*previous.topo, *next.topo);
       planner->record_apply(previous.version, next.version, *previous.topo, update);
-    });
-  }
+    }
+    const Json encoded = encode_update(*previous.topo, update);
+    repl_hash_ = chain_hash(repl_hash_, next.version, encoded);
+    Json::Object record;
+    record.emplace("version", next.version);
+    record.emplace("hash", hash_hex(repl_hash_));
+    record.emplace("update", encoded);
+    {
+      const std::lock_guard<std::mutex> lock{repl_mutex_};
+      repl_log_.push_back({next.version, Json{std::move(record)}.dump() + "\n"});
+      repl_head_ = next.version;
+    }
+    repl_cv_.notify_all();
+  });
 }
 
 Server::~Server() {
@@ -195,31 +224,104 @@ Server::~Server() {
 
 void Server::start() {
   if (started_) throw ServerError("server already started");
-
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (options_.socket_path.empty() ||
-      options_.socket_path.size() >= sizeof(addr.sun_path)) {
-    throw ServerError("socket path must be 1.." +
-                      std::to_string(sizeof(addr.sun_path) - 1) + " characters: \"" +
-                      options_.socket_path + "\"");
+  if (options_.socket_path.empty() && options_.listen_address.empty()) {
+    throw ServerError("no transport configured: set socket_path or listen_address");
   }
-  std::memcpy(addr.sun_path, options_.socket_path.c_str(), options_.socket_path.size() + 1);
 
-  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) throw ServerError("socket(): " + std::string(std::strerror(errno)));
-  ::unlink(options_.socket_path.c_str());  // stale socket from a previous run
-  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const std::string what = std::strerror(errno);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    throw ServerError("bind(" + options_.socket_path + "): " + what);
+  const auto fail_start = [this](const std::string& what) {
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      ::unlink(options_.socket_path.c_str());
+    }
+    if (tcp_listen_fd_ >= 0) {
+      ::close(tcp_listen_fd_);
+      tcp_listen_fd_ = -1;
+    }
+    throw ServerError(what);
+  };
+
+  if (!options_.socket_path.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
+      throw ServerError("socket path must be 1.." +
+                        std::to_string(sizeof(addr.sun_path) - 1) + " characters: \"" +
+                        options_.socket_path + "\"");
+    }
+    std::memcpy(addr.sun_path, options_.socket_path.c_str(),
+                options_.socket_path.size() + 1);
+
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) fail_start("socket(): " + std::string(std::strerror(errno)));
+    ::unlink(options_.socket_path.c_str());  // stale socket from a previous run
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+      fail_start("bind(" + options_.socket_path + "): " + std::strerror(errno));
+    }
+    if (::listen(listen_fd_, 64) != 0) {
+      fail_start("listen(): " + std::string(std::strerror(errno)));
+    }
   }
-  if (::listen(listen_fd_, 64) != 0) {
-    const std::string what = std::strerror(errno);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    throw ServerError("listen(): " + what);
+
+  if (!options_.listen_address.empty()) {
+    // The Unix socket's permission boundary is the filesystem; TCP has
+    // none, so a shared token is mandatory, not optional.
+    if (options_.auth_token.empty()) {
+      fail_start("TCP listener requires an auth token");
+    }
+    Endpoint ep;
+    try {
+      ep = parse_endpoint(options_.listen_address);
+    } catch (const EndpointError& e) {
+      fail_start(std::string("listen address: ") + e.what());
+    }
+    if (ep.kind != Endpoint::Kind::Tcp) {
+      fail_start("listen address must be host:port, got \"" +
+                 options_.listen_address + "\"");
+    }
+    addrinfo hints{};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    hints.ai_flags = AI_PASSIVE;
+    addrinfo* found = nullptr;
+    const std::string port = std::to_string(ep.port);
+    const int rc = ::getaddrinfo(ep.host.c_str(), port.c_str(), &hints, &found);
+    if (rc != 0) {
+      fail_start("resolve(" + ep.host + "): " + ::gai_strerror(rc));
+    }
+    std::string last_error = "no addresses";
+    for (addrinfo* ai = found; ai != nullptr && tcp_listen_fd_ < 0; ai = ai->ai_next) {
+      const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+      if (fd < 0) {
+        last_error = std::string("socket(): ") + std::strerror(errno);
+        continue;
+      }
+      int one = 1;
+      ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+      if (::bind(fd, ai->ai_addr, ai->ai_addrlen) != 0 || ::listen(fd, 64) != 0) {
+        last_error = std::string(std::strerror(errno));
+        ::close(fd);
+        continue;
+      }
+      tcp_listen_fd_ = fd;
+    }
+    ::freeaddrinfo(found);
+    if (tcp_listen_fd_ < 0) {
+      fail_start("listen(" + options_.listen_address + "): " + last_error);
+    }
+    // Report the real port — listen addresses like "127.0.0.1:0" ask the
+    // kernel for an ephemeral one.
+    sockaddr_storage bound{};
+    socklen_t len = sizeof(bound);
+    std::uint16_t actual_port = ep.port;
+    if (::getsockname(tcp_listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+      if (bound.ss_family == AF_INET) {
+        actual_port = ntohs(reinterpret_cast<sockaddr_in*>(&bound)->sin_port);
+      } else if (bound.ss_family == AF_INET6) {
+        actual_port = ntohs(reinterpret_cast<sockaddr_in6*>(&bound)->sin6_port);
+      }
+    }
+    bound_endpoint_ = ep.host + ":" + std::to_string(actual_port);
   }
 
   installed_.emplace(registry_);
@@ -258,34 +360,80 @@ void Server::wait() {
   for (auto& conn : conn_threads_) conn.join();
   conn_threads_.clear();
 
-  ::close(listen_fd_);
-  listen_fd_ = -1;
-  ::unlink(options_.socket_path.c_str());
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(options_.socket_path.c_str());
+  }
+  if (tcp_listen_fd_ >= 0) {
+    ::close(tcp_listen_fd_);
+    tcp_listen_fd_ = -1;
+  }
   installed_.reset();
   torn_down_ = true;
 }
 
+Version Server::repl_head() const {
+  const std::lock_guard<std::mutex> lock{repl_mutex_};
+  return repl_head_;
+}
+
+void Server::sweep_tick() {
+  // Expired leases drop their pins here (release hooks fire once the last
+  // pin goes), and the follow-up trim collects any version only a lapsed
+  // lease was holding — without waiting for the next apply.
+  if (store_.sweep_leases() > 0) {
+    const auto dropped = store_.trim(options_.keep_versions);
+    if (!dropped.empty()) trim_repl_log();
+  }
+}
+
+void Server::trim_repl_log() {
+  // Catch-up from any still-resolvable version needs records strictly
+  // above the oldest index entry; everything at or below it is dead weight
+  // (leased versions are index entries, so subscribers' floors are kept).
+  const Version floor = store_.oldest_version();
+  const std::lock_guard<std::mutex> lock{repl_mutex_};
+  while (!repl_log_.empty() && repl_log_.front().version <= floor) {
+    repl_log_.pop_front();
+  }
+}
+
 void Server::accept_loop() {
   while (accepting_.load(std::memory_order_acquire)) {
-    pollfd pfd{listen_fd_, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, 200);
+    pollfd fds[2];
+    nfds_t count = 0;
+    if (listen_fd_ >= 0) fds[count++] = pollfd{listen_fd_, POLLIN, 0};
+    if (tcp_listen_fd_ >= 0) fds[count++] = pollfd{tcp_listen_fd_, POLLIN, 0};
+    const int ready = ::poll(fds, count, 200);
     if (ready < 0) {
       if (errno == EINTR) continue;
       break;
     }
+    sweep_tick();
     if (ready == 0) continue;
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) continue;
-    const std::lock_guard<std::mutex> lock{conn_mutex_};
-    if (!accepting_.load(std::memory_order_acquire)) {
-      ::close(fd);
-      break;
+    for (nfds_t i = 0; i < count; ++i) {
+      if ((fds[i].revents & POLLIN) == 0) continue;
+      const int fd = ::accept(fds[i].fd, nullptr, nullptr);
+      if (fd < 0) continue;
+      // Only the network transport needs the token handshake; the Unix
+      // socket's boundary is filesystem permissions.
+      const bool needs_auth = fds[i].fd == tcp_listen_fd_;
+      if (needs_auth) {
+        int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      }
+      const std::lock_guard<std::mutex> lock{conn_mutex_};
+      if (!accepting_.load(std::memory_order_acquire)) {
+        ::close(fd);
+        return;
+      }
+      conn_threads_.emplace_back([this, fd, needs_auth] { connection_loop(fd, needs_auth); });
     }
-    conn_threads_.emplace_back([this, fd] { connection_loop(fd); });
   }
 }
 
-void Server::connection_loop(int fd) {
+void Server::connection_loop(int fd, bool needs_auth) {
   // A bounded receive timeout lets the thread notice stop_connections_
   // even when the client goes quiet without closing.
   timeval timeout{};
@@ -293,6 +441,10 @@ void Server::connection_loop(int fd) {
   ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
 
   constexpr std::size_t kMaxLine = 64u << 20;  // defensive bound per request
+  // Until the handshake completes the peer is untrusted: it gets a few KB
+  // for one auth line, not the 64MB a real request may legitimately need.
+  constexpr std::size_t kPreAuthMaxLine = 4096;
+  bool authed = !needs_auth;
   std::string buffer;
   char chunk[4096];
   while (!stop_connections_.load(std::memory_order_acquire)) {
@@ -309,18 +461,108 @@ void Server::connection_loop(int fd) {
       const std::string line = buffer.substr(start, nl - start);
       start = nl + 1;
       if (line.empty()) continue;
-      if (!send_all(fd, handle_line(line))) {
+      if (!authed) {
+        // The one request allowed before the handshake. Anything that is
+        // not a well-formed auth call with the right token gets a single
+        // terse error line (no hint which part failed) and a hangup.
+        std::string response;
+        try {
+          const Json request = Json::parse(line);
+          const Json* method = request.get("method");
+          const Json* params = request.get("params");
+          const Json* token = params != nullptr ? params->get("token") : nullptr;
+          if (method != nullptr && method->is_string() &&
+              method->as_string() == "auth" && token != nullptr &&
+              token->is_string() && token->as_string() == options_.auth_token) {
+            authed = true;
+            Json::Object ok;
+            ok.emplace("ok", true);
+            Json::Object resp;
+            const Json* id = request.get("id");
+            resp.emplace("id", id != nullptr ? *id : Json{});
+            resp.emplace("result", Json{std::move(ok)});
+            response = Json{std::move(resp)}.dump() + "\n";
+          }
+        } catch (const std::exception&) {
+          // fall through unauthenticated
+        }
+        if (!authed) {
+          (void)send_all(fd, "{\"error\":{\"code\":401,\"message\":\"unauthorized\"}}\n");
+          ::close(fd);
+          return;
+        }
+        if (!send_all(fd, response)) {
+          ::close(fd);
+          return;
+        }
+        continue;
+      }
+      SubscribeIntent sub;
+      if (!send_all(fd, handle_line(line, &sub))) {
+        ::close(fd);
+        return;
+      }
+      if (sub.requested) {
+        serve_subscription(fd, sub.from);
         ::close(fd);
         return;
       }
     }
     buffer.erase(0, start);
-    if (buffer.size() > kMaxLine) break;  // unframed garbage; drop the client
+    // Unframed garbage; drop the client (tiny budget before auth).
+    if (buffer.size() > (authed ? kMaxLine : kPreAuthMaxLine)) break;
   }
   ::close(fd);
 }
 
-std::string Server::handle_line(const std::string& line) {
+void Server::serve_subscription(int fd, Version from) {
+  subscribers_.fetch_add(1, std::memory_order_relaxed);
+  Version sent = from;
+  bool ok = true;
+  while (ok && !stop_connections_.load(std::memory_order_acquire)) {
+    std::vector<std::string> pending;
+    {
+      std::unique_lock<std::mutex> lock{repl_mutex_};
+      repl_cv_.wait_for(lock, std::chrono::milliseconds(200), [&] {
+        return repl_head_ > sent ||
+               stop_connections_.load(std::memory_order_acquire);
+      });
+      if (repl_head_ > sent) {
+        if (repl_log_.empty() || repl_log_.front().version > sent + 1) {
+          // The log was trimmed past this subscriber mid-stream (it held
+          // no lease, or let its lease lapse). One explicit error record,
+          // then hang up — the replica resets and resubscribes fresh.
+          pending.push_back(
+              "{\"error\":{\"code\":410,\"message\":\"replication log trimmed "
+              "past subscriber; reload and resubscribe\"}}\n");
+          ok = false;
+        } else {
+          for (const ReplRecord& record : repl_log_) {
+            if (record.version > sent) pending.push_back(record.line);
+          }
+          sent = repl_head_;
+        }
+      }
+    }
+    for (const std::string& line : pending) {
+      if (!send_all(fd, line)) {
+        ok = false;
+        break;
+      }
+      obs::count(obs::Counter::SvcReplRecordsStreamed);
+    }
+    if (ok && pending.empty()) {
+      // Idle: notice a silent disconnect without waiting for a send to
+      // fail. Any inbound byte on a one-way stream is protocol misuse and
+      // closes the connection too.
+      char probe;
+      if (::recv(fd, &probe, 1, MSG_DONTWAIT | MSG_PEEK) >= 0) ok = false;
+    }
+  }
+  subscribers_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+std::string Server::handle_line(const std::string& line, SubscribeIntent* sub) {
   Json id;  // null until the request parses far enough to have one
   Json::Object response;
   try {
@@ -329,7 +571,7 @@ std::string Server::handle_line(const std::string& line) {
     const Json& method = request.at("method");
     const Json* params = request.get("params");
     const Json empty{Json::Object{}};
-    Json result = dispatch(method.as_string(), params != nullptr ? *params : empty);
+    Json result = dispatch(method.as_string(), params != nullptr ? *params : empty, sub);
     response.emplace("id", std::move(id));
     response.emplace("result", std::move(result));
   } catch (const RpcFailure& e) {
@@ -354,14 +596,27 @@ std::string Server::handle_line(const std::string& line) {
   return Json{std::move(response)}.dump() + "\n";
 }
 
-Json Server::dispatch(const std::string& method, const Json& params) {
+Json Server::dispatch(const std::string& method, const Json& params,
+                      SubscribeIntent* sub) {
   if (method == "submit") return handle_submit(params);
   if (method == "status") return handle_status(params);
   if (method == "result") return handle_result(params);
   if (method == "cancel") return handle_cancel(params);
   if (method == "apply") return handle_apply(params);
+  if (method == "lease") return handle_lease(params);
+  if (method == "renew") return handle_renew(params);
+  if (method == "release") return handle_release(params);
+  if (method == "subscribe") return handle_subscribe(params, sub);
   if (method == "info") return handle_info();
   if (method == "metrics") return handle_metrics();
+  if (method == "auth") {
+    // TCP connections are intercepted pre-dispatch; reaching here means the
+    // transport is already trusted (Unix socket, or a second auth call) —
+    // acknowledge so clients can auth unconditionally.
+    Json::Object obj;
+    obj.emplace("ok", true);
+    return Json{std::move(obj)};
+  }
   if (method == "shutdown") {
     // Reply-first semantics: the drain starts now, but this connection's
     // response line is still written (connections outlive the drain).
@@ -393,6 +648,13 @@ Json Server::handle_submit(const Json& params) {
   const bool batch_work =
       std::any_of(parsed.commands.begin(), parsed.commands.end(),
                   [](lai::Command c) { return c != lai::Command::Check; });
+  if (options_.read_only && batch_work) {
+    // Replicas only verify. Plans must be produced (and applied) where
+    // apply_if_head can win: the writer.
+    fail(kMisdirected, "read-only replica: submit fix/generate work to the writer at " +
+                           (options_.writer_endpoint.empty() ? std::string("<unknown>")
+                                                             : options_.writer_endpoint));
+  }
   spec.priority = batch_work ? Priority::Batch : Priority::Interactive;
 
   // The builtin the CLI `run` path also provides: migration statements say
@@ -500,6 +762,11 @@ Json Server::handle_cancel(const Json& params) {
 }
 
 Json Server::handle_apply(const Json& params) {
+  if (options_.read_only) {
+    fail(kMisdirected, "read-only replica: apply through the writer at " +
+                           (options_.writer_endpoint.empty() ? std::string("<unknown>")
+                                                             : options_.writer_endpoint));
+  }
   const std::uint64_t id = u64_param(params, "job");
   const JobPtr job = scheduler_.find(id);
   if (job == nullptr) fail(kNotFound, "unknown job " + std::to_string(id));
@@ -528,12 +795,108 @@ Json Server::handle_apply(const Json& params) {
 
   // Retire old versions. Their FEC cache entries are evicted by the
   // store's release hook once the last job pinning them finishes, so a
-  // recycled Topology allocation can never alias a stale cache key.
+  // recycled Topology allocation can never alias a stale cache key. Leased
+  // versions survive the trim, so the replication log keeps covering them.
   const auto dropped = store_.trim(options_.keep_versions);
+  trim_repl_log();
 
   Json::Object obj;
   obj.emplace("version", next->version);
   obj.emplace("dropped_versions", dropped.size());
+  return Json{std::move(obj)};
+}
+
+SnapshotPtr Server::apply_replicated(Version expected_head, const topo::AclUpdate& update) {
+  const SnapshotPtr next = store_.apply_if_head(expected_head, update);
+  if (!next) return nullptr;
+  store_.trim(options_.keep_versions);  // dropped pins release at end of statement
+  trim_repl_log();
+  return next;
+}
+
+Json Server::handle_lease(const Json& params) {
+  const Version version = params.get("version") != nullptr
+                              ? u64_param(params, "version")
+                              : store_.head_version();
+  std::uint64_t lease_ms = params.get("lease_ms") != nullptr
+                               ? u64_param(params, "lease_ms")
+                               : options_.max_lease_ms;
+  lease_ms = std::min<std::uint64_t>(std::max<std::uint64_t>(lease_ms, 1),
+                                     options_.max_lease_ms);
+  const auto lease = store_.acquire_lease(version, lease_ms);
+  if (!lease) fail(kNotFound, "unknown snapshot version " + std::to_string(version));
+  Json::Object obj;
+  obj.emplace("lease", *lease);
+  obj.emplace("version", version);
+  obj.emplace("lease_ms", lease_ms);
+  return Json{std::move(obj)};
+}
+
+Json Server::handle_renew(const Json& params) {
+  const std::uint64_t lease = u64_param(params, "lease");
+  std::uint64_t lease_ms = params.get("lease_ms") != nullptr
+                               ? u64_param(params, "lease_ms")
+                               : options_.max_lease_ms;
+  lease_ms = std::min<std::uint64_t>(std::max<std::uint64_t>(lease_ms, 1),
+                                     options_.max_lease_ms);
+  std::optional<Version> version;
+  if (params.get("version") != nullptr) version = u64_param(params, "version");
+  if (!store_.renew_lease(lease, lease_ms, version)) {
+    fail(kNotFound, "unknown or expired lease " + std::to_string(lease) +
+                        (version ? " (or unknown version " + std::to_string(*version) + ")"
+                                 : ""));
+  }
+  Json::Object obj;
+  obj.emplace("renewed", true);
+  obj.emplace("lease_ms", lease_ms);
+  if (version) obj.emplace("version", *version);
+  return Json{std::move(obj)};
+}
+
+Json Server::handle_release(const Json& params) {
+  const std::uint64_t lease = u64_param(params, "lease");
+  Json::Object obj;
+  obj.emplace("released", store_.release_lease(lease));
+  return Json{std::move(obj)};
+}
+
+Json Server::handle_subscribe(const Json& params, SubscribeIntent* sub) {
+  if (sub == nullptr) {
+    fail(kInvalidParams, "subscribe is only valid on a dedicated connection");
+  }
+  // `from` is the subscriber's current version; the stream carries records
+  // for (from, head]. Omitted means "from the head": live tail only.
+  const Version from = params.get("from") != nullptr ? u64_param(params, "from")
+                                                     : store_.head_version();
+  if (const Json* fp = params.get("fingerprint")) {
+    if (!fp->is_string() || fp->as_string() != hash_hex(base_fingerprint_)) {
+      fail(kFingerprintMismatch,
+           "base network fingerprint mismatch: writer has " +
+               hash_hex(base_fingerprint_) +
+               "; reload the writer's network file and resubscribe");
+    }
+  }
+  Version head = 0;
+  {
+    const std::lock_guard<std::mutex> lock{repl_mutex_};
+    head = repl_head_;
+    if (from > head) {
+      fail(kConflict, "subscriber at version " + std::to_string(from) +
+                          " is ahead of the writer head " + std::to_string(head) +
+                          " (writer restarted?); reload and resubscribe");
+    }
+    if (from < head && (repl_log_.empty() || repl_log_.front().version > from + 1)) {
+      fail(kTooOld, "version " + std::to_string(from) +
+                        " predates the replication log; reload the base network "
+                        "and resubscribe from scratch");
+    }
+  }
+  sub->requested = true;
+  sub->from = from;
+  Json::Object obj;
+  obj.emplace("head", head);
+  obj.emplace("fingerprint", hash_hex(base_fingerprint_));
+  obj.emplace("protocol", std::uint64_t{1});
   return Json{std::move(obj)};
 }
 
@@ -547,6 +910,13 @@ Json Server::handle_info() {
   obj.emplace("workers", static_cast<std::uint64_t>(options_.workers));
   obj.emplace("coalesce", static_cast<std::uint64_t>(options_.coalesce));
   obj.emplace("draining", scheduler_.draining());
+  obj.emplace("read_only", options_.read_only);
+  if (!options_.writer_endpoint.empty()) obj.emplace("writer", options_.writer_endpoint);
+  if (!bound_endpoint_.empty()) obj.emplace("listen", bound_endpoint_);
+  obj.emplace("fingerprint", hash_hex(base_fingerprint_));
+  obj.emplace("repl_head", repl_head());
+  obj.emplace("subscribers", static_cast<std::uint64_t>(subscriber_count()));
+  obj.emplace("leases", static_cast<std::uint64_t>(store_.lease_count()));
   obj.emplace("incremental", incremental_ != nullptr);
   if (incremental_) {
     const core::IncrementalStats stats = incremental_->stats();
@@ -585,7 +955,14 @@ Json Server::handle_metrics() {
       << "# TYPE jinjing_svc_tracked_jobs gauge\n"
       << "jinjing_svc_tracked_jobs " << scheduler_.tracked_count() << "\n"
       << "# TYPE jinjing_svc_fec_entries gauge\n"
-      << "jinjing_svc_fec_entries " << fec_cache_->live_entries() << "\n";
+      << "jinjing_svc_fec_entries " << fec_cache_->live_entries() << "\n"
+      << "# TYPE jinjing_svc_leases gauge\n"
+      << "jinjing_svc_leases " << store_.lease_count() << "\n"
+      << "# TYPE jinjing_svc_subscribers gauge\n"
+      << "jinjing_svc_subscribers " << subscriber_count() << "\n"
+      << "# TYPE jinjing_svc_repl_head gauge\n"
+      << "jinjing_svc_repl_head " << repl_head() << "\n";
+  if (options_.extra_metrics) options_.extra_metrics(out);
   if (incremental_) {
     const core::IncrementalStats stats = incremental_->stats();
     out << "# TYPE jinjing_svc_cached_plans gauge\n"
@@ -600,9 +977,24 @@ Json Server::handle_metrics() {
 
 void Server::dispatch_loop() {
   const std::size_t max = std::max<std::size_t>(options_.coalesce, 1);
+  // One overlap slot: a non-coalescable fix/generate job may run on this
+  // side thread while the loop keeps draining batch units behind it — a
+  // slow repair no longer serializes the interactive queue. The slot is
+  // joined before a second non-coalescable job claims it and before the
+  // loop exits, so at most two dispatch units are ever in flight. This is
+  // safe because a per-job engine is single-threaded (no shared executor),
+  // and every structure it touches (FEC cache, incremental planner,
+  // scheduler, batch-algebra map) is internally locked.
+  std::thread overlap;
+  const auto join_overlap = [&overlap] {
+    if (overlap.joinable()) overlap.join();
+  };
   while (true) {
     std::vector<JobPtr> unit = scheduler_.next_batch(max);
-    if (unit.empty()) return;
+    if (unit.empty()) {
+      join_overlap();
+      return;
+    }
     if (unit.size() > 1 && incremental_ != nullptr) {
       // Fully-clean delta-cache hits bypass the batch: every obligation
       // their update touches is already a proven verdict, so run_check_only
@@ -624,6 +1016,12 @@ void Server::dispatch_loop() {
     }
     if (unit.empty()) continue;
     if (unit.size() == 1) {
+      if (options_.overlap && unit.front()->spec().coalesce_key == 0) {
+        join_overlap();
+        obs::count(obs::Counter::SvcOverlapDispatches);
+        overlap = std::thread([this, job = unit.front()] { execute_job(job); });
+        continue;
+      }
       execute_job(unit.front());
     } else {
       execute_batch(unit);

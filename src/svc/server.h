@@ -15,10 +15,18 @@
 // answered by exactly one line,
 //   {"id": 1, "result": {...}}   or   {"id": 1, "error": {"code": 429, ...}}
 //
-// Methods: submit, status, result, cancel, apply, info, metrics, shutdown
-// (see docs/INTERNALS.md "Service" for the schemas). Several clients may be
-// connected at once; each connection is served by its own thread, so a
-// blocking `result` wait never stalls other clients.
+// Methods: submit, status, result, cancel, apply, info, metrics, lease,
+// renew, release, auth, subscribe, shutdown (see docs/INTERNALS.md
+// "Service" and "Replication & transport" for the schemas). Several
+// clients may be connected at once; each connection is served by its own
+// thread, so a blocking `result` wait never stalls other clients.
+//
+// Transports: always the Unix socket (when socket_path is set), plus an
+// optional TCP listener (`listen_address`). TCP connections must open with
+// an `auth` call carrying the shared token before any other method; until
+// then the per-line read limit is a few KB and any other input closes the
+// connection. `subscribe` turns a connection into a one-way replication
+// stream (see repl_wire.h) until the peer disconnects.
 //
 // Shutdown is a graceful drain: new submissions are rejected (503), every
 // admitted job still runs to a terminal state, then the socket closes and
@@ -28,6 +36,9 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <functional>
+#include <iosfwd>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -52,7 +63,31 @@ class ServerError : public std::runtime_error {
 };
 
 struct ServerOptions {
+  /// Unix-socket transport; may be empty when a TCP listener is configured.
   std::string socket_path;
+  /// TCP transport as "host:port" ("127.0.0.1:0" binds an ephemeral port,
+  /// reported by listen_endpoint()). Empty disables TCP. Requires
+  /// auth_token: the network is not the filesystem permission boundary the
+  /// Unix socket enjoys.
+  std::string listen_address;
+  /// Shared secret TCP connections must present in an `auth` call before
+  /// anything else. Ignored on the Unix socket.
+  std::string auth_token;
+  /// Read-only replica mode: fix/generate submissions and apply are
+  /// rejected with a 421 redirect naming writer_endpoint; pure checks,
+  /// status/result/metrics and subscribe serve locally.
+  bool read_only = false;
+  /// Advertised in read-only redirects so clients can re-route.
+  std::string writer_endpoint;
+  /// Upper bound on any client-requested lease window.
+  std::uint64_t max_lease_ms = 60000;
+  /// Let one queued non-coalescable fix/generate job run on a side thread
+  /// while the dispatcher keeps draining batch units (one overlap slot).
+  /// Off pins the PR-7 behaviour: strictly one dispatch unit at a time.
+  bool overlap = true;
+  /// Extra Prometheus lines appended to the metrics export (the replica
+  /// adds its lag gauges here).
+  std::function<void(std::ostream&)> extra_metrics;
   std::size_t queue_depth = 64;
   /// Executor threads of the server-wide pool. A small dispatcher thread
   /// pulls dispatch units (single jobs or coalesced batches) off the
@@ -101,7 +136,31 @@ class Server {
   /// Initiates a graceful drain; idempotent, callable from any thread.
   void request_shutdown();
 
+  /// Whether a drain has been initiated (shutdown method, or
+  /// request_shutdown from any side). The replica polls this to turn an
+  /// operator shutdown of its local server into a full replica shutdown.
+  [[nodiscard]] bool shutdown_requested() const {
+    return shutdown_requested_.load(std::memory_order_relaxed);
+  }
+
   [[nodiscard]] const std::string& socket_path() const { return options_.socket_path; }
+  /// The bound TCP endpoint ("host:port" with the real port even when the
+  /// listen address asked for port 0), or empty when TCP is off. Valid
+  /// after start().
+  [[nodiscard]] const std::string& listen_endpoint() const { return bound_endpoint_; }
+  /// Version the replication hash chain has reached (== head version).
+  [[nodiscard]] Version repl_head() const;
+  /// Subscribers currently streaming.
+  [[nodiscard]] std::size_t subscriber_count() const {
+    return subscribers_.load(std::memory_order_relaxed);
+  }
+  /// The replica's apply path: replays one replication record's update on
+  /// top of `expected_head`, then retires old versions exactly like the
+  /// writer's apply (version trim + replication-log trim). Returns nullptr
+  /// when the local head is not `expected_head` — the stream and the store
+  /// have diverged and the caller must resync.
+  SnapshotPtr apply_replicated(Version expected_head, const topo::AclUpdate& update);
+
   [[nodiscard]] StateStore& store() { return store_; }
   [[nodiscard]] Scheduler& scheduler() { return scheduler_; }
   [[nodiscard]] const obs::StatsRegistry& registry() const { return registry_; }
@@ -111,19 +170,38 @@ class Server {
   }
 
  private:
+  /// Set by the subscribe handler: after the response line is written the
+  /// connection switches into the one-way replication stream.
+  struct SubscribeIntent {
+    bool requested = false;
+    Version from = 0;
+  };
+
   void accept_loop();
-  void connection_loop(int fd);
+  void connection_loop(int fd, bool needs_auth);
   void dispatch_loop();
+  /// Streams replication records with version > `from` until the peer
+  /// disconnects or the server drains.
+  void serve_subscription(int fd, Version from);
+  /// Periodic housekeeping on the accept-loop tick: sweep expired leases
+  /// and re-trim so a lapsed lease actually releases its version.
+  void sweep_tick();
+  void trim_repl_log();
 
   /// One request line -> one response line (never throws).
-  [[nodiscard]] std::string handle_line(const std::string& line);
-  [[nodiscard]] Json dispatch(const std::string& method, const Json& params);
+  [[nodiscard]] std::string handle_line(const std::string& line, SubscribeIntent* sub);
+  [[nodiscard]] Json dispatch(const std::string& method, const Json& params,
+                              SubscribeIntent* sub);
 
   Json handle_submit(const Json& params);
   Json handle_status(const Json& params);
   Json handle_result(const Json& params);
   Json handle_cancel(const Json& params);
   Json handle_apply(const Json& params);
+  Json handle_lease(const Json& params);
+  Json handle_renew(const Json& params);
+  Json handle_release(const Json& params);
+  Json handle_subscribe(const Json& params, SubscribeIntent* sub);
   Json handle_info();
   Json handle_metrics();
 
@@ -163,6 +241,22 @@ class Server {
     std::shared_ptr<const core::BatchAlgebra> algebra;
   };
   std::unordered_map<std::uint64_t, VersionedAlgebra> batch_algebra_;  // by coalesce key
+  // Replication log: one pre-serialized record per applied version,
+  // appended by the store's apply hook (so also declared before store_).
+  // repl_hash_ is only touched under the store lock (the apply hook is the
+  // single writer); the log, head marker and cv are guarded by repl_mutex_.
+  struct ReplRecord {
+    Version version = 0;
+    std::string line;  // full JSON record + '\n'
+  };
+  mutable std::mutex repl_mutex_;
+  std::condition_variable repl_cv_;
+  std::deque<ReplRecord> repl_log_;
+  Version repl_head_ = 1;
+  std::uint64_t repl_hash_ = 0;       // chain state, seeded by the fingerprint
+  std::uint64_t base_fingerprint_ = 0;
+  std::atomic<std::size_t> subscribers_{0};
+  std::string bound_endpoint_;
   StateStore store_;
   Scheduler scheduler_;
   std::shared_ptr<topo::FecCache> fec_cache_;
@@ -172,7 +266,8 @@ class Server {
 
   std::shared_ptr<core::Executor> executor_;
 
-  int listen_fd_ = -1;
+  int listen_fd_ = -1;      // Unix socket, -1 when socket_path is empty
+  int tcp_listen_fd_ = -1;  // TCP listener, -1 when listen_address is empty
   std::thread accept_thread_;
   std::thread dispatch_thread_;
   std::mutex conn_mutex_;

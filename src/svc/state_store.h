@@ -16,11 +16,13 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 #include "config/topology_format.h"
@@ -72,6 +74,9 @@ class StateStore {
 
   [[nodiscard]] SnapshotPtr head() const;
   [[nodiscard]] Version head_version() const;
+  /// The oldest version still resolvable from the index — the floor the
+  /// replication log must cover so any resolvable version can catch up.
+  [[nodiscard]] Version oldest_version() const;
 
   /// The snapshot for a version; nullptr when unknown or already trimmed.
   [[nodiscard]] SnapshotPtr snapshot(Version version) const;
@@ -87,10 +92,39 @@ class StateStore {
   SnapshotPtr apply_if_head(Version expected, const topo::AclUpdate& update);
 
   /// Drops all but the newest `keep` versions from the index (snapshots
-  /// pinned by running jobs stay alive through their shared_ptr). Returns
-  /// the dropped snapshots; each one's release hook fires when its last
-  /// pin goes away.
+  /// pinned by running jobs stay alive through their shared_ptr). Versions
+  /// held by an unexpired lease are kept resolvable regardless of the
+  /// budget — expired leases are swept first, so a lapsed holder never
+  /// blocks collection. Returns the dropped snapshots; each one's release
+  /// hook fires when its last pin goes away.
   std::vector<SnapshotPtr> trim(std::size_t keep);
+
+  /// Explicit snapshot pins with a deadline. A lease keeps `version`
+  /// resolvable (and its snapshot alive) until it is released or its
+  /// `lease_ms` window lapses without a renew — at which point the pin
+  /// drops and, if it was the last one, the release hook fires (FEC-cache
+  /// eviction, planner retirement). Returns nullopt when the version is
+  /// unknown or already trimmed.
+  std::optional<std::uint64_t> acquire_lease(Version version, std::uint64_t lease_ms);
+
+  /// Refreshes the deadline; when `version` is given, re-pins the lease to
+  /// that version in the same operation (the replica's apply-and-advance
+  /// path). False when the lease is unknown/expired or the version is.
+  bool renew_lease(std::uint64_t lease, std::uint64_t lease_ms,
+                   std::optional<Version> version = std::nullopt);
+
+  /// Drops the lease; false when unknown (already expired or released).
+  bool release_lease(std::uint64_t lease);
+
+  /// Collects leases past their deadline; returns how many were dropped.
+  /// Their snapshot pins are released outside the store lock.
+  std::size_t sweep_leases();
+
+  [[nodiscard]] std::size_t lease_count() const;
+
+  /// The smallest version still held by an unexpired lease, if any — the
+  /// replication log must keep records above it so the holder can catch up.
+  [[nodiscard]] std::optional<Version> min_leased_version() const;
 
   [[nodiscard]] std::size_t version_count() const;
 
@@ -101,8 +135,18 @@ class StateStore {
   [[nodiscard]] std::size_t live_snapshots() const;
 
  private:
+  struct Lease {
+    Version version = 0;
+    SnapshotPtr pin;
+    std::chrono::steady_clock::time_point expires_at;
+  };
+
   [[nodiscard]] SnapshotPtr wrap(std::unique_ptr<Snapshot> snapshot) const;
   SnapshotPtr apply_locked(const topo::AclUpdate& update);
+  /// Moves expired leases' pins into `expired` (destroyed by the caller
+  /// after the lock drops, so release hooks never run under the store
+  /// mutex). Requires mutex_ held.
+  void sweep_leases_locked(std::vector<SnapshotPtr>& expired);
 
   // Shared with every snapshot's deleter so the hook outlives the store
   // (a pinned snapshot can be released after the store is gone).
@@ -115,6 +159,8 @@ class StateStore {
 
   mutable std::mutex mutex_;
   std::map<Version, SnapshotPtr> versions_;
+  std::map<std::uint64_t, Lease> leases_;
+  std::uint64_t next_lease_ = 1;
   Version head_ = 0;
   bool applied_ = false;  // an apply happened: hook installation is frozen
 };

@@ -22,6 +22,7 @@
 #include "config/topology_format.h"
 #include "gen/wan.h"
 #include "svc/client.h"
+#include "svc/endpoint.h"
 #include "svc/json.h"
 #include "svc/server.h"
 
@@ -103,20 +104,15 @@ TEST(JsonFuzzTest, HugeTokensParseOrFailCleanly) {
   EXPECT_FALSE(parse_survives(unterminated));
 }
 
-/// A raw connection speaking garbage at a live server.
+/// A raw connection speaking garbage at a live server. The endpoint may be
+/// a Unix socket path or a TCP host:port (the shared CLI endpoint form).
 class RawConnection {
  public:
-  explicit RawConnection(const std::string& socket_path) {
-    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (fd_ < 0) throw std::runtime_error("socket() failed");
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    if (socket_path.size() >= sizeof(addr.sun_path)) {
-      throw std::runtime_error("socket path too long: " + socket_path);
-    }
-    std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
-    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-      throw std::runtime_error("connect() failed: " + socket_path);
+  explicit RawConnection(const std::string& endpoint) {
+    try {
+      fd_ = svc::dial(svc::parse_endpoint(endpoint));
+    } catch (const svc::EndpointError& e) {
+      throw std::runtime_error(e.what());
     }
   }
   ~RawConnection() {
@@ -247,6 +243,119 @@ TEST_F(SvcFuzzFixture, SeededMutationBarrage) {
     ASSERT_FALSE(reply.empty()) << "no reply to mutated line: " << line;
     EXPECT_NO_THROW((void)Json::parse(reply)) << reply;
   }
+  expect_server_healthy();
+}
+
+// ------------------------------------------------------ TCP + auth framing
+
+constexpr const char* kFuzzToken = "fuzz-secret";
+
+/// The same adversarial contract on the network transport: until a
+/// connection authenticates, it gets one small line and one terse 401 —
+/// nothing that leaks which part of the handshake failed, and nothing that
+/// lets an unauthenticated peer hold memory or a thread for long.
+class SvcTcpFuzzFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const gen::Wan wan = gen::make_wan(gen::small_wan());
+    config::NetworkFile network;
+    network.topo = wan.topo;
+    network.traffic = wan.traffic;
+    svc::ServerOptions options;
+    options.listen_address = "127.0.0.1:0";
+    options.auth_token = kFuzzToken;
+    options.workers = 2;
+    server_ = std::make_unique<svc::Server>(std::move(network), options);
+    server_->start();
+  }
+
+  void TearDown() override {
+    server_->request_shutdown();
+    server_->wait();
+  }
+
+  /// A fresh authenticated client still gets answers — the garbage neither
+  /// wedged nor killed the listener.
+  void expect_server_healthy() {
+    svc::ClientOptions options;
+    options.token = kFuzzToken;
+    svc::Client client{server_->listen_endpoint(), options};
+    const Json info = client.call("info");
+    EXPECT_GE(info.at("head_version").as_u64(), 1u);
+  }
+
+  std::unique_ptr<svc::Server> server_;
+};
+
+TEST_F(SvcTcpFuzzFixture, GarbageBeforeAuthGetsOneTerse401AndAHangup) {
+  const std::string lines[] = {
+      "not json at all\n",
+      "{\"id\":1,\"method\":\"submit\",\"params\":{\"program\":\"check\\n\"}}\n",
+      "{\"id\":1,\"method\":\"auth\"}\n",  // auth call, no token
+      std::string("\x00\x01\xff", 3) + "\n",
+  };
+  for (const std::string& line : lines) {
+    RawConnection conn{server_->listen_endpoint()};
+    conn.send(line);
+    const std::string reply = conn.read_line();
+    ASSERT_FALSE(reply.empty()) << "no 401 for: " << line;
+    const Json parsed = Json::parse(reply);
+    EXPECT_EQ(parsed.at("error").at("code").as_u64(), 401u) << reply;
+    // One terse line, then the hangup.
+    EXPECT_TRUE(conn.read_line().empty()) << line;
+  }
+  expect_server_healthy();
+}
+
+TEST_F(SvcTcpFuzzFixture, WrongTokenIsRejectedWithoutDetail) {
+  RawConnection conn{server_->listen_endpoint()};
+  conn.send(R"({"id":1,"method":"auth","params":{"token":"fuzz-secret-but-wrong"}})"
+            "\n");
+  const std::string reply = conn.read_line();
+  ASSERT_FALSE(reply.empty());
+  EXPECT_EQ(Json::parse(reply).at("error").at("code").as_u64(), 401u) << reply;
+  // The rejection names neither the method nor which part failed.
+  EXPECT_EQ(reply.find("token"), std::string::npos) << reply;
+  EXPECT_TRUE(conn.read_line().empty());
+
+  // The typed client surfaces the same rejection as a connect error.
+  svc::ClientOptions options;
+  options.token = "also-wrong";
+  options.max_retries = 0;
+  EXPECT_THROW((svc::Client{server_->listen_endpoint(), options}), svc::ClientError);
+  expect_server_healthy();
+}
+
+TEST_F(SvcTcpFuzzFixture, OversizedPreAuthLineDropsTheConnection) {
+  RawConnection conn{server_->listen_endpoint()};
+  // 64KB with no newline: far past the few-KB pre-auth budget. The server
+  // must hang up without buffering it all or replying.
+  conn.send(std::string(64 << 10, 'a'));
+  EXPECT_TRUE(conn.read_line().empty());
+  expect_server_healthy();
+}
+
+TEST_F(SvcTcpFuzzFixture, MidHandshakeDisconnectIsHarmless) {
+  {
+    RawConnection conn{server_->listen_endpoint()};
+    conn.send(R"({"id":1,"method":"auth","params":{"tok)");
+    // No newline, no close handshake: the peer just vanishes.
+  }
+  expect_server_healthy();
+}
+
+TEST_F(SvcTcpFuzzFixture, PostAuthGarbageGetsPerLineErrorsNotAHangup) {
+  RawConnection conn{server_->listen_endpoint()};
+  conn.send(std::string(R"({"id":1,"method":"auth","params":{"token":")") + kFuzzToken +
+            "\"}}\n");
+  const std::string ok = conn.read_line();
+  ASSERT_NE(ok.find("\"result\""), std::string::npos) << ok;
+  // Authenticated, the connection gets the same per-line error contract as
+  // the Unix socket — garbage is answered, not dropped.
+  conn.send("not json at all\n");
+  const std::string reply = conn.read_line();
+  ASSERT_FALSE(reply.empty());
+  EXPECT_NE(Json::parse(reply).get("error"), nullptr) << reply;
   expect_server_healthy();
 }
 

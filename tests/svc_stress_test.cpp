@@ -278,6 +278,10 @@ TEST(SvcStressTest, CoalescedBatchesMatchOracleAtFourWorkers) {
   options.queue_depth = 128;
   options.workers = 4;
   options.coalesce = 16;
+  // The blocker below must hold the dispatch loop itself so the burst
+  // provably coalesces behind it; the overlap slot would run the fix on a
+  // side thread and drain the burst job by job instead.
+  options.overlap = false;
   options.keep_versions = 64;  // every snapshot stays resolvable for the oracle
   Server server{std::move(network), options};
   server.start();

@@ -894,6 +894,10 @@ class BatchedServerEquivalence : public ::testing::TestWithParam<topo::SetBacken
     ServerOptions options;
     options.workers = workers;
     options.coalesce = coalesce;
+    // These tests park a fix job in the dispatcher so the checks behind it
+    // provably coalesce; the overlap slot would run the fix on the side and
+    // drain the queue one by one instead. Overlap has its own test below.
+    options.overlap = false;
     options.engine.check.set_backend = GetParam();
     options.engine.fix.check.set_backend = GetParam();
     return options;
@@ -980,6 +984,7 @@ TEST(BatchedServerTest, DeadlineInsideCoalescedBatchGetsQueuedDiagnostic) {
   ServerOptions options;
   options.workers = 1;
   options.coalesce = 16;
+  options.overlap = false;  // the blocker must hold the dispatch loop itself
   ScopedServer scoped{options, "deadline_batch"};
   Client client{scoped.socket};
 
@@ -1007,6 +1012,7 @@ TEST(BatchedServerTest, CoalesceOneDisablesBatchingEntirely) {
   ServerOptions options;
   options.workers = 2;
   options.coalesce = 1;
+  options.overlap = false;  // serialize: the blocker must precede the checks
   ScopedServer scoped{options, "no_batch"};
   Client client{scoped.socket};
 
@@ -1021,6 +1027,245 @@ TEST(BatchedServerTest, CoalesceOneDisablesBatchingEntirely) {
   const std::string metrics = client.call("metrics").at("prometheus").as_string();
   EXPECT_EQ(prometheus_counter(metrics, "jinjing_svc_batch_jobs_coalesced_total"), 0u);
   EXPECT_EQ(prometheus_counter(metrics, "jinjing_svc_batch_dispatches_total"), 0u);
+}
+
+// ------------------------------------------------- Leases & snapshot pins
+
+TEST(LeaseTest, LeaseRenewReleaseVerbsRoundTrip) {
+  ServerOptions options;
+  options.workers = 1;
+  ScopedServer scoped{options, "lease_verbs"};
+  Client client{scoped.socket};
+
+  // Default lease: the head version, the server's maximum window.
+  const Json granted = client.call("lease");
+  const std::uint64_t lease = granted.at("lease").as_u64();
+  EXPECT_EQ(granted.at("version").as_u64(), 1u);
+  EXPECT_EQ(granted.at("lease_ms").as_u64(), options.max_lease_ms);
+  EXPECT_EQ(scoped.server->store().lease_count(), 1u);
+
+  // A requested window past the cap is clamped, never granted.
+  Json::Object big;
+  big.emplace("lease_ms", std::uint64_t{1} << 40);
+  const Json clamped = client.call("lease", Json{std::move(big)});
+  EXPECT_EQ(clamped.at("lease_ms").as_u64(), options.max_lease_ms);
+
+  Json::Object renew;
+  renew.emplace("lease", lease);
+  renew.emplace("lease_ms", std::uint64_t{1000});
+  EXPECT_TRUE(client.call("renew", Json{std::move(renew)}).at("renewed").as_bool());
+
+  Json::Object release;
+  release.emplace("lease", lease);
+  EXPECT_TRUE(client.call("release", Json{std::move(release)}).at("released").as_bool());
+  // Releasing twice is a clean no-op answer, not an error.
+  Json::Object again;
+  again.emplace("lease", lease);
+  EXPECT_FALSE(client.call("release", Json{std::move(again)}).at("released").as_bool());
+
+  // Renewing a dead lease and leasing an unknown version are 404s.
+  try {
+    Json::Object dead;
+    dead.emplace("lease", lease);
+    (void)client.call("renew", Json{std::move(dead)});
+    FAIL();
+  } catch (const RpcError& e) {
+    EXPECT_EQ(e.code(), 404);
+  }
+  try {
+    Json::Object unknown;
+    unknown.emplace("version", 99);
+    (void)client.call("lease", Json{std::move(unknown)});
+    FAIL();
+  } catch (const RpcError& e) {
+    EXPECT_EQ(e.code(), 404);
+  }
+}
+
+TEST(LeaseTest, LeasedVersionSurvivesApplyTrimUntilReleased) {
+  ServerOptions options;
+  options.workers = 1;
+  options.keep_versions = 1;
+  ScopedServer scoped{options, "lease_trim"};
+  Client client{scoped.socket};
+
+  Json::Object acquire;
+  acquire.emplace("version", 1);
+  const std::uint64_t lease =
+      client.call("lease", Json{std::move(acquire)}).at("lease").as_u64();
+
+  // Deploy a repair: apply advances the head and trims to keep_versions=1,
+  // but the leased v1 must stay resolvable.
+  CheckProgram fix{kCheckFix, {{"A1_new", kA1New}, {"A3_new", kA3New}}};
+  const Json result = wait_result(client, submit_program(client, fix));
+  ASSERT_TRUE(result.at("status").at("outcome").at("success").as_bool()) << result.dump();
+  Json::Object apply;
+  apply.emplace("job", result.at("status").at("job").as_u64());
+  EXPECT_EQ(client.call("apply", Json{std::move(apply)}).at("version").as_u64(), 2u);
+
+  ASSERT_NE(scoped.server->store().snapshot(1), nullptr);
+  // A check pinned to the leased version still runs.
+  Json::Object pinned;
+  pinned.emplace("program", kCheckOnly);
+  pinned.emplace("snapshot", 1);
+  const std::uint64_t pinned_id =
+      client.call("submit", Json{std::move(pinned)}).at("job").as_u64();
+  EXPECT_EQ(wait_result(client, pinned_id).at("status").at("snapshot").as_u64(), 1u);
+
+  // Release, then advance the head once more: the next trim collects v1
+  // now that no lease holds it.
+  Json::Object release;
+  release.emplace("lease", lease);
+  EXPECT_TRUE(client.call("release", Json{std::move(release)}).at("released").as_bool());
+  (void)scoped.server->store().apply_update({});
+  (void)scoped.server->store().trim(options.keep_versions);
+  EXPECT_EQ(scoped.server->store().snapshot(1), nullptr);
+}
+
+TEST(LeaseTest, ExpiredLeaseIsSweptAndItsVersionCollected) {
+  ServerOptions options;
+  options.workers = 1;
+  options.coalesce = 1;
+  options.overlap = false;
+  options.keep_versions = 1;
+  ScopedServer scoped{options, "lease_expiry"};
+  Client client{scoped.socket};
+
+  // A short lease on v1, never renewed.
+  Json::Object acquire;
+  acquire.emplace("version", 1);
+  acquire.emplace("lease_ms", std::uint64_t{300});
+  (void)client.call("lease", Json{std::move(acquire)});
+
+  // Park a fix in the dispatcher, then queue a check pinned to v1 behind
+  // it — the lease will lapse while the check is still queued.
+  Json::Object blocker;
+  blocker.emplace("program", kCheckFix);
+  Json::Object acls;
+  acls.emplace("A1_new", kA1New);
+  acls.emplace("A3_new", kA3New);
+  blocker.emplace("acls", Json{std::move(acls)});
+  const std::uint64_t blocker_id =
+      client.call("submit", Json{std::move(blocker)}).at("job").as_u64();
+  wait_until_dispatcher_busy(*scoped.server, blocker_id);
+  Json::Object pinned;
+  pinned.emplace("program", kCheckOnly);
+  pinned.emplace("snapshot", 1);
+  const std::uint64_t queued_id =
+      client.call("submit", Json{std::move(pinned)}).at("job").as_u64();
+
+  // Advance the head so v1 is only held by the lease (and the queued job's
+  // own pin). The accept-loop sweeper must collect the lapsed lease and
+  // trim v1 out of the index — the eager collection the lease contract
+  // promises — without waiting for another apply.
+  (void)scoped.server->store().apply_update({});
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::minutes(2);
+  while (scoped.server->store().snapshot(1) != nullptr &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_EQ(scoped.server->store().snapshot(1), nullptr) << "expired lease never swept";
+  EXPECT_EQ(scoped.server->store().lease_count(), 0u);
+
+  // The in-flight job is unharmed: its own snapshot pin (not the lease)
+  // keeps v1 alive until it finishes, and it answers against v1.
+  const Json queued_result = wait_result(client, queued_id);
+  EXPECT_EQ(queued_result.at("status").at("state").as_string(), "done")
+      << queued_result.dump();
+  EXPECT_EQ(queued_result.at("status").at("snapshot").as_u64(), 1u);
+  EXPECT_TRUE(queued_result.at("status").at("outcome").at("success").as_bool());
+  (void)wait_result(client, blocker_id);
+
+  const std::string metrics = client.call("metrics").at("prometheus").as_string();
+  EXPECT_GE(prometheus_counter(metrics, "jinjing_svc_leases_expired_total"), 1u);
+}
+
+// --------------------------------------------------- Dispatcher overlap
+
+TEST(OverlapTest, FixRunsOnTheSideSlotWithoutChangingAnswers) {
+  // Oracle first (its registry is then replaced as the global sink by the
+  // overlap server, whose metrics the test asserts on).
+  ServerOptions serial_options;
+  serial_options.workers = 2;
+  serial_options.coalesce = 16;
+  serial_options.overlap = false;
+  ScopedServer serial{serial_options, "overlap_oracle"};
+  ServerOptions options;
+  options.workers = 2;
+  options.coalesce = 16;
+  options.overlap = true;
+  ScopedServer overlapped{options, "overlap_on"};
+  Client client{overlapped.socket};
+  Client oracle_client{serial.socket};
+
+  // The fix claims the overlap slot; the checks behind it drain as batch
+  // units while it runs instead of queueing until it finishes.
+  CheckProgram fix{kCheckFix, {{"A1_new", kA1New}, {"A3_new", kA3New}}};
+  const std::uint64_t fix_id = submit_program(client, fix);
+  wait_until_dispatcher_busy(*overlapped.server, fix_id);
+  std::vector<std::uint64_t> checks;
+  for (int i = 0; i < 4; ++i) checks.push_back(submit_program(client, {kCheckOnly, {}}));
+
+  for (const std::uint64_t id : checks) {
+    EXPECT_TRUE(wait_result(client, id).at("status").at("outcome").at("success").as_bool());
+  }
+  const Json fixed = wait_result(client, fix_id);
+  ASSERT_EQ(fixed.at("status").at("state").as_string(), "done") << fixed.dump();
+
+  // Overlapped execution must not perturb the fix's answer: the serial
+  // oracle produces the byte-identical outcome.
+  const Json oracle_fixed = wait_result(oracle_client, submit_program(oracle_client, fix));
+  EXPECT_EQ(fixed.at("status").at("outcome").dump(),
+            oracle_fixed.at("status").at("outcome").dump());
+
+  const std::string metrics = client.call("metrics").at("prometheus").as_string();
+  EXPECT_GE(prometheus_counter(metrics, "jinjing_svc_overlap_dispatches_total"), 1u)
+      << metrics;
+}
+
+// ------------------------------------------------- Client reconnection
+
+TEST(ClientReconnectTest, CallRetriesAcrossAServerRestartOnTheSameSocket) {
+  const std::string socket =
+      (std::filesystem::temp_directory_path() /
+       ("jinjing_svc_reconnect_" + std::to_string(::getpid()) + ".sock"))
+          .string();
+  ServerOptions options;
+  options.socket_path = socket;
+  options.workers = 1;
+  auto server = std::make_unique<Server>(figure1_network(), options);
+  server->start();
+
+  ClientOptions copts;
+  copts.max_retries = 8;
+  copts.backoff_ms = 10;
+  copts.backoff_cap_ms = 50;
+  Client client{socket, copts};
+  EXPECT_GE(client.call("info").at("head_version").as_u64(), 1u);
+
+  // Restart the server: the client's fd is dead, and the next call must
+  // reconnect and resend transparently.
+  server->request_shutdown();
+  server->wait();
+  server.reset();
+  server = std::make_unique<Server>(figure1_network(), options);
+  server->start();
+  EXPECT_GE(client.call("info").at("head_version").as_u64(), 1u);
+
+  // RpcErrors are the server's answer, never retried or remapped.
+  try {
+    (void)client.call("frobnicate");
+    FAIL();
+  } catch (const RpcError& e) {
+    EXPECT_EQ(e.code(), -32601);
+  }
+
+  // With the server gone for good, the capped retries run out.
+  server->request_shutdown();
+  server->wait();
+  server.reset();
+  std::filesystem::remove(socket);
+  EXPECT_THROW((void)client.call("info"), ClientError);
 }
 
 TEST(ServerIncrementalTest, ZeroChainDisablesIncrementalServing) {
