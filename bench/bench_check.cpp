@@ -35,8 +35,10 @@
 
 #include "bench_common.h"
 #include "core/checker.h"
+#include "core/diff.h"
 #include "core/engine.h"
 #include "obs/stats.h"
+#include "topo/fec_delta.h"
 
 namespace jinjing {
 namespace {
@@ -210,6 +212,101 @@ BatchResult run_batch_workload(const gen::Wan& wan) {
   return result;
 }
 
+/// The versioned-churn workload: N small applies land one after another,
+/// and after each the serving partition must cover the new version. The
+/// delta path re-splits only atoms meeting the apply's pooled differential
+/// (topo::refine_delta chained across versions); the seed path re-derives
+/// the whole partition from the growing predicate list. Both are exact, so
+/// the partitions are asserted identical before timing is trusted.
+struct ChurnResult {
+  std::size_t versions = 0;
+  std::size_t base_predicates = 0;
+  std::size_t final_atoms = 0;
+  double delta_seconds = 0;
+  double scratch_seconds = 0;
+  double speedup = 0;
+  std::uint64_t reused_atoms = 0;
+  std::uint64_t split_atoms = 0;
+  bool identical = true;
+};
+
+ChurnResult run_churn_refinement(const gen::Wan& wan, std::size_t versions) {
+  ChurnResult result;
+  result.versions = versions;
+
+  // The base partition: the scope's forwarding predicates, as the checker's
+  // from-scratch refinement sees them at version 1.
+  std::vector<net::PacketSet> base_preds;
+  for (const auto& edge : wan.topo.edges()) {
+    if (wan.scope.contains_interface(wan.topo, edge.from) &&
+        wan.scope.contains_interface(wan.topo, edge.to)) {
+      base_preds.push_back(edge.predicate);
+    }
+  }
+  result.base_predicates = base_preds.size();
+
+  // Each version's changed predicates: the pooled Definition 4.1
+  // differential of a small perturbation, one packet-set per diff rule —
+  // the same shape IncrementalPlanner::record_apply pools per apply.
+  const topo::ConfigView before_view{wan.topo};
+  std::vector<std::vector<net::PacketSet>> per_version;
+  for (std::size_t v = 0; v < versions; ++v) {
+    const auto update = gen::perturb_rules(wan, 0.01, static_cast<unsigned>(300 + v));
+    topo::Topology applied = wan.topo;
+    std::vector<topo::AclSlot> slots;
+    for (const auto& [slot, acl] : update) {
+      applied.bind_acl(slot, acl);
+      slots.push_back(slot);
+    }
+    const topo::ConfigView after_view{applied};
+    std::vector<net::PacketSet> changed;
+    for (const auto& rule : core::scope_differential(before_view, after_view, slots)) {
+      changed.push_back(net::PacketSet{rule.match.cube()});
+    }
+    if (changed.empty()) changed.push_back(net::PacketSet::empty());
+    per_version.push_back(std::move(changed));
+  }
+
+  const topo::FecOptions fec_options;
+  const auto base = topo::refine_into_atoms(wan.traffic, base_preds, fec_options);
+
+  // Delta path: chain refine_delta across the versions.
+  std::vector<net::PacketSet> delta_atoms = base;
+  {
+    const auto start = std::chrono::steady_clock::now();
+    for (const auto& changed : per_version) {
+      auto step = topo::refine_delta(delta_atoms, changed, fec_options.backend);
+      result.reused_atoms += step.reused;
+      result.split_atoms += step.split;
+      delta_atoms = std::move(step.atoms);
+    }
+    result.delta_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  }
+
+  // Seed path: every version re-refines from scratch over the full list.
+  std::vector<net::PacketSet> scratch_atoms;
+  {
+    auto predicates = base_preds;
+    const auto start = std::chrono::steady_clock::now();
+    for (const auto& changed : per_version) {
+      predicates.insert(predicates.end(), changed.begin(), changed.end());
+      scratch_atoms = topo::refine_into_atoms(wan.traffic, predicates, fec_options);
+    }
+    result.scratch_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  }
+
+  result.final_atoms = delta_atoms.size();
+  result.identical = delta_atoms.size() == scratch_atoms.size();
+  for (std::size_t i = 0; result.identical && i < delta_atoms.size(); ++i) {
+    result.identical = delta_atoms[i].cubes() == scratch_atoms[i].cubes();
+  }
+  result.speedup =
+      result.delta_seconds > 0 ? result.scratch_seconds / result.delta_seconds : 0;
+  return result;
+}
+
 /// All counter totals of `registry`, indexed by obs::Counter.
 std::vector<std::uint64_t> snapshot_counters(const obs::StatsRegistry& registry) {
   std::vector<std::uint64_t> totals(obs::kCounterCount);
@@ -298,6 +395,14 @@ int run_repeated_check_comparison(const char* json_path, const char* trace_path)
                batch.tasks, batch.threads, batch.serial_seconds, batch.batch_seconds,
                batch.speedup);
 
+  const auto churn = run_churn_refinement(wan, 8);
+  std::fprintf(stderr,
+               "  churn x%zu: delta %.3fs, scratch %.3fs, speedup %.2fx, "
+               "reused=%llu split=%llu identical=%d\n",
+               churn.versions, churn.delta_seconds, churn.scratch_seconds, churn.speedup,
+               static_cast<unsigned long long>(churn.reused_atoms),
+               static_cast<unsigned long long>(churn.split_atoms), churn.identical ? 1 : 0);
+
   const double baseline = results.front().wall_seconds;
   std::FILE* out = std::fopen(json_path, "w");
   if (!out) {
@@ -329,6 +434,16 @@ int run_repeated_check_comparison(const char* json_path, const char* trace_path)
                "\"batch_seconds\": %.6f, \"speedup\": %.2f},\n",
                batch.tasks, batch.threads, batch.serial_seconds, batch.batch_seconds,
                batch.speedup);
+  std::fprintf(out,
+               "  \"churn_refinement\": {\"versions\": %zu, \"base_predicates\": %zu, "
+               "\"final_atoms\": %zu, \"delta_seconds\": %.6f, \"scratch_seconds\": %.6f, "
+               "\"speedup\": %.2f, \"reused_atoms\": %llu, \"split_atoms\": %llu, "
+               "\"identical\": %s},\n",
+               churn.versions, churn.base_predicates, churn.final_atoms, churn.delta_seconds,
+               churn.scratch_seconds, churn.speedup,
+               static_cast<unsigned long long>(churn.reused_atoms),
+               static_cast<unsigned long long>(churn.split_atoms),
+               churn.identical ? "true" : "false");
   std::fprintf(out,
                "  \"observability\": {\"disabled_seconds\": %.6f, \"enabled_seconds\": %.6f, "
                "\"overhead_pct\": %.2f}\n}\n",

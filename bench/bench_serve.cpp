@@ -540,6 +540,45 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "  warm %.3fs vs cold %.3fs over %zu jobs: %.2fx\n", warm_seconds,
                cold_seconds, warm_cold_jobs, speedup);
 
+  // ---- Fix warm vs cold: the same perturbation stream issued as `fix`
+  // jobs. On the warm server the fix's initial check adopts the rebased
+  // plan bundle from the delta cache and the synthesizer's AEC derivation
+  // hits the shared overlay memo; the cold runs rebuild both per job.
+  std::vector<Workload> fix_stream = stream;
+  for (auto& workload : fix_stream) {
+    workload.program.replace(workload.program.rfind("check\n"), 6, "fix\n");
+  }
+  double fix_warm_seconds = 0;
+  {
+    const auto start = std::chrono::steady_clock::now();
+    svc::Client client{socket_path};
+    for (const auto& workload : fix_stream) (void)run_job(client, workload);
+    fix_warm_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  }
+  double fix_cold_seconds = 0;
+  {
+    lai::AclLibrary library;
+    const auto start = std::chrono::steady_clock::now();
+    for (const auto& workload : fix_stream) {
+      library.clear();
+      library.emplace("permit_all", net::Acl::permit_all());
+      for (const auto& [name, body] : workload.acl_bodies) {
+        library.insert_or_assign(name, config::parse_acl_auto(body));
+      }
+      core::Engine engine{wan.topo};
+      const auto report = engine.run_program(workload.program, library, wan.traffic);
+      if (report.outcomes.empty() || !report.outcomes.front().fix) {
+        std::fprintf(stderr, "WARNING: cold job produced no fix outcome\n");
+      }
+    }
+    fix_cold_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  }
+  const double fix_speedup = fix_warm_seconds > 0 ? fix_cold_seconds / fix_warm_seconds : 0;
+  std::fprintf(stderr, "  fix warm %.3fs vs cold %.3fs over %zu jobs: %.2fx\n",
+               fix_warm_seconds, fix_cold_seconds, fix_stream.size(), fix_speedup);
+
   // ---- Churn, warm over versions: R rounds of (apply delta, re-check a
   // fixed pending batch). The pending updates target gateway slots the
   // churn never rewrites, so the delta cache can rebase its plan and carry
@@ -674,6 +713,10 @@ int main(int argc, char** argv) {
                "  \"warm_vs_cold\": {\"jobs\": %zu, \"warm_seconds\": %.6f, "
                "\"cold_seconds\": %.6f, \"speedup\": %.2f},\n",
                warm_cold_jobs, warm_seconds, cold_seconds, speedup);
+  std::fprintf(out,
+               "  \"fix_warm_vs_cold\": {\"jobs\": %zu, \"warm_seconds\": %.6f, "
+               "\"cold_seconds\": %.6f, \"speedup\": %.2f},\n",
+               fix_stream.size(), fix_warm_seconds, fix_cold_seconds, fix_speedup);
   std::fprintf(out, "  \"churn\": {\n    \"depths\": [\n");
   for (std::size_t i = 0; i < churn_sweep.size(); ++i) {
     const auto& entry = churn_sweep[i];

@@ -5,10 +5,11 @@
 
 namespace jinjing::core {
 
-std::vector<net::PacketSet> acl_equivalence_classes(
-    const topo::ConfigView& view, const std::vector<topo::AclSlot>& slots,
-    const net::PacketSet& universe, const std::vector<lai::ControlIntent>& controls,
-    const std::vector<net::PacketSet>& extra_predicates) {
+std::vector<net::PacketSet> aec_regions(const topo::ConfigView& view,
+                                        const std::vector<topo::AclSlot>& slots,
+                                        const net::PacketSet& universe,
+                                        const std::vector<lai::ControlIntent>& controls,
+                                        const std::vector<net::PacketSet>& extra_predicates) {
   // Each predicate is represented by its "interesting" side — the denied
   // region of an ACL (complement of the permitted set within the universe)
   // or a control header. Slots holding identical ACLs contribute one
@@ -32,7 +33,11 @@ std::vector<net::PacketSet> acl_equivalence_classes(
     auto denied = universe - predicate;
     if (!denied.is_empty()) regions.push_back(std::move(denied.compact()));
   }
+  return regions;
+}
 
+std::vector<net::PacketSet> overlay_atoms(const net::PacketSet& universe,
+                                          const std::vector<net::PacketSet>& regions) {
   // Overlay the interesting regions into atoms; the big all-permit "rest"
   // class is materialized once at the end instead of being dragged through
   // every refinement pass.
@@ -60,6 +65,20 @@ std::vector<net::PacketSet> acl_equivalence_classes(
   net::PacketSet rest = (universe - covered).compact();
   if (!rest.is_empty()) atoms.push_back(std::move(rest));
   return atoms;
+}
+
+std::vector<net::PacketSet> acl_equivalence_classes(
+    const topo::ConfigView& view, const std::vector<topo::AclSlot>& slots,
+    const net::PacketSet& universe, const std::vector<lai::ControlIntent>& controls,
+    const std::vector<net::PacketSet>& extra_predicates, topo::FecCache* cache) {
+  const std::vector<net::PacketSet> regions =
+      aec_regions(view, slots, universe, controls, extra_predicates);
+  if (cache == nullptr) return overlay_atoms(universe, regions);
+  if (auto memoized = cache->find_overlay(universe, regions)) return *memoized;
+  auto atoms = std::make_shared<const std::vector<net::PacketSet>>(
+      overlay_atoms(universe, regions));
+  cache->store_overlay(universe, regions, atoms);
+  return *atoms;
 }
 
 std::vector<net::PacketSet> dataplane_equivalence_classes(const topo::Topology& topo,

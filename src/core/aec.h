@@ -12,20 +12,43 @@
 
 #include "lai/sema.h"
 #include "net/packet_set.h"
+#include "topo/fec_cache.h"
 #include "topo/topology.h"
 
 namespace jinjing::core {
+
+/// The refinement predicates of the AEC derivation: each slot ACL's denied
+/// region within the universe (slots holding identical ACLs contribute one
+/// region — the paper's "redundancy in ACL usage"), each control intent's
+/// header, and each extra predicate's denied complement. Deterministic
+/// order; empty regions dropped. The regions fully determine the partition
+/// of `universe`, which is what makes the overlay memoizable.
+[[nodiscard]] std::vector<net::PacketSet> aec_regions(
+    const topo::ConfigView& view, const std::vector<topo::AclSlot>& slots,
+    const net::PacketSet& universe,
+    const std::vector<lai::ControlIntent>& controls = {},
+    const std::vector<net::PacketSet>& extra_predicates = {});
+
+/// Overlays the regions into the atoms of `universe`: a disjoint partition
+/// in deterministic order, uniform w.r.t. every region.
+[[nodiscard]] std::vector<net::PacketSet> overlay_atoms(
+    const net::PacketSet& universe, const std::vector<net::PacketSet>& regions);
 
 /// Derives the AECs of `universe` w.r.t. the ACLs bound (in `view`) on the
 /// given slots. Result is a disjoint partition; deterministic order.
 /// `extra_predicates` adds further refinement sets — e.g. the permitted
 /// sets of explicit source replacements, so every class is also uniform
 /// w.r.t. the post-update source decisions.
+/// When `cache` is non-null the overlay is memoized by the exact cubes of
+/// (universe, regions) — version-independent, so warm generate jobs whose
+/// scoped ACLs coincide with an earlier derivation skip the overlay
+/// entirely while returning bit-identical atoms.
 [[nodiscard]] std::vector<net::PacketSet> acl_equivalence_classes(
     const topo::ConfigView& view, const std::vector<topo::AclSlot>& slots,
     const net::PacketSet& universe,
     const std::vector<lai::ControlIntent>& controls = {},
-    const std::vector<net::PacketSet>& extra_predicates = {});
+    const std::vector<net::PacketSet>& extra_predicates = {},
+    topo::FecCache* cache = nullptr);
 
 /// Splits one class into dataplane equivalence classes by refining with all
 /// in-scope forwarding predicates (DEC = AEC ∧ FEC, §5.3).

@@ -34,6 +34,7 @@ Engine::Engine(const topo::Topology& topo, EngineOptions options)
   // creates: a check → fix → check pipeline derives each partition once.
   if (!options_.check.fec_cache) options_.check.fec_cache = std::make_shared<topo::FecCache>();
   if (!options_.fix.check.fec_cache) options_.fix.check.fec_cache = options_.check.fec_cache;
+  if (!options_.generate.fec_cache) options_.generate.fec_cache = options_.check.fec_cache;
   // One executor likewise: check obligations, fix searches and generate
   // placements all draw from the same worker pool.
   if (!options_.check.executor) {

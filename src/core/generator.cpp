@@ -44,7 +44,7 @@ GenerateResult Generator::generate(const MigrationSpec& spec,
   {
     const obs::TraceSpan span{obs::Span::GenDerive};
     classes = acl_equivalence_classes(view, slots, options_.universe, controls,
-                                      replacement_predicates);
+                                      replacement_predicates, options_.fec_cache.get());
   }
   result.aec_count = classes.size();
   result.derive_seconds = seconds_since(t0);

@@ -8,6 +8,7 @@
 
 #include "core/executor.h"
 #include "core/synthesizer.h"
+#include "topo/fec_cache.h"
 
 namespace jinjing::core {
 
@@ -19,6 +20,11 @@ struct GenerateOptions {
   /// Shared obligation executor for the per-class placement solving
   /// (phase 2). Unset or single-threaded = the sequential seed path.
   std::shared_ptr<Executor> executor;
+  /// Shared partition cache: phase 1's AEC overlay is memoized by the exact
+  /// cubes of (universe, refinement regions), so warm generate jobs whose
+  /// scoped ACLs match an earlier derivation skip the overlay while
+  /// producing bit-identical classes. Unset = always derive.
+  std::shared_ptr<topo::FecCache> fec_cache;
 };
 
 struct GenerateResult {

@@ -6,6 +6,7 @@
 
 #include "core/diff.h"
 #include "obs/stats.h"
+#include "topo/fec_delta.h"
 
 namespace jinjing::core {
 
@@ -155,20 +156,30 @@ void IncrementalPlanner::record_apply(std::uint64_t from_version, std::uint64_t 
       next.scope_devices = entry.scope_devices;
       next.bundle = entry.bundle;  // structurally valid verbatim (ACL-only apply)
       next.chain = entry.chain + 1;
+      next.diffs = entry.diffs;
       next.verdicts = entry.verdicts;
-      // Invalidate verdicts the delta can perturb.
+      // Invalidate verdicts the delta can perturb, remembering which diff
+      // hit them so the next check can re-prove just the touched sub-atoms.
+      // Bits already false keep their earlier stale_from: the diff range
+      // from that point automatically covers this apply too.
+      const auto diff_index = static_cast<std::uint32_t>(next.diffs.size());
       std::uint64_t invalidated = 0;
       const auto& obligations = next.bundle->plan.obligations();
       for (auto& [vkey, verdicts] : next.verdicts) {
+        if (verdicts.stale_from.size() < verdicts.clean.size()) {
+          verdicts.stale_from.resize(verdicts.clean.size(), kNotStale);
+        }
         for (std::size_t i = 0; i < verdicts.clean.size() && i < obligations.size(); ++i) {
           if (!verdicts.clean[i]) continue;
           const Obligation& o = obligations[i];
           if (slots_intersect(o.slots, delta_slots) && o.fec->intersects(diff_packets)) {
             verdicts.clean[i] = false;
+            verdicts.stale_from[i] = diff_index;
             ++invalidated;
           }
         }
       }
+      next.diffs.push_back(diff_packets);
       stats_.invalidations += invalidated;
       obs::count(obs::Counter::DeltaCacheInvalidations, invalidated);
       ++stats_.rebases;
@@ -208,6 +219,8 @@ IncrementalLease IncrementalPlanner::acquire(std::uint64_t version, const topo::
   if (it != entry->verdicts.end() && it->second.update_text == text) {
     it->second.stamp = ++stamp_;
     lease.clean = it->second.clean;
+    lease.stale_from = it->second.stale_from;
+    lease.diffs = entry->diffs;
   }
   return lease;
 }
@@ -270,13 +283,19 @@ void IncrementalPlanner::commit(std::uint64_t version, const topo::Scope& scope,
     VerdictSet fresh;
     fresh.update_text = text;
     fresh.clean.assign(entry->bundle->plan.size(), false);
+    fresh.stale_from.assign(entry->bundle->plan.size(), kNotStale);
     it = entry->verdicts.insert_or_assign(vkey, std::move(fresh)).first;
   }
   it->second.stamp = ++stamp_;
   auto& bits = it->second.clean;
+  auto& stale = it->second.stale_from;
   if (bits.size() < clean.size()) bits.resize(clean.size(), false);
+  if (stale.size() < bits.size()) stale.resize(bits.size(), kNotStale);
   for (std::size_t i = 0; i < clean.size(); ++i) {
-    if (clean[i]) bits[i] = true;  // verdicts only ever strengthen
+    if (clean[i]) {
+      bits[i] = true;  // verdicts only ever strengthen
+      stale[i] = kNotStale;
+    }
   }
 }
 
@@ -357,6 +376,42 @@ IncrementalOutcome run_incremental_check(Checker& checker, const IncrementalLeas
     if (o.index < lease.clean.size() && lease.clean[o.index]) {
       ++out.reused;  // proven consistent for this exact update earlier
       out.clean[o.index] = true;
+      continue;
+    }
+    const std::uint32_t stale_from =
+        o.index < lease.stale_from.size() ? lease.stale_from[o.index] : kNotStale;
+    if (stale_from != kNotStale && stale_from < lease.diffs.size()) {
+      // The verdict was proven and later invalidated by diffs[stale_from..]:
+      // delta-refine the class and query only the sub-atoms those diffs
+      // touch — the disjoint sub-atoms behaved identically under the old
+      // proof and inherit consistency.
+      const std::vector<net::PacketSet> changed(lease.diffs.begin() + stale_from,
+                                                lease.diffs.end());
+      const topo::FecDeltaResult delta =
+          topo::refine_delta({*o.fec}, changed, checker.options().set_backend);
+      ++result.obligations_executed;
+      ++out.delta_checked;
+      bool violated = false;
+      for (std::size_t a = 0; a < delta.atoms.size() && !violated; ++a) {
+        if (!delta.touched[a]) continue;
+        violated = session.find_violation(delta.atoms[a], net::PacketSet::empty(), o.paths)
+                       .has_value();
+      }
+      if (!violated) {
+        out.clean[o.index] = true;
+        continue;
+      }
+      // A violating sub-atom implies a full-class violation; re-derive it on
+      // the whole class so the reported witness is bit-identical to a
+      // from-scratch check.
+      auto full = session.find_violation(*o.fec, net::PacketSet::empty(), o.paths);
+      if (full) {
+        result.consistent = false;
+        result.violations.push_back(std::move(*full));
+        if (stop_at_first) break;
+      } else {
+        out.clean[o.index] = true;  // defensive: treat as proven consistent
+      }
       continue;
     }
     ++result.obligations_executed;

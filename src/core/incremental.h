@@ -22,6 +22,16 @@
 //     Equation 3 are unchanged. Verdicts failing the test are invalidated,
 //     not flipped — the next check re-proves exactly those obligations.
 //
+// Invalidation is additionally *scoped*, not just boolean: each entry keeps
+// the pooled differential packet set of every apply it absorbed, and an
+// invalidated verdict remembers which diff first hit it (stale_from). At
+// check time the obligation's class is delta-refined by exactly the diffs
+// since that point (topo::refine_delta): sub-atoms disjoint from every diff
+// behaved identically when the verdict was proven and inherit consistency;
+// only the touched sub-atoms get SMT queries. A violating sub-atom falls
+// back to the full-class query so the reported witness is bit-identical to
+// a from-scratch check.
+//
 // The planner keys entries by a structural fingerprint of (scope devices,
 // entering cubes) plus the base version, guarded by exact comparisons so a
 // hash collision can never return the wrong plan. Entries whose rebase
@@ -63,12 +73,25 @@ struct IncrementalStats {
   std::size_t cached_obligations = 0;  // obligations across live entries
 };
 
+/// Sentinel for IncrementalLease::stale_from: the verdict bit was never
+/// proven (or never invalidated), so no delta-scoped re-proof applies.
+inline constexpr std::uint32_t kNotStale = 0xFFFFFFFFu;
+
 /// A successful acquire: the shared plan bundle for (version, scope,
 /// entering) plus the per-obligation verdict bits already proven for the
 /// pending update (true = known consistent, skip its SMT query).
 struct IncrementalLease {
   std::shared_ptr<const PlanBundle> bundle;
   std::vector<bool> clean;  // indexed by Obligation::index; may be empty
+  /// For obligations with clean[i] == false: the index into `diffs` of the
+  /// first apply differential that invalidated a previously proven verdict,
+  /// or kNotStale when the verdict was never proven. A stale obligation
+  /// only needs re-proving on the sub-atoms of its class that meet
+  /// diffs[stale_from[i]..] — the rest inherit the old proof.
+  std::vector<std::uint32_t> stale_from;
+  /// Pooled Definition 4.1 differential of each apply absorbed by the
+  /// leased entry since its full build, in apply order.
+  std::vector<net::PacketSet> diffs;
   std::uint64_t version = 0;
 
   [[nodiscard]] bool valid() const { return bundle != nullptr; }
@@ -83,6 +106,9 @@ struct IncrementalOutcome {
   std::vector<bool> clean;
   std::size_t reused = 0;   // skipped via leased verdicts
   std::size_t skipped = 0;  // untouched by the update (touches() == false)
+  /// Stale obligations resolved by delta-refining the class and querying
+  /// only the sub-atoms the diffs touch.
+  std::size_t delta_checked = 0;
 };
 
 class IncrementalPlanner {
@@ -138,6 +164,9 @@ class IncrementalPlanner {
   struct VerdictSet {
     std::string update_text;  // canonical update form (exact guard)
     std::vector<bool> clean;
+    /// Parallel to `clean`: diff index that first invalidated bit i, or
+    /// kNotStale. See IncrementalLease::stale_from.
+    std::vector<std::uint32_t> stale_from;
     std::uint64_t stamp = 0;  // for LRU eviction of verdict sets
   };
 
@@ -146,6 +175,8 @@ class IncrementalPlanner {
     std::vector<topo::DeviceId> scope_devices;  // sorted; exact guard
     std::shared_ptr<const PlanBundle> bundle;
     std::size_t chain = 0;  // applies absorbed since the full build
+    /// Pooled differential of each absorbed apply, in order (size == chain).
+    std::vector<net::PacketSet> diffs;
     std::unordered_map<std::uint64_t, VerdictSet> verdicts;
   };
 
@@ -164,10 +195,12 @@ class IncrementalPlanner {
 
 /// Executes a check of `update` against a leased plan, delta-scoped:
 /// obligations the update cannot touch are trivially consistent, leased
-/// verdicts are reused, and only the rest get SMT queries (in plan order,
-/// honouring CheckOptions::stop_at_first). The checker must have adopted
-/// the lease's bundle. The consistency verdict is identical to a full
-/// Checker::check of the same update.
+/// verdicts are reused, stale verdicts are re-proven only on the sub-atoms
+/// their invalidating diffs touch (topo::refine_delta), and only the rest
+/// get full SMT queries (in plan order, honouring
+/// CheckOptions::stop_at_first). The checker must have adopted the lease's
+/// bundle. The consistency verdict — and any reported witness — is
+/// identical to a full Checker::check of the same update.
 [[nodiscard]] IncrementalOutcome run_incremental_check(Checker& checker,
                                                        const IncrementalLease& lease,
                                                        const topo::AclUpdate& update);

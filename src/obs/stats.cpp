@@ -1,10 +1,12 @@
 #include "obs/stats.h"
 
+#include <algorithm>
 #include <bit>
 #include <chrono>
 #include <functional>
 #include <ostream>
 #include <thread>
+#include <vector>
 
 namespace jinjing::obs {
 namespace detail {
@@ -39,6 +41,8 @@ constexpr std::array<std::string_view, kCounterCount> kCounterNames = {
     "svc_batch_algebra_builds",                      "svc_leases_granted",
     "svc_leases_renewed",   "svc_leases_released",   "svc_leases_expired",
     "svc_repl_records_streamed",                     "svc_overlap_dispatches",
+    "fec_delta_splits",     "fec_delta_reused_atoms",
+    "fec_delta_rebuilds",
 };
 
 constexpr std::array<std::string_view, kGaugeCount> kGaugeNames = {
@@ -54,6 +58,7 @@ constexpr std::array<std::string_view, kHistogramCount> kHistogramNames = {
     "svc_job_run_micros",
     "svc_batch_size",
     "svc_batch_shard_occupancy",
+    "fec_delta_chain_len",
 };
 
 constexpr std::array<std::string_view, kSpanCount> kSpanNames = {
@@ -265,12 +270,37 @@ void StatsRegistry::write_json(std::ostream& out,
   out << "\n" << indent << "  }\n" << indent << "}";
 }
 
-ScopedRegistry::ScopedRegistry(StatsRegistry& registry)
-    : previous_(detail::g_registry.exchange(&registry,
-                                            std::memory_order_acq_rel)) {}
+namespace {
+
+// Live registrations, oldest first. The installed sink is always the
+// newest entry, so scopes destroyed out of order (a server restarting
+// while an older one still runs) can never leave a freed registry behind.
+struct RegistryStack {
+  std::mutex mutex;
+  std::vector<StatsRegistry*> entries;
+};
+
+RegistryStack& registry_stack() {
+  static RegistryStack stack;
+  return stack;
+}
+
+}  // namespace
+
+ScopedRegistry::ScopedRegistry(StatsRegistry& registry) : registry_(&registry) {
+  RegistryStack& stack = registry_stack();
+  const std::lock_guard<std::mutex> lock{stack.mutex};
+  stack.entries.push_back(registry_);
+  detail::g_registry.store(registry_, std::memory_order_release);
+}
 
 ScopedRegistry::~ScopedRegistry() {
-  detail::g_registry.store(previous_, std::memory_order_release);
+  RegistryStack& stack = registry_stack();
+  const std::lock_guard<std::mutex> lock{stack.mutex};
+  const auto it = std::find(stack.entries.rbegin(), stack.entries.rend(), registry_);
+  if (it != stack.entries.rend()) stack.entries.erase(std::next(it).base());
+  detail::g_registry.store(stack.entries.empty() ? nullptr : stack.entries.back(),
+                           std::memory_order_release);
 }
 
 }  // namespace jinjing::obs

@@ -53,8 +53,11 @@ enum class Counter : std::size_t {
   SvcLeasesExpired,     // leases collected by the sweeper after expiry
   SvcReplRecordsStreamed, // replication records written to subscribers
   SvcOverlapDispatches, // non-coalescable jobs run on the dispatcher overlap slot
+  FecDeltaSplits,       // partition atoms re-split by delta FEC refinement
+  FecDeltaReusedAtoms,  // partition atoms carried across a version delta unchanged
+  FecDeltaRebuilds,     // delta refinements abandoned for a from-scratch rebuild
 };
-inline constexpr std::size_t kCounterCount = 38;
+inline constexpr std::size_t kCounterCount = 41;
 
 // Gauges track a high-water mark (set_max semantics).
 enum class Gauge : std::size_t {
@@ -73,8 +76,9 @@ enum class Histogram : std::size_t {
   SvcJobRunMicros,      // job execution wall time
   SvcBatchSize,         // jobs per coalesced dispatch unit
   SvcBatchShardOccupancy, // obligations per shard of a batch fan-out
+  FecDeltaChainLen,     // lineage hops walked to resolve a partition by delta
 };
-inline constexpr std::size_t kHistogramCount = 7;
+inline constexpr std::size_t kHistogramCount = 8;
 inline constexpr std::size_t kHistogramBuckets = 40;
 
 // Trace span names; every value maps to a "name" in the Chrome trace export.
@@ -194,8 +198,10 @@ inline StatsRegistry* StatsRegistry::current() {
   return detail::g_registry.load(std::memory_order_acquire);
 }
 
-// Installs a registry as the global sink for the lifetime of the scope and
-// restores the previously installed one (if any) on destruction.
+// Installs a registry as the global sink for the lifetime of the scope.
+// Scopes may be destroyed in any order (servers restart independently of
+// each other): the newest still-live registration is the sink, so tearing
+// one down never re-installs a registry that has already been destroyed.
 class ScopedRegistry {
  public:
   explicit ScopedRegistry(StatsRegistry& registry);
@@ -205,7 +211,7 @@ class ScopedRegistry {
   ScopedRegistry& operator=(const ScopedRegistry&) = delete;
 
  private:
-  StatsRegistry* previous_;
+  StatsRegistry* registry_;
 };
 
 // Hot-path helpers: a single relaxed pointer load and branch when disabled.

@@ -181,9 +181,10 @@ Server::Server(config::NetworkFile network, ServerOptions options)
     });
   });
   // Every apply feeds the delta straight to the planner (no re-diffing)
-  // and re-keys the old version's FEC partitions under the new topology —
-  // an ACL-only apply preserves every forwarding predicate, so the
-  // partitions are valid verbatim and the new version starts warm. The same
+  // and records one lineage link in the FEC cache — an ACL-only apply
+  // preserves every forwarding predicate, so the old version's partitions
+  // are valid verbatim and the first lookup that misses on the new topology
+  // stitches them through (bounded by the delta-chain budget). The same
   // hook appends the canonical replication record: under the store lock the
   // apply stream is totally ordered, which is exactly the single-writer
   // guarantee the hash chain encodes. Because the record is produced by the
@@ -193,7 +194,7 @@ Server::Server(config::NetworkFile network, ServerOptions options)
                             const Snapshot& previous, const Snapshot& next,
                             const topo::AclUpdate& update) {
     if (planner) {
-      cache->share(*previous.topo, *next.topo);
+      cache->record_delta(previous.topo.get(), next.topo.get(), options_.max_delta_chain);
       planner->record_apply(previous.version, next.version, *previous.topo, update);
     }
     const Json encoded = encode_update(*previous.topo, update);
@@ -219,6 +220,24 @@ Server::~Server() {
     } catch (...) {
       // Destructor teardown is best-effort.
     }
+  }
+}
+
+void Server::prewarm() {
+  try {
+    const SnapshotPtr head = store_.head();
+    if (!head) return;
+    // The whole-network plan over the head traffic is what the first
+    // post-start checks (and the replica's differential oracle) ask for;
+    // deriving it here fills the shared FEC cache and seeds the planner so
+    // those jobs start warm instead of paying refinement serially.
+    const topo::Scope scope = topo::Scope::whole_network(*head->topo);
+    smt::SmtContext smt;
+    core::Checker checker{smt, *head->topo, scope, job_check_options()};
+    auto bundle = checker.share_plan(head->traffic);
+    if (incremental_) incremental_->install(head->version, scope, std::move(bundle));
+  } catch (const std::exception&) {
+    // Best-effort: a failed pre-warm only means the first jobs derive cold.
   }
 }
 
@@ -931,6 +950,14 @@ Json Server::handle_info() {
     inc.emplace("cached_obligations", static_cast<std::uint64_t>(stats.cached_obligations));
     obj.emplace("delta_cache", Json{std::move(inc)});
   }
+  {
+    Json::Object fd;
+    fd.emplace("splits", registry_.total(obs::Counter::FecDeltaSplits));
+    fd.emplace("reused_atoms", registry_.total(obs::Counter::FecDeltaReusedAtoms));
+    fd.emplace("rebuilds", registry_.total(obs::Counter::FecDeltaRebuilds));
+    fd.emplace("lineage", static_cast<std::uint64_t>(fec_cache_->lineage_entries()));
+    obj.emplace("fec_delta", Json{std::move(fd)});
+  }
   return Json{std::move(obj)};
 }
 
@@ -956,6 +983,8 @@ Json Server::handle_metrics() {
       << "jinjing_svc_tracked_jobs " << scheduler_.tracked_count() << "\n"
       << "# TYPE jinjing_svc_fec_entries gauge\n"
       << "jinjing_svc_fec_entries " << fec_cache_->live_entries() << "\n"
+      << "# TYPE jinjing_svc_fec_lineage gauge\n"
+      << "jinjing_svc_fec_lineage " << fec_cache_->lineage_entries() << "\n"
       << "# TYPE jinjing_svc_leases gauge\n"
       << "jinjing_svc_leases " << store_.lease_count() << "\n"
       << "# TYPE jinjing_svc_subscribers gauge\n"
@@ -1047,6 +1076,7 @@ core::EngineOptions Server::job_engine_options() const {
   engine.fix.check.executor = nullptr;
   engine.fix.check.fec_cache = fec_cache_;
   engine.generate.executor = nullptr;
+  engine.generate.fec_cache = fec_cache_;
   return engine;
 }
 
@@ -1262,7 +1292,21 @@ void Server::execute_job(const JobPtr& job) {
       // repair plan regardless of what the server ran before (a reused
       // incremental session can steer Z3 to a different, equally valid,
       // model).
-      core::Engine engine{*snapshot->topo, job_engine_options()};
+      core::EngineOptions engine_options = job_engine_options();
+      // Warm path for fix (and mixed check/fix) jobs: adopt the rebased
+      // plan bundle for (version, scope, traffic) so the engine's checker
+      // and the fixer's candidate loop skip path enumeration and planning.
+      // Control intents change the obligation set, so only intent-free
+      // tasks may adopt.
+      if (incremental_ && task.controls.empty()) {
+        const core::IncrementalLease lease = incremental_->acquire(
+            snapshot->version, task.scope, snapshot->traffic, task.modify);
+        if (lease.bundle) {
+          engine_options.check.adopted_plan = lease.bundle;
+          engine_options.fix.check.adopted_plan = lease.bundle;
+        }
+      }
+      core::Engine engine{*snapshot->topo, engine_options};
       const unsigned default_timeout = engine.smt().timeout_ms();
 
       for (const lai::Command command : task.commands) {

@@ -129,6 +129,13 @@ class Server {
   /// ServerError when the socket cannot be created.
   void start();
 
+  /// Pre-warms the shared FEC cache and the incremental planner from the
+  /// head snapshot (whole-network scope, head traffic) so the first checks
+  /// after startup — or after a replica divergence rebuild — do not pay
+  /// full path enumeration and refinement serially under live traffic.
+  /// Best-effort: derivation failures are swallowed. Call before start().
+  void prewarm();
+
   /// Blocks until a graceful shutdown has completed (shutdown method or
   /// request_shutdown()), then tears down every thread and the socket.
   void wait();

@@ -5,6 +5,7 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <memory>
 #include <new>
 #include <sstream>
 #include <thread>
@@ -182,6 +183,28 @@ TEST(ScopedRegistry, InstallsAndRestores) {
   EXPECT_EQ(b.total(obs::Counter::PlanBuilds), 1u);
 }
 
+TEST(ScopedRegistry, SurvivesOutOfOrderDestruction) {
+  // Servers restart independently, so scopes do not nest: destroying an
+  // older scope while a newer one is live must keep the newer registry
+  // installed, and destroying the newer one must never re-install a
+  // registry whose scope is already gone.
+  ASSERT_EQ(obs::StatsRegistry::current(), nullptr);
+  obs::StatsRegistry a;
+  obs::StatsRegistry b;
+  obs::StatsRegistry c;
+  auto install_a = std::make_unique<obs::ScopedRegistry>(a);
+  auto install_b = std::make_unique<obs::ScopedRegistry>(b);
+  install_a.reset();  // the older scope dies first
+  EXPECT_EQ(obs::StatsRegistry::current(), &b);
+  auto install_c = std::make_unique<obs::ScopedRegistry>(c);
+  install_b.reset();  // a middle scope dies while a newer one is live
+  EXPECT_EQ(obs::StatsRegistry::current(), &c);
+  obs::count(obs::Counter::PlanBuilds);
+  install_c.reset();
+  EXPECT_EQ(obs::StatsRegistry::current(), nullptr);
+  EXPECT_EQ(c.total(obs::Counter::PlanBuilds), 1u);
+}
+
 TEST(DisabledPath, NoRegistryMeansNoCountsAndNoAllocations) {
   ASSERT_EQ(obs::StatsRegistry::current(), nullptr);
   const std::size_t before = g_alloc_calls.load(std::memory_order_relaxed);
@@ -221,6 +244,11 @@ TEST(Exports, PrometheusTextFormat) {
             std::string::npos);
   EXPECT_NE(text.find("jinjing_smt_solve_micros_sum 12\n"), std::string::npos);
   EXPECT_NE(text.find("jinjing_smt_solve_micros_count 2\n"), std::string::npos);
+  // The delta-refinement telemetry is part of the export surface.
+  EXPECT_NE(text.find("jinjing_fec_delta_splits_total "), std::string::npos);
+  EXPECT_NE(text.find("jinjing_fec_delta_reused_atoms_total "), std::string::npos);
+  EXPECT_NE(text.find("jinjing_fec_delta_rebuilds_total "), std::string::npos);
+  EXPECT_NE(text.find("jinjing_fec_delta_chain_len_count "), std::string::npos);
   // Every counter appears, even untouched ones.
   for (std::size_t i = 0; i < obs::kCounterCount; ++i) {
     const auto name = to_string(static_cast<obs::Counter>(i));
